@@ -1,0 +1,373 @@
+//! Association of attack vectors to the system model — the paper's
+//! "main output".
+
+use std::collections::BTreeMap;
+
+use cpssec_attackdb::Corpus;
+use cpssec_model::{Fidelity, SystemModel};
+use cpssec_search::{FilterPipeline, MatchSet, SearchEngine};
+
+/// One row of a Table 1-style report: an attribute value and how many
+/// attack vectors of each family associate with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeRow {
+    /// The component carrying the attribute.
+    pub component: String,
+    /// The attribute value queried.
+    pub attribute: String,
+    /// Matched attack patterns.
+    pub patterns: usize,
+    /// Matched weaknesses.
+    pub weaknesses: usize,
+    /// Matched vulnerabilities.
+    pub vulnerabilities: usize,
+}
+
+impl AttributeRow {
+    /// Total matched vectors.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.patterns + self.weaknesses + self.vulnerabilities
+    }
+}
+
+/// The association of attack vectors to every component of a model, at one
+/// fidelity level, after one filter pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationMap {
+    fidelity: Fidelity,
+    by_component: BTreeMap<String, MatchSet>,
+    by_channel: BTreeMap<String, MatchSet>,
+}
+
+impl AssociationMap {
+    /// Associates the corpus to every component of `model` at `level`,
+    /// filtering each component's match set through `filters`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpssec_attackdb::seed::seed_corpus;
+    /// use cpssec_search::{FilterPipeline, SearchEngine};
+    /// use cpssec_model::Fidelity;
+    /// use cpssec_analysis::AssociationMap;
+    ///
+    /// let corpus = seed_corpus();
+    /// let engine = SearchEngine::build(&corpus);
+    /// let model = cpssec_scada::model::scada_model();
+    /// let map = AssociationMap::build(
+    ///     &model, &engine, &corpus, Fidelity::Implementation, &FilterPipeline::new(),
+    /// );
+    /// assert!(map.matches("SIS platform").is_some());
+    /// ```
+    #[must_use]
+    pub fn build(
+        model: &SystemModel,
+        engine: &SearchEngine,
+        corpus: &Corpus,
+        level: Fidelity,
+        filters: &FilterPipeline,
+    ) -> AssociationMap {
+        let by_component = model
+            .components()
+            .map(|(_, component)| {
+                let raw = engine.match_component(component, level);
+                (component.name().to_owned(), filters.apply(&raw, corpus))
+            })
+            .collect();
+        let by_channel = model
+            .channels()
+            .map(|(id, channel)| {
+                let raw = engine.match_channel(channel, level);
+                let from = model
+                    .component(channel.from())
+                    .expect("valid endpoint")
+                    .name();
+                let to = model.component(channel.to()).expect("valid endpoint").name();
+                // Zero-padded so BTreeMap string order equals channel order.
+                let key = format!("e{:03}: {from} -- {to} [{}]", id.index(), channel.kind());
+                (key, filters.apply(&raw, corpus))
+            })
+            .collect();
+        AssociationMap {
+            fidelity: level,
+            by_component,
+            by_channel,
+        }
+    }
+
+    /// The fidelity the map was built at.
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// The match set for one component name.
+    #[must_use]
+    pub fn matches(&self, component: &str) -> Option<&MatchSet> {
+        self.by_component.get(component)
+    }
+
+    /// Iterates `(component name, match set)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MatchSet)> {
+        self.by_component.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates `(channel description, match set)` in channel-id order.
+    /// Keys look like `e004: BPCS platform -- Centrifuge [fieldbus]`.
+    pub fn iter_channels(&self) -> impl Iterator<Item = (&str, &MatchSet)> {
+        self.by_channel.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total matched vectors across all components (with multiplicity: a
+    /// vector matched by two components counts twice, as on the dashboard).
+    /// Channel matches are reported separately by
+    /// [`channel_vectors`](Self::channel_vectors).
+    #[must_use]
+    pub fn total_vectors(&self) -> usize {
+        self.by_component.values().map(MatchSet::total).sum()
+    }
+
+    /// Total matched vectors across all channels.
+    #[must_use]
+    pub fn channel_vectors(&self) -> usize {
+        self.by_channel.values().map(MatchSet::total).sum()
+    }
+
+    /// Components ordered from most to fewest associated vectors.
+    #[must_use]
+    pub fn ranked_components(&self) -> Vec<(&str, usize)> {
+        let mut ranked: Vec<(&str, usize)> = self
+            .by_component
+            .iter()
+            .map(|(name, set)| (name.as_str(), set.total()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        ranked
+    }
+}
+
+/// Builds Table 1-style rows: one row per *concrete attribute value* in the
+/// model at `level`, each queried individually against the corpus.
+///
+/// This is exactly how the paper's Table 1 is keyed — by attribute
+/// ("Cisco ASA", "Windows 7", …), not by component.
+#[must_use]
+pub fn attribute_rows(
+    model: &SystemModel,
+    engine: &SearchEngine,
+    corpus: &Corpus,
+    level: Fidelity,
+    filters: &FilterPipeline,
+) -> Vec<AttributeRow> {
+    let mut rows = Vec::new();
+    for (_, component) in model.components() {
+        for attribute in component.attributes().visible_at(level) {
+            if !attribute.kind().is_concrete() {
+                continue;
+            }
+            let raw = engine.match_text(attribute.value());
+            let set = filters.apply(&raw, corpus);
+            let (patterns, weaknesses, vulnerabilities) = set.counts();
+            rows.push(AttributeRow {
+                component: component.name().to_owned(),
+                attribute: attribute.value().to_owned(),
+                patterns,
+                weaknesses,
+                vulnerabilities,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpssec_attackdb::seed::seed_corpus;
+    use cpssec_scada::model::{names, scada_model};
+
+    fn setup() -> (SystemModel, SearchEngine, Corpus) {
+        let corpus = seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        (scada_model(), engine, corpus)
+    }
+
+    #[test]
+    fn every_component_gets_an_entry() {
+        let (model, engine, corpus) = setup();
+        let map = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        assert_eq!(map.iter().count(), model.component_count());
+        assert_eq!(map.fidelity(), Fidelity::Implementation);
+    }
+
+    #[test]
+    fn implementation_fidelity_matches_more_than_conceptual() {
+        let (model, engine, corpus) = setup();
+        let filters = FilterPipeline::new();
+        let concrete =
+            AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+        let abstract_ =
+            AssociationMap::build(&model, &engine, &corpus, Fidelity::Conceptual, &filters);
+        assert!(
+            concrete.total_vectors() > abstract_.total_vectors(),
+            "concrete {} vs abstract {}",
+            concrete.total_vectors(),
+            abstract_.total_vectors()
+        );
+    }
+
+    #[test]
+    fn sis_platform_matches_vulnerabilities_at_implementation() {
+        let (model, engine, corpus) = setup();
+        let map = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        let sis = map.matches(names::SIS).unwrap();
+        assert!(!sis.vulnerabilities.is_empty());
+    }
+
+    #[test]
+    fn attribute_rows_cover_table1_attributes() {
+        let (model, engine, corpus) = setup();
+        let rows = attribute_rows(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        for needle in ["Cisco ASA", "Windows 7", "Labview", "NI cRIO 9063", "NI cRIO 9064", "NI RT Linux OS"] {
+            let row = rows
+                .iter()
+                .find(|r| r.attribute == needle)
+                .unwrap_or_else(|| panic!("no row for {needle}"));
+            assert!(row.vulnerabilities > 0, "{needle}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn attribute_rows_skip_function_attributes() {
+        let (model, engine, corpus) = setup();
+        let rows = attribute_rows(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        assert!(rows.iter().all(|r| !r.attribute.contains("monitors")));
+    }
+
+    #[test]
+    fn conceptual_rows_exclude_implementation_attributes() {
+        let (model, engine, corpus) = setup();
+        let rows = attribute_rows(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Conceptual,
+            &FilterPipeline::new(),
+        );
+        assert!(rows.iter().all(|r| r.attribute != "Windows 7"));
+    }
+
+    #[test]
+    fn ranked_components_sorts_descending() {
+        let (model, engine, corpus) = setup();
+        let map = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        let ranked = map.ranked_components();
+        assert_eq!(ranked.len(), model.component_count());
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn filters_thin_the_association() {
+        use cpssec_attackdb::Severity;
+        use cpssec_search::Filter;
+        let (model, engine, corpus) = setup();
+        let unfiltered = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        let filtered = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new().then(Filter::SeverityAtLeast(Severity::Critical)),
+        );
+        assert!(filtered.total_vectors() < unfiltered.total_vectors());
+    }
+
+    #[test]
+    fn channels_are_associated_too() {
+        let (model, engine, corpus) = setup();
+        let map = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Architectural,
+            &FilterPipeline::new(),
+        );
+        assert_eq!(map.iter_channels().count(), model.channel_count());
+        // The MODBUS fieldbus channels match the MODBUS-mentioning records.
+        let modbus_channel = map
+            .iter_channels()
+            .find(|(key, _)| key.contains("Centrifuge"))
+            .map(|(_, set)| set.clone())
+            .expect("drive command bus present");
+        assert!(
+            modbus_channel.total() > 0,
+            "MODBUS channel should match protocol-level records"
+        );
+        assert!(map.channel_vectors() >= modbus_channel.total());
+    }
+
+    #[test]
+    fn channel_keys_are_ordered_and_descriptive() {
+        let (model, engine, corpus) = setup();
+        let map = AssociationMap::build(
+            &model,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        let keys: Vec<&str> = map.iter_channels().map(|(k, _)| k).collect();
+        assert!(keys[0].starts_with("e000:"));
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().any(|k| k.contains("[fieldbus]")));
+    }
+
+    #[test]
+    fn row_total_sums_families() {
+        let row = AttributeRow {
+            component: "x".into(),
+            attribute: "y".into(),
+            patterns: 1,
+            weaknesses: 2,
+            vulnerabilities: 3,
+        };
+        assert_eq!(row.total(), 6);
+    }
+}

@@ -1,0 +1,39 @@
+//! The security-analyst dashboard engine.
+//!
+//! The paper's third capability: "a visual display of both system models
+//! and attack vectors in a common graphical user interface to enable
+//! analysis and decision making". This crate is that dashboard minus the
+//! pixels — every operation the paper's analyst performs is an API here:
+//!
+//! * [`AssociationMap`] — the "main output": attack vectors associated to
+//!   every model element, plus per-attribute counts (Table 1 rows);
+//! * [`Dashboard`] — change the model on the fly and immediately see new
+//!   results, with fidelity projection and filter pipelines;
+//! * [`SystemPosture`]/[`whatif`] — "a component … that relates with less
+//!   attack vectors than a functionally equivalent system has a better
+//!   security posture";
+//! * [`surface`] — entry-point reachability and attack paths over the
+//!   model topology;
+//! * [`stpa`]/[`consequence`] — the missing link the paper calls for:
+//!   from matched attack vectors through unsafe control actions to
+//!   simulated physical consequences and losses;
+//! * [`render`] — text tables, Graphviz DOT of the merged view (Fig 1),
+//!   and JSON artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod associate;
+pub mod consequence;
+mod dashboard;
+mod posture;
+pub mod recommend;
+pub mod render;
+pub mod report;
+pub mod stpa;
+pub mod surface;
+pub mod whatif;
+
+pub use associate::{attribute_rows, AssociationMap, AttributeRow};
+pub use dashboard::Dashboard;
+pub use posture::{ComponentPosture, SystemPosture};

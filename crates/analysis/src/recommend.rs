@@ -1,0 +1,164 @@
+//! Mitigation recommendations from the association.
+//!
+//! The paper's goal is "systems engineers … aware of possible cybersecurity
+//! violations without necessarily being security analysts themselves"; the
+//! recommendation view turns a component's matched weaknesses into the
+//! concrete mitigations the corpus records for them, ranked by match
+//! relevance.
+
+use cpssec_attackdb::{Corpus, CweId};
+
+use crate::AssociationMap;
+
+/// One recommended mitigation for a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The weakness motivating the mitigation.
+    pub weakness: CweId,
+    /// The weakness name (for display).
+    pub weakness_name: String,
+    /// The mitigation text.
+    pub mitigation: String,
+    /// Relevance: the weakness hit's score on this component.
+    pub relevance: f64,
+}
+
+/// Ranks mitigations for one component: every mitigation recorded on every
+/// matched weakness, best-matching weakness first, deduplicated by text
+/// (a mitigation shared by two weaknesses appears once, at its highest
+/// relevance).
+///
+/// Returns an empty list for unknown components or components whose
+/// matched weaknesses carry no mitigations.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_analysis::{recommend::recommendations_for, AssociationMap};
+/// use cpssec_attackdb::seed::seed_corpus;
+/// use cpssec_model::Fidelity;
+/// use cpssec_search::{FilterPipeline, SearchEngine};
+///
+/// let corpus = seed_corpus();
+/// let engine = SearchEngine::build(&corpus);
+/// let model = cpssec_scada::model::scada_model();
+/// let map = AssociationMap::build(
+///     &model, &engine, &corpus, Fidelity::Implementation, &FilterPipeline::new(),
+/// );
+/// let recs = recommendations_for(&map, &corpus, "BPCS platform", 10);
+/// assert!(!recs.is_empty());
+/// ```
+#[must_use]
+pub fn recommendations_for(
+    association: &AssociationMap,
+    corpus: &Corpus,
+    component: &str,
+    limit: usize,
+) -> Vec<Recommendation> {
+    let Some(matches) = association.matches(component) else {
+        return Vec::new();
+    };
+    let mut recommendations: Vec<Recommendation> = Vec::new();
+    for hit in &matches.weaknesses {
+        let Some(id) = hit.id.as_weakness() else {
+            continue;
+        };
+        let Some(weakness) = corpus.weakness(id) else {
+            continue;
+        };
+        for mitigation in weakness.mitigations() {
+            match recommendations
+                .iter_mut()
+                .find(|r| &r.mitigation == mitigation)
+            {
+                Some(existing) => {
+                    if hit.score > existing.relevance {
+                        existing.relevance = hit.score;
+                        existing.weakness = id;
+                        existing.weakness_name = weakness.name().to_owned();
+                    }
+                }
+                None => recommendations.push(Recommendation {
+                    weakness: id,
+                    weakness_name: weakness.name().to_owned(),
+                    mitigation: mitigation.clone(),
+                    relevance: hit.score,
+                }),
+            }
+        }
+    }
+    recommendations.sort_by(|a, b| {
+        b.relevance
+            .partial_cmp(&a.relevance)
+            .expect("scores are finite")
+            .then_with(|| a.weakness.cmp(&b.weakness))
+            .then_with(|| a.mitigation.cmp(&b.mitigation))
+    });
+    recommendations.truncate(limit);
+    recommendations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpssec_attackdb::seed::seed_corpus;
+    use cpssec_model::Fidelity;
+    use cpssec_scada::model::names;
+    use cpssec_search::{FilterPipeline, SearchEngine};
+
+    fn setup() -> (Corpus, AssociationMap) {
+        let corpus = seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let map = AssociationMap::build(
+            &cpssec_scada::model::scada_model(),
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        );
+        (corpus, map)
+    }
+
+    #[test]
+    fn bpcs_gets_command_injection_mitigations() {
+        let (corpus, map) = setup();
+        let recs = recommendations_for(&map, &corpus, names::BPCS, 20);
+        assert!(
+            recs.iter()
+                .any(|r| r.weakness == CweId::new(78) || r.mitigation.contains("shell")),
+            "{recs:#?}"
+        );
+    }
+
+    #[test]
+    fn recommendations_are_ranked_and_capped() {
+        let (corpus, map) = setup();
+        let recs = recommendations_for(&map, &corpus, names::BPCS, 3);
+        assert!(recs.len() <= 3);
+        assert!(recs.windows(2).all(|w| w[0].relevance >= w[1].relevance));
+    }
+
+    #[test]
+    fn mitigation_texts_are_deduplicated() {
+        let (corpus, map) = setup();
+        let recs = recommendations_for(&map, &corpus, names::BPCS, 100);
+        let mut texts: Vec<&str> = recs.iter().map(|r| r.mitigation.as_str()).collect();
+        let before = texts.len();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), before);
+    }
+
+    #[test]
+    fn unknown_component_yields_nothing() {
+        let (corpus, map) = setup();
+        assert!(recommendations_for(&map, &corpus, "ghost", 10).is_empty());
+    }
+
+    #[test]
+    fn component_without_weakness_matches_yields_nothing() {
+        let (corpus, map) = setup();
+        let recs = recommendations_for(&map, &corpus, names::COOLING, 10);
+        assert!(recs.is_empty(), "{recs:?}");
+    }
+}

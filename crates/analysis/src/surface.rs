@@ -1,0 +1,190 @@
+//! Attack surface and attack path analysis over the model topology.
+//!
+//! "Security modeling practice has moved from a perspective of hardening a
+//! list of assets to representing things as graphs, which is congruent
+//! with how attackers operate in reality" (§2). This module walks the
+//! architectural graph the way an attacker would: from entry points,
+//! across channels, toward safety-critical components.
+
+use cpssec_model::{ComponentId, Criticality, SystemModel};
+
+/// One path an attacker could take from an entry point to a critical
+/// component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackPath {
+    /// Component names along the path, entry first.
+    pub components: Vec<String>,
+    /// Number of channels traversed.
+    pub hops: usize,
+}
+
+/// The attack surface of a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSurface {
+    /// Names of the entry-point components.
+    pub entry_points: Vec<String>,
+    /// Names of critical components reachable from any entry point.
+    pub reachable_critical: Vec<String>,
+    /// Names of critical components no entry point can reach.
+    pub unreachable_critical: Vec<String>,
+    /// All simple attack paths up to the hop budget, shortest first.
+    pub paths: Vec<AttackPath>,
+    /// Exposure score: for every reachable critical component,
+    /// `criticality weight / shortest distance`, summed. Higher means more
+    /// exposed. Zero when nothing critical is reachable.
+    pub exposure: f64,
+}
+
+/// Computes the attack surface toward components at or above
+/// `target_criticality`, enumerating simple paths of at most `max_hops`
+/// channels.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_analysis::surface::attack_surface;
+/// use cpssec_model::Criticality;
+///
+/// let model = cpssec_scada::model::scada_model();
+/// let surface = attack_surface(&model, Criticality::SafetyCritical, 6);
+/// assert!(!surface.paths.is_empty());
+/// assert!(surface.exposure > 0.0);
+/// ```
+#[must_use]
+pub fn attack_surface(
+    model: &SystemModel,
+    target_criticality: Criticality,
+    max_hops: usize,
+) -> AttackSurface {
+    let entries = model.entry_points();
+    let targets = model.components_at_criticality(target_criticality);
+    let name = |id: ComponentId| model.component(id).expect("id from model").name().to_owned();
+
+    let mut paths = Vec::new();
+    let mut reachable: Vec<ComponentId> = Vec::new();
+    let mut exposure = 0.0;
+    for &target in &targets {
+        let mut best: Option<usize> = None;
+        for &entry in &entries {
+            if entry == target {
+                continue;
+            }
+            for path in model.simple_paths(entry, target, max_hops) {
+                let hops = path.len() - 1;
+                best = Some(best.map_or(hops, |b: usize| b.min(hops)));
+                paths.push(AttackPath {
+                    components: path.iter().map(|&id| name(id)).collect(),
+                    hops,
+                });
+            }
+        }
+        if let Some(shortest) = best {
+            reachable.push(target);
+            let weight = model
+                .component(target)
+                .expect("id from model")
+                .criticality()
+                .weight();
+            exposure += f64::from(weight) / shortest.max(1) as f64;
+        }
+    }
+    paths.sort_by(|a, b| a.hops.cmp(&b.hops).then_with(|| a.components.cmp(&b.components)));
+
+    let unreachable_critical = targets
+        .iter()
+        .filter(|t| !reachable.contains(t))
+        .map(|&id| name(id))
+        .collect();
+    AttackSurface {
+        entry_points: entries.iter().map(|&id| name(id)).collect(),
+        reachable_critical: reachable.iter().map(|&id| name(id)).collect(),
+        unreachable_critical,
+        paths,
+        exposure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpssec_model::{ChannelKind, ComponentKind, SystemModelBuilder};
+    use cpssec_scada::model::{names, scada_model};
+
+    #[test]
+    fn scada_model_exposes_its_safety_critical_core() {
+        let surface = attack_surface(&scada_model(), Criticality::SafetyCritical, 6);
+        assert_eq!(surface.entry_points, vec![names::CORPORATE.to_owned()]);
+        assert!(surface
+            .reachable_critical
+            .contains(&names::SIS.to_owned()));
+        assert!(surface
+            .reachable_critical
+            .contains(&names::CENTRIFUGE.to_owned()));
+        assert!(surface.unreachable_critical.is_empty());
+        // Every path starts at the entry point.
+        assert!(surface
+            .paths
+            .iter()
+            .all(|p| p.components[0] == names::CORPORATE));
+    }
+
+    #[test]
+    fn paths_are_sorted_shortest_first() {
+        let surface = attack_surface(&scada_model(), Criticality::SafetyCritical, 7);
+        assert!(surface.paths.windows(2).all(|w| w[0].hops <= w[1].hops));
+    }
+
+    #[test]
+    fn hop_budget_limits_paths() {
+        let narrow = attack_surface(&scada_model(), Criticality::SafetyCritical, 3);
+        let wide = attack_surface(&scada_model(), Criticality::SafetyCritical, 7);
+        assert!(narrow.paths.len() < wide.paths.len());
+    }
+
+    #[test]
+    fn isolated_critical_component_is_reported_unreachable() {
+        let model = SystemModelBuilder::new("m")
+            .component_with("internet", ComponentKind::Network, |c| c.with_entry_point(true))
+            .component("ws", ComponentKind::Workstation)
+            .component_with("plc", ComponentKind::Controller, |c| {
+                c.with_criticality(Criticality::SafetyCritical)
+            })
+            .channel("internet", "ws", ChannelKind::Ethernet)
+            .build()
+            .unwrap();
+        let surface = attack_surface(&model, Criticality::SafetyCritical, 5);
+        assert_eq!(surface.unreachable_critical, vec!["plc".to_owned()]);
+        assert_eq!(surface.exposure, 0.0);
+        assert!(surface.paths.is_empty());
+    }
+
+    #[test]
+    fn exposure_grows_when_a_shortcut_is_added() {
+        let base = scada_model();
+        let base_surface = attack_surface(&base, Criticality::SafetyCritical, 6);
+        // A maintenance laptop bridging corporate directly to the BPCS.
+        let mut shortcut = base.clone();
+        let corp = shortcut.component_id(names::CORPORATE).unwrap();
+        let bpcs = shortcut.component_id(names::BPCS).unwrap();
+        shortcut
+            .add_channel(corp, bpcs, ChannelKind::Ethernet)
+            .unwrap();
+        let shortcut_surface = attack_surface(&shortcut, Criticality::SafetyCritical, 6);
+        assert!(shortcut_surface.exposure > base_surface.exposure);
+        assert!(shortcut_surface.paths.len() > base_surface.paths.len());
+    }
+
+    #[test]
+    fn no_entry_points_means_empty_surface() {
+        let model = SystemModelBuilder::new("m")
+            .component_with("plc", ComponentKind::Controller, |c| {
+                c.with_criticality(Criticality::SafetyCritical)
+            })
+            .build()
+            .unwrap();
+        let surface = attack_surface(&model, Criticality::SafetyCritical, 5);
+        assert!(surface.entry_points.is_empty());
+        assert_eq!(surface.exposure, 0.0);
+        assert_eq!(surface.unreachable_critical, vec!["plc".to_owned()]);
+    }
+}

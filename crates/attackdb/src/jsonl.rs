@@ -1,0 +1,396 @@
+//! Corpus interchange as JSON Lines.
+//!
+//! One record per line, `"type"` discriminated. This is the bridge to real
+//! data: convert an NVD/CWE/CAPEC extract to this shape and load it with
+//! [`from_jsonl`] instead of (or merged with) the built-in corpora.
+//!
+//! ```json
+//! {"type":"pattern","id":"CAPEC-88","name":"OS Command Injection","abstraction":"Standard","description":"...","weaknesses":["CWE-78"],"likelihood":"High","severity":"High","prerequisites":["..."]}
+//! {"type":"weakness","id":"CWE-78","name":"...","description":"...","platforms":["Linux"],"consequences":["..."],"mitigations":["..."]}
+//! {"type":"vulnerability","id":"CVE-2018-0101","description":"...","cvss":"CVSS:3.1/...","weaknesses":["CWE-416"],"affected":[{"vendor":"cisco","product":"asa","version":"9.6"}]}
+//! ```
+
+use core::fmt;
+
+use crate::json::{parse, write_escaped, JsonValue};
+use crate::{
+    Abstraction, AttackDbError, AttackPattern, Corpus, CpeName, CvssVector, Likelihood, Severity,
+    Vulnerability, Weakness,
+};
+
+/// Errors loading a JSON Lines corpus.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JsonlError {
+    /// A line failed to parse, with its 1-based line number.
+    Line {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A well-formed record could not be inserted (duplicate id).
+    Corpus(AttackDbError),
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonlError::Line { line, detail } => write!(f, "line {line}: {detail}"),
+            JsonlError::Corpus(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+impl From<AttackDbError> for JsonlError {
+    fn from(err: AttackDbError) -> Self {
+        JsonlError::Corpus(err)
+    }
+}
+
+fn line_error(line: usize, detail: impl Into<String>) -> JsonlError {
+    JsonlError::Line {
+        line,
+        detail: detail.into(),
+    }
+}
+
+/// Serializes a corpus to JSON Lines (patterns, then weaknesses, then
+/// vulnerabilities, each in id order).
+#[must_use]
+pub fn to_jsonl(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    for p in corpus.patterns() {
+        write_pattern(&mut out, p);
+        out.push('\n');
+    }
+    for w in corpus.weaknesses() {
+        write_weakness(&mut out, w);
+        out.push('\n');
+    }
+    for v in corpus.vulnerabilities() {
+        write_vulnerability(&mut out, v);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_str_field(out: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    write_escaped(out, key);
+    out.push(':');
+    write_escaped(out, value);
+}
+
+fn write_str_array(out: &mut String, key: &str, values: impl Iterator<Item = String>) {
+    out.push(',');
+    write_escaped(out, key);
+    out.push_str(":[");
+    for (i, value) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, &value);
+    }
+    out.push(']');
+}
+
+fn write_pattern(out: &mut String, p: &AttackPattern) {
+    out.push('{');
+    write_str_field(out, "type", "pattern", true);
+    write_str_field(out, "id", &p.id().to_string(), false);
+    write_str_field(out, "name", p.name(), false);
+    write_str_field(out, "abstraction", p.abstraction().as_str(), false);
+    write_str_field(out, "description", p.description(), false);
+    if let Some(likelihood) = p.likelihood() {
+        write_str_field(out, "likelihood", likelihood.as_str(), false);
+    }
+    if let Some(severity) = p.typical_severity() {
+        write_str_field(out, "severity", severity.as_str(), false);
+    }
+    write_str_array(out, "weaknesses", p.related_weaknesses().iter().map(ToString::to_string));
+    write_str_array(out, "prerequisites", p.prerequisites().iter().cloned());
+    out.push('}');
+}
+
+fn write_weakness(out: &mut String, w: &Weakness) {
+    out.push('{');
+    write_str_field(out, "type", "weakness", true);
+    write_str_field(out, "id", &w.id().to_string(), false);
+    write_str_field(out, "name", w.name(), false);
+    write_str_field(out, "description", w.description(), false);
+    write_str_array(out, "platforms", w.platforms().iter().cloned());
+    write_str_array(out, "consequences", w.consequences().iter().cloned());
+    write_str_array(out, "mitigations", w.mitigations().iter().cloned());
+    out.push('}');
+}
+
+fn write_vulnerability(out: &mut String, v: &Vulnerability) {
+    out.push('{');
+    write_str_field(out, "type", "vulnerability", true);
+    write_str_field(out, "id", &v.id().to_string(), false);
+    write_str_field(out, "description", v.description(), false);
+    if let Some(cvss) = v.cvss() {
+        write_str_field(out, "cvss", &cvss.to_string(), false);
+    }
+    write_str_array(out, "weaknesses", v.weaknesses().iter().map(ToString::to_string));
+    out.push(',');
+    write_escaped(out, "affected");
+    out.push_str(":[");
+    for (i, cpe) in v.affected().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        write_str_field(out, "vendor", cpe.vendor(), true);
+        write_str_field(out, "product", cpe.product(), false);
+        if let Some(version) = cpe.version() {
+            write_str_field(out, "version", version, false);
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Parses a JSON Lines corpus. Blank lines and `#` comment lines are
+/// skipped.
+///
+/// # Errors
+///
+/// [`JsonlError::Line`] naming the first bad line, or
+/// [`JsonlError::Corpus`] for duplicate ids.
+pub fn from_jsonl(input: &str) -> Result<Corpus, JsonlError> {
+    let mut corpus = Corpus::new();
+    for (index, raw_line) in input.lines().enumerate() {
+        let line_number = index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let value = parse(line).map_err(|e| line_error(line_number, e.to_string()))?;
+        let kind = value
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| line_error(line_number, "missing `type`"))?;
+        match kind {
+            "pattern" => corpus.add_pattern(read_pattern(&value, line_number)?)?,
+            "weakness" => corpus.add_weakness(read_weakness(&value, line_number)?)?,
+            "vulnerability" => {
+                corpus.add_vulnerability(read_vulnerability(&value, line_number)?)?;
+            }
+            other => return Err(line_error(line_number, format!("unknown type `{other}`"))),
+        }
+    }
+    Ok(corpus)
+}
+
+fn required_str<'a>(value: &'a JsonValue, key: &str, line: usize) -> Result<&'a str, JsonlError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| line_error(line, format!("missing string field `{key}`")))
+}
+
+fn string_list(value: &JsonValue, key: &str, line: usize) -> Result<Vec<String>, JsonlError> {
+    match value.get(key) {
+        None => Ok(Vec::new()),
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| line_error(line, format!("`{key}` must contain strings")))
+            })
+            .collect(),
+        Some(_) => Err(line_error(line, format!("`{key}` must be an array"))),
+    }
+}
+
+fn parse_severity(text: &str, line: usize) -> Result<Severity, JsonlError> {
+    match text {
+        "None" => Ok(Severity::None),
+        "Low" => Ok(Severity::Low),
+        "Medium" => Ok(Severity::Medium),
+        "High" => Ok(Severity::High),
+        "Critical" => Ok(Severity::Critical),
+        other => Err(line_error(line, format!("unknown severity `{other}`"))),
+    }
+}
+
+fn parse_likelihood(text: &str, line: usize) -> Result<Likelihood, JsonlError> {
+    Likelihood::ALL
+        .iter()
+        .copied()
+        .find(|l| l.as_str() == text)
+        .ok_or_else(|| line_error(line, format!("unknown likelihood `{text}`")))
+}
+
+fn read_pattern(value: &JsonValue, line: usize) -> Result<AttackPattern, JsonlError> {
+    let id = required_str(value, "id", line)?
+        .parse()
+        .map_err(|e: crate::ParseIdError| line_error(line, e.to_string()))?;
+    let abstraction: Abstraction = required_str(value, "abstraction", line)?
+        .parse()
+        .map_err(|e: crate::ParseIdError| line_error(line, e.to_string()))?;
+    let mut pattern = AttackPattern::new(
+        id,
+        required_str(value, "name", line)?,
+        required_str(value, "description", line)?,
+        abstraction,
+    );
+    if let Some(text) = value.get("likelihood").and_then(JsonValue::as_str) {
+        pattern = pattern.with_likelihood(parse_likelihood(text, line)?);
+    }
+    if let Some(text) = value.get("severity").and_then(JsonValue::as_str) {
+        pattern = pattern.with_severity(parse_severity(text, line)?);
+    }
+    for cwe in string_list(value, "weaknesses", line)? {
+        pattern = pattern.with_weakness(
+            cwe.parse()
+                .map_err(|e: crate::ParseIdError| line_error(line, e.to_string()))?,
+        );
+    }
+    for prerequisite in string_list(value, "prerequisites", line)? {
+        pattern = pattern.with_prerequisite(prerequisite);
+    }
+    Ok(pattern)
+}
+
+fn read_weakness(value: &JsonValue, line: usize) -> Result<Weakness, JsonlError> {
+    let id = required_str(value, "id", line)?
+        .parse()
+        .map_err(|e: crate::ParseIdError| line_error(line, e.to_string()))?;
+    let mut weakness = Weakness::new(
+        id,
+        required_str(value, "name", line)?,
+        required_str(value, "description", line)?,
+    );
+    for platform in string_list(value, "platforms", line)? {
+        weakness = weakness.with_platform(platform);
+    }
+    for consequence in string_list(value, "consequences", line)? {
+        weakness = weakness.with_consequence(consequence);
+    }
+    for mitigation in string_list(value, "mitigations", line)? {
+        weakness = weakness.with_mitigation(mitigation);
+    }
+    Ok(weakness)
+}
+
+fn read_vulnerability(value: &JsonValue, line: usize) -> Result<Vulnerability, JsonlError> {
+    let id = required_str(value, "id", line)?
+        .parse()
+        .map_err(|e: crate::ParseIdError| line_error(line, e.to_string()))?;
+    let mut vulnerability = Vulnerability::new(id, required_str(value, "description", line)?);
+    if let Some(text) = value.get("cvss").and_then(JsonValue::as_str) {
+        let cvss: CvssVector = text
+            .parse()
+            .map_err(|e: crate::CvssError| line_error(line, e.to_string()))?;
+        vulnerability = vulnerability.with_cvss(cvss);
+    }
+    for cwe in string_list(value, "weaknesses", line)? {
+        vulnerability = vulnerability.with_weakness(
+            cwe.parse()
+                .map_err(|e: crate::ParseIdError| line_error(line, e.to_string()))?,
+        );
+    }
+    if let Some(affected) = value.get("affected") {
+        let items = affected
+            .as_array()
+            .ok_or_else(|| line_error(line, "`affected` must be an array"))?;
+        for item in items {
+            let vendor = required_str(item, "vendor", line)?;
+            let product = required_str(item, "product", line)?;
+            let mut cpe = CpeName::new(vendor, product);
+            if let Some(version) = item.get("version").and_then(JsonValue::as_str) {
+                cpe = cpe.with_version(version);
+            }
+            vulnerability = vulnerability.with_affected(cpe);
+        }
+    }
+    Ok(vulnerability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::seed_corpus;
+    use crate::synth::{generate, SynthSpec};
+
+    #[test]
+    fn seed_corpus_round_trips() {
+        let corpus = seed_corpus();
+        let text = to_jsonl(&corpus);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, corpus);
+    }
+
+    #[test]
+    fn synthetic_corpus_round_trips() {
+        let corpus = generate(&SynthSpec::paper2020(9, 0.01));
+        let back = from_jsonl(&to_jsonl(&corpus)).unwrap();
+        assert_eq!(back, corpus);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let text = "\n# a comment\n\n{\"type\":\"weakness\",\"id\":\"CWE-1\",\"name\":\"n\",\"description\":\"d\"}\n";
+        let corpus = from_jsonl(text).unwrap();
+        assert_eq!(corpus.stats().weaknesses, 1);
+    }
+
+    #[test]
+    fn optional_fields_default_empty() {
+        let text = r#"{"type":"vulnerability","id":"CVE-2020-0001","description":"d"}"#;
+        let corpus = from_jsonl(text).unwrap();
+        let v = corpus.vulnerability("CVE-2020-0001".parse().unwrap()).unwrap();
+        assert!(v.cvss().is_none());
+        assert!(v.weaknesses().is_empty());
+        assert!(v.affected().is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "{\"type\":\"weakness\",\"id\":\"CWE-1\",\"name\":\"n\",\"description\":\"d\"}\nnot json\n";
+        let err = from_jsonl(text).unwrap_err();
+        assert!(matches!(err, JsonlError::Line { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_ids_and_types_are_rejected() {
+        assert!(from_jsonl(r#"{"type":"weakness","id":"WEAK-1","name":"n","description":"d"}"#).is_err());
+        assert!(from_jsonl(r#"{"type":"exploit","id":"X-1"}"#).is_err());
+        assert!(from_jsonl(r#"{"id":"CWE-1"}"#).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_are_corpus_errors() {
+        let line = r#"{"type":"weakness","id":"CWE-1","name":"n","description":"d"}"#;
+        let text = format!("{line}\n{line}\n");
+        assert!(matches!(
+            from_jsonl(&text).unwrap_err(),
+            JsonlError::Corpus(AttackDbError::DuplicateRecord(_))
+        ));
+    }
+
+    #[test]
+    fn special_characters_survive() {
+        let mut corpus = Corpus::new();
+        corpus
+            .add_weakness(
+                Weakness::new(
+                    crate::CweId::new(9999),
+                    "Weird \"name\" with \\ and \n newline",
+                    "tabs\tand unicode café 😀",
+                )
+                .with_mitigation("escape\u{1}control"),
+            )
+            .unwrap();
+        let back = from_jsonl(&to_jsonl(&corpus)).unwrap();
+        assert_eq!(back, corpus);
+    }
+}

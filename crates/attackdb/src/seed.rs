@@ -1,0 +1,751 @@
+//! The curated seed corpus.
+//!
+//! Hand-written records covering every attribute of the paper's Table 1
+//! (Cisco ASA, NI RT Linux OS, Windows 7, LabVIEW, NI cRIO 9063/9064) plus
+//! the weakness the paper highlights for the BPCS and SIS platforms
+//! (CWE-78, OS Command Injection) and the attack patterns and weaknesses a
+//! SCADA analysis plausibly surfaces. Identifiers and names follow the real
+//! MITRE entries; descriptions are paraphrased. The seed corpus is small on
+//! purpose — [`crate::synth`] scales it to NVD-like magnitudes.
+
+use crate::{
+    Abstraction, AttackPattern, CapecId, Corpus, CpeName, CveId, CweId, Likelihood, Severity,
+    Vulnerability, Weakness,
+};
+
+fn capec(n: u32) -> CapecId {
+    CapecId::new(n)
+}
+
+fn cwe(n: u32) -> CweId {
+    CweId::new(n)
+}
+
+fn cve(year: u16, n: u32) -> CveId {
+    CveId::new(year, n)
+}
+
+fn cvss(vector: &str) -> crate::CvssVector {
+    vector.parse().expect("seed CVSS vectors are valid")
+}
+
+/// Builds the curated seed corpus.
+///
+/// The result is deterministic and validates cleanly:
+/// no duplicate identifiers and no dangling cross-references.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_attackdb::seed::seed_corpus;
+/// let corpus = seed_corpus();
+/// assert!(corpus.stats().vulnerabilities >= 21);
+/// assert!(corpus.dangling_references().is_empty());
+/// ```
+#[must_use]
+pub fn seed_corpus() -> Corpus {
+    let mut c = Corpus::new();
+    for w in weaknesses() {
+        c.add_weakness(w).expect("seed weakness ids unique");
+    }
+    for p in patterns() {
+        c.add_pattern(p).expect("seed pattern ids unique");
+    }
+    for v in vulnerabilities() {
+        c.add_vulnerability(v).expect("seed vulnerability ids unique");
+    }
+    c
+}
+
+fn weaknesses() -> Vec<Weakness> {
+    vec![
+        Weakness::new(
+            cwe(20),
+            "Improper Input Validation",
+            "The product receives input or data, but it does not validate or incorrectly \
+             validates that the input has the properties required to process it safely.",
+        )
+        .with_platform("language-neutral")
+        .with_consequence("unexpected state or crash")
+        .with_mitigation(
+            "validate all input against an allowlist of expected values",
+        ),
+        Weakness::new(
+            cwe(22),
+            "Improper Limitation of a Pathname to a Restricted Directory (Path Traversal)",
+            "The product uses external input to construct a pathname without neutralizing \
+             sequences such as dot dot slash that resolve outside the restricted directory.",
+        )
+        .with_consequence("read or modify files outside intended directory")
+        .with_mitigation(
+            "canonicalize paths before authorization checks",
+        ),
+        Weakness::new(
+            cwe(78),
+            "Improper Neutralization of Special Elements used in an OS Command (OS Command Injection)",
+            "The product constructs all or part of an operating system command using \
+             externally-influenced input from an upstream component, but it does not \
+             neutralize special elements that could modify the intended command.",
+        )
+        .with_platform("Linux")
+        .with_platform("Windows")
+        .with_consequence("execute unauthorized operating system commands on the platform")
+        .with_mitigation(
+            "use vetted library calls that invoke commands without a shell",
+        )
+        .with_mitigation(
+            "run the service with the minimum privileges required for its function",
+        ),
+        Weakness::new(
+            cwe(79),
+            "Improper Neutralization of Input During Web Page Generation (Cross-site Scripting)",
+            "The product does not neutralize user-controllable input before it is placed \
+             in output used as a web page served to other users.",
+        )
+        .with_consequence("run attacker script in victim browser"),
+        Weakness::new(
+            cwe(89),
+            "Improper Neutralization of Special Elements used in an SQL Command (SQL Injection)",
+            "The product constructs an SQL command using externally-influenced input \
+             without neutralizing special elements that can modify the query.",
+        )
+        .with_consequence("read or modify application data"),
+        Weakness::new(
+            cwe(119),
+            "Improper Restriction of Operations within the Bounds of a Memory Buffer",
+            "The product performs operations on a memory buffer, but it reads from or \
+             writes to a location outside the buffer's intended boundary.",
+        )
+        .with_platform("C")
+        .with_consequence("arbitrary code execution or crash")
+        .with_mitigation(
+            "compile with bounds checking and exploit mitigations enabled",
+        ),
+        Weakness::new(
+            cwe(120),
+            "Buffer Copy without Checking Size of Input (Classic Buffer Overflow)",
+            "The product copies an input buffer to an output buffer without verifying \
+             that the size of the input is less than the size of the output buffer.",
+        )
+        .with_consequence("stack or heap corruption leading to code execution"),
+        Weakness::new(
+            cwe(125),
+            "Out-of-bounds Read",
+            "The product reads data past the end, or before the beginning, of the \
+             intended buffer, typically exposing sensitive memory contents.",
+        )
+        .with_consequence("information disclosure"),
+        Weakness::new(
+            cwe(190),
+            "Integer Overflow or Wraparound",
+            "The product performs a calculation that can produce an integer overflow \
+             when the logic assumes the value is larger than the maximum representable.",
+        )
+        .with_consequence("undersized allocation and memory corruption"),
+        Weakness::new(
+            cwe(200),
+            "Exposure of Sensitive Information to an Unauthorized Actor",
+            "The product exposes sensitive information to an actor that is not \
+             explicitly authorized to have access to that information.",
+        )
+        .with_consequence("loss of confidentiality"),
+        Weakness::new(
+            cwe(287),
+            "Improper Authentication",
+            "When an actor claims to have a given identity, the product does not prove \
+             or insufficiently proves that the claim is correct.",
+        )
+        .with_consequence("authentication bypass")
+        .with_mitigation(
+            "require multi-factor authentication for administrative interfaces",
+        ),
+        Weakness::new(
+            cwe(306),
+            "Missing Authentication for Critical Function",
+            "The product does not perform any authentication for functionality that \
+             requires a provable user identity, such as an engineering write to a \
+             controller over an industrial protocol.",
+        )
+        .with_platform("ICS/OT")
+        .with_consequence("unauthenticated control actions on field devices")
+        .with_mitigation(
+            "require authenticated sessions for every engineering and write function",
+        )
+        .with_mitigation(
+            "place a physical key switch in front of safety-relevant reprogramming",
+        ),
+        Weakness::new(
+            cwe(311),
+            "Missing Encryption of Sensitive Data",
+            "The product does not encrypt sensitive or critical information before \
+             storage or transmission, exposing fieldbus and supervisory traffic.",
+        )
+        .with_platform("ICS/OT")
+        .with_consequence("traffic interception and replay")
+        .with_mitigation(
+            "encrypt and authenticate supervisory and fieldbus traffic end to end",
+        ),
+        Weakness::new(
+            cwe(326),
+            "Inadequate Encryption Strength",
+            "The product stores or transmits sensitive data using an encryption scheme \
+             that is theoretically sound but not strong enough for the protection required.",
+        )
+        .with_consequence("offline key or credential recovery")
+        .with_mitigation(
+            "use current, reviewed cipher suites with adequate key lengths",
+        ),
+        Weakness::new(
+            cwe(352),
+            "Cross-Site Request Forgery",
+            "The web application does not sufficiently verify whether a request was \
+             intentionally provided by the user who submitted it.",
+        )
+        .with_consequence("unintended state-changing requests"),
+        Weakness::new(
+            cwe(400),
+            "Uncontrolled Resource Consumption",
+            "The product does not properly control the allocation and maintenance of a \
+             limited resource, allowing an actor to exhaust it by flooding the service.",
+        )
+        .with_consequence("denial of service of the control service")
+        .with_mitigation(
+            "rate-limit requests and bound per-session resource allocation",
+        ),
+        Weakness::new(
+            cwe(416),
+            "Use After Free",
+            "The product reuses or references memory after it has been freed, which can \
+             cause the program to crash or execute attacker-controlled code.",
+        )
+        .with_consequence("code execution")
+        .with_mitigation(
+            "use memory-safe languages or ownership disciplines for parsers",
+        ),
+        Weakness::new(
+            cwe(476),
+            "NULL Pointer Dereference",
+            "The product dereferences a pointer that it expects to be valid but is NULL, \
+             typically causing a crash or exit of the runtime.",
+        )
+        .with_consequence("denial of service"),
+        Weakness::new(
+            cwe(787),
+            "Out-of-bounds Write",
+            "The product writes data past the end, or before the beginning, of the \
+             intended buffer, corrupting adjacent memory.",
+        )
+        .with_consequence("code execution"),
+        Weakness::new(
+            cwe(798),
+            "Use of Hard-coded Credentials",
+            "The product contains hard-coded credentials, such as a password or \
+             cryptographic key, which it uses for inbound authentication or outbound \
+             communication to field components.",
+        )
+        .with_platform("ICS/OT")
+        .with_consequence("trivial authentication bypass")
+        .with_mitigation(
+            "store credentials outside the firmware image and rotate them per device",
+        ),
+        Weakness::new(
+            cwe(829),
+            "Inclusion of Functionality from Untrusted Control Sphere",
+            "The product imports executable functionality, such as a library or project \
+             file, from a source outside its trusted control sphere.",
+        )
+        .with_consequence("execution of untrusted logic")
+        .with_mitigation(
+            "verify signatures of every loaded library, project, and firmware image",
+        ),
+    ]
+}
+
+fn patterns() -> Vec<AttackPattern> {
+    vec![
+        AttackPattern::new(
+            capec(1),
+            "Accessing Functionality Not Properly Constrained by ACLs",
+            "An adversary exploits missing or incorrectly configured access control \
+             lists to reach functionality that should be restricted, such as \
+             engineering functions of a controller platform.",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(306)),
+        AttackPattern::new(
+            capec(10),
+            "Buffer Overflow via Environment Variables",
+            "An adversary supplies an overly long environment variable to a program \
+             that copies it into a fixed-size buffer without bounds checking.",
+            Abstraction::Detailed,
+        )
+        .with_likelihood(Likelihood::Low)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(120)),
+        AttackPattern::new(
+            capec(66),
+            "SQL Injection",
+            "An adversary supplies crafted input that is incorporated into an SQL \
+             query, altering its meaning to read or modify data.",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(89))
+        .with_weakness(cwe(20)),
+        AttackPattern::new(
+            capec(88),
+            "OS Command Injection",
+            "An adversary injects operating system commands through an externally \
+             influenced input that the target uses to build a shell command, gaining \
+             command execution on the platform with the privileges of the service.",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(78))
+        .with_weakness(cwe(20))
+        .with_prerequisite("user-controllable input is used to construct a command line"),
+        AttackPattern::new(
+            capec(94),
+            "Adversary in the Middle",
+            "An adversary inserts themselves into the communication channel between \
+             two components, observing and manipulating supervisory or fieldbus \
+             traffic in transit.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(311))
+        .with_weakness(cwe(287)),
+        AttackPattern::new(
+            capec(98),
+            "Phishing",
+            "An adversary masquerades as a trustworthy entity to lure an operator or \
+             engineer into revealing credentials or opening a malicious attachment \
+             on a workstation.",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::Medium)
+        .with_weakness(cwe(287)),
+        AttackPattern::new(
+            capec(112),
+            "Brute Force",
+            "An adversary systematically tries many candidate secrets against an \
+             authentication interface until one succeeds.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::Medium)
+        .with_weakness(cwe(326))
+        .with_weakness(cwe(287)),
+        AttackPattern::new(
+            capec(125),
+            "Flooding",
+            "An adversary consumes the resources of a target by sending a high volume \
+             of traffic, denying service to legitimate supervisory communication.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::Medium)
+        .with_weakness(cwe(400)),
+        AttackPattern::new(
+            capec(130),
+            "Excessive Allocation",
+            "An adversary causes the target to allocate excessive resources per \
+             request, exhausting memory or handles on the service platform.",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::Medium)
+        .with_weakness(cwe(400)),
+        AttackPattern::new(
+            capec(148),
+            "Content Spoofing",
+            "An adversary modifies content presented to an operator, such as process \
+             values on a display, so decisions are made on falsified data.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(311)),
+        AttackPattern::new(
+            capec(151),
+            "Identity Spoofing",
+            "An adversary assumes the identity of a legitimate node or user to gain \
+             the associated trust, for example spoofing a sensor address on a bus.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(287)),
+        AttackPattern::new(
+            capec(153),
+            "Input Data Manipulation",
+            "An adversary exploits weaknesses in input validation by manipulating the \
+             content of request parameters, fields, or protocol registers.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::Medium)
+        .with_weakness(cwe(20)),
+        AttackPattern::new(
+            capec(169),
+            "Footprinting",
+            "An adversary engages in probing and exploration activities to identify \
+             components, open services, and versions of the target system.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::Low)
+        .with_weakness(cwe(200)),
+        AttackPattern::new(
+            capec(175),
+            "Code Inclusion",
+            "An adversary causes the target to load and execute code from an \
+             attacker-controlled source, such as a project library on a share.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(829)),
+        AttackPattern::new(
+            capec(184),
+            "Software Integrity Attack",
+            "An adversary subverts the integrity of software during distribution or \
+             update so the victim installs attacker-modified logic.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Low)
+        .with_severity(Severity::Critical)
+        .with_weakness(cwe(829)),
+        AttackPattern::new(
+            capec(186),
+            "Malicious Software Update",
+            "An adversary delivers a malicious update, such as modified controller \
+             firmware or runtime logic, through an update channel the victim trusts.",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::Low)
+        .with_severity(Severity::Critical)
+        .with_weakness(cwe(829))
+        .with_weakness(cwe(287)),
+        AttackPattern::new(
+            capec(192),
+            "Protocol Analysis",
+            "An adversary passively captures and decodes protocol traffic to recover \
+             structure, commands, and secrets of an industrial protocol.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::Low)
+        .with_weakness(cwe(311))
+        .with_weakness(cwe(200)),
+        AttackPattern::new(
+            capec(216),
+            "Communication Channel Manipulation",
+            "An adversary manipulates a communication channel between components to \
+             inject, drop, or reorder messages, disturbing supervisory control.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::Medium)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(311)),
+        AttackPattern::new(
+            capec(248),
+            "Command Injection",
+            "An adversary injects additional commands or parameters into an \
+             interpreter, service, or protocol handler through unvalidated input.",
+            Abstraction::Meta,
+        )
+        .with_likelihood(Likelihood::High)
+        .with_severity(Severity::High)
+        .with_weakness(cwe(78))
+        .with_weakness(cwe(20)),
+        AttackPattern::new(
+            capec(441),
+            "Malicious Logic Insertion",
+            "An adversary inserts malicious logic into a product or component, such \
+             as a safety controller, to trigger at a later time (as in the Triton \
+             incident against safety instrumented systems).",
+            Abstraction::Standard,
+        )
+        .with_likelihood(Likelihood::Low)
+        .with_severity(Severity::Critical)
+        .with_weakness(cwe(829))
+        .with_weakness(cwe(306)),
+    ]
+}
+
+fn vulnerabilities() -> Vec<Vulnerability> {
+    vec![
+        // --- Cisco ASA (control firewall) -------------------------------
+        Vulnerability::new(
+            cve(2018, 101),
+            "A vulnerability in the XML parser of the webvpn feature of Cisco Adaptive \
+             Security Appliance (ASA) software could allow an unauthenticated remote \
+             attacker to cause a reload or remotely execute code.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(416))
+        .with_affected(CpeName::new("cisco", "asa").with_version("9.6")),
+        Vulnerability::new(
+            cve(2016, 6366),
+            "A buffer overflow in the SNMP code of Cisco Adaptive Security Appliance \
+             (ASA) firewall software allows remote authenticated attackers to execute \
+             arbitrary code via crafted SNMP packets.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:A/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(120))
+        .with_affected(CpeName::new("cisco", "asa")),
+        Vulnerability::new(
+            cve(2020, 3452),
+            "A path traversal vulnerability in the web services interface of Cisco \
+             Adaptive Security Appliance (ASA) software could allow an unauthenticated \
+             remote attacker to read sensitive files.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"))
+        .with_weakness(cwe(22))
+        .with_affected(CpeName::new("cisco", "asa")),
+        // --- Windows 7 (programming workstation) ------------------------
+        Vulnerability::new(
+            cve(2017, 144),
+            "The SMBv1 server in Microsoft Windows 7 and other Windows versions allows \
+             remote attackers to execute arbitrary code via crafted packets, as \
+             exploited by the EternalBlue exploit.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(20))
+        .with_affected(CpeName::new("microsoft", "windows 7")),
+        Vulnerability::new(
+            cve(2019, 708),
+            "A remote code execution vulnerability exists in Remote Desktop Services \
+             on Microsoft Windows 7 when an unauthenticated attacker connects using \
+             RDP and sends specially crafted requests (BlueKeep).",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(416))
+        .with_affected(CpeName::new("microsoft", "windows 7")),
+        Vulnerability::new(
+            cve(2010, 2568),
+            "Microsoft Windows 7 allows local users or remote attackers to execute \
+             arbitrary code via a crafted .LNK shortcut file, as exploited by the \
+             Stuxnet malware against SCADA engineering workstations.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(20))
+        .with_affected(CpeName::new("microsoft", "windows 7")),
+        Vulnerability::new(
+            cve(2017, 143),
+            "The SMBv1 server in Microsoft Windows 7 allows remote attackers to \
+             execute arbitrary code via crafted packets (EternalRomance family).",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(20))
+        .with_affected(CpeName::new("microsoft", "windows 7")),
+        // --- NI RT Linux (controller operating system) -------------------
+        Vulnerability::new(
+            cve(2016, 5195),
+            "A race condition in the memory subsystem of the Linux kernel, as used in \
+             NI Real-Time Linux distributions, allows local users to gain write \
+             access to read-only memory mappings (Dirty COW).",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(416))
+        .with_affected(CpeName::new("ni", "rt linux")),
+        Vulnerability::new(
+            cve(2019, 11477),
+            "The TCP SACK handling of the Linux kernel, as shipped in NI Real-Time \
+             Linux OS images, allows a remote attacker to cause a kernel panic via \
+             crafted selective acknowledgements (SACK Panic).",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"))
+        .with_weakness(cwe(190))
+        .with_affected(CpeName::new("ni", "rt linux")),
+        Vulnerability::new(
+            cve(2017, 1000112),
+            "An exploitable memory corruption in the UDP fragmentation offload code of \
+             the Linux kernel used by NI RT Linux allows local privilege escalation.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:L/AC:H/PR:L/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(787))
+        .with_affected(CpeName::new("ni", "rt linux")),
+        // --- LabVIEW (workstation software) ------------------------------
+        Vulnerability::new(
+            cve(2017, 2779),
+            "An exploitable memory corruption exists in the RSRC segment parsing \
+             functionality of National Instruments LabVIEW; a specially crafted VI \
+             file can cause attacker-controlled code execution.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(787))
+        .with_affected(CpeName::new("ni", "labview").with_version("2016")),
+        Vulnerability::new(
+            cve(2015, 6000),
+            "National Instruments LabVIEW permits loading of VI project libraries from \
+             unqualified paths, allowing execution of untrusted logic placed by a \
+             local attacker.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:L/AC:L/PR:L/UI:R/S:U/C:H/I:H/A:N"))
+        .with_weakness(cwe(829))
+        .with_affected(CpeName::new("ni", "labview")),
+        Vulnerability::new(
+            cve(2019, 5601),
+            "A denial of service in National Instruments LabVIEW runtime when parsing \
+             malformed TDMS data files causes the development environment to crash.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:N/I:N/A:H"))
+        .with_weakness(cwe(476))
+        .with_affected(CpeName::new("ni", "labview")),
+        // --- NI cRIO 9063 / 9064 (BPCS and SIS platforms) ----------------
+        Vulnerability::new(
+            cve(2017, 2778),
+            "The configuration web interface of National Instruments cRIO 9063 and \
+             cRIO 9064 CompactRIO controllers permits unauthenticated changes to \
+             system settings, allowing remote reconfiguration of the controller.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H"))
+        .with_weakness(cwe(306))
+        .with_affected(CpeName::new("ni", "crio 9063"))
+        .with_affected(CpeName::new("ni", "crio 9064")),
+        Vulnerability::new(
+            cve(2018, 16804),
+            "The firmware update mechanism of National Instruments cRIO 9063 and cRIO \
+             9064 controllers does not verify image signatures, allowing installation \
+             of modified firmware by an attacker with network access.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(829))
+        .with_affected(CpeName::new("ni", "crio 9063"))
+        .with_affected(CpeName::new("ni", "crio 9064")),
+        Vulnerability::new(
+            cve(2019, 9997),
+            "Hard-coded maintenance credentials in National Instruments cRIO 9063 and \
+             cRIO 9064 controller images allow authentication bypass on the embedded \
+             management service.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:N"))
+        .with_weakness(cwe(798))
+        .with_affected(CpeName::new("ni", "crio 9063"))
+        .with_affected(CpeName::new("ni", "crio 9064")),
+        // --- Generic ICS records that should not match Table 1 queries ---
+        Vulnerability::new(
+            cve(2014, 692),
+            "A stack-based buffer overflow in a third-party OPC server allows remote \
+             attackers to execute arbitrary code via a long topic name.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"))
+        .with_weakness(cwe(120))
+        .with_affected(CpeName::new("example", "opc server")),
+        Vulnerability::new(
+            cve(2015, 5374),
+            "A crafted packet sent to the MODBUS service of a protection relay causes \
+             a defect mode requiring manual restart, resulting in denial of service.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"))
+        .with_weakness(cwe(400))
+        .with_affected(CpeName::new("example", "protection relay")),
+        Vulnerability::new(
+            cve(2018, 7522),
+            "The engineering service of a safety instrumented system workstation \
+             protocol permits unauthenticated program downloads to the safety \
+             controller, as abused by the Triton/Trisis malware.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"))
+        .with_weakness(cwe(306))
+        .with_affected(CpeName::new("example", "sis workstation")),
+        Vulnerability::new(
+            cve(2012, 4690),
+            "Improper input validation in a distributed control system historian \
+             service allows remote attackers to cause a service restart via a \
+             malformed record.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:L"))
+        .with_weakness(cwe(20))
+        .with_affected(CpeName::new("example", "historian")),
+        Vulnerability::new(
+            cve(2016, 2200),
+            "A cross-site scripting issue in the web interface of an industrial \
+             ethernet switch allows injection of script into the management session.",
+        )
+        .with_cvss(cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N"))
+        .with_weakness(cwe(79))
+        .with_affected(CpeName::new("example", "ethernet switch")),
+    ]
+}
+
+/// The six attribute strings of the paper's Table 1, in row order.
+#[must_use]
+pub fn table1_attributes() -> [&'static str; 6] {
+    [
+        "Cisco ASA",
+        "NI RT Linux OS",
+        "Windows 7",
+        "Labview",
+        "NI cRIO 9063",
+        "NI cRIO 9064",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_is_internally_consistent() {
+        let c = seed_corpus();
+        assert!(c.dangling_references().is_empty());
+        let s = c.stats();
+        assert_eq!(s.patterns, 20);
+        assert_eq!(s.weaknesses, 21);
+        assert_eq!(s.vulnerabilities, 21);
+    }
+
+    #[test]
+    fn cwe78_links_to_command_injection_patterns() {
+        let c = seed_corpus();
+        let patterns = c.patterns_for_weakness(cwe(78));
+        assert!(patterns.contains(&capec(88)));
+        assert!(patterns.contains(&capec(248)));
+    }
+
+    #[test]
+    fn every_table1_product_has_a_vulnerability() {
+        let c = seed_corpus();
+        for needle in ["asa", "windows 7", "rt linux", "labview", "crio 9063", "crio 9064"] {
+            let hit = c.vulnerabilities().any(|v| {
+                v.affected()
+                    .iter()
+                    .any(|cpe| cpe.product().contains(needle))
+            });
+            assert!(hit, "no seed vulnerability affects `{needle}`");
+        }
+    }
+
+    #[test]
+    fn all_seed_vulnerabilities_are_scored() {
+        let c = seed_corpus();
+        assert!(c.vulnerabilities().all(|v| v.cvss().is_some()));
+    }
+
+    #[test]
+    fn crio_vulnerabilities_cover_both_models() {
+        let c = seed_corpus();
+        let shared: Vec<_> = c
+            .vulnerabilities()
+            .filter(|v| {
+                v.affected().iter().any(|p| p.product() == "crio 9063")
+                    && v.affected().iter().any(|p| p.product() == "crio 9064")
+            })
+            .collect();
+        assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn seed_is_deterministic() {
+        assert_eq!(seed_corpus(), seed_corpus());
+    }
+}

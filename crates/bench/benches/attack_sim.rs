@@ -1,0 +1,76 @@
+//! E6 — Attack vectors to physical consequences (§3 narrative + Triton).
+//!
+//! Prints the consequence table for every built-in scenario, then times a
+//! nominal batch and representative attack batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpssec_analysis::consequence::analyze_scenario;
+use cpssec_analysis::stpa::centrifuge_analysis;
+use cpssec_analysis::AssociationMap;
+use cpssec_model::Fidelity;
+use cpssec_scada::{attacks, ScadaConfig, ScadaHarness};
+use cpssec_search::FilterPipeline;
+use cpssec_sim::Tick;
+
+fn bench_attack_sim(c: &mut Criterion) {
+    let corpus = cpssec_bench::corpus();
+    let engine = cpssec_bench::engine(&corpus);
+    let model = cpssec_scada::model::scada_model();
+    let association = AssociationMap::build(
+        &model,
+        &engine,
+        &corpus,
+        Fidelity::Implementation,
+        &FilterPipeline::new(),
+    );
+    let stpa = centrifuge_analysis();
+    let config = ScadaConfig::default();
+
+    println!("\nAttack consequence table:");
+    println!(
+        "{:<32} {:<16} {:>8} {:>8} {:<10} {:<14}",
+        "Scenario", "product", "SIStrip", "exploded", "hazards", "losses"
+    );
+    for scenario in attacks::all_scenarios() {
+        let record = analyze_scenario(&scenario, &association, &stpa, &config, 12_000);
+        println!(
+            "{:<32} {:<16} {:>8} {:>8} {:<10} {:<14}",
+            record.scenario,
+            record.product.to_string(),
+            if record.emergency_stopped { "yes" } else { "no" },
+            if record.exploded { "yes" } else { "no" },
+            record.hazard_ids.join(","),
+            record.loss_ids.join(","),
+        );
+    }
+
+    let mut group = c.benchmark_group("attack_sim");
+    group.sample_size(10);
+    group.bench_function("nominal_batch", |b| {
+        b.iter(|| {
+            let mut harness = ScadaHarness::new(config.clone());
+            black_box(harness.run_batch())
+        })
+    });
+    for (name, scenario) in [
+        ("command_injection", attacks::command_injection_bpcs(Tick::new(3000))),
+        ("sensor_spoof", attacks::sensor_spoof(Tick::new(100))),
+        (
+            "triton_overtemp",
+            attacks::sis_disable_overtemp(Tick::new(100), Tick::new(1500)),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("attack_batch", name), &scenario, |b, s| {
+            b.iter(|| {
+                let mut harness = ScadaHarness::with_attack(config.clone(), s);
+                black_box(harness.run_batch_for(12_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack_sim);
+criterion_main!(benches);

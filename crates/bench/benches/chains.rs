@@ -1,0 +1,46 @@
+//! E8 — Exploit chains across the interlinked corpora (§2: the datasets'
+//! "interconnections with one another" capture both the attacker's and the
+//! system owner's perspectives).
+//!
+//! Prints chain counts per Table 1 attribute, then times chain mining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpssec_attackdb::CweId;
+use cpssec_search::{chains_for_weakness, exploit_chains};
+
+fn bench_chains(c: &mut Criterion) {
+    let corpus = cpssec_bench::corpus();
+    let engine = cpssec_bench::engine(&corpus);
+
+    println!("\nExploit chains per Table 1 attribute (vuln -> weakness -> pattern):");
+    for (attribute, ..) in cpssec_bench::TABLE1_PAPER {
+        let matches = engine.match_text(attribute);
+        let chains = exploit_chains(&matches, &corpus, usize::MAX);
+        println!("  {attribute:<16} {:>8} chains", chains.len());
+    }
+    let cwe78 = CweId::new(78);
+    println!(
+        "  corpus-wide chains through CWE-78: {}",
+        chains_for_weakness(&corpus, cwe78, usize::MAX).len()
+    );
+
+    let mut group = c.benchmark_group("chains");
+    group.sample_size(10);
+    for (attribute, ..) in [("Windows 7", 0, 0, 0), ("NI cRIO 9063", 0, 0, 0)] {
+        let matches = engine.match_text(attribute);
+        group.bench_with_input(
+            BenchmarkId::new("mine", attribute),
+            &matches,
+            |b, matches| b.iter(|| black_box(exploit_chains(matches, &corpus, usize::MAX).len())),
+        );
+    }
+    group.bench_function("weakness_pivot_cwe78", |b| {
+        b.iter(|| black_box(chains_for_weakness(&corpus, cwe78, usize::MAX).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chains);
+criterion_main!(benches);

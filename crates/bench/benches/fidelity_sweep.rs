@@ -1,0 +1,65 @@
+//! E3 — Fidelity sensitivity: "the result space … is highly sensitive to
+//! the fidelity of the model" (§3).
+//!
+//! Prints the result-space size and composition at each fidelity level,
+//! then times association at each level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpssec_analysis::AssociationMap;
+use cpssec_model::Fidelity;
+use cpssec_scada::model::scada_model;
+use cpssec_search::FilterPipeline;
+
+fn bench_fidelity(c: &mut Criterion) {
+    let corpus = cpssec_bench::corpus();
+    let engine = cpssec_bench::engine(&corpus);
+    let model = scada_model();
+    let filters = FilterPipeline::new();
+
+    println!("\nFidelity sweep — result-space size and composition:");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "Fidelity", "patterns", "weaknesses", "vulns", "total"
+    );
+    for level in Fidelity::ALL {
+        let map = AssociationMap::build(&model, &engine, &corpus, level, &filters);
+        let (mut p, mut w, mut v) = (0, 0, 0);
+        for (_, set) in map.iter() {
+            let (sp, sw, sv) = set.counts();
+            p += sp;
+            w += sw;
+            v += sv;
+        }
+        println!(
+            "{:<16} {p:>10} {w:>10} {v:>10} {:>10}",
+            level.to_string(),
+            p + w + v
+        );
+    }
+    println!(
+        "expected shape: totals grow with fidelity; the vulnerability share grows fastest\n\
+         (abstract models relate to patterns/weaknesses, concrete models to vulnerabilities)."
+    );
+
+    let mut group = c.benchmark_group("fidelity_sweep");
+    group.sample_size(20);
+    for level in Fidelity::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("associate", level.as_str()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    black_box(AssociationMap::build(
+                        &model, &engine, &corpus, level, &filters,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fidelity);
+criterion_main!(benches);

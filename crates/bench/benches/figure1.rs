@@ -1,0 +1,49 @@
+//! E2 — Figure 1: the merged system-model + attack-vector view.
+//!
+//! Prints the per-component association summary (the figure's content),
+//! then times association construction and DOT rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpssec_analysis::{render, AssociationMap};
+use cpssec_model::Fidelity;
+use cpssec_scada::model::scada_model;
+use cpssec_search::FilterPipeline;
+
+fn bench_figure1(c: &mut Criterion) {
+    let corpus = cpssec_bench::corpus();
+    let engine = cpssec_bench::engine(&corpus);
+    let model = scada_model();
+    let filters = FilterPipeline::new();
+
+    let map = AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+    println!("\nFigure 1 — merged view (component: AP/CWE/CVE):");
+    for (component, matches) in map.iter() {
+        let (p, w, v) = matches.counts();
+        println!("  {component:<24} {p:>4} / {w:>4} / {v:>6}");
+    }
+    let dot = render::model_dot(&model, Some(&map));
+    println!("DOT: {} bytes, {} lines", dot.len(), dot.lines().count());
+
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(20);
+    group.bench_function("associate_model", |b| {
+        b.iter(|| {
+            black_box(AssociationMap::build(
+                &model,
+                &engine,
+                &corpus,
+                Fidelity::Implementation,
+                &filters,
+            ))
+        })
+    });
+    group.bench_function("render_dot", |b| {
+        b.iter(|| black_box(render::model_dot(&model, Some(&map))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E4 — Filtering: "filtering functionality is implemented to manage these
+//! attack vectors" (§3).
+//!
+//! Prints the volume reduction of representative filter cascades over the
+//! full SCADA result space, then times pipeline application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpssec_attackdb::{Abstraction, Severity};
+use cpssec_model::Fidelity;
+use cpssec_scada::model::scada_model;
+use cpssec_search::{Filter, FilterPipeline};
+
+fn cascades() -> Vec<(&'static str, FilterPipeline)> {
+    vec![
+        ("none", FilterPipeline::new()),
+        (
+            "severity>=high",
+            FilterPipeline::new().then(Filter::SeverityAtLeast(Severity::High)),
+        ),
+        (
+            "severity>=critical",
+            FilterPipeline::new().then(Filter::SeverityAtLeast(Severity::Critical)),
+        ),
+        (
+            "standard-patterns+top20",
+            FilterPipeline::new()
+                .then(Filter::AbstractionIn(vec![Abstraction::Standard]))
+                .then(Filter::TopKPerFamily(20)),
+        ),
+        (
+            "early-lifecycle-drop-vulns",
+            FilterPipeline::new().then(Filter::DropVulnerabilities),
+        ),
+        (
+            "triage-high-2terms-top10",
+            FilterPipeline::new()
+                .then(Filter::SeverityAtLeast(Severity::High))
+                .then(Filter::MinMatchedTerms(2))
+                .then(Filter::TopKPerFamily(10)),
+        ),
+    ]
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let corpus = cpssec_bench::corpus();
+    let engine = cpssec_bench::engine(&corpus);
+    let model = scada_model();
+
+    // The raw result space: every component matched at implementation level.
+    let raw: Vec<_> = model
+        .components()
+        .map(|(_, comp)| engine.match_component(comp, Fidelity::Implementation))
+        .collect();
+    let raw_total: usize = raw.iter().map(|s| s.total()).sum();
+
+    println!("\nFilter cascade volume (raw result space: {raw_total} vectors):");
+    println!("{:<36} {:>10} {:>12}", "Cascade", "kept", "reduction");
+    for (name, pipeline) in cascades() {
+        let kept: usize = raw
+            .iter()
+            .map(|set| pipeline.apply(set, &corpus).total())
+            .sum();
+        println!(
+            "{name:<36} {kept:>10} {:>11.1}%",
+            100.0 * (1.0 - kept as f64 / raw_total.max(1) as f64)
+        );
+    }
+
+    let mut group = c.benchmark_group("filtering");
+    group.sample_size(20);
+    for (name, pipeline) in cascades() {
+        group.bench_with_input(BenchmarkId::new("apply", name), &pipeline, |b, pipeline| {
+            b.iter(|| {
+                let kept: usize = raw
+                    .iter()
+                    .map(|set| pipeline.apply(set, &corpus).total())
+                    .sum();
+                black_box(kept)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

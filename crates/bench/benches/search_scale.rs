@@ -1,0 +1,61 @@
+//! E7 — Search scale behaviour: supports the paper's "the total number of
+//! attack vectors returned by the search process is large" observation.
+//!
+//! Prints corpus sizes and match counts at each scale, then times index
+//! construction and query latency as the corpus grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpssec_search::SearchEngine;
+
+const SCALES: [f64; 3] = [0.02, 0.1, 0.3];
+
+fn bench_search_scale(c: &mut Criterion) {
+    println!("\nSearch scale sweep:");
+    println!(
+        "{:<8} {:>10} {:>16} {:>14}",
+        "scale", "records", "win7 matches", "linux matches"
+    );
+    let corpora: Vec<_> = SCALES
+        .iter()
+        .map(|&scale| (scale, cpssec_bench::corpus_at(scale)))
+        .collect();
+    for (scale, corpus) in &corpora {
+        let engine = SearchEngine::build(corpus);
+        println!(
+            "{scale:<8} {:>10} {:>16} {:>14}",
+            corpus.stats().total(),
+            engine.match_text("Windows 7").total(),
+            engine.match_text("NI RT Linux OS").total(),
+        );
+    }
+
+    let mut group = c.benchmark_group("search_scale");
+    group.sample_size(10);
+    for (scale, corpus) in &corpora {
+        let records = corpus.stats().total() as u64;
+        group.throughput(Throughput::Elements(records));
+        group.bench_with_input(
+            BenchmarkId::new("build_index", format!("{records}rec")),
+            corpus,
+            |b, corpus| b.iter(|| black_box(SearchEngine::build(corpus))),
+        );
+        let engine = SearchEngine::build(corpus);
+        group.bench_with_input(
+            BenchmarkId::new("query", format!("{records}rec")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    black_box(engine.match_text("NI RT Linux OS").total())
+                        + black_box(engine.match_text("Cisco ASA").total())
+                })
+            },
+        );
+        let _ = scale;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_scale);
+criterion_main!(benches);

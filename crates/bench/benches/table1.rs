@@ -1,0 +1,44 @@
+//! E1 — Table 1: per-attribute attack vector counts over the SCADA model.
+//!
+//! Prints the measured-vs-paper table, then times the per-attribute match
+//! and the full table regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let corpus = cpssec_bench::corpus();
+    let engine = cpssec_bench::engine(&corpus);
+    let stats = corpus.stats();
+    println!(
+        "corpus: {} patterns / {} weaknesses / {} vulnerabilities (CPSSEC_SCALE={})",
+        stats.patterns,
+        stats.weaknesses,
+        stats.vulnerabilities,
+        cpssec_bench::scale()
+    );
+    cpssec_bench::print_table1(&engine);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    for (attribute, ..) in cpssec_bench::TABLE1_PAPER {
+        group.bench_with_input(
+            BenchmarkId::new("match_attribute", attribute),
+            &attribute,
+            |b, attr| b.iter(|| black_box(engine.match_text(attr).counts())),
+        );
+    }
+    group.bench_function("full_table", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for (attribute, ..) in cpssec_bench::TABLE1_PAPER {
+                total += engine.match_text(attribute).total();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

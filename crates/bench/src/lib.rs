@@ -1,0 +1,94 @@
+//! Shared setup for the benchmark harness.
+//!
+//! Every bench regenerates its paper artifact (table rows or figure series)
+//! on stdout before timing, so `cargo bench` doubles as the reproduction
+//! run. The synthetic corpus scale is taken from the `CPSSEC_SCALE`
+//! environment variable (default `0.05`); `CPSSEC_SCALE=1.0` reproduces the
+//! paper's absolute corpus magnitudes.
+
+use cpssec_attackdb::seed::seed_corpus;
+use cpssec_attackdb::synth::{generate, SynthSpec};
+use cpssec_attackdb::Corpus;
+use cpssec_search::SearchEngine;
+
+/// The paper's Table 1: `(attribute, patterns, weaknesses, vulnerabilities)`.
+pub const TABLE1_PAPER: [(&str, usize, usize, usize); 6] = [
+    ("Cisco ASA", 2, 1, 3776),
+    ("NI RT Linux OS", 54, 75, 9673),
+    ("Windows 7", 41, 73, 6627),
+    ("Labview", 0, 0, 6),
+    ("NI cRIO 9063", 0, 0, 7),
+    ("NI cRIO 9064", 0, 0, 7),
+];
+
+/// The corpus scale requested through `CPSSEC_SCALE` (default 0.05).
+#[must_use]
+pub fn scale() -> f64 {
+    std::env::var("CPSSEC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Seed corpus merged with the paper-2020 synthetic corpus at `scale`.
+#[must_use]
+pub fn corpus_at(scale: f64) -> Corpus {
+    let mut corpus = seed_corpus();
+    corpus
+        .merge(generate(&SynthSpec::paper2020(2020, scale)))
+        .expect("seed and synthetic id spaces are disjoint");
+    corpus
+}
+
+/// The standard benchmark corpus at the environment-selected scale.
+#[must_use]
+pub fn corpus() -> Corpus {
+    corpus_at(scale())
+}
+
+/// An engine over the standard benchmark corpus.
+#[must_use]
+pub fn engine(corpus: &Corpus) -> SearchEngine {
+    SearchEngine::build(corpus)
+}
+
+/// Prints a measured-vs-paper Table 1 and returns the measured rows.
+pub fn print_table1(engine: &SearchEngine) -> Vec<(usize, usize, usize)> {
+    println!("\nTable 1 — measured (paper):");
+    println!(
+        "{:<16} {:>18} {:>14} {:>18}",
+        "Attribute", "Attack Patterns", "Weaknesses", "Vulnerabilities"
+    );
+    let mut measured = Vec::new();
+    for (attribute, p, w, v) in TABLE1_PAPER {
+        let counts = engine.match_text(attribute).counts();
+        println!(
+            "{attribute:<16} {:>18} {:>14} {:>18}",
+            format!("{} ({p})", counts.0),
+            format!("{} ({w})", counts.1),
+            format!("{} ({v})", counts.2),
+        );
+        measured.push(counts);
+    }
+    measured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_and_is_nonempty() {
+        let c = corpus_at(0.01);
+        assert!(c.stats().vulnerabilities > 100);
+    }
+
+    #[test]
+    fn table1_shape_at_bench_scale() {
+        let c = corpus_at(0.02);
+        let e = engine(&c);
+        let rows = print_table1(&e);
+        assert!(rows[1].2 > rows[2].2); // linux > win7
+        assert_eq!(rows[3].0, 0); // labview: no patterns
+    }
+}

@@ -1,0 +1,514 @@
+//! Command parsing and execution, separated from `main` for testability.
+
+use std::io::Write;
+
+use cpssec_analysis::consequence::standard_analysis;
+use cpssec_analysis::render::text_table;
+use cpssec_analysis::{attribute_rows, render, report, AssociationMap, SystemPosture};
+use cpssec_attackdb::seed::seed_corpus;
+use cpssec_attackdb::synth::{generate, SynthSpec};
+use cpssec_attackdb::Corpus;
+use cpssec_model::{Fidelity, SystemModel};
+use cpssec_scada::{attacks, faults, BatchReport, ScadaConfig, ScadaHarness};
+use cpssec_search::{FilterPipeline, SearchEngine};
+const USAGE: &str = "usage:
+  cpssec table1 [--scale S] [--corpus FILE.jsonl]
+  cpssec associate <model.graphml> [--fidelity conceptual|architectural|implementation]
+                   [--scale S] [--corpus FILE.jsonl] [--top K]
+  cpssec figure [--scale S] [--corpus FILE.jsonl]
+  cpssec report [--scale S] [--corpus FILE.jsonl] [--simulate]
+  cpssec simulate <scenario|nominal> [--ticks N]
+  cpssec scenarios
+  cpssec export-model [--fidelity LEVEL]
+  cpssec export-corpus [--scale S]
+  cpssec json [--scale S] [--corpus FILE.jsonl] [--fidelity LEVEL]
+  cpssec help
+
+the corpus defaults to the built-in seed + synthetic corpus at --scale;
+--corpus loads a JSON Lines corpus (see cpssec_attackdb::jsonl) instead.";
+
+/// Parsed global options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Synthetic corpus scale.
+    pub scale: f64,
+    /// Fidelity for model-side operations.
+    pub fidelity: Fidelity,
+    /// Per-family result cap for `associate`.
+    pub top: Option<usize>,
+    /// Run the simulation inside `report`.
+    pub simulate: bool,
+    /// Tick budget for `simulate`.
+    pub ticks: u64,
+    /// Path to a JSON Lines corpus replacing the built-in one.
+    pub corpus_path: Option<String>,
+    /// Positional arguments.
+    pub positional: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.05,
+            fidelity: Fidelity::Implementation,
+            top: None,
+            simulate: false,
+            ticks: 12_000,
+            corpus_path: None,
+            positional: Vec::new(),
+        }
+    }
+}
+
+/// Parses everything after the subcommand.
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale needs a value")?;
+                options.scale = value
+                    .parse()
+                    .map_err(|_| format!("invalid scale `{value}`"))?;
+                if options.scale <= 0.0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--fidelity" => {
+                let value = iter.next().ok_or("--fidelity needs a value")?;
+                options.fidelity = value
+                    .parse()
+                    .map_err(|_| format!("invalid fidelity `{value}`"))?;
+            }
+            "--top" => {
+                let value = iter.next().ok_or("--top needs a value")?;
+                options.top = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid top `{value}`"))?,
+                );
+            }
+            "--ticks" => {
+                let value = iter.next().ok_or("--ticks needs a value")?;
+                options.ticks = value
+                    .parse()
+                    .map_err(|_| format!("invalid ticks `{value}`"))?;
+            }
+            "--simulate" => options.simulate = true,
+            "--corpus" => {
+                let value = iter.next().ok_or("--corpus needs a path")?;
+                options.corpus_path = Some(value.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            positional => options.positional.push(positional.to_owned()),
+        }
+    }
+    Ok(options)
+}
+
+fn corpus_at(scale: f64) -> Corpus {
+    let mut corpus = seed_corpus();
+    corpus
+        .merge(generate(&SynthSpec::paper2020(2020, scale)))
+        .expect("disjoint id spaces");
+    corpus
+}
+
+fn load_corpus(options: &Options) -> Result<Corpus, String> {
+    match &options.corpus_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            cpssec_attackdb::jsonl::from_jsonl(&text)
+                .map_err(|e| format!("cannot parse `{path}`: {e}"))
+        }
+        None => Ok(corpus_at(options.scale)),
+    }
+}
+
+/// Executes a full command line; output goes to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(format!("missing command\n{USAGE}"));
+    };
+    let options = parse_options(rest)?;
+    match command.as_str() {
+        "table1" => cmd_table1(&options, out),
+        "associate" => cmd_associate(&options, out),
+        "figure" => cmd_figure(&options, out),
+        "report" => cmd_report(&options, out),
+        "simulate" => cmd_simulate(&options, out),
+        "scenarios" => cmd_scenarios(out),
+        "export-model" => cmd_export_model(&options, out),
+        "export-corpus" => cmd_export_corpus(&options, out),
+        "json" => cmd_json(&options, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn cmd_table1(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let corpus = load_corpus(options)?;
+    let engine = SearchEngine::build(&corpus);
+    let model = cpssec_scada::model::scada_model();
+    let rows = attribute_rows(
+        &model,
+        &engine,
+        &corpus,
+        Fidelity::Implementation,
+        &FilterPipeline::new(),
+    );
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.attribute.clone(),
+                r.patterns.to_string(),
+                r.weaknesses.to_string(),
+                r.vulnerabilities.to_string(),
+            ]
+        })
+        .collect();
+    write!(
+        out,
+        "{}",
+        text_table(
+            &["Attribute", "Attack Patterns", "Weaknesses", "Vulnerabilities"],
+            &cells,
+        )
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn load_model(path: &str) -> Result<SystemModel, String> {
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    cpssec_model::from_graphml(&xml).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn cmd_associate(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let path = options
+        .positional
+        .first()
+        .ok_or("associate needs a GraphML model path")?;
+    let model = load_model(path)?;
+    let corpus = load_corpus(options)?;
+    let engine = SearchEngine::build(&corpus);
+    let mut filters = FilterPipeline::new();
+    if let Some(top) = options.top {
+        filters = filters.then(cpssec_search::Filter::TopKPerFamily(top));
+    }
+    let map = AssociationMap::build(&model, &engine, &corpus, options.fidelity, &filters);
+    let cells: Vec<Vec<String>> = map
+        .iter()
+        .map(|(component, matches)| {
+            let (p, w, v) = matches.counts();
+            vec![
+                component.to_owned(),
+                p.to_string(),
+                w.to_string(),
+                v.to_string(),
+            ]
+        })
+        .collect();
+    write!(
+        out,
+        "{}",
+        text_table(&["Component", "Patterns", "Weaknesses", "Vulnerabilities"], &cells)
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "total: {} associated vectors at {} fidelity", map.total_vectors(), options.fidelity)
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_figure(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let corpus = load_corpus(options)?;
+    let engine = SearchEngine::build(&corpus);
+    let model = cpssec_scada::model::scada_model();
+    let map = AssociationMap::build(
+        &model,
+        &engine,
+        &corpus,
+        Fidelity::Implementation,
+        &FilterPipeline::new(),
+    );
+    write!(out, "{}", render::model_dot(&model, Some(&map))).map_err(|e| e.to_string())
+}
+
+fn cmd_report(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let corpus = load_corpus(options)?;
+    let engine = SearchEngine::build(&corpus);
+    let model = cpssec_scada::model::scada_model();
+    let filters = FilterPipeline::new();
+    let association =
+        AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+    let rows = attribute_rows(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+    let posture = SystemPosture::compute(&model, &corpus, &association);
+    let consequences = if options.simulate {
+        standard_analysis(&corpus, &engine, Fidelity::Implementation, options.ticks)
+    } else {
+        Vec::new()
+    };
+    let markdown = report::render_report(&report::ReportInput {
+        model: &model,
+        corpus: &corpus,
+        association: &association,
+        attribute_rows: &rows,
+        posture: &posture,
+        consequences: &consequences,
+    });
+    write!(out, "{markdown}").map_err(|e| e.to_string())
+}
+
+fn print_batch(report: &BatchReport, out: &mut dyn Write) -> Result<(), String> {
+    writeln!(out, "product:            {}", report.product).map_err(|e| e.to_string())?;
+    writeln!(out, "emergency stop:     {}", report.emergency_stopped).map_err(|e| e.to_string())?;
+    writeln!(out, "exploded:           {}", report.exploded).map_err(|e| e.to_string())?;
+    writeln!(out, "max temperature:    {:.1} °C", report.max_temperature_c)
+        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "max speed deviation: {:.2} rpm",
+        report.max_speed_deviation_rpm
+    )
+    .map_err(|e| e.to_string())?;
+    for hazard in &report.hazards {
+        writeln!(out, "hazard: {hazard}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let name = options
+        .positional
+        .first()
+        .ok_or("simulate needs a scenario name (see `cpssec scenarios`)")?;
+    let config = ScadaConfig::default();
+    let report = if name == "nominal" {
+        ScadaHarness::new(config).run_batch_for(options.ticks)
+    } else if let Some(attack) = attacks::all_scenarios().into_iter().find(|s| &s.name == name) {
+        ScadaHarness::with_attack(config, &attack).run_batch_for(options.ticks)
+    } else if let Some(fault) = faults::all_fault_scenarios()
+        .into_iter()
+        .find(|s| &s.name == name)
+    {
+        ScadaHarness::with_fault(config, &fault).run_batch_for(options.ticks)
+    } else {
+        return Err(format!(
+            "unknown scenario `{name}` (see `cpssec scenarios`)"
+        ));
+    };
+    writeln!(out, "scenario: {name} ({} ticks)", options.ticks).map_err(|e| e.to_string())?;
+    print_batch(&report, out)
+}
+
+fn cmd_scenarios(out: &mut dyn Write) -> Result<(), String> {
+    writeln!(out, "attack scenarios:").map_err(|e| e.to_string())?;
+    for scenario in attacks::all_scenarios() {
+        writeln!(
+            out,
+            "  {:<32} [{} / {}] -> {}",
+            scenario.name,
+            scenario.weakness_ids.join(","),
+            scenario.pattern_ids.join(","),
+            scenario.target_component
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "fault scenarios:").map_err(|e| e.to_string())?;
+    for scenario in faults::all_fault_scenarios() {
+        writeln!(out, "  {:<32} {}", scenario.name, scenario.description)
+            .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "plus: nominal").map_err(|e| e.to_string())
+}
+
+fn cmd_export_model(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let model = cpssec_scada::model::scada_model().at_fidelity(options.fidelity);
+    write!(out, "{}", cpssec_model::to_graphml(&model)).map_err(|e| e.to_string())
+}
+
+fn cmd_export_corpus(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let corpus = load_corpus(options)?;
+    write!(out, "{}", cpssec_attackdb::jsonl::to_jsonl(&corpus)).map_err(|e| e.to_string())
+}
+
+fn cmd_json(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let corpus = load_corpus(options)?;
+    let engine = SearchEngine::build(&corpus);
+    let model = cpssec_scada::model::scada_model();
+    let map = AssociationMap::build(
+        &model,
+        &engine,
+        &corpus,
+        options.fidelity,
+        &FilterPipeline::new(),
+    );
+    let posture = SystemPosture::compute(&model, &corpus, &map);
+    let artifact = render::association_json(&model, &map, &posture);
+    writeln!(out, "{}", artifact.to_text()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> Result<String, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        let mut buffer = Vec::new();
+        run(&owned, &mut buffer)?;
+        Ok(String::from_utf8(buffer).expect("utf8 output"))
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let options = parse_options(&[]).unwrap();
+        assert_eq!(options.scale, 0.05);
+        assert_eq!(options.fidelity, Fidelity::Implementation);
+
+        let options = parse_options(
+            &["--scale", "0.2", "--fidelity", "conceptual", "--top", "5", "--simulate", "pos"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(options.scale, 0.2);
+        assert_eq!(options.fidelity, Fidelity::Conceptual);
+        assert_eq!(options.top, Some(5));
+        assert!(options.simulate);
+        assert_eq!(options.positional, ["pos"]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_options(&["--scale".into()]).is_err());
+        assert!(parse_options(&["--scale".into(), "x".into()]).is_err());
+        assert!(parse_options(&["--scale".into(), "0".into()]).is_err());
+        assert!(parse_options(&["--fidelity".into(), "exact".into()]).is_err());
+        assert!(parse_options(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let err = run_capture(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let output = run_capture(&["help"]).unwrap();
+        assert!(output.contains("cpssec table1"));
+    }
+
+    #[test]
+    fn table1_prints_all_six_attributes() {
+        let output = run_capture(&["table1", "--scale", "0.01"]).unwrap();
+        for attribute in ["Cisco ASA", "NI RT Linux OS", "Windows 7", "Labview", "NI cRIO 9063"] {
+            assert!(output.contains(attribute), "missing {attribute}");
+        }
+    }
+
+    #[test]
+    fn scenarios_lists_attacks_and_faults() {
+        let output = run_capture(&["scenarios"]).unwrap();
+        assert!(output.contains("bpcs-command-injection"));
+        assert!(output.contains("chiller-degradation"));
+        assert!(output.contains("nominal"));
+    }
+
+    #[test]
+    fn simulate_nominal_reports_nominal() {
+        let output = run_capture(&["simulate", "nominal", "--ticks", "4010"]).unwrap();
+        assert!(output.contains("product:            nominal"));
+    }
+
+    #[test]
+    fn simulate_attack_by_name() {
+        let output = run_capture(&["simulate", "setpoint-tamper", "--ticks", "4010"]).unwrap();
+        assert!(output.contains("ruined-speed"));
+    }
+
+    #[test]
+    fn simulate_fault_by_name() {
+        let output =
+            run_capture(&["simulate", "chiller-degradation", "--ticks", "12000"]).unwrap();
+        assert!(output.contains("emergency stop:     true"));
+    }
+
+    #[test]
+    fn simulate_unknown_scenario_fails() {
+        assert!(run_capture(&["simulate", "ghost"]).unwrap_err().contains("unknown scenario"));
+    }
+
+    #[test]
+    fn export_model_then_associate_round_trips() {
+        let xml = run_capture(&["export-model"]).unwrap();
+        let dir = std::env::temp_dir().join("cpssec-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.graphml");
+        std::fs::write(&path, xml).unwrap();
+        let output = run_capture(&[
+            "associate",
+            path.to_str().unwrap(),
+            "--scale",
+            "0.01",
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        assert!(output.contains("SIS platform"));
+        assert!(output.contains("total:"));
+    }
+
+    #[test]
+    fn figure_emits_dot() {
+        let output = run_capture(&["figure", "--scale", "0.01"]).unwrap();
+        assert!(output.starts_with("graph"));
+        assert!(output.contains("CVE"));
+    }
+
+    #[test]
+    fn report_contains_sections_and_simulation_is_optional() {
+        let output = run_capture(&["report", "--scale", "0.01"]).unwrap();
+        assert!(output.contains("# Security analysis report"));
+        assert!(!output.contains("## Simulated consequences"));
+    }
+
+    #[test]
+    fn associate_requires_a_path() {
+        assert!(run_capture(&["associate"]).unwrap_err().contains("GraphML"));
+    }
+
+    #[test]
+    fn export_corpus_round_trips_through_corpus_flag() {
+        let jsonl = run_capture(&["export-corpus", "--scale", "0.01"]).unwrap();
+        let dir = std::env::temp_dir().join("cpssec-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.jsonl");
+        std::fs::write(&path, &jsonl).unwrap();
+        let output =
+            run_capture(&["table1", "--corpus", path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("Cisco ASA"));
+        // Same corpus either way: identical table.
+        let direct = run_capture(&["table1", "--scale", "0.01"]).unwrap();
+        assert_eq!(output, direct);
+    }
+
+    #[test]
+    fn json_emits_a_parsable_dashboard_artifact() {
+        let output = run_capture(&["json", "--scale", "0.01"]).unwrap();
+        let value = cpssec_attackdb::json::parse(output.trim()).expect("valid json");
+        assert!(value.get("systemScore").is_some());
+        assert!(value.get("components").unwrap().as_array().unwrap().len() == 8);
+    }
+
+    #[test]
+    fn corpus_flag_with_missing_file_fails() {
+        let err = run_capture(&["table1", "--corpus", "/nonexistent/corpus.jsonl"]).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `cpssec` — the command-line face of the toolchain.
+//!
+//! ```text
+//! cpssec table1 [--scale S]                    regenerate the paper's Table 1
+//! cpssec associate <model.graphml> [options]   match a model against the corpus
+//! cpssec figure [--scale S]                    Figure 1 as Graphviz DOT
+//! cpssec report [--scale S] [--simulate]       full Markdown analyst report
+//! cpssec simulate <scenario> [--ticks N]       run an attack/fault in the plant
+//! cpssec scenarios                             list built-in scenarios
+//! cpssec export-model [--fidelity LEVEL]       emit the SCADA model as GraphML
+//! ```
+
+mod cli;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("cpssec: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

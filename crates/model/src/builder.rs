@@ -1,0 +1,296 @@
+//! Fluent construction of system models.
+
+use crate::{
+    Attribute, Channel, ChannelKind, Component, ComponentKind, Criticality, Direction,
+    ModelError, SystemModel,
+};
+
+enum Op {
+    Component(Component),
+    Channel {
+        from: String,
+        to: String,
+        kind: ChannelKind,
+        direction: Direction,
+        label: String,
+        attributes: Vec<Attribute>,
+    },
+    Attribute {
+        component: String,
+        attribute: Attribute,
+    },
+}
+
+/// A non-consuming builder assembling a [`SystemModel`] by name.
+///
+/// Components are referenced by name so a model reads like its block
+/// diagram; errors (unknown names, duplicates) are reported once, from
+/// [`build`](SystemModelBuilder::build).
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_model::{
+///     SystemModelBuilder, ComponentKind, ChannelKind, Attribute, AttributeKind, Criticality,
+/// };
+///
+/// # fn main() -> Result<(), cpssec_model::ModelError> {
+/// let model = SystemModelBuilder::new("scada")
+///     .component_with("ws", ComponentKind::Workstation, |c| {
+///         c.with_entry_point(true)
+///             .with_attribute(Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+///     })
+///     .component("plc", ComponentKind::Controller)
+///     .channel("ws", "plc", ChannelKind::Ethernet)
+///     .build()?;
+/// assert_eq!(model.entry_points().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SystemModelBuilder {
+    name: String,
+    ops: Vec<Op>,
+}
+
+impl SystemModelBuilder {
+    /// Starts a builder for a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SystemModelBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Declares a component.
+    #[must_use]
+    pub fn component(self, name: impl Into<String>, kind: ComponentKind) -> Self {
+        self.component_with(name, kind, |c| c)
+    }
+
+    /// Declares a component, customizing it through `configure`.
+    #[must_use]
+    pub fn component_with(
+        mut self,
+        name: impl Into<String>,
+        kind: ComponentKind,
+        configure: impl FnOnce(Component) -> Component,
+    ) -> Self {
+        self.ops
+            .push(Op::Component(configure(Component::new(name, kind))));
+        self
+    }
+
+    /// Declares a bidirectional channel between two named components.
+    #[must_use]
+    pub fn channel(
+        self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        kind: ChannelKind,
+    ) -> Self {
+        self.channel_with(from, to, kind, Direction::Bidirectional, "", Vec::new())
+    }
+
+    /// Declares a channel with explicit direction, label and attributes.
+    #[must_use]
+    pub fn channel_with(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        kind: ChannelKind,
+        direction: Direction,
+        label: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> Self {
+        self.ops.push(Op::Channel {
+            from: from.into(),
+            to: to.into(),
+            kind,
+            direction,
+            label: label.into(),
+            attributes,
+        });
+        self
+    }
+
+    /// Attaches an attribute to an already declared component.
+    #[must_use]
+    pub fn attribute(mut self, component: impl Into<String>, attribute: Attribute) -> Self {
+        self.ops.push(Op::Attribute {
+            component: component.into(),
+            attribute,
+        });
+        self
+    }
+
+    /// Convenience: marks a declared component as safety-critical.
+    #[must_use]
+    pub fn safety_critical(mut self, component: impl Into<String>) -> Self {
+        // Encoded as a no-value op through the attribute channel keeps the
+        // op list uniform; instead we reuse Op::Attribute with a marker and
+        // fix criticality in build. Simpler: push a dedicated closure-less op.
+        self.ops.push(Op::Attribute {
+            component: component.into(),
+            attribute: Attribute::custom("__criticality", Criticality::SafetyCritical.as_str()),
+        });
+        self
+    }
+
+    /// Assembles the model.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelError`] raised while inserting components, channels, or
+    /// attributes — duplicate names, unknown endpoint names, self loops.
+    pub fn build(self) -> Result<SystemModel, ModelError> {
+        let mut model = SystemModel::new(self.name)?;
+        // Components first so channels may be declared in any order.
+        for op in &self.ops {
+            if let Op::Component(c) = op {
+                model.add_component(c.clone())?;
+            }
+        }
+        for op in self.ops {
+            match op {
+                Op::Component(_) => {}
+                Op::Channel {
+                    from,
+                    to,
+                    kind,
+                    direction,
+                    label,
+                    attributes,
+                } => {
+                    let from_id = model
+                        .component_id(&from)
+                        .ok_or(ModelError::UnknownComponent(from))?;
+                    let to_id = model
+                        .component_id(&to)
+                        .ok_or(ModelError::UnknownComponent(to))?;
+                    let ch = model.add_channel_with(from_id, to_id, kind, direction, label)?;
+                    let channel: &mut Channel =
+                        model.channel_mut(ch).expect("just-created channel exists");
+                    for attr in attributes {
+                        channel.attributes_mut().insert(attr);
+                    }
+                }
+                Op::Attribute {
+                    component,
+                    attribute,
+                } => {
+                    let comp = model
+                        .component_by_name_mut(&component)
+                        .ok_or(ModelError::UnknownComponent(component))?;
+                    if attribute.key() == "__criticality" {
+                        comp.set_criticality(
+                            attribute.value().parse().expect("marker uses canonical name"),
+                        );
+                    } else {
+                        comp.attributes_mut().insert(attribute);
+                    }
+                }
+            }
+        }
+        Ok(model)
+    }
+}
+
+impl std::fmt::Debug for SystemModelBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemModelBuilder")
+            .field("name", &self.name)
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttributeKind;
+
+    #[test]
+    fn channels_may_be_declared_before_components() {
+        let model = SystemModelBuilder::new("m")
+            .channel("a", "b", ChannelKind::Ethernet)
+            .component("a", ComponentKind::Other)
+            .component("b", ComponentKind::Other)
+            .build()
+            .unwrap();
+        assert_eq!(model.channel_count(), 1);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error() {
+        let err = SystemModelBuilder::new("m")
+            .component("a", ComponentKind::Other)
+            .channel("a", "ghost", ChannelKind::Ethernet)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::UnknownComponent("ghost".into()));
+    }
+
+    #[test]
+    fn attribute_op_targets_existing_component() {
+        let model = SystemModelBuilder::new("m")
+            .component("a", ComponentKind::Other)
+            .attribute("a", Attribute::new(AttributeKind::Vendor, "Cisco"))
+            .build()
+            .unwrap();
+        assert_eq!(
+            model.component_by_name("a").unwrap().attributes().get("vendor"),
+            Some("Cisco")
+        );
+    }
+
+    #[test]
+    fn attribute_op_unknown_component_is_an_error() {
+        let err = SystemModelBuilder::new("m")
+            .attribute("ghost", Attribute::new(AttributeKind::Vendor, "Cisco"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::UnknownComponent("ghost".into()));
+    }
+
+    #[test]
+    fn safety_critical_marker_sets_criticality() {
+        let model = SystemModelBuilder::new("m")
+            .component("sis", ComponentKind::SafetySystem)
+            .safety_critical("sis")
+            .build()
+            .unwrap();
+        assert_eq!(
+            model.component_by_name("sis").unwrap().criticality(),
+            Criticality::SafetyCritical
+        );
+        // The marker must not leak as an attribute.
+        assert!(model.component_by_name("sis").unwrap().attributes().is_empty());
+    }
+
+    #[test]
+    fn channel_with_attributes_lands_on_channel() {
+        let model = SystemModelBuilder::new("m")
+            .component("a", ComponentKind::Other)
+            .component("b", ComponentKind::Other)
+            .channel_with(
+                "a",
+                "b",
+                ChannelKind::Fieldbus,
+                Direction::Forward,
+                "bus",
+                vec![Attribute::new(AttributeKind::Protocol, "MODBUS/TCP")],
+            )
+            .build()
+            .unwrap();
+        let (_, ch) = model.channels().next().unwrap();
+        assert_eq!(ch.attributes().get("protocol"), Some("MODBUS/TCP"));
+        assert_eq!(ch.label(), "bus");
+        assert_eq!(ch.direction(), Direction::Forward);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let dbg = format!("{:?}", SystemModelBuilder::new("m"));
+        assert!(dbg.contains("SystemModelBuilder"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Structural diffs between two models.
+//!
+//! The paper's dashboard lets an analyst "change the model on the fly and
+//! immediately see the new results"; a [`ModelDiff`] is the machine-readable
+//! record of such a change, keyed by component name so it survives
+//! re-indexing.
+
+use std::collections::BTreeSet;
+
+use crate::{Attribute, SystemModel};
+
+/// A change to one attribute of a surviving component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeChange {
+    /// Attribute present only in the new model.
+    Added(Attribute),
+    /// Attribute present only in the old model.
+    Removed(Attribute),
+}
+
+/// All changes affecting one component present in both models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentChange {
+    /// The component's (stable) name.
+    pub name: String,
+    /// Kind changed from old to new.
+    pub kind_changed: bool,
+    /// Criticality changed from old to new.
+    pub criticality_changed: bool,
+    /// Entry-point marker changed.
+    pub entry_point_changed: bool,
+    /// Attribute-level adds/removes.
+    pub attributes: Vec<AttributeChange>,
+}
+
+impl ComponentChange {
+    /// Whether any field actually changed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.kind_changed
+            && !self.criticality_changed
+            && !self.entry_point_changed
+            && self.attributes.is_empty()
+    }
+}
+
+/// The difference between two models, oriented old → new.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelDiff {
+    /// Component names only in the new model.
+    pub added_components: Vec<String>,
+    /// Component names only in the old model.
+    pub removed_components: Vec<String>,
+    /// Changes to components present in both.
+    pub changed_components: Vec<ComponentChange>,
+    /// Channel descriptions (`from -> to [kind]`) only in the new model.
+    pub added_channels: Vec<String>,
+    /// Channel descriptions only in the old model.
+    pub removed_channels: Vec<String>,
+}
+
+impl ModelDiff {
+    /// Computes the diff between `old` and `new`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpssec_model::{SystemModelBuilder, ComponentKind, ModelDiff};
+    ///
+    /// # fn main() -> Result<(), cpssec_model::ModelError> {
+    /// let old = SystemModelBuilder::new("m")
+    ///     .component("a", ComponentKind::Controller)
+    ///     .build()?;
+    /// let new = SystemModelBuilder::new("m")
+    ///     .component("a", ComponentKind::Controller)
+    ///     .component("b", ComponentKind::Firewall)
+    ///     .build()?;
+    /// let diff = ModelDiff::between(&old, &new);
+    /// assert_eq!(diff.added_components, vec!["b".to_string()]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn between(old: &SystemModel, new: &SystemModel) -> ModelDiff {
+        let old_names: BTreeSet<&str> = old.components().map(|(_, c)| c.name()).collect();
+        let new_names: BTreeSet<&str> = new.components().map(|(_, c)| c.name()).collect();
+
+        let added_components = new_names
+            .difference(&old_names)
+            .map(|s| (*s).to_owned())
+            .collect();
+        let removed_components = old_names
+            .difference(&new_names)
+            .map(|s| (*s).to_owned())
+            .collect();
+
+        let mut changed_components = Vec::new();
+        for name in old_names.intersection(&new_names) {
+            let oc = old.component_by_name(name).expect("name from old");
+            let nc = new.component_by_name(name).expect("name from new");
+            let old_attrs: BTreeSet<&Attribute> = oc.attributes().iter().collect();
+            let new_attrs: BTreeSet<&Attribute> = nc.attributes().iter().collect();
+            let mut attributes: Vec<AttributeChange> = new_attrs
+                .difference(&old_attrs)
+                .map(|a| AttributeChange::Added((*a).clone()))
+                .collect();
+            attributes.extend(
+                old_attrs
+                    .difference(&new_attrs)
+                    .map(|a| AttributeChange::Removed((*a).clone())),
+            );
+            let change = ComponentChange {
+                name: (*name).to_owned(),
+                kind_changed: oc.kind() != nc.kind(),
+                criticality_changed: oc.criticality() != nc.criticality(),
+                entry_point_changed: oc.is_entry_point() != nc.is_entry_point(),
+                attributes,
+            };
+            if !change.is_empty() {
+                changed_components.push(change);
+            }
+        }
+
+        let describe = |m: &SystemModel| -> BTreeSet<String> {
+            m.channels()
+                .map(|(_, ch)| {
+                    let from = m.component(ch.from()).expect("valid endpoint").name();
+                    let to = m.component(ch.to()).expect("valid endpoint").name();
+                    format!("{from} -> {to} [{}]", ch.kind())
+                })
+                .collect()
+        };
+        let old_channels = describe(old);
+        let new_channels = describe(new);
+
+        ModelDiff {
+            added_components,
+            removed_components,
+            changed_components,
+            added_channels: new_channels.difference(&old_channels).cloned().collect(),
+            removed_channels: old_channels.difference(&new_channels).cloned().collect(),
+        }
+    }
+
+    /// Whether the two models were identical (modulo identifier numbering).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added_components.is_empty()
+            && self.removed_components.is_empty()
+            && self.changed_components.is_empty()
+            && self.added_channels.is_empty()
+            && self.removed_channels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttributeKind, ChannelKind, ComponentKind, Criticality, SystemModelBuilder};
+
+    fn base() -> SystemModel {
+        SystemModelBuilder::new("m")
+            .component("ws", ComponentKind::Workstation)
+            .component("plc", ComponentKind::Controller)
+            .channel("ws", "plc", ChannelKind::Ethernet)
+            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_models_diff_empty() {
+        assert!(ModelDiff::between(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn attribute_swap_is_add_plus_remove() {
+        let old = base();
+        let mut new = base();
+        let ws = new.component_by_name_mut("ws").unwrap();
+        ws.attributes_mut().remove("os", "Windows 7");
+        ws.attributes_mut()
+            .insert(Attribute::new(AttributeKind::OperatingSystem, "NI RT Linux"));
+        let diff = ModelDiff::between(&old, &new);
+        assert_eq!(diff.changed_components.len(), 1);
+        let change = &diff.changed_components[0];
+        assert_eq!(change.attributes.len(), 2);
+        assert!(change
+            .attributes
+            .iter()
+            .any(|c| matches!(c, AttributeChange::Added(a) if a.value() == "NI RT Linux")));
+        assert!(change
+            .attributes
+            .iter()
+            .any(|c| matches!(c, AttributeChange::Removed(a) if a.value() == "Windows 7")));
+    }
+
+    #[test]
+    fn component_addition_and_removal_detected() {
+        let old = base();
+        let new = SystemModelBuilder::new("m")
+            .component("ws", ComponentKind::Workstation)
+            .component("hist", ComponentKind::Historian)
+            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .build()
+            .unwrap();
+        let diff = ModelDiff::between(&old, &new);
+        assert_eq!(diff.added_components, vec!["hist".to_owned()]);
+        assert_eq!(diff.removed_components, vec!["plc".to_owned()]);
+        assert_eq!(diff.removed_channels.len(), 1);
+    }
+
+    #[test]
+    fn criticality_change_detected() {
+        let old = base();
+        let mut new = base();
+        new.component_by_name_mut("plc")
+            .unwrap()
+            .set_criticality(Criticality::SafetyCritical);
+        let diff = ModelDiff::between(&old, &new);
+        assert_eq!(diff.changed_components.len(), 1);
+        assert!(diff.changed_components[0].criticality_changed);
+        assert!(!diff.changed_components[0].kind_changed);
+    }
+
+    #[test]
+    fn channel_kind_change_shows_as_remove_plus_add() {
+        let old = base();
+        let new = SystemModelBuilder::new("m")
+            .component("ws", ComponentKind::Workstation)
+            .component("plc", ComponentKind::Controller)
+            .channel("ws", "plc", ChannelKind::Serial)
+            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .build()
+            .unwrap();
+        let diff = ModelDiff::between(&old, &new);
+        assert_eq!(diff.added_channels.len(), 1);
+        assert_eq!(diff.removed_channels.len(), 1);
+        assert!(diff.added_channels[0].contains("serial"));
+    }
+}

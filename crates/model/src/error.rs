@@ -1,0 +1,74 @@
+//! Error type for model construction and interchange.
+
+use core::fmt;
+
+/// Errors produced while building, querying, or exchanging system models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A component name was used twice within the same model.
+    DuplicateComponent(String),
+    /// A channel referenced a component name that does not exist.
+    UnknownComponent(String),
+    /// A lookup used an identifier from a different or newer model.
+    InvalidId(String),
+    /// A kind name in interchange data was not recognised.
+    UnknownKind(String),
+    /// A channel connected a component to itself.
+    SelfLoop(String),
+    /// A component or model name was empty or contained control characters.
+    InvalidName(String),
+    /// GraphML input was structurally malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateComponent(name) => {
+                write!(f, "duplicate component name `{name}`")
+            }
+            ModelError::UnknownComponent(name) => {
+                write!(f, "unknown component `{name}`")
+            }
+            ModelError::InvalidId(id) => write!(f, "identifier `{id}` is not valid for this model"),
+            ModelError::UnknownKind(kind) => write!(f, "unknown kind name `{kind}`"),
+            ModelError::SelfLoop(name) => {
+                write!(f, "channel connects component `{name}` to itself")
+            }
+            ModelError::InvalidName(name) => write!(f, "invalid element name `{name}`"),
+            ModelError::Malformed(detail) => write!(f, "malformed interchange data: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let samples = [
+            ModelError::DuplicateComponent("a".into()),
+            ModelError::UnknownComponent("b".into()),
+            ModelError::InvalidId("n9".into()),
+            ModelError::UnknownKind("k".into()),
+            ModelError::SelfLoop("c".into()),
+            ModelError::InvalidName("".into()),
+            ModelError::Malformed("missing root".into()),
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

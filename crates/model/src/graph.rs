@@ -1,0 +1,642 @@
+//! The system model: a typed property graph with analysis queries.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::{
+    Channel, ChannelId, ChannelKind, Component, ComponentId, ComponentKind, Criticality,
+    Direction, Fidelity, ModelError,
+};
+
+/// Summary statistics over a model, used by reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Number of components.
+    pub components: usize,
+    /// Number of channels.
+    pub channels: usize,
+    /// Total attributes over all components and channels.
+    pub attributes: usize,
+    /// Number of components marked as entry points.
+    pub entry_points: usize,
+    /// Number of safety-critical components.
+    pub safety_critical: usize,
+}
+
+/// The general architectural model: components connected by channels.
+///
+/// This is the interchange target of the paper's first capability — the
+/// structure a SysML (or any other language) model is exported into, and
+/// the structure every downstream security analysis consumes.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_model::{SystemModelBuilder, ComponentKind, ChannelKind};
+///
+/// # fn main() -> Result<(), cpssec_model::ModelError> {
+/// let model = SystemModelBuilder::new("demo")
+///     .component("ws", ComponentKind::Workstation)
+///     .component("plc", ComponentKind::Controller)
+///     .component("pump", ComponentKind::Actuator)
+///     .channel("ws", "plc", ChannelKind::Ethernet)
+///     .channel("plc", "pump", ChannelKind::Analog)
+///     .build()?;
+/// let ws = model.component_id("ws").unwrap();
+/// let pump = model.component_id("pump").unwrap();
+/// assert!(model.reachable_from(ws).contains(&pump));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemModel {
+    name: String,
+    components: Vec<Component>,
+    channels: Vec<Channel>,
+    by_name: BTreeMap<String, ComponentId>,
+}
+
+impl SystemModel {
+    /// Creates an empty model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidName`] if `name` is empty or contains
+    /// control characters.
+    pub fn new(name: impl Into<String>) -> Result<Self, ModelError> {
+        let name = name.into();
+        validate_name(&name)?;
+        Ok(SystemModel {
+            name,
+            components: Vec::new(),
+            channels: Vec::new(),
+            by_name: BTreeMap::new(),
+        })
+    }
+
+    /// The model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a component and returns its identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateComponent`] if the name is taken and
+    /// [`ModelError::InvalidName`] if the name is empty.
+    pub fn add_component(&mut self, component: Component) -> Result<ComponentId, ModelError> {
+        validate_name(component.name())?;
+        if self.by_name.contains_key(component.name()) {
+            return Err(ModelError::DuplicateComponent(component.name().to_owned()));
+        }
+        let id = ComponentId(u32::try_from(self.components.len()).expect("component count fits u32"));
+        self.by_name.insert(component.name().to_owned(), id);
+        self.components.push(component);
+        Ok(id)
+    }
+
+    /// Connects two components and returns the channel identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidId`] for foreign identifiers and
+    /// [`ModelError::SelfLoop`] if both ends are the same component.
+    pub fn add_channel(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        kind: ChannelKind,
+    ) -> Result<ChannelId, ModelError> {
+        self.add_channel_with(from, to, kind, Direction::Bidirectional, "")
+    }
+
+    /// Connects two components with an explicit direction and label.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemModel::add_channel`].
+    pub fn add_channel_with(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        kind: ChannelKind,
+        direction: Direction,
+        label: impl Into<String>,
+    ) -> Result<ChannelId, ModelError> {
+        self.check_id(from)?;
+        self.check_id(to)?;
+        if from == to {
+            return Err(ModelError::SelfLoop(
+                self.components[from.index()].name().to_owned(),
+            ));
+        }
+        let id = ChannelId(u32::try_from(self.channels.len()).expect("channel count fits u32"));
+        self.channels.push(Channel::new(
+            from,
+            to,
+            kind,
+            direction,
+            label.into(),
+            crate::AttributeSet::new(),
+        ));
+        Ok(id)
+    }
+
+    fn check_id(&self, id: ComponentId) -> Result<(), ModelError> {
+        if id.index() < self.components.len() {
+            Ok(())
+        } else {
+            Err(ModelError::InvalidId(id.to_string()))
+        }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Looks a component up by identifier.
+    #[must_use]
+    pub fn component(&self, id: ComponentId) -> Option<&Component> {
+        self.components.get(id.index())
+    }
+
+    /// Mutable component lookup by identifier.
+    pub fn component_mut(&mut self, id: ComponentId) -> Option<&mut Component> {
+        self.components.get_mut(id.index())
+    }
+
+    /// Looks a component's identifier up by name.
+    #[must_use]
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a component up by name.
+    #[must_use]
+    pub fn component_by_name(&self, name: &str) -> Option<&Component> {
+        self.component_id(name).and_then(|id| self.component(id))
+    }
+
+    /// Mutable component lookup by name.
+    pub fn component_by_name_mut(&mut self, name: &str) -> Option<&mut Component> {
+        let id = self.component_id(name)?;
+        self.component_mut(id)
+    }
+
+    /// Looks a channel up by identifier.
+    #[must_use]
+    pub fn channel(&self, id: ChannelId) -> Option<&Channel> {
+        self.channels.get(id.index())
+    }
+
+    /// Mutable channel lookup by identifier.
+    pub fn channel_mut(&mut self, id: ChannelId) -> Option<&mut Channel> {
+        self.channels.get_mut(id.index())
+    }
+
+    /// Iterates over `(id, component)` pairs in insertion order.
+    pub fn components(&self) -> impl Iterator<Item = (ComponentId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ComponentId(i as u32), c))
+    }
+
+    /// Iterates over `(id, channel)` pairs in insertion order.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(i as u32), c))
+    }
+
+    /// Identifiers of all components marked as entry points.
+    #[must_use]
+    pub fn entry_points(&self) -> Vec<ComponentId> {
+        self.components()
+            .filter(|(_, c)| c.is_entry_point())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Identifiers of all components at or above the given criticality.
+    #[must_use]
+    pub fn components_at_criticality(&self, at_least: Criticality) -> Vec<ComponentId> {
+        self.components()
+            .filter(|(_, c)| c.criticality() >= at_least)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Identifiers of all components of `kind`.
+    #[must_use]
+    pub fn components_of_kind(&self, kind: ComponentKind) -> Vec<ComponentId> {
+        self.components()
+            .filter(|(_, c)| c.kind() == kind)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Neighbours reachable in one hop from `id`, honouring channel
+    /// direction, in deterministic (channel insertion) order with
+    /// duplicates removed.
+    #[must_use]
+    pub fn neighbors(&self, id: ComponentId) -> Vec<ComponentId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for ch in &self.channels {
+            if ch.carries_from(id) {
+                if let Some(other) = ch.other_end(id) {
+                    if seen.insert(other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Degree (number of incident channels, regardless of direction).
+    #[must_use]
+    pub fn degree(&self, id: ComponentId) -> usize {
+        self.channels
+            .iter()
+            .filter(|ch| ch.from() == id || ch.to() == id)
+            .count()
+    }
+
+    /// Every component reachable from `start` (excluding `start` itself
+    /// unless a cycle returns to it), honouring direction.
+    #[must_use]
+    pub fn reachable_from(&self, start: ComponentId) -> BTreeSet<ComponentId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            for next in self.neighbors(node) {
+                if next != start && seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest hop path from `from` to `to`, inclusive of both ends.
+    ///
+    /// Returns `None` when unreachable. Deterministic: among equal-length
+    /// paths the one using earliest-inserted channels wins.
+    #[must_use]
+    pub fn shortest_path(&self, from: ComponentId, to: ComponentId) -> Option<Vec<ComponentId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<ComponentId, ComponentId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(node) = queue.pop_front() {
+            for next in self.neighbors(node) {
+                if next != from && !prev.contains_key(&next) {
+                    prev.insert(next, node);
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// All simple paths from `from` to `to` of length at most `max_hops`
+    /// channels, in deterministic order. Intended for attack-path
+    /// enumeration on architecture-scale graphs (tens of nodes).
+    #[must_use]
+    pub fn simple_paths(
+        &self,
+        from: ComponentId,
+        to: ComponentId,
+        max_hops: usize,
+    ) -> Vec<Vec<ComponentId>> {
+        let mut paths = Vec::new();
+        let mut stack = vec![from];
+        let mut on_path: BTreeSet<ComponentId> = BTreeSet::from([from]);
+        self.dfs_paths(to, max_hops, &mut stack, &mut on_path, &mut paths);
+        paths
+    }
+
+    fn dfs_paths(
+        &self,
+        to: ComponentId,
+        max_hops: usize,
+        stack: &mut Vec<ComponentId>,
+        on_path: &mut BTreeSet<ComponentId>,
+        paths: &mut Vec<Vec<ComponentId>>,
+    ) {
+        let current = *stack.last().expect("stack never empty");
+        if current == to {
+            paths.push(stack.clone());
+            return;
+        }
+        if stack.len() > max_hops {
+            return;
+        }
+        for next in self.neighbors(current) {
+            if on_path.insert(next) {
+                stack.push(next);
+                self.dfs_paths(to, max_hops, stack, on_path, paths);
+                stack.pop();
+                on_path.remove(&next);
+            }
+        }
+    }
+
+    /// Projects the model to a fidelity level: same topology, attributes
+    /// filtered to those visible at `level`.
+    #[must_use]
+    pub fn at_fidelity(&self, level: Fidelity) -> SystemModel {
+        SystemModel {
+            name: self.name.clone(),
+            components: self.components.iter().map(|c| c.at_fidelity(level)).collect(),
+            channels: self.channels.iter().map(|c| c.at_fidelity(level)).collect(),
+            by_name: self.by_name.clone(),
+        }
+    }
+
+    /// Components with no channels at all — usually a modeling omission
+    /// (the paper's analyses walk the graph; an unconnected asset is
+    /// invisible to path analysis), returned so reports can flag it.
+    #[must_use]
+    pub fn isolated_components(&self) -> Vec<ComponentId> {
+        self.components()
+            .filter(|(id, _)| self.degree(*id) == 0)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Checks structural invariants: endpoint ids in range, no self loops,
+    /// name index consistent.
+    ///
+    /// A freshly built model always validates; this guards models coming in
+    /// from interchange formats.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ModelError`].
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (name, id) in &self.by_name {
+            let comp = self
+                .components
+                .get(id.index())
+                .ok_or_else(|| ModelError::InvalidId(id.to_string()))?;
+            if comp.name() != name {
+                return Err(ModelError::Malformed(format!(
+                    "name index entry `{name}` points at component `{}`",
+                    comp.name()
+                )));
+            }
+        }
+        if self.by_name.len() != self.components.len() {
+            return Err(ModelError::Malformed(
+                "name index size differs from component count".to_owned(),
+            ));
+        }
+        for ch in &self.channels {
+            self.check_id(ch.from())?;
+            self.check_id(ch.to())?;
+            if ch.from() == ch.to() {
+                return Err(ModelError::SelfLoop(
+                    self.components[ch.from().index()].name().to_owned(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            components: self.components.len(),
+            channels: self.channels.len(),
+            attributes: self
+                .components
+                .iter()
+                .map(|c| c.attributes().len())
+                .sum::<usize>()
+                + self.channels.iter().map(|c| c.attributes().len()).sum::<usize>(),
+            entry_points: self.components.iter().filter(|c| c.is_entry_point()).count(),
+            safety_critical: self
+                .components
+                .iter()
+                .filter(|c| c.criticality() == Criticality::SafetyCritical)
+                .count(),
+        }
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), ModelError> {
+    if name.is_empty() || name.chars().any(char::is_control) {
+        return Err(ModelError::InvalidName(name.to_owned()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemModelBuilder;
+
+    fn line3() -> SystemModel {
+        SystemModelBuilder::new("line")
+            .component("a", ComponentKind::Workstation)
+            .component("b", ComponentKind::Firewall)
+            .component("c", ComponentKind::Controller)
+            .channel("a", "b", ChannelKind::Ethernet)
+            .channel("b", "c", ChannelKind::Ethernet)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn duplicate_component_names_are_rejected() {
+        let mut m = SystemModel::new("m").unwrap();
+        m.add_component(Component::new("x", ComponentKind::Other)).unwrap();
+        let err = m
+            .add_component(Component::new("x", ComponentKind::Other))
+            .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateComponent("x".into()));
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut m = SystemModel::new("m").unwrap();
+        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        assert_eq!(
+            m.add_channel(a, a, ChannelKind::Logical).unwrap_err(),
+            ModelError::SelfLoop("a".into())
+        );
+    }
+
+    #[test]
+    fn foreign_ids_are_rejected() {
+        let mut m = SystemModel::new("m").unwrap();
+        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        let bogus = ComponentId(99);
+        assert!(matches!(
+            m.add_channel(a, bogus, ChannelKind::Logical),
+            Err(ModelError::InvalidId(_))
+        ));
+    }
+
+    #[test]
+    fn empty_names_are_rejected() {
+        assert!(SystemModel::new("").is_err());
+        let mut m = SystemModel::new("m").unwrap();
+        assert!(m
+            .add_component(Component::new("", ComponentKind::Other))
+            .is_err());
+        assert!(m
+            .add_component(Component::new("a\nb", ComponentKind::Other))
+            .is_err());
+    }
+
+    #[test]
+    fn neighbors_honour_direction() {
+        let mut m = SystemModel::new("m").unwrap();
+        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        let b = m.add_component(Component::new("b", ComponentKind::Other)).unwrap();
+        m.add_channel_with(a, b, ChannelKind::Serial, Direction::Forward, "tx")
+            .unwrap();
+        assert_eq!(m.neighbors(a), vec![b]);
+        assert!(m.neighbors(b).is_empty());
+    }
+
+    #[test]
+    fn neighbors_deduplicate_parallel_channels() {
+        let mut m = SystemModel::new("m").unwrap();
+        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        let b = m.add_component(Component::new("b", ComponentKind::Other)).unwrap();
+        m.add_channel(a, b, ChannelKind::Ethernet).unwrap();
+        m.add_channel(a, b, ChannelKind::Serial).unwrap();
+        assert_eq!(m.neighbors(a), vec![b]);
+        assert_eq!(m.degree(a), 2);
+    }
+
+    #[test]
+    fn reachability_crosses_hops() {
+        let m = line3();
+        let a = m.component_id("a").unwrap();
+        let c = m.component_id("c").unwrap();
+        let reach = m.reachable_from(a);
+        assert!(reach.contains(&c));
+        assert_eq!(reach.len(), 2);
+    }
+
+    #[test]
+    fn shortest_path_finds_the_line() {
+        let m = line3();
+        let a = m.component_id("a").unwrap();
+        let b = m.component_id("b").unwrap();
+        let c = m.component_id("c").unwrap();
+        assert_eq!(m.shortest_path(a, c), Some(vec![a, b, c]));
+        assert_eq!(m.shortest_path(a, a), Some(vec![a]));
+    }
+
+    #[test]
+    fn shortest_path_none_when_unreachable() {
+        let mut m = SystemModel::new("m").unwrap();
+        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        let b = m.add_component(Component::new("b", ComponentKind::Other)).unwrap();
+        assert_eq!(m.shortest_path(a, b), None);
+    }
+
+    #[test]
+    fn simple_paths_enumerates_alternatives() {
+        // a - b - d and a - c - d: two simple paths.
+        let m = SystemModelBuilder::new("diamond")
+            .component("a", ComponentKind::Other)
+            .component("b", ComponentKind::Other)
+            .component("c", ComponentKind::Other)
+            .component("d", ComponentKind::Other)
+            .channel("a", "b", ChannelKind::Ethernet)
+            .channel("a", "c", ChannelKind::Ethernet)
+            .channel("b", "d", ChannelKind::Ethernet)
+            .channel("c", "d", ChannelKind::Ethernet)
+            .build()
+            .unwrap();
+        let a = m.component_id("a").unwrap();
+        let d = m.component_id("d").unwrap();
+        let paths = m.simple_paths(a, d, 4);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.first(), Some(&a));
+            assert_eq!(p.last(), Some(&d));
+        }
+    }
+
+    #[test]
+    fn simple_paths_respects_hop_budget() {
+        let m = line3();
+        let a = m.component_id("a").unwrap();
+        let c = m.component_id("c").unwrap();
+        assert!(m.simple_paths(a, c, 1).is_empty());
+        assert_eq!(m.simple_paths(a, c, 2).len(), 1);
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let m = line3();
+        let s = m.stats();
+        assert_eq!(s.components, 3);
+        assert_eq!(s.channels, 2);
+        assert_eq!(s.entry_points, 0);
+    }
+
+    #[test]
+    fn validate_accepts_built_models() {
+        line3().validate().unwrap();
+    }
+
+    #[test]
+    fn at_fidelity_keeps_topology() {
+        let m = line3();
+        let projected = m.at_fidelity(Fidelity::Conceptual);
+        assert_eq!(projected.component_count(), m.component_count());
+        assert_eq!(projected.channel_count(), m.channel_count());
+        assert_eq!(projected.component_id("b"), m.component_id("b"));
+    }
+
+    #[test]
+    fn isolated_components_are_flagged() {
+        let mut m = line3();
+        assert!(m.isolated_components().is_empty());
+        let orphan = m
+            .add_component(Component::new("orphan", ComponentKind::Historian))
+            .unwrap();
+        assert_eq!(m.isolated_components(), vec![orphan]);
+    }
+
+    #[test]
+    fn component_mut_by_name_edits_in_place() {
+        let mut m = line3();
+        m.component_by_name_mut("c")
+            .unwrap()
+            .set_criticality(Criticality::SafetyCritical);
+        assert_eq!(m.components_at_criticality(Criticality::SafetyCritical).len(), 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! GraphML interchange.
+//!
+//! The paper's prototype exports SysML models to GraphML [11]; this module
+//! writes and reads the same structure. Component and channel properties are
+//! carried in `<data>` elements under stable key ids; attributes are encoded
+//! one `<data key="attr">kind|key|fidelity|value</data>` element each, so a
+//! round trip preserves the full model.
+
+use std::fmt::Write as _;
+
+use crate::xml::{escape, Event, Reader};
+use crate::{
+    Attribute, AttributeKind, ChannelKind, Component, ComponentKind, Criticality, Direction,
+    Fidelity, ModelError, SystemModel,
+};
+
+const KEYS: &[(&str, &str, &str)] = &[
+    // (id, for, attr.name)
+    ("d_kind", "node", "kind"),
+    ("d_crit", "node", "criticality"),
+    ("d_entry", "node", "entry-point"),
+    ("d_attr", "all", "attr"),
+    ("d_ckind", "edge", "kind"),
+    ("d_dir", "edge", "direction"),
+    ("d_label", "edge", "label"),
+];
+
+/// Serializes a model to a GraphML document.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_model::{SystemModelBuilder, ComponentKind, to_graphml, from_graphml};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = SystemModelBuilder::new("m")
+///     .component("a", ComponentKind::Controller)
+///     .build()?;
+/// let xml = to_graphml(&model);
+/// let back = from_graphml(&xml)?;
+/// assert_eq!(back.component_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_graphml(model: &SystemModel) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(
+        "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n",
+    );
+    for (id, target, name) in KEYS {
+        let _ = writeln!(
+            out,
+            "  <key id=\"{id}\" for=\"{target}\" attr.name=\"{name}\" attr.type=\"string\"/>"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  <graph id=\"{}\" edgedefault=\"undirected\">",
+        escape(model.name())
+    );
+    for (id, comp) in model.components() {
+        let _ = writeln!(out, "    <node id=\"{id}\">");
+        let _ = writeln!(
+            out,
+            "      <data key=\"d_kind\">{}</data>",
+            comp.kind().as_str()
+        );
+        let _ = writeln!(
+            out,
+            "      <data key=\"d_crit\">{}</data>",
+            comp.criticality().as_str()
+        );
+        if comp.is_entry_point() {
+            out.push_str("      <data key=\"d_entry\">true</data>\n");
+        }
+        // The component name is stored as an attr-like data entry so import
+        // does not have to rely on node ids.
+        let _ = writeln!(
+            out,
+            "      <data key=\"d_attr\">{}</data>",
+            escape(&encode_name(comp.name()))
+        );
+        for attr in comp.attributes().iter() {
+            let _ = writeln!(
+                out,
+                "      <data key=\"d_attr\">{}</data>",
+                escape(&encode_attr(attr))
+            );
+        }
+        out.push_str("    </node>\n");
+    }
+    for (id, ch) in model.channels() {
+        let _ = writeln!(
+            out,
+            "    <edge id=\"{id}\" source=\"{}\" target=\"{}\">",
+            ch.from(),
+            ch.to()
+        );
+        let _ = writeln!(out, "      <data key=\"d_ckind\">{}</data>", ch.kind().as_str());
+        let _ = writeln!(
+            out,
+            "      <data key=\"d_dir\">{}</data>",
+            ch.direction().as_str()
+        );
+        if !ch.label().is_empty() {
+            let _ = writeln!(out, "      <data key=\"d_label\">{}</data>", escape(ch.label()));
+        }
+        for attr in ch.attributes().iter() {
+            let _ = writeln!(
+                out,
+                "      <data key=\"d_attr\">{}</data>",
+                escape(&encode_attr(attr))
+            );
+        }
+        out.push_str("    </edge>\n");
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+fn encode_name(name: &str) -> String {
+    format!("__name|||{name}")
+}
+
+fn encode_attr(attr: &Attribute) -> String {
+    format!(
+        "{}|{}|{}|{}",
+        attr.kind().as_str(),
+        attr.key(),
+        attr.fidelity().as_str(),
+        attr.value()
+    )
+}
+
+fn decode_attr(text: &str) -> Result<Attribute, ModelError> {
+    let mut parts = text.splitn(4, '|');
+    let kind: AttributeKind = parts
+        .next()
+        .ok_or_else(|| malformed("attr kind"))?
+        .parse()?;
+    let key = parts.next().ok_or_else(|| malformed("attr key"))?;
+    let fidelity: Fidelity = parts
+        .next()
+        .ok_or_else(|| malformed("attr fidelity"))?
+        .parse()?;
+    let value = parts.next().ok_or_else(|| malformed("attr value"))?;
+    let attr = if kind == AttributeKind::Custom {
+        Attribute::custom(key, value)
+    } else {
+        Attribute::new(kind, value)
+    };
+    Ok(attr.at_fidelity(fidelity))
+}
+
+fn malformed(what: &str) -> ModelError {
+    ModelError::Malformed(format!("missing {what}"))
+}
+
+#[derive(Debug, Default)]
+struct NodeDraft {
+    xml_id: String,
+    name: Option<String>,
+    kind: Option<ComponentKind>,
+    criticality: Criticality,
+    entry_point: bool,
+    attributes: Vec<Attribute>,
+}
+
+#[derive(Debug, Default)]
+struct EdgeDraft {
+    source: String,
+    target: String,
+    kind: Option<ChannelKind>,
+    direction: Direction,
+    label: String,
+    attributes: Vec<Attribute>,
+}
+
+/// Parses a GraphML document produced by [`to_graphml`] (or by compatible
+/// exporters using the same key names) back into a [`SystemModel`].
+///
+/// # Errors
+///
+/// [`ModelError::Malformed`] for structural problems, plus any model
+/// construction error (duplicate names, self loops).
+pub fn from_graphml(input: &str) -> Result<SystemModel, ModelError> {
+    let mut reader = Reader::new(input);
+    let mut graph_name = String::from("imported");
+    let mut nodes: Vec<NodeDraft> = Vec::new();
+    let mut edges: Vec<EdgeDraft> = Vec::new();
+    let mut stack: Vec<String> = Vec::new();
+    let mut current_key = String::new();
+
+    while let Some(event) = reader
+        .next_event()
+        .map_err(|e| ModelError::Malformed(e.to_string()))?
+    {
+        match event {
+            Event::Open {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                match name.as_str() {
+                    "graph" => {
+                        if let Some((_, v)) = attributes.iter().find(|(k, _)| k == "id") {
+                            graph_name = v.clone();
+                        }
+                    }
+                    "node" => {
+                        let xml_id = attributes
+                            .iter()
+                            .find(|(k, _)| k == "id")
+                            .map(|(_, v)| v.clone())
+                            .ok_or_else(|| malformed("node id"))?;
+                        nodes.push(NodeDraft {
+                            xml_id,
+                            ..NodeDraft::default()
+                        });
+                    }
+                    "edge" => {
+                        let get = |key: &str| {
+                            attributes
+                                .iter()
+                                .find(|(k, _)| k == key)
+                                .map(|(_, v)| v.clone())
+                        };
+                        edges.push(EdgeDraft {
+                            source: get("source").ok_or_else(|| malformed("edge source"))?,
+                            target: get("target").ok_or_else(|| malformed("edge target"))?,
+                            ..EdgeDraft::default()
+                        });
+                    }
+                    "data" => {
+                        current_key = attributes
+                            .iter()
+                            .find(|(k, _)| k == "key")
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_default();
+                    }
+                    _ => {}
+                }
+                if !self_closing {
+                    stack.push(name);
+                }
+            }
+            Event::Close(name) => {
+                if name == "data" {
+                    current_key.clear();
+                }
+                stack.pop();
+            }
+            Event::Text(text) => {
+                if stack.last().map(String::as_str) != Some("data") {
+                    continue;
+                }
+                let in_node = stack.iter().rev().any(|s| s == "node");
+                let in_edge = stack.iter().rev().any(|s| s == "edge");
+                // Attribute payloads are preserved verbatim (values may
+                // legitimately contain leading or trailing whitespace);
+                // enumeration-valued keys are trimmed for robustness against
+                // pretty-printed input.
+                if in_node {
+                    let node = nodes.last_mut().ok_or_else(|| malformed("node context"))?;
+                    let payload = if current_key == "d_attr" { &text } else { text.trim() };
+                    apply_node_data(node, &current_key, payload)?;
+                } else if in_edge {
+                    let edge = edges.last_mut().ok_or_else(|| malformed("edge context"))?;
+                    let payload = if current_key == "d_attr" { &text } else { text.trim() };
+                    apply_edge_data(edge, &current_key, payload)?;
+                }
+            }
+        }
+    }
+
+    let mut model = SystemModel::new(graph_name)?;
+    let mut ids = std::collections::BTreeMap::new();
+    for draft in nodes {
+        let name = draft
+            .name
+            .clone()
+            .unwrap_or_else(|| draft.xml_id.clone());
+        let mut comp = Component::new(
+            name,
+            draft.kind.unwrap_or(ComponentKind::Other),
+        )
+        .with_criticality(draft.criticality)
+        .with_entry_point(draft.entry_point);
+        for attr in draft.attributes {
+            comp.attributes_mut().insert(attr);
+        }
+        let id = model.add_component(comp)?;
+        ids.insert(draft.xml_id, id);
+    }
+    for draft in edges {
+        let from = *ids
+            .get(&draft.source)
+            .ok_or_else(|| ModelError::UnknownComponent(draft.source.clone()))?;
+        let to = *ids
+            .get(&draft.target)
+            .ok_or_else(|| ModelError::UnknownComponent(draft.target.clone()))?;
+        let ch = model.add_channel_with(
+            from,
+            to,
+            draft.kind.unwrap_or(ChannelKind::Logical),
+            draft.direction,
+            draft.label,
+        )?;
+        let channel = model.channel_mut(ch).expect("just-created channel exists");
+        for attr in draft.attributes {
+            channel.attributes_mut().insert(attr);
+        }
+    }
+    model.validate()?;
+    Ok(model)
+}
+
+fn apply_node_data(node: &mut NodeDraft, key: &str, text: &str) -> Result<(), ModelError> {
+    match key {
+        "d_kind" => node.kind = Some(text.parse()?),
+        "d_crit" => node.criticality = text.parse()?,
+        "d_entry" => node.entry_point = text == "true",
+        "d_attr" => {
+            if let Some(name) = text.strip_prefix("__name|||") {
+                node.name = Some(name.to_owned());
+            } else {
+                node.attributes.push(decode_attr(text)?);
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn apply_edge_data(edge: &mut EdgeDraft, key: &str, text: &str) -> Result<(), ModelError> {
+    match key {
+        "d_ckind" => edge.kind = Some(text.parse()?),
+        "d_dir" => edge.direction = text.parse()?,
+        "d_label" => edge.label = text.to_owned(),
+        "d_attr" => edge.attributes.push(decode_attr(text)?),
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemModelBuilder;
+
+    fn sample() -> SystemModel {
+        SystemModelBuilder::new("scada & co")
+            .component_with("Programming WS", ComponentKind::Workstation, |c| {
+                c.with_entry_point(true)
+                    .with_attribute(Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+                    .with_attribute(
+                        Attribute::new(AttributeKind::Software, "LabVIEW <2019>")
+                            .at_fidelity(Fidelity::Implementation),
+                    )
+            })
+            .component_with("SIS platform", ComponentKind::SafetySystem, |c| {
+                c.with_criticality(Criticality::SafetyCritical)
+                    .with_attribute(Attribute::custom("rack", "A1"))
+            })
+            .channel_with(
+                "Programming WS",
+                "SIS platform",
+                ChannelKind::Ethernet,
+                Direction::Forward,
+                "eng link",
+                vec![Attribute::new(AttributeKind::Protocol, "MODBUS/TCP")],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let model = sample();
+        let xml = to_graphml(&model);
+        let back = from_graphml(&xml).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn export_escapes_special_characters() {
+        let xml = to_graphml(&sample());
+        assert!(xml.contains("scada &amp; co"));
+        assert!(xml.contains("LabVIEW &lt;2019&gt;"));
+    }
+
+    #[test]
+    fn import_tolerates_unknown_data_keys() {
+        let xml = r#"<graphml><graph id="g" edgedefault="undirected">
+            <node id="n0">
+              <data key="d_kind">controller</data>
+              <data key="d_color">blue</data>
+            </node>
+        </graph></graphml>"#;
+        let model = from_graphml(xml).unwrap();
+        assert_eq!(model.component_count(), 1);
+        assert_eq!(
+            model.components().next().unwrap().1.kind(),
+            ComponentKind::Controller
+        );
+    }
+
+    #[test]
+    fn import_defaults_name_to_xml_id() {
+        let xml = r#"<graphml><graph id="g" edgedefault="undirected">
+            <node id="plc7"><data key="d_kind">controller</data></node>
+        </graph></graphml>"#;
+        let model = from_graphml(xml).unwrap();
+        assert!(model.component_by_name("plc7").is_some());
+    }
+
+    #[test]
+    fn import_rejects_edges_to_missing_nodes() {
+        let xml = r#"<graphml><graph id="g" edgedefault="undirected">
+            <node id="a"/>
+            <edge id="e0" source="a" target="ghost"/>
+        </graph></graphml>"#;
+        assert!(matches!(
+            from_graphml(xml),
+            Err(ModelError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_malformed_xml() {
+        assert!(matches!(
+            from_graphml("<graphml><graph>"),
+            Err(ModelError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_fidelity_tags() {
+        let model = sample();
+        let back = from_graphml(&to_graphml(&model)).unwrap();
+        let ws = back.component_by_name("Programming WS").unwrap();
+        let lv = ws
+            .attributes()
+            .iter()
+            .find(|a| a.value().starts_with("LabVIEW"))
+            .unwrap();
+        assert_eq!(lv.fidelity(), Fidelity::Implementation);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let model = SystemModel::new("empty").unwrap();
+        let back = from_graphml(&to_graphml(&model)).unwrap();
+        assert_eq!(back.component_count(), 0);
+        assert_eq!(back.name(), "empty");
+    }
+}

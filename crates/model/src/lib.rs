@@ -1,0 +1,59 @@
+//! General architectural graph model for cyber-physical systems.
+//!
+//! This crate implements the first capability demanded by *"Fundamental
+//! Challenges of Cyber-Physical Systems Security Modeling"* (DSN 2020):
+//! exporting modeling-language-specific system models into a **general
+//! architectural model** that downstream security tooling can consume.
+//!
+//! The model is a typed property graph: [`Component`]s (nodes) carry a
+//! [`ComponentKind`], a set of [`Attribute`]s tagged with the
+//! [`Fidelity`] level at which they become visible, a [`Criticality`]
+//! and an entry-point marker; [`Channel`]s (edges) carry a
+//! [`ChannelKind`] and their own attributes. [`SystemModel`] owns both and
+//! offers graph queries (neighbours, reachability, paths), validation,
+//! fidelity projection, diffing, and GraphML interchange compatible in
+//! spirit with the paper's SysML→GraphML exporter.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpssec_model::{SystemModelBuilder, ComponentKind, ChannelKind};
+//!
+//! # fn main() -> Result<(), cpssec_model::ModelError> {
+//! let model = SystemModelBuilder::new("plant")
+//!     .component("controller", ComponentKind::Controller)
+//!     .component("valve", ComponentKind::Actuator)
+//!     .channel("controller", "valve", ChannelKind::Analog)
+//!     .build()?;
+//! assert_eq!(model.component_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribute;
+mod builder;
+mod channel;
+mod component;
+mod diff;
+mod error;
+mod fidelity;
+mod graph;
+mod graphml;
+mod ident;
+mod kind;
+pub mod xml;
+
+pub use attribute::{Attribute, AttributeKind, AttributeSet};
+pub use builder::SystemModelBuilder;
+pub use channel::Channel;
+pub use component::{Component, Criticality};
+pub use diff::{AttributeChange, ComponentChange, ModelDiff};
+pub use error::ModelError;
+pub use fidelity::Fidelity;
+pub use graph::{ModelStats, SystemModel};
+pub use graphml::{from_graphml, to_graphml};
+pub use ident::{ChannelId, ComponentId};
+pub use kind::{ChannelKind, ComponentKind, Direction};

@@ -1,0 +1,438 @@
+//! A minimal XML reader/writer sufficient for GraphML interchange.
+//!
+//! This is intentionally not a general XML implementation: it supports
+//! elements, attributes, character data, the five predefined entities,
+//! comments, processing instructions and XML declarations (skipped), and
+//! nothing else (no DTDs, no CDATA, no namespaces beyond verbatim prefixed
+//! names). That subset is exactly what GraphML files produced by this crate
+//! and by common graph tools use.
+
+use core::fmt;
+
+/// Errors raised while scanning XML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlError {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A syntactic expectation failed at the given byte offset.
+    Syntax {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What was being parsed.
+        detail: String,
+    },
+    /// An entity reference was not one of the five predefined ones.
+    UnknownEntity(String),
+    /// Close tag did not match the open tag.
+    MismatchedTag {
+        /// The tag that was open.
+        open: String,
+        /// The close tag encountered.
+        close: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::Syntax { at, detail } => write!(f, "syntax error at byte {at}: {detail}"),
+            XmlError::UnknownEntity(name) => write!(f, "unknown entity `&{name};`"),
+            XmlError::MismatchedTag { open, close } => {
+                write!(f, "close tag `{close}` does not match open tag `{open}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// One parsed XML event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>`; `self_closing` distinguishes `<x/>`.
+    Open {
+        /// Element name (namespace prefixes kept verbatim).
+        name: String,
+        /// Attributes in document order, values entity-decoded.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag was `<x/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    Close(
+        /// Element name.
+        String,
+    ),
+    /// Character data between tags, entity-decoded, never empty.
+    Text(String),
+}
+
+/// A pull parser over a complete XML document held in memory.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    open_stack: Vec<String>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    #[must_use]
+    pub fn new(input: &'a str) -> Self {
+        Reader {
+            input: input.as_bytes(),
+            pos: 0,
+            open_stack: Vec::new(),
+        }
+    }
+
+    /// Pulls the next event, or `Ok(None)` at clean end of input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`XmlError`] for malformed input, including tag mismatches.
+    pub fn next_event(&mut self) -> Result<Option<Event>, XmlError> {
+        loop {
+            if self.pos >= self.input.len() {
+                return if self.open_stack.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(XmlError::UnexpectedEof)
+                };
+            }
+            if self.input[self.pos] == b'<' {
+                if self.starts_with("<!--") {
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                if self.starts_with("<?") {
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                if self.starts_with("<!") {
+                    // DOCTYPE or similar; skip to the closing '>'.
+                    self.skip_until(">")?;
+                    continue;
+                }
+                if self.starts_with("</") {
+                    return self.parse_close().map(Some);
+                }
+                return self.parse_open().map(Some);
+            }
+            let text = self.take_text()?;
+            if !text.trim().is_empty() {
+                return Ok(Some(Event::Text(text)));
+            }
+        }
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.input[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        let hay = &self.input[self.pos..];
+        match hay
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(XmlError::UnexpectedEof),
+        }
+    }
+
+    fn take_text(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = core::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| XmlError::Syntax {
+                at: start,
+                detail: "text is not valid UTF-8".to_owned(),
+            })?;
+        unescape(raw)
+    }
+
+    fn parse_close(&mut self) -> Result<Event, XmlError> {
+        self.pos += 2; // "</"
+        let name = self.take_name()?;
+        self.skip_ws();
+        self.expect(b'>')?;
+        match self.open_stack.pop() {
+            Some(open) if open == name => Ok(Event::Close(name)),
+            Some(open) => Err(XmlError::MismatchedTag { open, close: name }),
+            None => Err(XmlError::Syntax {
+                at: self.pos,
+                detail: format!("close tag `{name}` with no open element"),
+            }),
+        }
+    }
+
+    fn parse_open(&mut self) -> Result<Event, XmlError> {
+        self.pos += 1; // '<'
+        let name = self.take_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek()? {
+                b'>' => {
+                    self.pos += 1;
+                    self.open_stack.push(name.clone());
+                    return Ok(Event::Open {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                b'/' => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(Event::Open {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                _ => {
+                    let key = self.take_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self.peek()?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(XmlError::Syntax {
+                            at: self.pos,
+                            detail: "attribute value must be quoted".to_owned(),
+                        });
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek()? != quote {
+                        self.pos += 1;
+                    }
+                    let raw = core::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| XmlError::Syntax {
+                            at: start,
+                            detail: "attribute value is not valid UTF-8".to_owned(),
+                        })?;
+                    self.pos += 1; // closing quote
+                    attributes.push((key, unescape(raw)?));
+                }
+            }
+        }
+    }
+
+    fn take_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && is_name_byte(self.input[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Syntax {
+                at: start,
+                detail: "expected a name".to_owned(),
+            });
+        }
+        Ok(core::str::from_utf8(&self.input[start..self.pos])
+            .expect("name bytes are ASCII")
+            .to_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8, XmlError> {
+        self.input.get(self.pos).copied().ok_or(XmlError::UnexpectedEof)
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), XmlError> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(XmlError::Syntax {
+                at: self.pos,
+                detail: format!("expected `{}`", byte as char),
+            })
+        }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+}
+
+/// Replaces the five predefined XML entities in `raw`.
+///
+/// # Errors
+///
+/// [`XmlError::UnknownEntity`] for any other `&name;` reference, and
+/// [`XmlError::UnexpectedEof`] for an unterminated reference.
+pub fn unescape(raw: &str) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i + 1..];
+        let end = rest.find(';').ok_or(XmlError::UnexpectedEof)?;
+        let name = &rest[..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other => {
+                if let Some(hex) = other.strip_prefix("#x") {
+                    let code = u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| XmlError::UnknownEntity(other.to_owned()))?;
+                    out.push(code);
+                } else if let Some(dec) = other.strip_prefix('#') {
+                    let code = dec
+                        .parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| XmlError::UnknownEntity(other.to_owned()))?;
+                    out.push(code);
+                } else {
+                    return Err(XmlError::UnknownEntity(other.to_owned()));
+                }
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Escapes text for use as XML character data or an attribute value.
+#[must_use]
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event> {
+        let mut reader = Reader::new(input);
+        let mut out = Vec::new();
+        while let Some(ev) = reader.next_event().unwrap() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn parses_nested_elements_with_attributes() {
+        let evs = events(r#"<g id="a"><node id="n0" kind="x"/><node id="n1">hi</node></g>"#);
+        assert_eq!(evs.len(), 6);
+        match &evs[0] {
+            Event::Open { name, attributes, self_closing } => {
+                assert_eq!(name, "g");
+                assert_eq!(attributes, &[("id".to_owned(), "a".to_owned())]);
+                assert!(!self_closing);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&evs[1], Event::Open { self_closing: true, .. }));
+        assert_eq!(evs[3], Event::Text("hi".to_owned()));
+    }
+
+    #[test]
+    fn skips_declaration_comments_and_doctype() {
+        let evs = events("<?xml version=\"1.0\"?><!-- c --><!DOCTYPE g><g></g>");
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let evs = events("<a>\n  <b/>\n</a>");
+        assert_eq!(evs.len(), 3);
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attributes() {
+        let evs = events(r#"<a k="&lt;&amp;&gt;">x &quot;y&quot; &#65;&#x42;</a>"#);
+        match &evs[0] {
+            Event::Open { attributes, .. } => assert_eq!(attributes[0].1, "<&>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], Event::Text("x \"y\" AB".to_owned()));
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let mut r = Reader::new("<a>&nbsp;</a>");
+        r.next_event().unwrap();
+        assert_eq!(
+            r.next_event().unwrap_err(),
+            XmlError::UnknownEntity("nbsp".to_owned())
+        );
+    }
+
+    #[test]
+    fn mismatched_close_tag_is_an_error() {
+        let mut r = Reader::new("<a></b>");
+        r.next_event().unwrap();
+        assert!(matches!(
+            r.next_event().unwrap_err(),
+            XmlError::MismatchedTag { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut r = Reader::new("<a><b>");
+        r.next_event().unwrap();
+        r.next_event().unwrap();
+        assert_eq!(r.next_event().unwrap_err(), XmlError::UnexpectedEof);
+    }
+
+    #[test]
+    fn escape_then_unescape_round_trips() {
+        let nasty = "a<b&c>\"d'\u{e9}";
+        assert_eq!(unescape(&escape(nasty)).unwrap(), nasty);
+    }
+
+    #[test]
+    fn single_quoted_attributes_are_accepted() {
+        let evs = events("<a k='v'/>");
+        match &evs[0] {
+            Event::Open { attributes, .. } => assert_eq!(attributes[0].1, "v"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_without_open_is_an_error() {
+        let mut r = Reader::new("</a>");
+        assert!(matches!(r.next_event(), Err(XmlError::Syntax { .. })));
+    }
+}

@@ -1,0 +1,70 @@
+//! Bus addresses and register maps of the SCADA system.
+//!
+//! One place for every unit id and register address, so devices, attack
+//! scenarios, and tests agree on the wire contract.
+
+use cpssec_sim::UnitId;
+
+/// Programming workstation (operator/engineering station).
+pub const WORKSTATION: UnitId = UnitId::new(1);
+/// Safety instrumented system platform.
+pub const SIS: UnitId = UnitId::new(10);
+/// Basic process control system platform (main centrifuge controller).
+pub const BPCS: UnitId = UnitId::new(20);
+/// Precision passive temperature probe.
+pub const TEMP_SENSOR: UnitId = UnitId::new(30);
+/// Variable speed centrifuge drive.
+pub const CENTRIFUGE: UnitId = UnitId::new(40);
+/// Chiller / cooling unit.
+pub const COOLING: UnitId = UnitId::new(50);
+
+/// Temperature sensor registers.
+pub mod temp_sensor {
+    /// Measured temperature, 0.1 °C per count.
+    pub const TEMPERATURE_X10: u16 = 0;
+}
+
+/// Centrifuge drive registers.
+pub mod centrifuge {
+    /// Speed set point in rpm (read/write).
+    pub const SETPOINT_RPM: u16 = 0;
+    /// Measured rotor speed in rpm (read only).
+    pub const SPEED_RPM: u16 = 1;
+    /// Emergency stop latch; writing a nonzero value trips it.
+    pub const ESTOP: u16 = 2;
+}
+
+/// Cooling unit registers.
+pub mod cooling {
+    /// Cooling command in per-mille of full capacity (read/write).
+    pub const COMMAND_PERMILLE: u16 = 0;
+}
+
+/// BPCS registers (served to the workstation).
+pub mod bpcs {
+    /// Operator speed set point in rpm (read/write).
+    pub const OPERATOR_SETPOINT_RPM: u16 = 0;
+    /// Mode: 0 = idle, 1 = run (read/write).
+    pub const MODE: u16 = 1;
+    /// Last temperature reading, 0.1 °C per count (read only).
+    pub const TEMPERATURE_X10: u16 = 2;
+    /// Last rotor speed reading in rpm (read only).
+    pub const SPEED_RPM: u16 = 3;
+}
+
+/// SIS registers.
+pub mod sis {
+    /// Trip latch: 1 once tripped (read only).
+    pub const TRIPPED: u16 = 0;
+    /// Enable flag: writing 0 disables the safety function (the
+    /// Triton-style engineering write).
+    pub const ENABLED: u16 = 1;
+}
+
+/// BPCS mode values.
+pub mod mode {
+    /// Centrifuge idle.
+    pub const IDLE: u16 = 0;
+    /// Separation batch running.
+    pub const RUN: u16 = 1;
+}

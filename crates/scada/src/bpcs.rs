@@ -1,0 +1,272 @@
+//! The BPCS platform: the main centrifuge controller.
+//!
+//! Paper: "*BPCS platform*: the main centrifuge controller interfaced
+//! through MODBUS." Each tick it reads the temperature probe, reads the
+//! rotor speed, runs the thermal PI loop, and commands the centrifuge
+//! drive and the chiller. It serves the operator interface registers the
+//! programming workstation reads and writes.
+
+use cpssec_sim::{BusRequest, BusResponse, Device, ExceptionCode, Outbox, Pid, UnitId};
+
+use crate::addresses::{self, bpcs, centrifuge, cooling, mode, temp_sensor};
+use crate::CentrifugePlant;
+
+/// Target solution temperature during separation, °C (mid-window).
+pub const TARGET_TEMP_C: f64 = 35.0;
+
+/// The main centrifuge controller.
+#[derive(Debug)]
+pub struct Bpcs {
+    operator_setpoint_rpm: u16,
+    mode: u16,
+    last_temp_x10: u16,
+    last_speed_rpm: u16,
+    thermal_pid: Pid,
+    dt: f64,
+}
+
+impl Bpcs {
+    /// Creates the controller in idle mode; `dt` is the kernel step.
+    #[must_use]
+    pub fn new(dt: f64) -> Self {
+        Bpcs {
+            operator_setpoint_rpm: 0,
+            mode: mode::IDLE,
+            last_temp_x10: 0,
+            last_speed_rpm: 0,
+            // Output in [-1, 0]: the negated cooling command (PID pushes
+            // negative when the measurement exceeds the target).
+            thermal_pid: Pid::new(0.3, 0.02, 0.0).with_output_limits(-1.0, 0.0),
+            dt,
+        }
+    }
+
+    /// The last temperature reading, °C.
+    #[must_use]
+    pub fn last_temperature_c(&self) -> f64 {
+        f64::from(self.last_temp_x10) / 10.0
+    }
+
+    /// The last rotor speed reading, rpm.
+    #[must_use]
+    pub fn last_speed_rpm(&self) -> u16 {
+        self.last_speed_rpm
+    }
+
+    /// The current mode register value.
+    #[must_use]
+    pub fn mode(&self) -> u16 {
+        self.mode
+    }
+}
+
+impl Device<CentrifugePlant> for Bpcs {
+    fn unit_id(&self) -> UnitId {
+        addresses::BPCS
+    }
+
+    fn name(&self) -> &str {
+        "bpcs"
+    }
+
+    fn poll(&mut self, _plant: &mut CentrifugePlant, outbox: &mut Outbox) {
+        // Acquire measurements.
+        outbox.send(BusRequest::read(
+            addresses::BPCS,
+            addresses::TEMP_SENSOR,
+            temp_sensor::TEMPERATURE_X10,
+            1,
+        ));
+        outbox.send(BusRequest::read(
+            addresses::BPCS,
+            addresses::CENTRIFUGE,
+            centrifuge::SPEED_RPM,
+            1,
+        ));
+        // Command the drive.
+        let speed_command = if self.mode == mode::RUN {
+            self.operator_setpoint_rpm
+        } else {
+            0
+        };
+        outbox.send(BusRequest::write(
+            addresses::BPCS,
+            addresses::CENTRIFUGE,
+            centrifuge::SETPOINT_RPM,
+            speed_command,
+        ));
+        // Thermal loop: cool when above target.
+        let cooling_fraction = if self.mode == mode::RUN {
+            -self
+                .thermal_pid
+                .update(TARGET_TEMP_C, self.last_temperature_c(), self.dt)
+        } else {
+            0.0
+        };
+        outbox.send(BusRequest::write(
+            addresses::BPCS,
+            addresses::COOLING,
+            cooling::COMMAND_PERMILLE,
+            (cooling_fraction * 1000.0).round() as u16,
+        ));
+    }
+
+    fn handle(&mut self, _plant: &mut CentrifugePlant, request: &BusRequest) -> BusResponse {
+        match (request.function.is_write(), request.address) {
+            (true, bpcs::OPERATOR_SETPOINT_RPM) => {
+                self.operator_setpoint_rpm = request.values[0];
+                BusResponse::ok(request.values.clone())
+            }
+            (true, bpcs::MODE) => {
+                self.mode = request.values[0];
+                if self.mode == mode::IDLE {
+                    self.thermal_pid.reset();
+                }
+                BusResponse::ok(request.values.clone())
+            }
+            (false, bpcs::OPERATOR_SETPOINT_RPM) => {
+                BusResponse::ok(vec![self.operator_setpoint_rpm])
+            }
+            (false, bpcs::MODE) => BusResponse::ok(vec![self.mode]),
+            (false, bpcs::TEMPERATURE_X10) => BusResponse::ok(vec![self.last_temp_x10]),
+            (false, bpcs::SPEED_RPM) => BusResponse::ok(vec![self.last_speed_rpm]),
+            _ => BusResponse::exception(ExceptionCode::IllegalDataAddress),
+        }
+    }
+
+    fn on_response(
+        &mut self,
+        _plant: &mut CentrifugePlant,
+        request: &BusRequest,
+        response: &BusResponse,
+    ) {
+        let Some(values) = response.values() else {
+            return;
+        };
+        if request.dst == addresses::TEMP_SENSOR
+            && request.address == temp_sensor::TEMPERATURE_X10
+        {
+            self.last_temp_x10 = values[0];
+        } else if request.dst == addresses::CENTRIFUGE && request.address == centrifuge::SPEED_RPM
+        {
+            self.last_speed_rpm = values[0];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_write(address: u16, value: u16) -> BusRequest {
+        BusRequest::write(addresses::WORKSTATION, addresses::BPCS, address, value)
+    }
+
+    fn ws_read(address: u16) -> BusRequest {
+        BusRequest::read(addresses::WORKSTATION, addresses::BPCS, address, 1)
+    }
+
+    #[test]
+    fn operator_interface_round_trips() {
+        let mut plant = CentrifugePlant::new();
+        let mut bpcs = Bpcs::new(0.1);
+        bpcs.handle(&mut plant, &ws_write(bpcs::OPERATOR_SETPOINT_RPM, 8000));
+        bpcs.handle(&mut plant, &ws_write(bpcs::MODE, mode::RUN));
+        assert_eq!(
+            bpcs.handle(&mut plant, &ws_read(bpcs::OPERATOR_SETPOINT_RPM))
+                .values()
+                .unwrap()[0],
+            8000
+        );
+        assert_eq!(
+            bpcs.handle(&mut plant, &ws_read(bpcs::MODE)).values().unwrap()[0],
+            mode::RUN
+        );
+    }
+
+    #[test]
+    fn idle_mode_commands_zero_speed_and_no_cooling() {
+        let mut plant = CentrifugePlant::new();
+        let mut bpcs = Bpcs::new(0.1);
+        bpcs.handle(&mut plant, &ws_write(bpcs::OPERATOR_SETPOINT_RPM, 8000));
+        let mut outbox = Outbox::default();
+        bpcs.poll(&mut plant, &mut outbox);
+        let writes: Vec<_> = outbox_requests(&outbox)
+            .iter()
+            .filter(|r| r.function.is_write())
+            .cloned()
+            .collect();
+        let drive = writes.iter().find(|r| r.dst == addresses::CENTRIFUGE).unwrap();
+        assert_eq!(drive.values[0], 0);
+        let chill = writes.iter().find(|r| r.dst == addresses::COOLING).unwrap();
+        assert_eq!(chill.values[0], 0);
+    }
+
+    #[test]
+    fn run_mode_forwards_setpoint() {
+        let mut plant = CentrifugePlant::new();
+        let mut bpcs = Bpcs::new(0.1);
+        bpcs.handle(&mut plant, &ws_write(bpcs::OPERATOR_SETPOINT_RPM, 8000));
+        bpcs.handle(&mut plant, &ws_write(bpcs::MODE, mode::RUN));
+        let mut outbox = Outbox::default();
+        bpcs.poll(&mut plant, &mut outbox);
+        let drive = outbox_requests(&outbox)
+            .iter()
+            .find(|r| r.dst == addresses::CENTRIFUGE && r.function.is_write())
+            .cloned()
+            .unwrap();
+        assert_eq!(drive.values[0], 8000);
+    }
+
+    #[test]
+    fn thermal_loop_cools_when_hot() {
+        let mut plant = CentrifugePlant::new();
+        let mut bpcs = Bpcs::new(0.1);
+        bpcs.handle(&mut plant, &ws_write(bpcs::MODE, mode::RUN));
+        // Simulate a hot reading arriving.
+        let temp_req = BusRequest::read(
+            addresses::BPCS,
+            addresses::TEMP_SENSOR,
+            temp_sensor::TEMPERATURE_X10,
+            1,
+        );
+        bpcs.on_response(&mut plant, &temp_req, &BusResponse::ok(vec![420])); // 42.0 °C
+        let mut outbox = Outbox::default();
+        bpcs.poll(&mut plant, &mut outbox);
+        let chill = outbox_requests(&outbox)
+            .iter()
+            .find(|r| r.dst == addresses::COOLING)
+            .cloned()
+            .unwrap();
+        assert!(chill.values[0] > 0, "cooling command {:?}", chill.values);
+    }
+
+    #[test]
+    fn published_measurements_update_from_responses() {
+        let mut plant = CentrifugePlant::new();
+        let mut bpcs = Bpcs::new(0.1);
+        let speed_req = BusRequest::read(
+            addresses::BPCS,
+            addresses::CENTRIFUGE,
+            centrifuge::SPEED_RPM,
+            1,
+        );
+        bpcs.on_response(&mut plant, &speed_req, &BusResponse::ok(vec![7985]));
+        assert_eq!(bpcs.last_speed_rpm(), 7985);
+        assert_eq!(
+            bpcs.handle(&mut plant, &ws_read(bpcs::SPEED_RPM)).values().unwrap()[0],
+            7985
+        );
+        // Exception responses are ignored.
+        bpcs.on_response(
+            &mut plant,
+            &speed_req,
+            &BusResponse::exception(ExceptionCode::DeviceFailure),
+        );
+        assert_eq!(bpcs.last_speed_rpm(), 7985);
+    }
+
+    fn outbox_requests(outbox: &Outbox) -> Vec<BusRequest> {
+        outbox.requests().to_vec()
+    }
+}

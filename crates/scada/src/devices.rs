@@ -1,0 +1,306 @@
+//! Field devices: temperature probe, centrifuge drive, cooling unit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cpssec_sim::{BusRequest, BusResponse, Device, ExceptionCode, Outbox, Pid, UnitId};
+
+use crate::addresses::{self, centrifuge, cooling, temp_sensor};
+use crate::CentrifugePlant;
+
+/// The precision passive temperature probe (±0.2 °C).
+///
+/// Serves the measured solution temperature at
+/// [`temp_sensor::TEMPERATURE_X10`] in 0.1 °C counts. Measurement noise is
+/// Gaussian-ish (sum of uniforms), seeded, with σ ≈ 0.07 °C so three sigma
+/// stays inside the datasheet ±0.2 °C.
+#[derive(Debug)]
+pub struct TemperatureSensor {
+    rng: StdRng,
+    offset_c: f64,
+}
+
+impl TemperatureSensor {
+    /// Creates the probe with a noise seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TemperatureSensor {
+            rng: StdRng::seed_from_u64(seed),
+            offset_c: 0.0,
+        }
+    }
+
+    /// Applies a calibration offset (fault injection: a miscalibrated or
+    /// drifted probe).
+    #[must_use]
+    pub fn with_offset(mut self, offset_c: f64) -> Self {
+        self.offset_c = offset_c;
+        self
+    }
+
+    fn noise(&mut self) -> f64 {
+        // Irwin–Hall(3) centered: variance 3/12, scaled to σ ≈ 0.07 °C.
+        let sum: f64 = (0..3).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 1.5;
+        sum * 0.14
+    }
+}
+
+impl Device<CentrifugePlant> for TemperatureSensor {
+    fn unit_id(&self) -> UnitId {
+        addresses::TEMP_SENSOR
+    }
+
+    fn name(&self) -> &str {
+        "temperature-sensor"
+    }
+
+    fn poll(&mut self, _plant: &mut CentrifugePlant, _outbox: &mut Outbox) {}
+
+    fn handle(&mut self, plant: &mut CentrifugePlant, request: &BusRequest) -> BusResponse {
+        if request.function.is_write() {
+            return BusResponse::exception(ExceptionCode::IllegalFunction);
+        }
+        if request.address != temp_sensor::TEMPERATURE_X10 {
+            return BusResponse::exception(ExceptionCode::IllegalDataAddress);
+        }
+        let measured = plant.temperature_c() + self.offset_c + self.noise();
+        let counts = (measured * 10.0).round().clamp(0.0, f64::from(u16::MAX));
+        BusResponse::ok(vec![counts as u16])
+    }
+}
+
+/// The variable speed centrifuge drive with its local speed loop.
+///
+/// Accepts a set point at [`centrifuge::SETPOINT_RPM`], serves the measured
+/// speed at [`centrifuge::SPEED_RPM`], and latches the plant emergency stop
+/// on a write to [`centrifuge::ESTOP`]. The internal PI loop regulates to
+/// within ±1 rpm of the set point (the paper's drive spec).
+#[derive(Debug)]
+pub struct CentrifugeDrive {
+    setpoint_rpm: f64,
+    pid: Pid,
+    dt: f64,
+}
+
+impl CentrifugeDrive {
+    /// Creates the drive; `dt` is the kernel step in seconds.
+    #[must_use]
+    pub fn new(dt: f64) -> Self {
+        CentrifugeDrive {
+            setpoint_rpm: 0.0,
+            pid: Pid::new(0.0004, 0.0007, 0.0).with_output_limits(0.0, 1.0),
+            dt,
+        }
+    }
+
+    /// The currently commanded set point.
+    #[must_use]
+    pub fn setpoint_rpm(&self) -> f64 {
+        self.setpoint_rpm
+    }
+}
+
+impl Device<CentrifugePlant> for CentrifugeDrive {
+    fn unit_id(&self) -> UnitId {
+        addresses::CENTRIFUGE
+    }
+
+    fn name(&self) -> &str {
+        "centrifuge-drive"
+    }
+
+    fn poll(&mut self, plant: &mut CentrifugePlant, _outbox: &mut Outbox) {
+        let drive = self.pid.update(self.setpoint_rpm, plant.speed_rpm(), self.dt);
+        plant.set_drive(drive);
+    }
+
+    fn handle(&mut self, plant: &mut CentrifugePlant, request: &BusRequest) -> BusResponse {
+        match (request.function.is_write(), request.address) {
+            (true, centrifuge::SETPOINT_RPM) => {
+                self.setpoint_rpm = f64::from(request.values[0]);
+                BusResponse::ok(request.values.clone())
+            }
+            (true, centrifuge::ESTOP) => {
+                if request.values[0] != 0 {
+                    plant.emergency_stop();
+                    self.setpoint_rpm = 0.0;
+                    self.pid.reset();
+                }
+                BusResponse::ok(request.values.clone())
+            }
+            (false, centrifuge::SETPOINT_RPM) => {
+                BusResponse::ok(vec![self.setpoint_rpm.round() as u16])
+            }
+            (false, centrifuge::SPEED_RPM) => {
+                BusResponse::ok(vec![plant.speed_rpm().round().clamp(0.0, 65535.0) as u16])
+            }
+            _ => BusResponse::exception(ExceptionCode::IllegalDataAddress),
+        }
+    }
+}
+
+/// The chiller: applies the commanded cooling fraction to the plant.
+#[derive(Debug, Default)]
+pub struct CoolingUnit {
+    command_permille: u16,
+}
+
+impl CoolingUnit {
+    /// Creates the unit with the chiller off.
+    #[must_use]
+    pub fn new() -> Self {
+        CoolingUnit::default()
+    }
+}
+
+impl Device<CentrifugePlant> for CoolingUnit {
+    fn unit_id(&self) -> UnitId {
+        addresses::COOLING
+    }
+
+    fn name(&self) -> &str {
+        "cooling-unit"
+    }
+
+    fn poll(&mut self, plant: &mut CentrifugePlant, _outbox: &mut Outbox) {
+        plant.set_cooling(f64::from(self.command_permille) / 1000.0);
+    }
+
+    fn handle(&mut self, _plant: &mut CentrifugePlant, request: &BusRequest) -> BusResponse {
+        match (request.function.is_write(), request.address) {
+            (true, cooling::COMMAND_PERMILLE) => {
+                self.command_permille = request.values[0].min(1000);
+                BusResponse::ok(request.values.clone())
+            }
+            (false, cooling::COMMAND_PERMILLE) => BusResponse::ok(vec![self.command_permille]),
+            _ => BusResponse::exception(ExceptionCode::IllegalDataAddress),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpssec_sim::{Plant, Simulation};
+
+    #[test]
+    fn sensor_noise_stays_within_datasheet() {
+        let mut sensor = TemperatureSensor::new(1);
+        let mut plant = CentrifugePlant::new(); // 22.0 °C
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..1000 {
+            let req = BusRequest::read(addresses::BPCS, addresses::TEMP_SENSOR, 0, 1);
+            let resp = sensor.handle(&mut plant, &req);
+            let value = f64::from(resp.values().unwrap()[0]) / 10.0;
+            min = min.min(value);
+            max = max.max(value);
+        }
+        assert!(min >= 21.7, "min {min}");
+        assert!(max <= 22.3, "max {max}");
+    }
+
+    #[test]
+    fn sensor_rejects_writes_and_bad_addresses() {
+        let mut sensor = TemperatureSensor::new(1);
+        let mut plant = CentrifugePlant::new();
+        let write = BusRequest::write(addresses::BPCS, addresses::TEMP_SENSOR, 0, 1);
+        assert!(!sensor.handle(&mut plant, &write).is_ok());
+        let bad = BusRequest::read(addresses::BPCS, addresses::TEMP_SENSOR, 9, 1);
+        assert!(!sensor.handle(&mut plant, &bad).is_ok());
+    }
+
+    #[test]
+    fn sensor_offset_shifts_reading() {
+        let mut sensor = TemperatureSensor::new(1).with_offset(5.0);
+        let mut plant = CentrifugePlant::new();
+        let req = BusRequest::read(addresses::BPCS, addresses::TEMP_SENSOR, 0, 1);
+        let value = f64::from(sensor.handle(&mut plant, &req).values().unwrap()[0]) / 10.0;
+        assert!((value - 27.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn drive_regulates_within_one_rpm() {
+        let dt = 0.1;
+        let mut sim = Simulation::new(CentrifugePlant::new(), dt);
+        let mut drive = CentrifugeDrive::new(dt);
+        let req = BusRequest::write(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 8000);
+        drive.handle(sim.plant_mut(), &req);
+        sim.add_device(drive);
+        sim.run(3000); // 300 s
+        assert!(
+            (sim.plant().speed_rpm() - 8000.0).abs() < 1.0,
+            "speed {}",
+            sim.plant().speed_rpm()
+        );
+    }
+
+    #[test]
+    fn drive_estop_stops_and_clears_setpoint() {
+        let dt = 0.1;
+        let mut plant = CentrifugePlant::new();
+        let mut drive = CentrifugeDrive::new(dt);
+        drive.handle(
+            &mut plant,
+            &BusRequest::write(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 8000),
+        );
+        for _ in 0..600 {
+            let mut outbox = cpssec_sim::Outbox::default();
+            drive.poll(&mut plant, &mut outbox);
+            plant.integrate(dt);
+        }
+        assert!(plant.speed_rpm() > 5000.0);
+        drive.handle(
+            &mut plant,
+            &BusRequest::write(addresses::SIS, addresses::CENTRIFUGE, centrifuge::ESTOP, 1),
+        );
+        assert!(plant.is_stopped());
+        assert_eq!(drive.setpoint_rpm(), 0.0);
+        for _ in 0..1200 {
+            let mut outbox = cpssec_sim::Outbox::default();
+            drive.poll(&mut plant, &mut outbox);
+            plant.integrate(dt);
+        }
+        assert!(plant.speed_rpm() < 100.0);
+    }
+
+    #[test]
+    fn drive_serves_speed_and_setpoint() {
+        let mut plant = CentrifugePlant::new();
+        let mut drive = CentrifugeDrive::new(0.1);
+        drive.handle(
+            &mut plant,
+            &BusRequest::write(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 4321),
+        );
+        let sp = drive.handle(
+            &mut plant,
+            &BusRequest::read(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 1),
+        );
+        assert_eq!(sp.values().unwrap()[0], 4321);
+        let speed = drive.handle(
+            &mut plant,
+            &BusRequest::read(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SPEED_RPM, 1),
+        );
+        assert_eq!(speed.values().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn cooling_unit_applies_command_each_poll() {
+        let mut plant = CentrifugePlant::new();
+        let mut unit = CoolingUnit::new();
+        unit.handle(
+            &mut plant,
+            &BusRequest::write(addresses::BPCS, addresses::COOLING, cooling::COMMAND_PERMILLE, 400),
+        );
+        let mut outbox = cpssec_sim::Outbox::default();
+        unit.poll(&mut plant, &mut outbox);
+        assert!((plant.cooling() - 0.4).abs() < 1e-9);
+        // Commands above 1000 are clamped.
+        unit.handle(
+            &mut plant,
+            &BusRequest::write(addresses::BPCS, addresses::COOLING, cooling::COMMAND_PERMILLE, 5000),
+        );
+        unit.poll(&mut plant, &mut outbox);
+        assert!((plant.cooling() - 1.0).abs() < 1e-9);
+    }
+}

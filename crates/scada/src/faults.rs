@@ -1,0 +1,278 @@
+//! Intrinsic safety faults — no adversary required.
+//!
+//! The paper's framing: "undesired physical consequences are the primary
+//! loss we mitigate against regardless of the nature of its origin
+//! (intrinsic safety fault or attack)". This module provides fault
+//! counterparts to the attack scenarios in [`crate::attacks`]: a stuck or
+//! drifting temperature probe, and a degraded chiller. Running them through
+//! the same harness shows the same hazardous plant states arising without
+//! any adversary — which is exactly why the paper wants safety and
+//! security analyzed in one framework.
+
+use cpssec_sim::{BusRequest, BusResponse, Injector, Tick, UnitId};
+
+use crate::addresses::{self, temp_sensor};
+
+/// One intrinsic fault.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultMode {
+    /// The temperature probe freezes at a fixed reading.
+    StuckTemperatureProbe {
+        /// The frozen reading, in 0.1 °C counts.
+        value_x10: u16,
+        /// When the probe sticks.
+        from: Tick,
+    },
+    /// The probe's calibration drifts linearly (readings fall behind the
+    /// real temperature).
+    DriftingTemperatureProbe {
+        /// Drift rate in 0.1 °C counts per tick (negative reads low).
+        rate_x10_per_tick: f64,
+        /// When the drift starts.
+        from: Tick,
+    },
+    /// The chiller's physical effectiveness drops.
+    ChillerDegradation {
+        /// Remaining effectiveness in `[0, 1]`.
+        efficiency: f64,
+        /// When the degradation occurs.
+        from: Tick,
+    },
+}
+
+/// A named fault scenario, mirroring [`crate::AttackScenario`] minus the
+/// adversary metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Short stable identifier.
+    pub name: String,
+    /// Prose description of the failure story.
+    pub description: String,
+    /// The faults to inject.
+    pub faults: Vec<FaultMode>,
+}
+
+/// A probe stuck at an in-window reading — physically indistinguishable,
+/// to every controller, from the sensor-spoof *attack*.
+#[must_use]
+pub fn stuck_temperature_probe(from: Tick) -> FaultScenario {
+    FaultScenario {
+        name: "stuck-temperature-probe".into(),
+        description: "the probe freezes at 35.0 °C; the thermal loop and the SIS both act \
+                      on the frozen value while the real temperature runs away"
+            .into(),
+        faults: vec![FaultMode::StuckTemperatureProbe {
+            value_x10: 350,
+            from,
+        }],
+    }
+}
+
+/// A slowly drifting probe: readings fall behind reality.
+#[must_use]
+pub fn drifting_temperature_probe(from: Tick, rate_x10_per_tick: f64) -> FaultScenario {
+    FaultScenario {
+        name: "drifting-temperature-probe".into(),
+        description: "the probe's calibration drifts low; the thermal loop under-cools \
+                      late, the SIS margin erodes"
+            .into(),
+        faults: vec![FaultMode::DriftingTemperatureProbe {
+            rate_x10_per_tick,
+            from,
+        }],
+    }
+}
+
+/// A chiller that loses most of its capacity — the fault twin of the
+/// cooling denial-of-service attack.
+#[must_use]
+pub fn chiller_degradation(from: Tick, efficiency: f64) -> FaultScenario {
+    FaultScenario {
+        name: "chiller-degradation".into(),
+        description: "the chiller loses capacity; commands are delivered but the physics \
+                      no longer follows"
+            .into(),
+        faults: vec![FaultMode::ChillerDegradation { efficiency, from }],
+    }
+}
+
+/// Every built-in fault scenario at its default timing.
+#[must_use]
+pub fn all_fault_scenarios() -> Vec<FaultScenario> {
+    vec![
+        stuck_temperature_probe(Tick::new(100)),
+        drifting_temperature_probe(Tick::new(500), -0.05),
+        chiller_degradation(Tick::new(500), 0.05),
+    ]
+}
+
+/// Bus-level image of a stuck/drifting probe: rewrites temperature read
+/// responses exactly like a spoofing adversary would — the physics of a
+/// broken sensor and of a spoofed one are the same, which is the point.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SensorFaultInjector {
+    name: String,
+    dst: UnitId,
+    address: u16,
+    from: Tick,
+    stuck_value: Option<u16>,
+    drift_rate: f64,
+}
+
+impl SensorFaultInjector {
+    pub(crate) fn stuck(value_x10: u16, from: Tick) -> Self {
+        SensorFaultInjector {
+            name: "fault:stuck-probe".into(),
+            dst: addresses::TEMP_SENSOR,
+            address: temp_sensor::TEMPERATURE_X10,
+            from,
+            stuck_value: Some(value_x10),
+            drift_rate: 0.0,
+        }
+    }
+
+    pub(crate) fn drifting(rate_x10_per_tick: f64, from: Tick) -> Self {
+        SensorFaultInjector {
+            name: "fault:drifting-probe".into(),
+            dst: addresses::TEMP_SENSOR,
+            address: temp_sensor::TEMPERATURE_X10,
+            from,
+            stuck_value: None,
+            drift_rate: rate_x10_per_tick,
+        }
+    }
+}
+
+impl Injector for SensorFaultInjector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn intercept_response(&mut self, now: Tick, request: &BusRequest, response: &mut BusResponse) {
+        if now < self.from
+            || request.dst != self.dst
+            || request.function.is_write()
+            || request.address != self.address
+        {
+            return;
+        }
+        if let BusResponse::Ok(values) = response {
+            for value in values.iter_mut() {
+                if let Some(stuck) = self.stuck_value {
+                    *value = stuck;
+                } else {
+                    let elapsed = (now - self.from) as f64;
+                    let offset = self.drift_rate * elapsed;
+                    let drifted = (f64::from(*value) + offset).clamp(0.0, f64::from(u16::MAX));
+                    *value = drifted as u16;
+                }
+            }
+        }
+    }
+}
+
+/// Applies scheduled plant-level faults (equipment degradation) at their
+/// tick. Registered as a bus-silent device so it shares the kernel's
+/// deterministic scheduling.
+#[derive(Debug)]
+pub(crate) struct FaultScheduler {
+    chiller_events: Vec<(Tick, f64)>,
+    now: Tick,
+}
+
+impl FaultScheduler {
+    pub(crate) fn new(chiller_events: Vec<(Tick, f64)>) -> Self {
+        FaultScheduler {
+            chiller_events,
+            now: Tick::ZERO,
+        }
+    }
+}
+
+impl cpssec_sim::Device<crate::CentrifugePlant> for FaultScheduler {
+    fn unit_id(&self) -> UnitId {
+        UnitId::new(250)
+    }
+
+    fn name(&self) -> &str {
+        "fault-scheduler"
+    }
+
+    fn poll(&mut self, plant: &mut crate::CentrifugePlant, _outbox: &mut cpssec_sim::Outbox) {
+        self.now = self.now.next();
+        for (at, efficiency) in &self.chiller_events {
+            if *at == self.now {
+                plant.set_chiller_efficiency(*efficiency);
+            }
+        }
+    }
+
+    fn handle(
+        &mut self,
+        _plant: &mut crate::CentrifugePlant,
+        _request: &BusRequest,
+    ) -> BusResponse {
+        BusResponse::exception(cpssec_sim::ExceptionCode::IllegalFunction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProductQuality, ScadaConfig, ScadaHarness};
+
+    fn run(fault: &FaultScenario, ticks: u64) -> crate::BatchReport {
+        let mut harness = ScadaHarness::with_fault(ScadaConfig::default(), fault);
+        harness.run_batch_for(ticks)
+    }
+
+    #[test]
+    fn stuck_probe_ends_like_the_spoof_attack() {
+        let fault = run(&stuck_temperature_probe(Tick::new(100)), 12_000);
+        let mut spoofed = ScadaHarness::with_attack(
+            ScadaConfig::default(),
+            &crate::attacks::sensor_spoof(Tick::new(100)),
+        );
+        let attack = spoofed.run_batch_for(12_000);
+        // Identical consequence: the plant cannot tell fault from attack.
+        assert_eq!(fault.product, attack.product);
+        assert_eq!(fault.exploded, attack.exploded);
+        let fault_hazards: Vec<&str> = fault.hazards.iter().map(|h| h.hazard.as_str()).collect();
+        let attack_hazards: Vec<&str> = attack.hazards.iter().map(|h| h.hazard.as_str()).collect();
+        assert_eq!(fault_hazards, attack_hazards);
+    }
+
+    #[test]
+    fn chiller_degradation_is_caught_by_the_sis() {
+        let report = run(&chiller_degradation(Tick::new(500), 0.05), 12_000);
+        assert!(report.emergency_stopped, "{report:?}");
+        assert!(!report.exploded);
+        assert_ne!(report.product, ProductQuality::Nominal);
+    }
+
+    #[test]
+    fn drifting_probe_erodes_the_window() {
+        // Readings drift low, so the loop under-cools and the real
+        // temperature leaves the window high.
+        let report = run(&drifting_temperature_probe(Tick::new(500), -0.05), 12_000);
+        assert_ne!(report.product, ProductQuality::Nominal, "{report:?}");
+        assert!(report.window_max_temperature_c > 40.0 || report.emergency_stopped);
+    }
+
+    #[test]
+    fn mild_degradation_is_absorbed_by_the_loop() {
+        // 80% remaining capacity: the thermal PI simply commands more.
+        let report = run(&chiller_degradation(Tick::new(500), 0.8), 4_010);
+        assert_eq!(report.product, ProductQuality::Nominal, "{report:?}");
+        assert!(!report.emergency_stopped);
+    }
+
+    #[test]
+    fn fault_scenarios_all_have_names_and_faults() {
+        for scenario in all_fault_scenarios() {
+            assert!(!scenario.name.is_empty());
+            assert!(!scenario.faults.is_empty());
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Centrifuge plant physics.
+//!
+//! A two-state lumped model calibrated to the paper's envelope:
+//!
+//! * **rotor speed** ω (rpm): first-order lag toward the drive command,
+//!   `dω/dt = (u · ω_drive_max − ω) / τ_rotor`, with `ω_drive_max` slightly
+//!   above the rated 10,000 rpm so the rated point is reachable;
+//! * **solution temperature** T (°C): frictional heating growing with ω²,
+//!   chiller cooling proportional to the command and the temperature lift,
+//!   and slow ambient coupling:
+//!   `dT/dt = q_fric (ω/ω_ref)² − q_cool u_cool (T − T_chill)/ΔT_ref +
+//!   (T_amb − T)/τ_amb`.
+//!
+//! Above [`CentrifugePlant::EXPLOSION_TEMP`] the solution becomes unstable
+//! and the plant latches `exploded` — the paper's "explosion/fire" outcome.
+//! An emergency-stop latch forces the drive to zero and the chiller to full.
+
+use cpssec_sim::Plant;
+
+/// The physical centrifuge and solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentrifugePlant {
+    speed_rpm: f64,
+    temperature_c: f64,
+    drive: f64,
+    cooling: f64,
+    chiller_efficiency: f64,
+    estop: bool,
+    exploded: bool,
+}
+
+impl CentrifugePlant {
+    /// Rated maximum rotor speed (paper: "maximal rotational speed of
+    /// 10,000 rpm").
+    pub const MAX_RPM: f64 = 10_000.0;
+    /// Speed the drive reaches at full command (headroom above rated).
+    pub const DRIVE_MAX_RPM: f64 = 10_400.0;
+    /// Rotor time constant in seconds.
+    pub const ROTOR_TAU_S: f64 = 4.0;
+    /// Ambient temperature in °C.
+    pub const AMBIENT_C: f64 = 22.0;
+    /// Chiller coolant temperature in °C.
+    pub const CHILL_C: f64 = 5.0;
+    /// Lower edge of the productive separation window in °C (below:
+    /// "the separation will not be productive and the result is a viscous
+    /// product").
+    pub const WINDOW_LOW_C: f64 = 30.0;
+    /// Upper edge of the productive separation window in °C.
+    pub const WINDOW_HIGH_C: f64 = 40.0;
+    /// Temperature at which the solution composition becomes unstable.
+    pub const EXPLOSION_TEMP: f64 = 60.0;
+    /// Frictional heating at rated speed, °C/s.
+    const FRICTION_HEAT: f64 = 0.15;
+    /// Full-command cooling rate at reference lift, °C/s.
+    const COOLING_RATE: f64 = 0.5;
+    /// Reference temperature lift for the cooling term, °C.
+    const COOLING_REF_LIFT: f64 = 30.0;
+    /// Ambient coupling time constant, seconds.
+    const AMBIENT_TAU_S: f64 = 600.0;
+
+    /// A cold, idle plant at ambient temperature.
+    #[must_use]
+    pub fn new() -> Self {
+        CentrifugePlant {
+            speed_rpm: 0.0,
+            temperature_c: Self::AMBIENT_C,
+            drive: 0.0,
+            cooling: 0.0,
+            chiller_efficiency: 1.0,
+            estop: false,
+            exploded: false,
+        }
+    }
+
+    /// Current rotor speed in rpm.
+    #[must_use]
+    pub fn speed_rpm(&self) -> f64 {
+        self.speed_rpm
+    }
+
+    /// Current solution temperature in °C.
+    #[must_use]
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Current drive command in `[0, 1]`.
+    #[must_use]
+    pub fn drive(&self) -> f64 {
+        self.drive
+    }
+
+    /// Current cooling command in `[0, 1]`.
+    #[must_use]
+    pub fn cooling(&self) -> f64 {
+        self.cooling
+    }
+
+    /// Sets the drive command (clamped to `[0, 1]`; ignored after an
+    /// emergency stop).
+    pub fn set_drive(&mut self, drive: f64) {
+        if !self.estop {
+            self.drive = drive.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Sets the cooling command (clamped to `[0, 1]`; ignored after an
+    /// emergency stop, which forces full cooling).
+    pub fn set_cooling(&mut self, cooling: f64) {
+        if !self.estop {
+            self.cooling = cooling.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Degrades (or restores) the chiller's physical effectiveness — an
+    /// intrinsic equipment fault, independent of any command. `1.0` is
+    /// healthy, `0.0` is a complete failure. Clamped to `[0, 1]`.
+    pub fn set_chiller_efficiency(&mut self, efficiency: f64) {
+        self.chiller_efficiency = efficiency.clamp(0.0, 1.0);
+    }
+
+    /// The chiller's current physical effectiveness.
+    #[must_use]
+    pub fn chiller_efficiency(&self) -> f64 {
+        self.chiller_efficiency
+    }
+
+    /// Trips the emergency stop: drive to zero, chiller to full, latched.
+    pub fn emergency_stop(&mut self) {
+        self.estop = true;
+        self.drive = 0.0;
+        self.cooling = 1.0;
+    }
+
+    /// Whether the emergency stop has been tripped.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.estop
+    }
+
+    /// Whether the solution went unstable (latched).
+    #[must_use]
+    pub fn has_exploded(&self) -> bool {
+        self.exploded
+    }
+
+    /// Whether the temperature is inside the productive separation window.
+    #[must_use]
+    pub fn in_temperature_window(&self) -> bool {
+        (Self::WINDOW_LOW_C..=Self::WINDOW_HIGH_C).contains(&self.temperature_c)
+    }
+}
+
+impl Default for CentrifugePlant {
+    fn default() -> Self {
+        CentrifugePlant::new()
+    }
+}
+
+impl Plant for CentrifugePlant {
+    fn integrate(&mut self, dt: f64) {
+        // Rotor.
+        let target = self.drive * Self::DRIVE_MAX_RPM;
+        self.speed_rpm += (target - self.speed_rpm) / Self::ROTOR_TAU_S * dt;
+        if self.speed_rpm < 0.0 {
+            self.speed_rpm = 0.0;
+        }
+        // Temperature.
+        let ratio = self.speed_rpm / Self::MAX_RPM;
+        let heating = Self::FRICTION_HEAT * ratio * ratio;
+        let cooling = Self::COOLING_RATE
+            * self.cooling
+            * self.chiller_efficiency
+            * ((self.temperature_c - Self::CHILL_C) / Self::COOLING_REF_LIFT).max(0.0);
+        let ambient = (Self::AMBIENT_C - self.temperature_c) / Self::AMBIENT_TAU_S;
+        self.temperature_c += (heating - cooling + ambient) * dt;
+        if self.temperature_c >= Self::EXPLOSION_TEMP {
+            self.exploded = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(plant: &mut CentrifugePlant, seconds: f64) {
+        let dt = 0.1;
+        let steps = (seconds / dt) as usize;
+        for _ in 0..steps {
+            plant.integrate(dt);
+        }
+    }
+
+    #[test]
+    fn idle_plant_stays_at_ambient() {
+        let mut p = CentrifugePlant::new();
+        run(&mut p, 300.0);
+        assert!((p.temperature_c() - CentrifugePlant::AMBIENT_C).abs() < 0.1);
+        assert_eq!(p.speed_rpm(), 0.0);
+    }
+
+    #[test]
+    fn full_drive_approaches_drive_max() {
+        let mut p = CentrifugePlant::new();
+        p.set_drive(1.0);
+        run(&mut p, 60.0);
+        assert!((p.speed_rpm() - CentrifugePlant::DRIVE_MAX_RPM).abs() < 10.0);
+    }
+
+    #[test]
+    fn spinning_without_cooling_heats_past_the_window() {
+        let mut p = CentrifugePlant::new();
+        p.set_drive(0.77); // ~8000 rpm
+        run(&mut p, 400.0);
+        assert!(p.temperature_c() > CentrifugePlant::WINDOW_HIGH_C);
+    }
+
+    #[test]
+    fn sustained_uncooled_spin_explodes() {
+        let mut p = CentrifugePlant::new();
+        p.set_drive(1.0);
+        run(&mut p, 900.0);
+        assert!(p.has_exploded());
+        // The latch survives cooling down.
+        p.set_drive(0.0);
+        p.set_cooling(1.0);
+        run(&mut p, 300.0);
+        assert!(p.has_exploded());
+    }
+
+    #[test]
+    fn cooling_counteracts_heating() {
+        let mut p = CentrifugePlant::new();
+        p.set_drive(0.77);
+        p.set_cooling(0.5);
+        run(&mut p, 600.0);
+        assert!(
+            p.temperature_c() < CentrifugePlant::WINDOW_LOW_C,
+            "temp {}",
+            p.temperature_c()
+        );
+        assert!(!p.has_exploded());
+    }
+
+    #[test]
+    fn emergency_stop_latches_and_blocks_commands() {
+        let mut p = CentrifugePlant::new();
+        p.set_drive(1.0);
+        run(&mut p, 30.0);
+        p.emergency_stop();
+        assert!(p.is_stopped());
+        assert_eq!(p.drive(), 0.0);
+        assert_eq!(p.cooling(), 1.0);
+        // Commands after the stop are ignored.
+        p.set_drive(1.0);
+        p.set_cooling(0.0);
+        assert_eq!(p.drive(), 0.0);
+        assert_eq!(p.cooling(), 1.0);
+        run(&mut p, 60.0);
+        assert!(p.speed_rpm() < 100.0);
+    }
+
+    #[test]
+    fn commands_are_clamped() {
+        let mut p = CentrifugePlant::new();
+        p.set_drive(7.0);
+        assert_eq!(p.drive(), 1.0);
+        p.set_cooling(-3.0);
+        assert_eq!(p.cooling(), 0.0);
+    }
+
+    #[test]
+    fn window_predicate_matches_constants() {
+        let mut p = CentrifugePlant::new();
+        assert!(!p.in_temperature_window()); // ambient 22 < 30
+        p.temperature_c = 35.0;
+        assert!(p.in_temperature_window());
+        p.temperature_c = 40.5;
+        assert!(!p.in_temperature_window());
+    }
+
+    #[test]
+    fn integration_is_deterministic() {
+        let run_once = || {
+            let mut p = CentrifugePlant::new();
+            p.set_drive(0.8);
+            p.set_cooling(0.2);
+            run(&mut p, 120.0);
+            (p.speed_rpm().to_bits(), p.temperature_c().to_bits())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

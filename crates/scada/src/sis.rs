@@ -1,0 +1,247 @@
+//! The SIS platform: the redundant safety monitor.
+//!
+//! Paper: "*SIS platform*: a redundant safety monitor for the centrifuge
+//! controller, for example, temperature is too high for commanded mode or
+//! speed is too high." The SIS independently reads the temperature probe
+//! and the rotor speed and, on a violation, trips the emergency stop and
+//! commands full cooling. The trip is latched.
+//!
+//! Its [`sis::ENABLED`](crate::addresses::sis::ENABLED) register is
+//! writable — the engineering path Triton-style attacks abuse to disable a
+//! safety function before causing the process excursion.
+
+use cpssec_sim::{BusRequest, BusResponse, Device, ExceptionCode, Outbox, UnitId};
+
+use crate::addresses::{self, centrifuge, cooling, sis, temp_sensor};
+use crate::CentrifugePlant;
+
+/// Temperature above which the SIS trips, °C.
+pub const TRIP_TEMP_C: f64 = 45.0;
+/// Rotor speed above which the SIS trips, rpm.
+pub const TRIP_SPEED_RPM: f64 = 10_050.0;
+
+/// The safety instrumented system.
+#[derive(Debug)]
+pub struct Sis {
+    enabled: bool,
+    tripped: bool,
+    last_temp_x10: u16,
+    last_speed_rpm: u16,
+}
+
+impl Sis {
+    /// Creates an armed, untripped SIS.
+    #[must_use]
+    pub fn new() -> Self {
+        Sis {
+            enabled: true,
+            tripped: false,
+            last_temp_x10: 0,
+            last_speed_rpm: 0,
+        }
+    }
+
+    /// Whether the safety function is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether the SIS has tripped.
+    #[must_use]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+impl Default for Sis {
+    fn default() -> Self {
+        Sis::new()
+    }
+}
+
+impl Device<CentrifugePlant> for Sis {
+    fn unit_id(&self) -> UnitId {
+        addresses::SIS
+    }
+
+    fn name(&self) -> &str {
+        "sis"
+    }
+
+    fn poll(&mut self, _plant: &mut CentrifugePlant, outbox: &mut Outbox) {
+        if !self.enabled || self.tripped {
+            return;
+        }
+        // Independent measurement acquisition.
+        outbox.send(BusRequest::read(
+            addresses::SIS,
+            addresses::TEMP_SENSOR,
+            temp_sensor::TEMPERATURE_X10,
+            1,
+        ));
+        outbox.send(BusRequest::read(
+            addresses::SIS,
+            addresses::CENTRIFUGE,
+            centrifuge::SPEED_RPM,
+            1,
+        ));
+        // Trip evaluation on last readings.
+        let temp = f64::from(self.last_temp_x10) / 10.0;
+        let speed = f64::from(self.last_speed_rpm);
+        if temp > TRIP_TEMP_C || speed > TRIP_SPEED_RPM {
+            self.tripped = true;
+            outbox.send(BusRequest::write(
+                addresses::SIS,
+                addresses::CENTRIFUGE,
+                centrifuge::ESTOP,
+                1,
+            ));
+            outbox.send(BusRequest::write(
+                addresses::SIS,
+                addresses::COOLING,
+                cooling::COMMAND_PERMILLE,
+                1000,
+            ));
+        }
+    }
+
+    fn handle(&mut self, _plant: &mut CentrifugePlant, request: &BusRequest) -> BusResponse {
+        match (request.function.is_write(), request.address) {
+            (true, sis::ENABLED) => {
+                self.enabled = request.values[0] != 0;
+                BusResponse::ok(request.values.clone())
+            }
+            (false, sis::ENABLED) => BusResponse::ok(vec![u16::from(self.enabled)]),
+            (false, sis::TRIPPED) => BusResponse::ok(vec![u16::from(self.tripped)]),
+            (true, sis::TRIPPED) => BusResponse::exception(ExceptionCode::IllegalDataValue),
+            _ => BusResponse::exception(ExceptionCode::IllegalDataAddress),
+        }
+    }
+
+    fn on_response(
+        &mut self,
+        _plant: &mut CentrifugePlant,
+        request: &BusRequest,
+        response: &BusResponse,
+    ) {
+        let Some(values) = response.values() else {
+            return;
+        };
+        if request.dst == addresses::TEMP_SENSOR {
+            self.last_temp_x10 = values[0];
+        } else if request.dst == addresses::CENTRIFUGE && request.address == centrifuge::SPEED_RPM
+        {
+            self.last_speed_rpm = values[0];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_temp(sis: &mut Sis, plant: &mut CentrifugePlant, temp_x10: u16) {
+        let req = BusRequest::read(
+            addresses::SIS,
+            addresses::TEMP_SENSOR,
+            temp_sensor::TEMPERATURE_X10,
+            1,
+        );
+        sis.on_response(plant, &req, &BusResponse::ok(vec![temp_x10]));
+    }
+
+    #[test]
+    fn trips_on_overtemperature() {
+        let mut plant = CentrifugePlant::new();
+        let mut sis = Sis::new();
+        feed_temp(&mut sis, &mut plant, 460); // 46.0 °C
+        let mut outbox = Outbox::default();
+        sis.poll(&mut plant, &mut outbox);
+        assert!(sis.is_tripped());
+        let writes: Vec<_> = outbox
+            .requests()
+            .iter()
+            .filter(|r| r.function.is_write())
+            .collect();
+        assert!(writes.iter().any(|r| r.dst == addresses::CENTRIFUGE && r.address == centrifuge::ESTOP));
+        assert!(writes.iter().any(|r| r.dst == addresses::COOLING && r.values[0] == 1000));
+    }
+
+    #[test]
+    fn trips_on_overspeed() {
+        let mut plant = CentrifugePlant::new();
+        let mut sis = Sis::new();
+        let req = BusRequest::read(
+            addresses::SIS,
+            addresses::CENTRIFUGE,
+            centrifuge::SPEED_RPM,
+            1,
+        );
+        sis.on_response(&mut plant, &req, &BusResponse::ok(vec![10_100]));
+        let mut outbox = Outbox::default();
+        sis.poll(&mut plant, &mut outbox);
+        assert!(sis.is_tripped());
+    }
+
+    #[test]
+    fn nominal_readings_do_not_trip() {
+        let mut plant = CentrifugePlant::new();
+        let mut sis = Sis::new();
+        feed_temp(&mut sis, &mut plant, 350);
+        let mut outbox = Outbox::default();
+        sis.poll(&mut plant, &mut outbox);
+        assert!(!sis.is_tripped());
+        // It keeps polling its sensors.
+        assert_eq!(outbox.len(), 2);
+    }
+
+    #[test]
+    fn disabled_sis_ignores_violations() {
+        let mut plant = CentrifugePlant::new();
+        let mut sis = Sis::new();
+        // The Triton move: engineering write flips the enable register.
+        sis.handle(
+            &mut plant,
+            &BusRequest::write(addresses::WORKSTATION, addresses::SIS, sis::ENABLED, 0),
+        );
+        assert!(!sis.is_enabled());
+        feed_temp(&mut sis, &mut plant, 500);
+        let mut outbox = Outbox::default();
+        sis.poll(&mut plant, &mut outbox);
+        assert!(!sis.is_tripped());
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn trip_is_latched_and_reported() {
+        let mut plant = CentrifugePlant::new();
+        let mut sis = Sis::new();
+        feed_temp(&mut sis, &mut plant, 460);
+        let mut outbox = Outbox::default();
+        sis.poll(&mut plant, &mut outbox);
+        assert!(sis.is_tripped());
+        // Cooling down does not clear the latch.
+        feed_temp(&mut sis, &mut plant, 300);
+        let mut outbox2 = Outbox::default();
+        sis.poll(&mut plant, &mut outbox2);
+        assert!(sis.is_tripped());
+        assert!(outbox2.is_empty());
+        let read = sis.handle(
+            &mut plant,
+            &BusRequest::read(addresses::WORKSTATION, addresses::SIS, sis::TRIPPED, 1),
+        );
+        assert_eq!(read.values().unwrap()[0], 1);
+    }
+
+    #[test]
+    fn trip_register_is_read_only() {
+        let mut plant = CentrifugePlant::new();
+        let mut sis = Sis::new();
+        let resp = sis.handle(
+            &mut plant,
+            &BusRequest::write(addresses::WORKSTATION, addresses::SIS, sis::TRIPPED, 0),
+        );
+        assert!(!resp.is_ok());
+    }
+}

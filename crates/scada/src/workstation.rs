@@ -1,0 +1,247 @@
+//! The programming workstation.
+//!
+//! Paper: "*Programming WS*: the controller of the centrifuge, programmed
+//! in NI LabVIEW, and monitored by operators." The workstation runs the
+//! batch recipe (set point and mode writes to the BPCS on schedule) and
+//! polls the BPCS published registers for the operator display. It is the
+//! adversary's entry point: a compromised workstation additionally replays
+//! a scripted list of malicious writes.
+
+use cpssec_sim::{BusRequest, BusResponse, Device, ExceptionCode, Outbox, Tick, UnitId};
+
+use crate::addresses::{self, bpcs};
+use crate::CentrifugePlant;
+
+/// One scheduled operator (or attacker) write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledWrite {
+    /// When to send it.
+    pub at: Tick,
+    /// Target unit.
+    pub dst: UnitId,
+    /// Target register.
+    pub address: u16,
+    /// Value to write.
+    pub value: u16,
+}
+
+/// The operator display state, refreshed by monitoring reads.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorDisplay {
+    /// Last temperature shown, in 0.1 °C counts.
+    pub temperature_x10: u16,
+    /// Last rotor speed shown, rpm.
+    pub speed_rpm: u16,
+}
+
+/// The engineering/operator workstation.
+#[derive(Debug)]
+pub struct Workstation {
+    recipe: Vec<ScheduledWrite>,
+    malicious: Vec<ScheduledWrite>,
+    display: OperatorDisplay,
+    monitor_every: u64,
+    reassert_every: u64,
+    now: Tick,
+}
+
+impl Workstation {
+    /// Creates a workstation with a batch recipe.
+    #[must_use]
+    pub fn new(recipe: Vec<ScheduledWrite>) -> Self {
+        Workstation {
+            recipe,
+            malicious: Vec::new(),
+            display: OperatorDisplay::default(),
+            monitor_every: 10,
+            reassert_every: 50,
+            now: Tick::ZERO,
+        }
+    }
+
+    /// The standard batch recipe: set point then run mode at `start`.
+    #[must_use]
+    pub fn standard_recipe(start: Tick, setpoint_rpm: u16) -> Vec<ScheduledWrite> {
+        vec![
+            ScheduledWrite {
+                at: start,
+                dst: addresses::BPCS,
+                address: bpcs::OPERATOR_SETPOINT_RPM,
+                value: setpoint_rpm,
+            },
+            ScheduledWrite {
+                at: start.next(),
+                dst: addresses::BPCS,
+                address: bpcs::MODE,
+                value: crate::addresses::mode::RUN,
+            },
+        ]
+    }
+
+    /// Adds compromised-workstation writes (builder style) — the bus-level
+    /// image of code execution on the workstation.
+    #[must_use]
+    pub fn with_malicious_writes(mut self, writes: Vec<ScheduledWrite>) -> Self {
+        self.malicious = writes;
+        self
+    }
+
+    /// The operator display.
+    #[must_use]
+    pub fn display(&self) -> OperatorDisplay {
+        self.display
+    }
+}
+
+impl Device<CentrifugePlant> for Workstation {
+    fn unit_id(&self) -> UnitId {
+        addresses::WORKSTATION
+    }
+
+    fn name(&self) -> &str {
+        "programming-ws"
+    }
+
+    fn poll(&mut self, _plant: &mut CentrifugePlant, outbox: &mut Outbox) {
+        self.now = self.now.next();
+        for write in self.recipe.iter().chain(self.malicious.iter()) {
+            if write.at == self.now {
+                outbox.send(BusRequest::write(
+                    addresses::WORKSTATION,
+                    write.dst,
+                    write.address,
+                    write.value,
+                ));
+            }
+        }
+        // HMI-style cyclic re-assertion: the latest recipe value for every
+        // register is re-sent periodically, as operator stations do. This
+        // is also what keeps in-flight tampering effective after the
+        // initial write.
+        if self.now.count() % self.reassert_every == 0 {
+            let mut seen: Vec<(UnitId, u16)> = Vec::new();
+            for write in self.recipe.iter().rev() {
+                if write.at < self.now && !seen.contains(&(write.dst, write.address)) {
+                    seen.push((write.dst, write.address));
+                    outbox.send(BusRequest::write(
+                        addresses::WORKSTATION,
+                        write.dst,
+                        write.address,
+                        write.value,
+                    ));
+                }
+            }
+        }
+        if self.now.count() % self.monitor_every == 0 {
+            outbox.send(BusRequest::read(
+                addresses::WORKSTATION,
+                addresses::BPCS,
+                bpcs::TEMPERATURE_X10,
+                1,
+            ));
+            outbox.send(BusRequest::read(
+                addresses::WORKSTATION,
+                addresses::BPCS,
+                bpcs::SPEED_RPM,
+                1,
+            ));
+        }
+    }
+
+    fn handle(&mut self, _plant: &mut CentrifugePlant, _request: &BusRequest) -> BusResponse {
+        BusResponse::exception(ExceptionCode::IllegalFunction)
+    }
+
+    fn on_response(
+        &mut self,
+        _plant: &mut CentrifugePlant,
+        request: &BusRequest,
+        response: &BusResponse,
+    ) {
+        let Some(values) = response.values() else {
+            return;
+        };
+        if request.dst == addresses::BPCS {
+            match request.address {
+                bpcs::TEMPERATURE_X10 => self.display.temperature_x10 = values[0],
+                bpcs::SPEED_RPM => self.display.speed_rpm = values[0],
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipe_writes_fire_at_their_tick() {
+        let mut plant = CentrifugePlant::new();
+        let mut ws = Workstation::new(Workstation::standard_recipe(Tick::new(3), 8000));
+        for expected in [0usize, 0, 1, 1] {
+            let mut outbox = Outbox::default();
+            ws.poll(&mut plant, &mut outbox);
+            let writes = outbox
+                .requests()
+                .iter()
+                .filter(|r| r.function.is_write())
+                .count();
+            assert_eq!(writes, expected, "at tick {}", ws.now);
+        }
+    }
+
+    #[test]
+    fn monitoring_reads_refresh_display() {
+        let mut plant = CentrifugePlant::new();
+        let mut ws = Workstation::new(Vec::new());
+        let temp_req = BusRequest::read(
+            addresses::WORKSTATION,
+            addresses::BPCS,
+            bpcs::TEMPERATURE_X10,
+            1,
+        );
+        ws.on_response(&mut plant, &temp_req, &BusResponse::ok(vec![351]));
+        assert_eq!(ws.display().temperature_x10, 351);
+        let speed_req =
+            BusRequest::read(addresses::WORKSTATION, addresses::BPCS, bpcs::SPEED_RPM, 1);
+        ws.on_response(&mut plant, &speed_req, &BusResponse::ok(vec![7999]));
+        assert_eq!(ws.display().speed_rpm, 7999);
+    }
+
+    #[test]
+    fn malicious_writes_ride_the_same_schedule() {
+        let mut plant = CentrifugePlant::new();
+        let mut ws = Workstation::new(Vec::new()).with_malicious_writes(vec![ScheduledWrite {
+            at: Tick::new(1),
+            dst: addresses::SIS,
+            address: crate::addresses::sis::ENABLED,
+            value: 0,
+        }]);
+        let mut outbox = Outbox::default();
+        ws.poll(&mut plant, &mut outbox);
+        let req = outbox
+            .requests()
+            .iter()
+            .find(|r| r.dst == addresses::SIS)
+            .unwrap();
+        assert_eq!(req.values, vec![0]);
+    }
+
+    #[test]
+    fn monitoring_cadence_is_periodic() {
+        let mut plant = CentrifugePlant::new();
+        let mut ws = Workstation::new(Vec::new());
+        let mut reads = 0;
+        for _ in 0..30 {
+            let mut outbox = Outbox::default();
+            ws.poll(&mut plant, &mut outbox);
+            reads += outbox
+                .requests()
+                .iter()
+                .filter(|r| !r.function.is_write())
+                .count();
+        }
+        assert_eq!(reads, 6); // every 10 ticks, two reads each
+    }
+}

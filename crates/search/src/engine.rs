@@ -1,0 +1,559 @@
+//! The match engine: attribute text in, scored attack vectors out.
+
+use std::collections::BTreeMap;
+
+use cpssec_attackdb::{AttackVectorId, CapecId, Corpus, CveId, CweId};
+use cpssec_model::{Component, Fidelity, SystemModel};
+
+use crate::index::{DocId, InvertedIndex};
+use crate::score::{expand_query, ScoringModel};
+use crate::text::tokenize;
+
+/// Matching thresholds.
+///
+/// A candidate document becomes a hit when it shares with the query either
+/// one *distinctive* term (IDF at or above [`idf_floor`](Self::idf_floor))
+/// or at least [`min_terms`](Self::min_terms) distinct terms. This mirrors
+/// keyword search over MITRE feeds: a rare product token ("LabVIEW") is
+/// enough on its own, while common words must corroborate each other —
+/// which is also why unspecific model text produces the "many irrelevant
+/// results" the paper warns about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchConfig {
+    /// IDF at or above which a single shared term makes a hit.
+    pub idf_floor: f64,
+    /// Number of distinct shared terms that makes a hit regardless of IDF.
+    pub min_terms: usize,
+    /// Hits scoring below this are dropped.
+    pub min_score: f64,
+    /// The ranking function for hit scores.
+    pub scoring: ScoringModel,
+    /// Expand queries with domain synonyms ([`expand_query`]). Expansion
+    /// terms contribute to *scores* only, never to the hit criteria, so
+    /// turning this on re-ranks results without changing their count.
+    pub expand_synonyms: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            idf_floor: 1.8,
+            min_terms: 2,
+            min_score: 0.0,
+            scoring: ScoringModel::TfIdf,
+            expand_synonyms: true,
+        }
+    }
+}
+
+/// One matched record with its relevance evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matched record.
+    pub id: AttackVectorId,
+    /// Length-normalized TF-IDF score; higher is more relevant.
+    pub score: f64,
+    /// Number of distinct query terms found in the record.
+    pub matched_terms: usize,
+}
+
+/// The association of attack vectors to one queried model element: the
+/// "main output" of the paper's toolchain.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MatchSet {
+    /// Matched attack patterns, best first.
+    pub patterns: Vec<Hit>,
+    /// Matched weaknesses, best first.
+    pub weaknesses: Vec<Hit>,
+    /// Matched vulnerabilities, best first.
+    pub vulnerabilities: Vec<Hit>,
+}
+
+impl MatchSet {
+    /// `(patterns, weaknesses, vulnerabilities)` counts — one Table 1 row.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.patterns.len(),
+            self.weaknesses.len(),
+            self.vulnerabilities.len(),
+        )
+    }
+
+    /// Total hits across the three families.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.patterns.len() + self.weaknesses.len() + self.vulnerabilities.len()
+    }
+
+    /// Whether nothing matched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Iterates over all hits, patterns first.
+    pub fn iter(&self) -> impl Iterator<Item = &Hit> {
+        self.patterns
+            .iter()
+            .chain(self.weaknesses.iter())
+            .chain(self.vulnerabilities.iter())
+    }
+
+    /// The matched pattern ids, best first.
+    #[must_use]
+    pub fn pattern_ids(&self) -> Vec<CapecId> {
+        self.patterns.iter().filter_map(|h| h.id.as_pattern()).collect()
+    }
+
+    /// The matched weakness ids, best first.
+    #[must_use]
+    pub fn weakness_ids(&self) -> Vec<CweId> {
+        self.weaknesses.iter().filter_map(|h| h.id.as_weakness()).collect()
+    }
+
+    /// The matched vulnerability ids, best first.
+    #[must_use]
+    pub fn vulnerability_ids(&self) -> Vec<CveId> {
+        self.vulnerabilities
+            .iter()
+            .filter_map(|h| h.id.as_vulnerability())
+            .collect()
+    }
+}
+
+/// The search engine: three per-family indices over one corpus snapshot.
+///
+/// Building is `O(total corpus text)`; matching is `O(postings touched)`.
+/// The engine holds no reference to the corpus — record ids are the
+/// currency between the two.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_attackdb::seed::seed_corpus;
+/// use cpssec_search::SearchEngine;
+///
+/// let corpus = seed_corpus();
+/// let engine = SearchEngine::build(&corpus);
+/// let hits = engine.match_text("NI cRIO 9063");
+/// assert_eq!(hits.vulnerabilities.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    config: MatchConfig,
+    patterns: InvertedIndex,
+    pattern_ids: Vec<CapecId>,
+    weaknesses: InvertedIndex,
+    weakness_ids: Vec<CweId>,
+    vulnerabilities: InvertedIndex,
+    vulnerability_ids: Vec<CveId>,
+}
+
+impl SearchEngine {
+    /// Indexes a corpus with the default [`MatchConfig`].
+    #[must_use]
+    pub fn build(corpus: &Corpus) -> Self {
+        SearchEngine::with_config(corpus, MatchConfig::default())
+    }
+
+    /// Indexes a corpus with an explicit configuration.
+    #[must_use]
+    pub fn with_config(corpus: &Corpus, config: MatchConfig) -> Self {
+        let mut patterns = InvertedIndex::new();
+        let mut pattern_ids = Vec::new();
+        for p in corpus.patterns() {
+            patterns.add_document(&p.search_text());
+            pattern_ids.push(p.id());
+        }
+        let mut weaknesses = InvertedIndex::new();
+        let mut weakness_ids = Vec::new();
+        for w in corpus.weaknesses() {
+            weaknesses.add_document(&w.search_text());
+            weakness_ids.push(w.id());
+        }
+        let mut vulnerabilities = InvertedIndex::new();
+        let mut vulnerability_ids = Vec::new();
+        for v in corpus.vulnerabilities() {
+            vulnerabilities.add_document(&v.search_text());
+            vulnerability_ids.push(v.id());
+        }
+        SearchEngine {
+            config,
+            patterns,
+            pattern_ids,
+            weaknesses,
+            weakness_ids,
+            vulnerabilities,
+            vulnerability_ids,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> MatchConfig {
+        self.config
+    }
+
+    /// Matches free text (an attribute value, a component description)
+    /// against all three families.
+    #[must_use]
+    pub fn match_text(&self, text: &str) -> MatchSet {
+        let mut terms = tokenize(text);
+        terms.sort_unstable();
+        terms.dedup();
+        if self.config.expand_synonyms {
+            let expanded = expand_query(&terms);
+            // Keep only genuinely new terms as score-bonus terms.
+            let extras: Vec<String> = expanded
+                .into_iter()
+                .filter(|t| !terms.contains(t))
+                .collect();
+            return self.match_terms(&terms, &extras);
+        }
+        self.match_terms(&terms, &[])
+    }
+
+    fn match_terms(&self, terms: &[String], extras: &[String]) -> MatchSet {
+        MatchSet {
+            patterns: run_family(
+                &self.patterns,
+                &self.pattern_ids,
+                terms,
+                extras,
+                self.config,
+                |id| AttackVectorId::Pattern(*id),
+            ),
+            weaknesses: run_family(
+                &self.weaknesses,
+                &self.weakness_ids,
+                terms,
+                extras,
+                self.config,
+                |id| AttackVectorId::Weakness(*id),
+            ),
+            vulnerabilities: run_family(
+                &self.vulnerabilities,
+                &self.vulnerability_ids,
+                terms,
+                extras,
+                self.config,
+                |id| AttackVectorId::Vulnerability(*id),
+            ),
+        }
+    }
+
+    /// Matches one component's searchable text at a fidelity level.
+    #[must_use]
+    pub fn match_component(&self, component: &Component, level: Fidelity) -> MatchSet {
+        self.match_text(&component.search_text(level))
+    }
+
+    /// Matches one channel's searchable text at a fidelity level — the
+    /// paper's "interactions" are model elements too, and protocol
+    /// attributes on them ("MODBUS/TCP") match protocol-level records.
+    #[must_use]
+    pub fn match_channel(&self, channel: &cpssec_model::Channel, level: Fidelity) -> MatchSet {
+        self.match_text(&channel.search_text(level))
+    }
+
+    /// Matches every component of a model at a fidelity level, keyed by
+    /// component name, in model insertion order.
+    #[must_use]
+    pub fn match_model(&self, model: &SystemModel, level: Fidelity) -> Vec<(String, MatchSet)> {
+        model
+            .components()
+            .map(|(_, c)| (c.name().to_owned(), self.match_component(c, level)))
+            .collect()
+    }
+}
+
+fn run_family<I: Copy>(
+    index: &InvertedIndex,
+    ids: &[I],
+    terms: &[String],
+    extras: &[String],
+    config: MatchConfig,
+    wrap: impl Fn(&I) -> AttackVectorId,
+) -> Vec<Hit> {
+    #[derive(Default)]
+    struct Accum {
+        score: f64,
+        matched: usize,
+        max_idf: f64,
+    }
+    let mut per_doc: BTreeMap<DocId, Accum> = BTreeMap::new();
+    for term in terms {
+        for tm in index.term_matches(term, config.scoring) {
+            let acc = per_doc.entry(tm.doc).or_default();
+            acc.score += tm.weight;
+            acc.matched += 1;
+            if tm.idf > acc.max_idf {
+                acc.max_idf = tm.idf;
+            }
+        }
+    }
+    // Synonym-expansion terms only refine the scores of documents that
+    // already matched an original term — they never create hits.
+    for term in extras {
+        for tm in index.term_matches(term, config.scoring) {
+            if let Some(acc) = per_doc.get_mut(&tm.doc) {
+                acc.score += tm.weight;
+            }
+        }
+    }
+    let mut hits: Vec<Hit> = per_doc
+        .into_iter()
+        .filter(|(_, acc)| acc.max_idf >= config.idf_floor || acc.matched >= config.min_terms)
+        .map(|(doc, acc)| Hit {
+            id: wrap(&ids[doc.index()]),
+            score: acc.score,
+            matched_terms: acc.matched,
+        })
+        .filter(|h| h.score >= config.min_score)
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpssec_attackdb::seed::{seed_corpus, table1_attributes};
+    use cpssec_attackdb::synth::{generate, SynthSpec};
+    use cpssec_model::{Attribute, AttributeKind, ComponentKind};
+
+    fn engine() -> SearchEngine {
+        SearchEngine::build(&seed_corpus())
+    }
+
+    #[test]
+    fn rare_product_token_alone_is_a_hit() {
+        let hits = engine().match_text("Labview");
+        assert_eq!(hits.vulnerabilities.len(), 3);
+        assert!(hits.patterns.is_empty());
+        assert!(hits.weaknesses.is_empty());
+    }
+
+    #[test]
+    fn crio_models_share_their_vulnerabilities() {
+        let e = engine();
+        let v9063 = e.match_text("NI cRIO 9063").vulnerability_ids();
+        let v9064 = e.match_text("NI cRIO 9064").vulnerability_ids();
+        assert_eq!(v9063.len(), 3);
+        assert_eq!(v9063, v9064);
+    }
+
+    #[test]
+    fn crio_query_does_not_leak_into_linux_corpus() {
+        // "NI cRIO 9063" shares only the weak token "ni" with RT Linux
+        // records; that must not be enough.
+        let hits = engine().match_text("NI cRIO 9063");
+        for id in hits.vulnerability_ids() {
+            assert!(id.to_string().contains("CVE-2017-2778")
+                || id.to_string().contains("CVE-2018-16804")
+                || id.to_string().contains("CVE-2019-9997"));
+        }
+    }
+
+    #[test]
+    fn two_common_terms_corroborate() {
+        let hits = engine().match_text("Windows 7");
+        assert_eq!(hits.vulnerabilities.len(), 4);
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let hits = engine().match_text("Cisco ASA firewall software");
+        let scores: Vec<f64> = hits.vulnerabilities.iter().map(|h| h.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        assert!(scores.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        assert!(engine().match_text("").is_empty());
+        assert!(engine().match_text("&&& !!!").is_empty());
+    }
+
+    #[test]
+    fn unrelated_query_matches_nothing() {
+        assert!(engine().match_text("zephyr marmalade").is_empty());
+    }
+
+    #[test]
+    fn match_component_respects_fidelity() {
+        let e = engine();
+        let comp = cpssec_model::Component::new("Programming WS", ComponentKind::Workstation)
+            .with_attribute(
+                Attribute::new(AttributeKind::OperatingSystem, "Windows 7")
+                    .at_fidelity(Fidelity::Implementation),
+            );
+        let abstract_hits = e.match_component(&comp, Fidelity::Conceptual);
+        let concrete_hits = e.match_component(&comp, Fidelity::Implementation);
+        assert!(concrete_hits.vulnerabilities.len() > abstract_hits.vulnerabilities.len());
+    }
+
+    #[test]
+    fn counts_form_a_table1_row() {
+        let hits = engine().match_text("Cisco ASA");
+        let (p, w, v) = hits.counts();
+        assert_eq!(v, 3);
+        assert_eq!(p + w, 0);
+        assert_eq!(hits.total(), 3);
+    }
+
+    #[test]
+    fn match_is_deterministic() {
+        let e = engine();
+        assert_eq!(e.match_text("Windows 7"), e.match_text("Windows 7"));
+    }
+
+    #[test]
+    fn synthetic_corpus_reproduces_table1_shape() {
+        let mut corpus = seed_corpus();
+        corpus.merge(generate(&SynthSpec::paper2020(7, 0.02))).unwrap();
+        let e = SearchEngine::build(&corpus);
+        let rows: Vec<(usize, usize, usize)> = table1_attributes()
+            .iter()
+            .map(|attr| e.match_text(attr).counts())
+            .collect();
+        let (cisco, linux, win7, labview, crio63, crio64) =
+            (rows[0], rows[1], rows[2], rows[3], rows[4], rows[5]);
+        // Vulnerabilities dominate for commodity platforms.
+        assert!(cisco.2 > 30, "cisco: {cisco:?}");
+        assert!(linux.2 > win7.2, "linux {linux:?} vs win7 {win7:?}");
+        assert!(win7.2 > cisco.2, "win7 {win7:?} vs cisco {cisco:?}");
+        // Patterns/weaknesses only for OS-level attributes.
+        assert!(linux.0 >= 50 && linux.1 >= 70, "linux {linux:?}");
+        assert!(win7.0 >= 40 && win7.1 >= 70, "win7 {win7:?}");
+        // Niche rows stay tiny.
+        assert_eq!(labview.0, 0);
+        assert_eq!(labview.1, 0);
+        assert_eq!(labview.2, 6);
+        assert_eq!(crio63, crio64);
+        assert_eq!(crio63.2, 7);
+        assert_eq!(crio63.0, 0);
+    }
+
+    #[test]
+    fn lower_idf_floor_widens_results() {
+        let corpus = seed_corpus();
+        let strict = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                idf_floor: 5.0,
+                min_terms: 3,
+                ..MatchConfig::default()
+            },
+        );
+        let loose = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                idf_floor: 0.5,
+                min_terms: 1,
+                ..MatchConfig::default()
+            },
+        );
+        let q = "Windows 7 workstation";
+        assert!(loose.match_text(q).total() >= strict.match_text(q).total());
+    }
+
+    #[test]
+    fn min_score_prunes_weak_hits() {
+        let corpus = seed_corpus();
+        let base = SearchEngine::build(&corpus);
+        let all = base.match_text("Microsoft Windows 7 SMB remote code execution");
+        let strict = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                min_score: 1.5,
+                ..MatchConfig::default()
+            },
+        );
+        let pruned = strict.match_text("Microsoft Windows 7 SMB remote code execution");
+        assert!(pruned.total() < all.total());
+        assert!(pruned.iter().all(|h| h.score >= 1.5));
+    }
+
+    #[test]
+    fn bm25_reranks_but_keeps_the_same_hit_set() {
+        let corpus = seed_corpus();
+        let tfidf = SearchEngine::build(&corpus);
+        let bm25 = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                scoring: ScoringModel::Bm25,
+                ..MatchConfig::default()
+            },
+        );
+        let query = "Microsoft Windows 7 remote code execution";
+        let a = tfidf.match_text(query);
+        let b = bm25.match_text(query);
+        // Identical hit sets (criteria are model-independent)...
+        let mut ids_a = a.vulnerability_ids();
+        let mut ids_b = b.vulnerability_ids();
+        ids_a.sort_unstable();
+        ids_b.sort_unstable();
+        assert_eq!(ids_a, ids_b);
+        // ...but the scores differ.
+        assert_ne!(
+            a.vulnerabilities[0].score, b.vulnerabilities[0].score,
+            "scoring models should disagree on magnitudes"
+        );
+    }
+
+    #[test]
+    fn synonym_expansion_changes_scores_not_counts() {
+        let corpus = seed_corpus();
+        let expanded = SearchEngine::build(&corpus);
+        let plain = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                expand_synonyms: false,
+                ..MatchConfig::default()
+            },
+        );
+        let query = "NI RT Linux OS";
+        let with = expanded.match_text(query);
+        let without = plain.match_text(query);
+        assert_eq!(with.counts(), without.counts());
+        // The CWE-78 weakness description contains "operating system
+        // command": the expansion of "os" should raise its score.
+        let score_of = |set: &MatchSet| {
+            set.weaknesses
+                .iter()
+                .find(|h| h.id.to_string() == "CWE-78")
+                .map(|h| h.score)
+        };
+        match (score_of(&with), score_of(&without)) {
+            (Some(w), Some(wo)) => assert!(w > wo, "{w} vs {wo}"),
+            _ => {
+                // CWE-78 must at least be present in one of them via the
+                // platform terms; if not, the corpus changed shape.
+                assert!(with.total() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn match_model_covers_every_component() {
+        let model = cpssec_model::SystemModelBuilder::new("m")
+            .component("ws", ComponentKind::Workstation)
+            .component("fw", ComponentKind::Firewall)
+            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .attribute("fw", Attribute::new(AttributeKind::Product, "Cisco ASA"))
+            .build()
+            .unwrap();
+        let results = engine().match_model(&model, Fidelity::Implementation);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, "ws");
+        assert!(results[0].1.vulnerabilities.len() >= 4);
+        assert!(results[1].1.vulnerabilities.len() >= 3);
+    }
+}

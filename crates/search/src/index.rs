@@ -1,0 +1,272 @@
+//! A TF-IDF inverted index over one record family.
+
+use std::collections::BTreeMap;
+
+use crate::score::{ScoringModel, BM25_B, BM25_K1};
+use crate::text::tokenize;
+
+/// Dense index of a document within one [`InvertedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub(crate) u32);
+
+impl DocId {
+    /// The dense index backing this identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Posting {
+    doc: DocId,
+    tf: u32,
+}
+
+/// One query term's contribution to a document match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TermMatch {
+    pub doc: DocId,
+    pub weight: f64,
+    pub idf: f64,
+}
+
+/// An inverted index with TF-IDF weighting.
+///
+/// Documents are added once and frozen; scoring uses
+/// `idf(t) = ln(N / df(t))` and term weight `(1 + ln(tf)) * idf`,
+/// normalized by `sqrt(|doc|)` at query time.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_search::InvertedIndex;
+///
+/// let mut index = InvertedIndex::new();
+/// index.add_document("a buffer overflow in the kernel");
+/// index.add_document("a cross-site scripting issue");
+/// assert_eq!(index.len(), 2);
+/// assert_eq!(index.document_frequency("overflow"), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    postings: BTreeMap<String, Vec<Posting>>,
+    doc_lengths: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Adds a document and returns its id. Order of insertion defines ids.
+    pub fn add_document(&mut self, text: &str) -> DocId {
+        let id = DocId(u32::try_from(self.doc_lengths.len()).expect("doc count fits u32"));
+        let tokens = tokenize(text);
+        self.doc_lengths.push(tokens.len() as u32);
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        for token in tokens {
+            *counts.entry(token).or_insert(0) += 1;
+        }
+        for (term, tf) in counts {
+            self.postings.entry(term).or_default().push(Posting { doc: id, tf });
+        }
+        id
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Whether the index holds no documents.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.doc_lengths.is_empty()
+    }
+
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// How many documents contain `term` (after normalization of the
+    /// documents; `term` itself is taken verbatim).
+    #[must_use]
+    pub fn document_frequency(&self, term: &str) -> usize {
+        self.postings.get(term).map_or(0, Vec::len)
+    }
+
+    /// Inverse document frequency of `term`: `ln(N / df)`, or `0.0` for
+    /// unknown terms or an empty index.
+    #[must_use]
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.document_frequency(term);
+        if df == 0 || self.doc_lengths.is_empty() {
+            return 0.0;
+        }
+        (self.doc_lengths.len() as f64 / df as f64).ln()
+    }
+
+    /// The token count of a document (used for length normalization).
+    #[must_use]
+    pub fn document_length(&self, doc: DocId) -> usize {
+        self.doc_lengths.get(doc.index()).copied().unwrap_or(0) as usize
+    }
+
+    /// Mean document length in tokens (1.0 for an empty index).
+    #[must_use]
+    pub fn average_document_length(&self) -> f64 {
+        if self.doc_lengths.is_empty() {
+            return 1.0;
+        }
+        let total: u64 = self.doc_lengths.iter().map(|&l| u64::from(l)).sum();
+        (total as f64 / self.doc_lengths.len() as f64).max(1.0)
+    }
+
+    /// All `(document, weight, idf)` contributions for one query term under
+    /// the given scoring model. Weights are fully normalized (length
+    /// normalization included), so a document's score is the plain sum of
+    /// its term weights. The `idf` field always carries `ln(N/df)` so hit
+    /// criteria stay model-independent.
+    pub(crate) fn term_matches(&self, term: &str, model: ScoringModel) -> Vec<TermMatch> {
+        let idf = self.idf(term);
+        let Some(postings) = self.postings.get(term) else {
+            return Vec::new();
+        };
+        match model {
+            ScoringModel::TfIdf => postings
+                .iter()
+                .map(|p| {
+                    let len = f64::from(self.doc_lengths[p.doc.index()]).max(1.0);
+                    TermMatch {
+                        doc: p.doc,
+                        weight: (1.0 + (p.tf as f64).ln()) * idf / len.sqrt(),
+                        idf,
+                    }
+                })
+                .collect(),
+            ScoringModel::Bm25 => {
+                let n = self.doc_lengths.len() as f64;
+                let df = postings.len() as f64;
+                let bm25_idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                let avg = self.average_document_length();
+                postings
+                    .iter()
+                    .map(|p| {
+                        let tf = p.tf as f64;
+                        let len = f64::from(self.doc_lengths[p.doc.index()]);
+                        let saturation =
+                            tf * (BM25_K1 + 1.0) / (tf + BM25_K1 * (1.0 - BM25_B + BM25_B * len / avg));
+                        TermMatch {
+                            doc: p.doc,
+                            weight: bm25_idf * saturation,
+                            idf,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("buffer overflow in the kernel network stack");
+        idx.add_document("kernel race condition");
+        idx.add_document("cross site scripting in the web interface");
+        idx
+    }
+
+    #[test]
+    fn document_frequency_counts_documents_not_occurrences() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("kernel kernel kernel");
+        idx.add_document("kernel");
+        assert_eq!(idx.document_frequency("kernel"), 2);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let idx = sample();
+        assert!(idx.idf("overflow") > idx.idf("kernel"));
+        assert_eq!(idx.idf("ghost"), 0.0);
+    }
+
+    #[test]
+    fn documents_are_normalized_terms_are_verbatim() {
+        let idx = sample();
+        // Documents were stemmed: "scripting" → "script".
+        assert_eq!(idx.document_frequency("script"), 1);
+        assert_eq!(idx.document_frequency("scripting"), 0);
+    }
+
+    #[test]
+    fn term_matches_weight_repeats_sublinearly() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("kernel kernel");
+        idx.add_document("other text entirely");
+        let matches = idx.term_matches("kernel", ScoringModel::TfIdf);
+        assert_eq!(matches.len(), 1);
+        // Normalized weight: (1 + ln 2) * idf / sqrt(2).
+        let expected = (1.0 + 2.0f64.ln()) * idx.idf("kernel") / 2.0f64.sqrt();
+        assert!((matches[0].weight - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bm25_weights_saturate_with_term_frequency() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("kernel");
+        idx.add_document("kernel kernel kernel kernel kernel");
+        idx.add_document("other words here");
+        let matches = idx.term_matches("kernel", ScoringModel::Bm25);
+        assert_eq!(matches.len(), 2);
+        // Five occurrences score better than one, but far less than 5x.
+        assert!(matches[1].weight > matches[0].weight);
+        assert!(matches[1].weight < 3.0 * matches[0].weight);
+    }
+
+    #[test]
+    fn bm25_idf_differs_from_tfidf_but_reported_idf_is_shared() {
+        let idx = sample();
+        let tfidf = idx.term_matches("kernel", ScoringModel::TfIdf);
+        let bm25 = idx.term_matches("kernel", ScoringModel::Bm25);
+        assert_eq!(tfidf.len(), bm25.len());
+        for (a, b) in tfidf.iter().zip(bm25.iter()) {
+            assert_eq!(a.idf, b.idf, "hit criteria must be model-independent");
+        }
+    }
+
+    #[test]
+    fn average_length_is_safe_on_empty_index() {
+        assert_eq!(InvertedIndex::new().average_document_length(), 1.0);
+        let mut idx = InvertedIndex::new();
+        idx.add_document("two words");
+        idx.add_document("four words right here"); // "right"/"here" kept, 4 tokens
+        assert_eq!(idx.average_document_length(), 3.0);
+    }
+
+    #[test]
+    fn lengths_track_token_counts() {
+        let idx = sample();
+        assert_eq!(idx.document_length(DocId(1)), 3);
+        assert_eq!(idx.document_length(DocId(99)), 0);
+    }
+
+    #[test]
+    fn empty_index_is_well_behaved() {
+        let idx = InvertedIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.idf("anything"), 0.0);
+        assert!(idx.term_matches("anything", ScoringModel::TfIdf).is_empty());
+        assert!(idx.term_matches("anything", ScoringModel::Bm25).is_empty());
+    }
+}

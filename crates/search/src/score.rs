@@ -1,0 +1,159 @@
+//! Scoring models and query expansion.
+//!
+//! The paper's prototype matches with plain keyword search; this module
+//! provides the two standard lexical ranking functions so the choice can
+//! be ablated (`cargo bench -p cpssec-bench --bench search_scale`), plus a
+//! small domain synonym table: model attributes abbreviate ("OS", "WS",
+//! "HMI") where corpus prose spells out, and expansion closes that gap.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// The lexical ranking function used for hit scores.
+///
+/// Both models share the hit *criteria* (distinctive term or corroborating
+/// terms — see [`MatchConfig`](crate::MatchConfig)); they differ only in
+/// how hits are scored and therefore ranked.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoringModel {
+    /// `(1 + ln tf) · ln(N/df)`, normalized by `sqrt(|doc|)`.
+    #[default]
+    TfIdf,
+    /// Okapi BM25 with `k1 = 1.2`, `b = 0.75`.
+    Bm25,
+}
+
+impl ScoringModel {
+    /// All models.
+    pub const ALL: [ScoringModel; 2] = [ScoringModel::TfIdf, ScoringModel::Bm25];
+
+    /// Canonical lowercase name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScoringModel::TfIdf => "tfidf",
+            ScoringModel::Bm25 => "bm25",
+        }
+    }
+}
+
+impl fmt::Display for ScoringModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ScoringModel {
+    type Err = UnknownScoringModel;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScoringModel::ALL
+            .iter()
+            .copied()
+            .find(|m| m.as_str() == s)
+            .ok_or_else(|| UnknownScoringModel(s.to_owned()))
+    }
+}
+
+/// Error parsing a [`ScoringModel`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScoringModel(String);
+
+impl fmt::Display for UnknownScoringModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` is not a scoring model (tfidf, bm25)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownScoringModel {}
+
+/// BM25 `k1` parameter (term-frequency saturation).
+pub(crate) const BM25_K1: f64 = 1.2;
+/// BM25 `b` parameter (length normalization).
+pub(crate) const BM25_B: f64 = 0.75;
+
+/// Domain synonym table: `(abbreviation, expansions)`. Expansions are
+/// already in normalized (stemmed) form so they can be appended directly
+/// to a tokenized query.
+const SYNONYMS: &[(&str, &[&str])] = &[
+    ("os", &["operat", "system"]),
+    ("ws", &["workstation"]),
+    ("hmi", &["human", "machine", "interface"]),
+    ("plc", &["programmable", "logic", "controller"]),
+    ("rtu", &["remote", "terminal", "unit"]),
+    ("sis", &["safety", "instrument", "system"]),
+    ("bpcs", &["process", "control", "system"]),
+    ("dcs", &["distribut", "control", "system"]),
+    ("firewall", &["network", "appliance"]),
+];
+
+/// Expands a normalized query term list with domain synonyms.
+///
+/// Original terms are kept; expansions are appended (deduplicated). The
+/// caller deduplicates the final list.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_search::expand_query;
+/// let expanded = expand_query(&["ni".into(), "rt".into(), "linux".into(), "os".into()]);
+/// assert!(expanded.contains(&"operat".to_owned())); // stemmed "operating"
+/// assert!(expanded.contains(&"linux".to_owned()));
+/// ```
+#[must_use]
+pub fn expand_query(terms: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = terms.to_vec();
+    for term in terms {
+        if let Some((_, expansions)) = SYNONYMS.iter().find(|(abbr, _)| abbr == term) {
+            for expansion in *expansions {
+                if !out.iter().any(|t| t == expansion) {
+                    out.push((*expansion).to_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoring_model_names_round_trip() {
+        for model in ScoringModel::ALL {
+            assert_eq!(model.as_str().parse::<ScoringModel>().unwrap(), model);
+        }
+        assert!("cosine".parse::<ScoringModel>().is_err());
+    }
+
+    #[test]
+    fn expansion_keeps_originals_and_deduplicates() {
+        let terms = vec!["os".to_owned(), "system".to_owned()];
+        let expanded = expand_query(&terms);
+        assert_eq!(expanded, ["os", "system", "operat"]);
+    }
+
+    #[test]
+    fn unknown_terms_pass_through_unchanged() {
+        let terms = vec!["labview".to_owned()];
+        assert_eq!(expand_query(&terms), ["labview"]);
+    }
+
+    #[test]
+    fn synonym_expansions_are_normalized_forms() {
+        use crate::text::tokenize;
+        for (_, expansions) in SYNONYMS {
+            for term in *expansions {
+                let normalized = tokenize(term);
+                assert_eq!(normalized.len(), 1, "{term}");
+                assert_eq!(&normalized[0], term, "expansion must be pre-stemmed");
+            }
+        }
+    }
+
+    #[test]
+    fn default_model_is_tfidf() {
+        assert_eq!(ScoringModel::default(), ScoringModel::TfIdf);
+    }
+}

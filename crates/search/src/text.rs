@@ -1,0 +1,190 @@
+//! Tokenization, stopwords, and a light stemmer.
+//!
+//! The paper's prototype relates attack vectors to the model "through
+//! natural language processing"; the pipeline here is the classic
+//! lowercase → split → stopword → stem sequence. The stemmer is a
+//! deliberately small suffix-stripper (a "Porter-lite"): it only needs to
+//! conflate the inflections that occur in security prose (plurals,
+//! -ing/-ed forms), and it must behave identically on documents and
+//! queries, which a fixed rule list guarantees.
+
+/// Words carrying no matching signal in security prose.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "can", "could", "do", "does", "for",
+    "from", "had", "has", "have", "if", "in", "into", "is", "it", "its", "may", "more", "most",
+    "no", "not", "of", "on", "or", "over", "such", "that", "the", "their", "then", "there",
+    "these", "this", "through", "to", "via", "was", "were", "when", "which", "while", "with",
+    "within", "without",
+];
+
+/// Returns `true` if `word` is a stopword.
+///
+/// # Examples
+///
+/// ```
+/// assert!(cpssec_search::text::is_stopword("the"));
+/// assert!(!cpssec_search::text::is_stopword("linux"));
+/// ```
+#[must_use]
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Applies the light stemming rules to a lowercase word.
+///
+/// Rules (first match wins): `-ies` → `-y`, `-sses` → `-ss`, `-ing` dropped
+/// from words of length ≥ 6, `-ed` dropped from words of length ≥ 5, final
+/// `-s` dropped from words of length ≥ 4 unless they end in `-ss` or `-us`.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_search::text::stem;
+/// assert_eq!(stem("vulnerabilities"), "vulnerability");
+/// assert_eq!(stem("windows"), "window");
+/// assert_eq!(stem("access"), "access");
+/// ```
+#[must_use]
+pub fn stem(word: &str) -> String {
+    if let Some(base) = word.strip_suffix("ies") {
+        if !base.is_empty() {
+            return format!("{base}y");
+        }
+    }
+    if word.ends_with("sses") {
+        return word[..word.len() - 2].to_owned();
+    }
+    if word.len() >= 6 {
+        if let Some(base) = word.strip_suffix("ing") {
+            return base.to_owned();
+        }
+    }
+    if word.len() >= 5 {
+        if let Some(base) = word.strip_suffix("ed") {
+            return base.to_owned();
+        }
+    }
+    // The plural rule needs a real stem left over: "commands" → "command",
+    // but "os"/"dos"/"gas" are not plurals and must survive intact.
+    if word.ends_with('s') && !word.ends_with("ss") && !word.ends_with("us") && word.len() >= 4 {
+        return word[..word.len() - 1].to_owned();
+    }
+    word.to_owned()
+}
+
+/// Tokenizes text into normalized terms: lowercase, alphanumeric runs,
+/// stopwords removed, stemmed. Single characters are kept only if they are
+/// digits (so "Windows 7" keeps its "7").
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_search::text::tokenize;
+/// assert_eq!(tokenize("The SMBv1 server in Windows 7"), ["smbv1", "server", "window", "7"]);
+/// ```
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, raw: String) {
+    if is_stopword(&raw) {
+        return;
+    }
+    let stemmed = stem(&raw);
+    // Single non-digit characters carry no signal — and the check must run
+    // on the *stemmed* form, or "Bs" → "b" would survive one pass of
+    // tokenization but not two.
+    if stemmed.chars().count() == 1
+        && !stemmed.chars().next().expect("nonempty").is_ascii_digit()
+    {
+        return;
+    }
+    tokens.push(stemmed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits_on_punctuation() {
+        assert_eq!(
+            tokenize("Cisco Adaptive-Security Appliance (ASA)"),
+            ["cisco", "adaptive", "security", "appliance", "asa"]
+        );
+    }
+
+    #[test]
+    fn digits_are_kept_even_single() {
+        assert_eq!(tokenize("Windows 7"), ["window", "7"]);
+        assert_eq!(tokenize("cRIO 9063"), ["crio", "9063"]);
+    }
+
+    #[test]
+    fn single_letters_are_dropped(){
+        assert_eq!(tokenize("a b c linux"), ["linux"]);
+    }
+
+    #[test]
+    fn stopwords_are_dropped() {
+        assert_eq!(tokenize("the injection of commands"), ["injection", "command"]);
+    }
+
+    #[test]
+    fn stemming_conflates_inflections() {
+        assert_eq!(stem("attacks"), "attack");
+        assert_eq!(stem("parsing"), "pars");
+        assert_eq!(stem("parses"), "parse");
+        assert_eq!(stem("crafted"), "craft");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("status"), "status");
+        assert_eq!(stem("bus"), "bus"); // -us guard prevents over-stemming
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_query_and_doc() {
+        for word in ["overflows", "services", "vulnerabilities", "windows"] {
+            let doc = stem(word);
+            // A query containing the already-stemmed form still matches.
+            assert_eq!(stem(&doc), doc);
+        }
+    }
+
+    #[test]
+    fn query_and_document_normalize_identically() {
+        let doc = tokenize("Buffer overflows in parsing routines");
+        let query = tokenize("buffer overflow parsing routine");
+        assert_eq!(doc, query);
+    }
+
+    #[test]
+    fn unicode_is_tolerated() {
+        assert_eq!(tokenize("Überflow café"), ["überflow", "café"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ---").is_empty());
+    }
+}

@@ -1,0 +1,562 @@
+//! The fieldbus: MODBUS-flavoured request/response messaging with a
+//! zone firewall.
+//!
+//! The paper's SCADA demonstration interfaces the main centrifuge
+//! controller "through MODBUS" behind a "control firewall" that isolates
+//! the corporate network from the control network. The bus here models the
+//! subset that matters for security analysis: function codes, unit
+//! addressing, register reads/writes, exception responses, a rule-based
+//! firewall, and a complete message log.
+
+use core::fmt;
+
+use crate::Tick;
+
+/// A bus station address (MODBUS unit identifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitId(u8);
+
+impl UnitId {
+    /// Creates a unit id.
+    #[must_use]
+    pub const fn new(id: u8) -> Self {
+        UnitId(id)
+    }
+
+    /// The raw address.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unit{}", self.0)
+    }
+}
+
+/// The supported function codes (a practical MODBUS subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BusFunction {
+    /// Function 03: read `quantity` holding registers from `address`.
+    ReadHoldingRegisters,
+    /// Function 06: write a single holding register at `address`.
+    WriteSingleRegister,
+    /// Function 16: write multiple holding registers starting at `address`.
+    WriteMultipleRegisters,
+}
+
+impl BusFunction {
+    /// The MODBUS function code number.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            BusFunction::ReadHoldingRegisters => 3,
+            BusFunction::WriteSingleRegister => 6,
+            BusFunction::WriteMultipleRegisters => 16,
+        }
+    }
+
+    /// Whether the function writes device state.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        !matches!(self, BusFunction::ReadHoldingRegisters)
+    }
+}
+
+impl fmt::Display for BusFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BusFunction::ReadHoldingRegisters => "read-holding",
+            BusFunction::WriteSingleRegister => "write-single",
+            BusFunction::WriteMultipleRegisters => "write-multiple",
+        };
+        write!(f, "{name}(fc{})", self.code())
+    }
+}
+
+/// One request on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusRequest {
+    /// Requesting station.
+    pub src: UnitId,
+    /// Target station.
+    pub dst: UnitId,
+    /// Function code.
+    pub function: BusFunction,
+    /// Starting register address.
+    pub address: u16,
+    /// Register count for reads.
+    pub quantity: u16,
+    /// Register values for writes (empty for reads).
+    pub values: Vec<u16>,
+}
+
+impl BusRequest {
+    /// Builds a read of `quantity` registers.
+    #[must_use]
+    pub fn read(src: UnitId, dst: UnitId, address: u16, quantity: u16) -> Self {
+        BusRequest {
+            src,
+            dst,
+            function: BusFunction::ReadHoldingRegisters,
+            address,
+            quantity,
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a single-register write.
+    #[must_use]
+    pub fn write(src: UnitId, dst: UnitId, address: u16, value: u16) -> Self {
+        BusRequest {
+            src,
+            dst,
+            function: BusFunction::WriteSingleRegister,
+            address,
+            quantity: 1,
+            values: vec![value],
+        }
+    }
+
+    /// Builds a multi-register write.
+    #[must_use]
+    pub fn write_multiple(src: UnitId, dst: UnitId, address: u16, values: Vec<u16>) -> Self {
+        let quantity = values.len() as u16;
+        BusRequest {
+            src,
+            dst,
+            function: BusFunction::WriteMultipleRegisters,
+            address,
+            quantity,
+            values,
+        }
+    }
+}
+
+impl fmt::Display for BusRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} {} @{} x{}",
+            self.src, self.dst, self.function, self.address, self.quantity
+        )
+    }
+}
+
+/// MODBUS exception codes used by this subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExceptionCode {
+    /// 01: the function code is not supported by the target.
+    IllegalFunction,
+    /// 02: the register address is out of range for the target.
+    IllegalDataAddress,
+    /// 03: a value is not acceptable for the register.
+    IllegalDataValue,
+    /// 04: the target failed while servicing the request.
+    DeviceFailure,
+}
+
+impl ExceptionCode {
+    /// The MODBUS exception number.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            ExceptionCode::IllegalFunction => 1,
+            ExceptionCode::IllegalDataAddress => 2,
+            ExceptionCode::IllegalDataValue => 3,
+            ExceptionCode::DeviceFailure => 4,
+        }
+    }
+}
+
+impl fmt::Display for ExceptionCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exception {}", self.code())
+    }
+}
+
+/// A response to a [`BusRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusResponse {
+    /// Successful read: the register values. Successful write: echo of the
+    /// written values.
+    Ok(Vec<u16>),
+    /// The request was rejected or failed.
+    Exception(ExceptionCode),
+}
+
+impl BusResponse {
+    /// A successful response carrying `values`.
+    #[must_use]
+    pub fn ok(values: Vec<u16>) -> Self {
+        BusResponse::Ok(values)
+    }
+
+    /// An exception response.
+    #[must_use]
+    pub fn exception(code: ExceptionCode) -> Self {
+        BusResponse::Exception(code)
+    }
+
+    /// The payload of a successful response.
+    #[must_use]
+    pub fn values(&self) -> Option<&[u16]> {
+        match self {
+            BusResponse::Ok(values) => Some(values),
+            BusResponse::Exception(_) => None,
+        }
+    }
+
+    /// Whether the response is successful.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BusResponse::Ok(_))
+    }
+}
+
+/// What the firewall decides for a matching rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirewallAction {
+    /// Let the request through.
+    Allow,
+    /// Silently drop the request (the requester sees no response).
+    Deny,
+}
+
+/// One firewall rule; `None` fields are wildcards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirewallRule {
+    /// Source filter.
+    pub src: Option<UnitId>,
+    /// Destination filter.
+    pub dst: Option<UnitId>,
+    /// Restrict to write functions only when `true`.
+    pub writes_only: bool,
+    /// The decision when the rule matches.
+    pub action: FirewallAction,
+}
+
+impl FirewallRule {
+    /// A rule matching everything.
+    #[must_use]
+    pub fn any(action: FirewallAction) -> Self {
+        FirewallRule {
+            src: None,
+            dst: None,
+            writes_only: false,
+            action,
+        }
+    }
+
+    /// Restricts the rule to a source (builder style).
+    #[must_use]
+    pub fn from_src(mut self, src: UnitId) -> Self {
+        self.src = Some(src);
+        self
+    }
+
+    /// Restricts the rule to a destination (builder style).
+    #[must_use]
+    pub fn to_dst(mut self, dst: UnitId) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Restricts the rule to write functions (builder style).
+    #[must_use]
+    pub fn writes_only(mut self) -> Self {
+        self.writes_only = true;
+        self
+    }
+
+    fn matches(&self, req: &BusRequest) -> bool {
+        self.src.map_or(true, |s| s == req.src)
+            && self.dst.map_or(true, |d| d == req.dst)
+            && (!self.writes_only || req.function.is_write())
+    }
+}
+
+/// A first-match-wins rule firewall with a default action.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_sim::{Firewall, FirewallAction, FirewallRule, BusRequest, UnitId};
+///
+/// let ws = UnitId::new(1);
+/// let plc = UnitId::new(2);
+/// let fw = Firewall::new(FirewallAction::Deny)
+///     .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(ws).to_dst(plc));
+/// assert_eq!(fw.decide(&BusRequest::read(ws, plc, 0, 1)), FirewallAction::Allow);
+/// assert_eq!(fw.decide(&BusRequest::read(plc, ws, 0, 1)), FirewallAction::Deny);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firewall {
+    rules: Vec<FirewallRule>,
+    default: FirewallAction,
+    enabled: bool,
+}
+
+impl Firewall {
+    /// Creates a firewall with no rules and the given default action.
+    #[must_use]
+    pub fn new(default: FirewallAction) -> Self {
+        Firewall {
+            rules: Vec::new(),
+            default,
+            enabled: true,
+        }
+    }
+
+    /// A firewall that allows everything (the "no firewall" baseline).
+    #[must_use]
+    pub fn permissive() -> Self {
+        Firewall::new(FirewallAction::Allow)
+    }
+
+    /// Appends a rule (builder style); earlier rules win.
+    #[must_use]
+    pub fn with_rule(mut self, rule: FirewallRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Concatenates rule sets: this firewall's rules are evaluated first,
+    /// then `other`'s; `other`'s default action and enabled state win.
+    /// Useful for prepending scenario-specific allow rules to a baseline
+    /// policy.
+    #[must_use]
+    pub fn merged_with(mut self, other: Firewall) -> Firewall {
+        self.rules.extend(other.rules);
+        Firewall {
+            rules: self.rules,
+            default: other.default,
+            enabled: other.enabled,
+        }
+    }
+
+    /// Disables or re-enables the firewall (a disabled firewall allows
+    /// everything — the state a firewall-bypass attack produces).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the firewall is enforcing its rules.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Decides the action for a request.
+    #[must_use]
+    pub fn decide(&self, req: &BusRequest) -> FirewallAction {
+        if !self.enabled {
+            return FirewallAction::Allow;
+        }
+        self.rules
+            .iter()
+            .find(|r| r.matches(req))
+            .map_or(self.default, |r| r.action)
+    }
+}
+
+/// How a logged request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusOutcome {
+    /// Delivered and answered.
+    Answered(BusResponse),
+    /// Dropped by the firewall.
+    FirewallDenied,
+    /// Dropped by an injector (attack).
+    InjectorDropped {
+        /// The injector's name.
+        by: String,
+    },
+    /// No device with the destination unit id exists.
+    NoSuchUnit,
+}
+
+/// One entry of the bus message log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusLogEntry {
+    /// When the request was routed.
+    pub tick: Tick,
+    /// The request as delivered (post-tampering).
+    pub request: BusRequest,
+    /// Whether an injector modified the request in flight.
+    pub tampered: bool,
+    /// The outcome.
+    pub outcome: BusOutcome,
+}
+
+/// The shared medium: firewall plus message log.
+#[derive(Debug, Default, Clone)]
+pub struct Fieldbus {
+    firewall: Option<Firewall>,
+    log: Vec<BusLogEntry>,
+}
+
+impl Fieldbus {
+    /// Creates a bus without a firewall.
+    #[must_use]
+    pub fn new() -> Self {
+        Fieldbus::default()
+    }
+
+    /// Installs a firewall.
+    pub fn set_firewall(&mut self, firewall: Firewall) {
+        self.firewall = Some(firewall);
+    }
+
+    /// The installed firewall, if any.
+    #[must_use]
+    pub fn firewall(&self) -> Option<&Firewall> {
+        self.firewall.as_ref()
+    }
+
+    /// Mutable access to the installed firewall.
+    pub fn firewall_mut(&mut self) -> Option<&mut Firewall> {
+        self.firewall.as_mut()
+    }
+
+    pub(crate) fn decide(&self, req: &BusRequest) -> FirewallAction {
+        self.firewall
+            .as_ref()
+            .map_or(FirewallAction::Allow, |fw| fw.decide(req))
+    }
+
+    pub(crate) fn record(&mut self, entry: BusLogEntry) {
+        self.log.push(entry);
+    }
+
+    /// The complete message log, oldest first.
+    #[must_use]
+    pub fn log(&self) -> &[BusLogEntry] {
+        &self.log
+    }
+
+    /// Number of logged messages.
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units() -> (UnitId, UnitId) {
+        (UnitId::new(1), UnitId::new(2))
+    }
+
+    #[test]
+    fn request_constructors_fill_quantity() {
+        let (a, b) = units();
+        let r = BusRequest::read(a, b, 10, 2);
+        assert_eq!(r.quantity, 2);
+        assert!(r.values.is_empty());
+        let w = BusRequest::write(a, b, 10, 99);
+        assert_eq!(w.values, vec![99]);
+        assert_eq!(w.quantity, 1);
+        let m = BusRequest::write_multiple(a, b, 10, vec![1, 2, 3]);
+        assert_eq!(m.quantity, 3);
+    }
+
+    #[test]
+    fn function_codes_match_modbus() {
+        assert_eq!(BusFunction::ReadHoldingRegisters.code(), 3);
+        assert_eq!(BusFunction::WriteSingleRegister.code(), 6);
+        assert_eq!(BusFunction::WriteMultipleRegisters.code(), 16);
+        assert!(!BusFunction::ReadHoldingRegisters.is_write());
+        assert!(BusFunction::WriteMultipleRegisters.is_write());
+    }
+
+    #[test]
+    fn firewall_first_match_wins() {
+        let (a, b) = units();
+        let fw = Firewall::new(FirewallAction::Allow)
+            .with_rule(FirewallRule::any(FirewallAction::Deny).from_src(a).writes_only())
+            .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(a));
+        assert_eq!(fw.decide(&BusRequest::write(a, b, 0, 1)), FirewallAction::Deny);
+        assert_eq!(fw.decide(&BusRequest::read(a, b, 0, 1)), FirewallAction::Allow);
+    }
+
+    #[test]
+    fn disabled_firewall_allows_everything() {
+        let (a, b) = units();
+        let mut fw = Firewall::new(FirewallAction::Deny);
+        assert_eq!(fw.decide(&BusRequest::read(a, b, 0, 1)), FirewallAction::Deny);
+        fw.set_enabled(false);
+        assert_eq!(fw.decide(&BusRequest::read(a, b, 0, 1)), FirewallAction::Allow);
+        assert!(!fw.is_enabled());
+    }
+
+    #[test]
+    fn permissive_firewall_is_allow_by_default() {
+        let (a, b) = units();
+        assert_eq!(
+            Firewall::permissive().decide(&BusRequest::write(a, b, 0, 1)),
+            FirewallAction::Allow
+        );
+    }
+
+    #[test]
+    fn merged_with_prepends_rules_and_keeps_other_default() {
+        let (a, b) = units();
+        let baseline = Firewall::new(FirewallAction::Deny)
+            .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(b));
+        let scenario = Firewall::new(FirewallAction::Allow)
+            .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(a).to_dst(b));
+        let merged = scenario.merged_with(baseline);
+        // The scenario's allow rule wins first...
+        assert_eq!(merged.decide(&BusRequest::write(a, b, 0, 1)), FirewallAction::Allow);
+        // ...the baseline rules still apply...
+        assert_eq!(merged.decide(&BusRequest::read(b, a, 0, 1)), FirewallAction::Allow);
+        // ...and the baseline's default-deny is preserved.
+        let c = UnitId::new(9);
+        assert_eq!(merged.decide(&BusRequest::read(c, a, 0, 1)), FirewallAction::Deny);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let ok = BusResponse::ok(vec![7]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.values(), Some(&[7u16][..]));
+        let ex = BusResponse::exception(ExceptionCode::IllegalDataAddress);
+        assert!(!ex.is_ok());
+        assert_eq!(ex.values(), None);
+    }
+
+    #[test]
+    fn bus_log_records_in_order() {
+        let (a, b) = units();
+        let mut bus = Fieldbus::new();
+        bus.record(BusLogEntry {
+            tick: Tick::new(1),
+            request: BusRequest::read(a, b, 0, 1),
+            tampered: false,
+            outcome: BusOutcome::NoSuchUnit,
+        });
+        bus.record(BusLogEntry {
+            tick: Tick::new(2),
+            request: BusRequest::write(a, b, 0, 5),
+            tampered: true,
+            outcome: BusOutcome::Answered(BusResponse::ok(vec![5])),
+        });
+        assert_eq!(bus.message_count(), 2);
+        assert!(bus.log()[0].tick < bus.log()[1].tick);
+        assert!(bus.log()[1].tampered);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let (a, b) = units();
+        let text = BusRequest::write(a, b, 40, 1).to_string();
+        assert!(text.contains("unit1"));
+        assert!(text.contains("fc6"));
+        assert!(text.contains("@40"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Controllers.
+
+/// A discrete PID controller with output clamping and conditional
+/// anti-windup (integration pauses while the output saturates).
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_sim::Pid;
+///
+/// let mut pid = Pid::new(2.0, 0.5, 0.0).with_output_limits(0.0, 10.0);
+/// let mut value = 0.0;
+/// for _ in 0..20_000 {
+///     let u = pid.update(5.0, value, 0.01);
+///     value += (u - 0.5 * value) * 0.01; // first-order plant
+/// }
+/// assert!((value - 5.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pid {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    integral: f64,
+    previous_error: Option<f64>,
+    output_min: f64,
+    output_max: f64,
+}
+
+impl Pid {
+    /// Creates a controller with the given gains and unbounded output.
+    #[must_use]
+    pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
+        Pid {
+            kp,
+            ki,
+            kd,
+            integral: 0.0,
+            previous_error: None,
+            output_min: f64::NEG_INFINITY,
+            output_max: f64::INFINITY,
+        }
+    }
+
+    /// Clamps the output to `[min, max]` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn with_output_limits(mut self, min: f64, max: f64) -> Self {
+        assert!(min <= max, "output limits inverted: {min} > {max}");
+        self.output_min = min;
+        self.output_max = max;
+        self
+    }
+
+    /// Advances the controller by one step of `dt` seconds and returns the
+    /// clamped output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn update(&mut self, setpoint: f64, measurement: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "dt must be positive");
+        let error = setpoint - measurement;
+        let derivative = match self.previous_error {
+            Some(prev) => (error - prev) / dt,
+            None => 0.0,
+        };
+        self.previous_error = Some(error);
+
+        let tentative_integral = self.integral + error * dt;
+        let unclamped =
+            self.kp * error + self.ki * tentative_integral + self.kd * derivative;
+        let output = unclamped.clamp(self.output_min, self.output_max);
+        // Conditional anti-windup: only accumulate when not pushing further
+        // into saturation.
+        if (output - unclamped).abs() < f64::EPSILON
+            || (unclamped > self.output_max && error < 0.0)
+            || (unclamped < self.output_min && error > 0.0)
+        {
+            self.integral = tentative_integral;
+        }
+        output
+    }
+
+    /// Resets the internal state (integral and derivative memory).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.previous_error = None;
+    }
+
+    /// The accumulated integral term (for diagnostics).
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(pid: &mut Pid, setpoint: f64, steps: usize) -> f64 {
+        let mut value = 0.0;
+        for _ in 0..steps {
+            let u = pid.update(setpoint, value, 0.01);
+            value += (u - 0.5 * value) * 0.01;
+        }
+        value
+    }
+
+    #[test]
+    fn proportional_only_leaves_steady_state_error() {
+        let mut pid = Pid::new(1.0, 0.0, 0.0);
+        let value = settle(&mut pid, 10.0, 5000);
+        assert!(value < 10.0 - 0.5, "P-only should not reach setpoint: {value}");
+        assert!(value > 5.0);
+    }
+
+    #[test]
+    fn integral_removes_steady_state_error() {
+        let mut pid = Pid::new(1.0, 0.5, 0.0);
+        let value = settle(&mut pid, 10.0, 20_000);
+        assert!((value - 10.0).abs() < 0.05, "PI should converge: {value}");
+    }
+
+    #[test]
+    fn output_respects_limits() {
+        let mut pid = Pid::new(100.0, 0.0, 0.0).with_output_limits(-1.0, 1.0);
+        assert_eq!(pid.update(1000.0, 0.0, 0.01), 1.0);
+        assert_eq!(pid.update(-1000.0, 0.0, 0.01), -1.0);
+    }
+
+    #[test]
+    fn anti_windup_recovers_quickly() {
+        // Saturate hard, then flip the setpoint; without anti-windup the
+        // integral would keep the output pinned for a long time.
+        let mut pid = Pid::new(0.1, 2.0, 0.0).with_output_limits(-1.0, 1.0);
+        for _ in 0..1000 {
+            pid.update(100.0, 0.0, 0.01);
+        }
+        let integral_at_saturation = pid.integral();
+        for _ in 0..1000 {
+            pid.update(100.0, 0.0, 0.01);
+        }
+        // Integral must not have grown while saturated.
+        assert!((pid.integral() - integral_at_saturation).abs() < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut pid = Pid::new(1.0, 1.0, 1.0);
+        pid.update(5.0, 0.0, 0.1);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+        // First update after reset has no derivative kick.
+        let out = pid.update(1.0, 0.0, 0.1);
+        assert!(out < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_is_rejected() {
+        Pid::new(1.0, 0.0, 0.0).update(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output limits inverted")]
+    fn inverted_limits_are_rejected() {
+        let _ = Pid::new(1.0, 0.0, 0.0).with_output_limits(1.0, -1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Devices: the digital stations on the bus.
+
+use crate::{BusRequest, BusResponse, Tick, UnitId};
+
+/// Requests queued by a device during its poll phase.
+///
+/// The kernel routes queued requests after every device has polled, in
+/// queue order, and delivers responses through
+/// [`Device::on_response`] within the same tick.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    pub(crate) requests: Vec<BusRequest>,
+}
+
+impl Outbox {
+    /// Queues a request for routing this tick.
+    pub fn send(&mut self, request: BusRequest) {
+        self.requests.push(request);
+    }
+
+    /// The queued requests, in send order.
+    #[must_use]
+    pub fn requests(&self) -> &[BusRequest] {
+        &self.requests
+    }
+
+    /// Number of queued requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// A digital station coupled to the plant and the bus.
+///
+/// The kernel calls, per tick and in registration order:
+///
+/// 1. [`poll`](Device::poll) — do physical I/O against the plant and queue
+///    bus requests;
+/// 2. [`handle`](Device::handle) — answer requests addressed to this unit;
+/// 3. [`on_response`](Device::on_response) — receive answers to requests
+///    queued in step 1.
+///
+/// `P` is the concrete plant type the device reads from or actuates.
+pub trait Device<P> {
+    /// The station address. Must be unique within a simulation.
+    fn unit_id(&self) -> UnitId;
+
+    /// A short human-readable name for logs and traces.
+    fn name(&self) -> &str;
+
+    /// Physical I/O and request generation for this tick.
+    fn poll(&mut self, plant: &mut P, outbox: &mut Outbox);
+
+    /// Services a request addressed to this unit.
+    fn handle(&mut self, plant: &mut P, request: &BusRequest) -> BusResponse;
+
+    /// Receives the response to a request this device queued. The default
+    /// ignores responses (write-and-forget devices).
+    fn on_response(&mut self, plant: &mut P, request: &BusRequest, response: &BusResponse) {
+        let _ = (plant, request, response);
+    }
+
+    /// Called once per tick after routing, for internal bookkeeping.
+    /// The default does nothing.
+    fn after_tick(&mut self, plant: &mut P, now: Tick) {
+        let _ = (plant, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_preserves_order() {
+        let a = UnitId::new(1);
+        let b = UnitId::new(2);
+        let mut outbox = Outbox::default();
+        assert!(outbox.is_empty());
+        outbox.send(BusRequest::read(a, b, 0, 1));
+        outbox.send(BusRequest::write(a, b, 4, 9));
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox.requests[0].address, 0);
+        assert_eq!(outbox.requests[1].address, 4);
+    }
+}

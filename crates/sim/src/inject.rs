@@ -1,0 +1,299 @@
+//! Message-level attack injection.
+//!
+//! Injectors sit between the firewall and the destination device — the
+//! position of an adversary with a foothold on the control network. They
+//! can drop requests, rewrite them in flight, and forge responses; each is
+//! active only inside its [`TickWindow`], so scenarios can stage intrusion,
+//! persistence, and effect phases.
+
+use crate::{BusRequest, BusResponse, Tick, UnitId};
+
+/// What an injector decided for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver (possibly after in-place modification).
+    Deliver,
+    /// Drop silently.
+    Drop,
+}
+
+/// A half-open activity window in ticks; `end = None` means "forever".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickWindow {
+    /// First active tick.
+    pub start: Tick,
+    /// First tick no longer active, or `None` for unbounded.
+    pub end: Option<Tick>,
+}
+
+impl TickWindow {
+    /// A window active from `start` on.
+    #[must_use]
+    pub fn from(start: Tick) -> Self {
+        TickWindow { start, end: None }
+    }
+
+    /// A window active in `[start, end)`.
+    #[must_use]
+    pub fn between(start: Tick, end: Tick) -> Self {
+        TickWindow {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// A window active at every tick.
+    #[must_use]
+    pub fn always() -> Self {
+        TickWindow::from(Tick::ZERO)
+    }
+
+    /// Whether `now` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, now: Tick) -> bool {
+        now >= self.start && self.end.map_or(true, |e| now < e)
+    }
+}
+
+/// An adversary capability on the bus.
+pub trait Injector {
+    /// A short name used in the bus log and reports.
+    fn name(&self) -> &str;
+
+    /// Inspects (and may rewrite) a request in flight; returning
+    /// [`Verdict::Drop`] suppresses delivery. The default passes everything.
+    fn intercept_request(&mut self, now: Tick, request: &mut BusRequest) -> Verdict {
+        let _ = (now, request);
+        Verdict::Deliver
+    }
+
+    /// Inspects (and may rewrite) a response on the way back. The default
+    /// passes it unchanged.
+    fn intercept_response(&mut self, now: Tick, request: &BusRequest, response: &mut BusResponse) {
+        let _ = (now, request, response);
+    }
+}
+
+/// Drops requests matching a destination (and optionally writes only) —
+/// a targeted denial of service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropMatching {
+    name: String,
+    window: TickWindow,
+    dst: Option<UnitId>,
+    writes_only: bool,
+}
+
+impl DropMatching {
+    /// Drops every request to `dst` during `window`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, window: TickWindow, dst: Option<UnitId>) -> Self {
+        DropMatching {
+            name: name.into(),
+            window,
+            dst,
+            writes_only: false,
+        }
+    }
+
+    /// Restricts the drop to write requests (builder style).
+    #[must_use]
+    pub fn writes_only(mut self) -> Self {
+        self.writes_only = true;
+        self
+    }
+}
+
+impl Injector for DropMatching {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn intercept_request(&mut self, now: Tick, request: &mut BusRequest) -> Verdict {
+        let applies = self.window.contains(now)
+            && self.dst.map_or(true, |d| d == request.dst)
+            && (!self.writes_only || request.function.is_write());
+        if applies {
+            Verdict::Drop
+        } else {
+            Verdict::Deliver
+        }
+    }
+}
+
+/// Rewrites the value of write requests hitting one register — the bus-level
+/// shape of a command injection that forces an output or setpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterOverride {
+    name: String,
+    window: TickWindow,
+    dst: UnitId,
+    address: u16,
+    forced_value: u16,
+}
+
+impl RegisterOverride {
+    /// Forces writes to `(dst, address)` to carry `forced_value` during
+    /// `window`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        window: TickWindow,
+        dst: UnitId,
+        address: u16,
+        forced_value: u16,
+    ) -> Self {
+        RegisterOverride {
+            name: name.into(),
+            window,
+            dst,
+            address,
+            forced_value,
+        }
+    }
+}
+
+impl Injector for RegisterOverride {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn intercept_request(&mut self, now: Tick, request: &mut BusRequest) -> Verdict {
+        if self.window.contains(now)
+            && request.dst == self.dst
+            && request.function.is_write()
+            && request.address == self.address
+        {
+            for value in &mut request.values {
+                *value = self.forced_value;
+            }
+        }
+        Verdict::Deliver
+    }
+}
+
+/// Rewrites read responses from one register — sensor spoofing as seen by
+/// every consumer of that register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseOverride {
+    name: String,
+    window: TickWindow,
+    dst: UnitId,
+    address: u16,
+    forged_value: u16,
+}
+
+impl ResponseOverride {
+    /// Forges reads of `(dst, address)` to return `forged_value` during
+    /// `window`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        window: TickWindow,
+        dst: UnitId,
+        address: u16,
+        forged_value: u16,
+    ) -> Self {
+        ResponseOverride {
+            name: name.into(),
+            window,
+            dst,
+            address,
+            forged_value,
+        }
+    }
+}
+
+impl Injector for ResponseOverride {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn intercept_response(&mut self, now: Tick, request: &BusRequest, response: &mut BusResponse) {
+        if self.window.contains(now)
+            && request.dst == self.dst
+            && !request.function.is_write()
+            && request.address == self.address
+        {
+            if let BusResponse::Ok(values) = response {
+                for value in values {
+                    *value = self.forged_value;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> BusRequest {
+        BusRequest::write(UnitId::new(1), UnitId::new(2), 40, 100)
+    }
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = TickWindow::between(Tick::new(5), Tick::new(10));
+        assert!(!w.contains(Tick::new(4)));
+        assert!(w.contains(Tick::new(5)));
+        assert!(w.contains(Tick::new(9)));
+        assert!(!w.contains(Tick::new(10)));
+        assert!(TickWindow::always().contains(Tick::ZERO));
+        assert!(TickWindow::from(Tick::new(3)).contains(Tick::new(1_000_000)));
+    }
+
+    #[test]
+    fn drop_matching_respects_window_and_dst() {
+        let mut inj = DropMatching::new(
+            "dos",
+            TickWindow::between(Tick::new(1), Tick::new(2)),
+            Some(UnitId::new(2)),
+        );
+        let mut r = req();
+        assert_eq!(inj.intercept_request(Tick::new(0), &mut r), Verdict::Deliver);
+        assert_eq!(inj.intercept_request(Tick::new(1), &mut r), Verdict::Drop);
+        let mut other = BusRequest::write(UnitId::new(1), UnitId::new(9), 40, 1);
+        assert_eq!(inj.intercept_request(Tick::new(1), &mut other), Verdict::Deliver);
+    }
+
+    #[test]
+    fn drop_matching_writes_only_passes_reads() {
+        let mut inj =
+            DropMatching::new("dos", TickWindow::always(), Some(UnitId::new(2))).writes_only();
+        let mut read = BusRequest::read(UnitId::new(1), UnitId::new(2), 0, 1);
+        assert_eq!(inj.intercept_request(Tick::ZERO, &mut read), Verdict::Deliver);
+        let mut write = req();
+        assert_eq!(inj.intercept_request(Tick::ZERO, &mut write), Verdict::Drop);
+    }
+
+    #[test]
+    fn register_override_rewrites_matching_write() {
+        let mut inj = RegisterOverride::new("cmd-inject", TickWindow::always(), UnitId::new(2), 40, 9999);
+        let mut r = req();
+        assert_eq!(inj.intercept_request(Tick::ZERO, &mut r), Verdict::Deliver);
+        assert_eq!(r.values, vec![9999]);
+        // Different address untouched.
+        let mut other = BusRequest::write(UnitId::new(1), UnitId::new(2), 41, 100);
+        inj.intercept_request(Tick::ZERO, &mut other);
+        assert_eq!(other.values, vec![100]);
+    }
+
+    #[test]
+    fn response_override_spoofs_reads_only() {
+        let mut inj = ResponseOverride::new("spoof", TickWindow::always(), UnitId::new(2), 7, 123);
+        let read = BusRequest::read(UnitId::new(1), UnitId::new(2), 7, 1);
+        let mut resp = BusResponse::ok(vec![55]);
+        inj.intercept_response(Tick::ZERO, &read, &mut resp);
+        assert_eq!(resp.values(), Some(&[123u16][..]));
+        // Writes pass through.
+        let write = req();
+        let mut wresp = BusResponse::ok(vec![55]);
+        inj.intercept_response(Tick::ZERO, &write, &mut wresp);
+        assert_eq!(wresp.values(), Some(&[55u16][..]));
+        // Exceptions untouched.
+        let mut exc = BusResponse::exception(crate::ExceptionCode::DeviceFailure);
+        inj.intercept_response(Tick::ZERO, &read, &mut exc);
+        assert!(!exc.is_ok());
+    }
+}

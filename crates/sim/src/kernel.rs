@@ -1,0 +1,682 @@
+//! The fixed-step simulation kernel.
+
+use core::fmt;
+
+use crate::{
+    BusLogEntry, BusOutcome, BusRequest, Device, Fieldbus, Firewall, FirewallAction, HazardEvent,
+    HazardMonitor, Injector, Outbox, Tick, TraceRecorder, UnitId, Verdict,
+};
+
+/// A physical process integrated once per tick.
+pub trait Plant {
+    /// Advances the continuous dynamics by `dt` seconds.
+    fn integrate(&mut self, dt: f64);
+}
+
+/// The simulation: one plant, any number of devices, a bus, injectors,
+/// monitors, and a trace.
+///
+/// Per tick the kernel runs six deterministic phases:
+///
+/// 1. **integrate** — the plant advances by `dt`;
+/// 2. **poll** — devices do physical I/O and queue bus requests, in
+///    registration order;
+/// 3. **route** — each queued request passes the firewall, then every
+///    injector (which may rewrite or drop it), then reaches the target
+///    device; the response passes the injectors again and returns to the
+///    requester, all logged;
+/// 4. **bookkeeping** — every device's [`Device::after_tick`] runs;
+/// 5. **monitor** — hazard monitors check the plant state;
+/// 6. **record** — the trace recorder samples its probes.
+pub struct Simulation<P> {
+    plant: P,
+    dt: f64,
+    now: Tick,
+    bus: Fieldbus,
+    devices: Vec<Box<dyn Device<P> + Send>>,
+    injectors: Vec<Box<dyn Injector + Send>>,
+    monitors: Vec<HazardMonitor<P>>,
+    hazards: Vec<HazardEvent>,
+    trace: TraceRecorder<P>,
+}
+
+impl<P: Plant> Simulation<P> {
+    /// Creates a simulation over `plant` with a step of `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    #[must_use]
+    pub fn new(plant: P, dt: f64) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        Simulation {
+            plant,
+            dt,
+            now: Tick::ZERO,
+            bus: Fieldbus::new(),
+            devices: Vec::new(),
+            injectors: Vec::new(),
+            monitors: Vec::new(),
+            hazards: Vec::new(),
+            trace: TraceRecorder::new(),
+        }
+    }
+
+    /// Registers a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another device already uses the same unit id — unit ids
+    /// are bus addresses and must be unique.
+    pub fn add_device(&mut self, device: impl Device<P> + Send + 'static) {
+        assert!(
+            self.devices.iter().all(|d| d.unit_id() != device.unit_id()),
+            "duplicate unit id {}",
+            device.unit_id()
+        );
+        self.devices.push(Box::new(device));
+    }
+
+    /// Installs the bus firewall.
+    pub fn set_firewall(&mut self, firewall: Firewall) {
+        self.bus.set_firewall(firewall);
+    }
+
+    /// Registers an attack injector; injectors run in registration order.
+    pub fn add_injector(&mut self, injector: impl Injector + Send + 'static) {
+        self.injectors.push(Box::new(injector));
+    }
+
+    /// Registers a hazard monitor.
+    pub fn add_monitor(&mut self, monitor: HazardMonitor<P>) {
+        self.monitors.push(monitor);
+    }
+
+    /// Registers a trace probe.
+    pub fn probe(&mut self, name: impl Into<String>, probe: impl Fn(&P) -> f64 + Send + 'static) {
+        self.trace.probe(name, probe);
+    }
+
+    /// Advances one tick.
+    pub fn step(&mut self) {
+        self.now = self.now.next();
+        self.plant.integrate(self.dt);
+
+        // Poll phase.
+        let mut queued: Vec<BusRequest> = Vec::new();
+        for device in &mut self.devices {
+            let mut outbox = Outbox::default();
+            device.poll(&mut self.plant, &mut outbox);
+            queued.extend(outbox.requests);
+        }
+
+        // Routing phase.
+        for original in queued {
+            self.route(original);
+        }
+
+        // Bookkeeping phase.
+        for device in &mut self.devices {
+            device.after_tick(&mut self.plant, self.now);
+        }
+
+        // Monitor phase.
+        for monitor in &mut self.monitors {
+            if let Some(event) = monitor.check(self.now, &self.plant) {
+                self.hazards.push(event);
+            }
+        }
+
+        // Record phase.
+        self.trace.sample(&self.plant);
+    }
+
+    fn route(&mut self, original: BusRequest) {
+        if self.bus.decide(&original) == FirewallAction::Deny {
+            self.bus.record(BusLogEntry {
+                tick: self.now,
+                request: original,
+                tampered: false,
+                outcome: BusOutcome::FirewallDenied,
+            });
+            return;
+        }
+        let mut request = original.clone();
+        for injector in &mut self.injectors {
+            if injector.intercept_request(self.now, &mut request) == Verdict::Drop {
+                let by = injector.name().to_owned();
+                self.bus.record(BusLogEntry {
+                    tick: self.now,
+                    request,
+                    tampered: true,
+                    outcome: BusOutcome::InjectorDropped { by },
+                });
+                return;
+            }
+        }
+        let tampered = request != original;
+        // Protocol-level validation (MODBUS limits): register quantity must
+        // be 1..=123 and writes must carry exactly `quantity` values. A
+        // malformed request draws an exception response without reaching
+        // the device — like a real protocol stack.
+        if let Some(code) = validate_request(&request) {
+            let response = crate::BusResponse::exception(code);
+            if let Some(src_index) = self
+                .devices
+                .iter()
+                .position(|d| d.unit_id() == request.src)
+            {
+                self.devices[src_index].on_response(&mut self.plant, &request, &response);
+            }
+            self.bus.record(BusLogEntry {
+                tick: self.now,
+                request,
+                tampered,
+                outcome: BusOutcome::Answered(response),
+            });
+            return;
+        }
+        let Some(dst_index) = self
+            .devices
+            .iter()
+            .position(|d| d.unit_id() == request.dst)
+        else {
+            self.bus.record(BusLogEntry {
+                tick: self.now,
+                request,
+                tampered,
+                outcome: BusOutcome::NoSuchUnit,
+            });
+            return;
+        };
+        let mut response = self.devices[dst_index].handle(&mut self.plant, &request);
+        for injector in &mut self.injectors {
+            injector.intercept_response(self.now, &request, &mut response);
+        }
+        if let Some(src_index) = self
+            .devices
+            .iter()
+            .position(|d| d.unit_id() == request.src)
+        {
+            self.devices[src_index].on_response(&mut self.plant, &request, &response);
+        }
+        self.bus.record(BusLogEntry {
+            tick: self.now,
+            request,
+            tampered,
+            outcome: BusOutcome::Answered(response),
+        });
+    }
+
+    /// Advances `ticks` steps.
+    pub fn run(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// Runs until a hazard fires or `max_ticks` elapse; returns the first
+    /// hazard if one occurred.
+    pub fn run_until_hazard(&mut self, max_ticks: u64) -> Option<HazardEvent> {
+        for _ in 0..max_ticks {
+            let before = self.hazards.len();
+            self.step();
+            if self.hazards.len() > before {
+                return Some(self.hazards[before].clone());
+            }
+        }
+        None
+    }
+
+    /// The current tick.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The kernel step in seconds.
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Elapsed simulated seconds.
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.now.as_seconds(self.dt)
+    }
+
+    /// The plant.
+    #[must_use]
+    pub fn plant(&self) -> &P {
+        &self.plant
+    }
+
+    /// Mutable access to the plant (scenario setup, fault injection).
+    pub fn plant_mut(&mut self) -> &mut P {
+        &mut self.plant
+    }
+
+    /// The bus (message log, firewall).
+    #[must_use]
+    pub fn bus(&self) -> &Fieldbus {
+        &self.bus
+    }
+
+    /// Mutable access to the bus.
+    pub fn bus_mut(&mut self) -> &mut Fieldbus {
+        &mut self.bus
+    }
+
+    /// All hazard events so far, in order of occurrence.
+    #[must_use]
+    pub fn hazards(&self) -> &[HazardEvent] {
+        &self.hazards
+    }
+
+    /// The trace recorder.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRecorder<P> {
+        &self.trace
+    }
+
+    /// Number of registered devices.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Looks up a device's registration index by unit id.
+    #[must_use]
+    pub fn has_unit(&self, unit: UnitId) -> bool {
+        self.devices.iter().any(|d| d.unit_id() == unit)
+    }
+}
+
+/// MODBUS-style request validation: quantity in `1..=123` and, for
+/// writes, a value payload matching the quantity.
+fn validate_request(request: &BusRequest) -> Option<crate::ExceptionCode> {
+    if request.quantity == 0 || request.quantity > 123 {
+        return Some(crate::ExceptionCode::IllegalDataValue);
+    }
+    if request.function.is_write() && request.values.len() != usize::from(request.quantity) {
+        return Some(crate::ExceptionCode::IllegalDataValue);
+    }
+    None
+}
+
+impl<P: fmt::Debug> fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("dt", &self.dt)
+            .field("devices", &self.devices.len())
+            .field("injectors", &self.injectors.len())
+            .field("hazards", &self.hazards.len())
+            .field("plant", &self.plant)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BusResponse, DropMatching, ExceptionCode, FirewallRule, RegisterOverride,
+        ResponseOverride, TickWindow,
+    };
+
+    #[derive(Debug)]
+    struct Tank {
+        level: f64,
+        inflow: f64,
+    }
+
+    impl Plant for Tank {
+        fn integrate(&mut self, dt: f64) {
+            self.level += (self.inflow - 0.1 * self.level) * dt;
+        }
+    }
+
+    const SENSOR: UnitId = UnitId::new(10);
+    const CONTROLLER: UnitId = UnitId::new(1);
+    const ACTUATOR: UnitId = UnitId::new(20);
+
+    /// Serves the tank level (scaled x100) at register 0.
+    struct LevelSensor;
+    impl Device<Tank> for LevelSensor {
+        fn unit_id(&self) -> UnitId {
+            SENSOR
+        }
+        fn name(&self) -> &str {
+            "level-sensor"
+        }
+        fn poll(&mut self, _plant: &mut Tank, _outbox: &mut Outbox) {}
+        fn handle(&mut self, plant: &mut Tank, request: &BusRequest) -> BusResponse {
+            if request.address == 0 && !request.function.is_write() {
+                BusResponse::ok(vec![(plant.level * 100.0) as u16])
+            } else {
+                BusResponse::exception(ExceptionCode::IllegalDataAddress)
+            }
+        }
+    }
+
+    /// Applies register 0 writes (scaled x100) as the inflow command.
+    struct InflowValve;
+    impl Device<Tank> for InflowValve {
+        fn unit_id(&self) -> UnitId {
+            ACTUATOR
+        }
+        fn name(&self) -> &str {
+            "inflow-valve"
+        }
+        fn poll(&mut self, _plant: &mut Tank, _outbox: &mut Outbox) {}
+        fn handle(&mut self, plant: &mut Tank, request: &BusRequest) -> BusResponse {
+            if request.function.is_write() && request.address == 0 {
+                plant.inflow = f64::from(request.values[0]) / 100.0;
+                BusResponse::ok(request.values.clone())
+            } else {
+                BusResponse::exception(ExceptionCode::IllegalFunction)
+            }
+        }
+    }
+
+    /// Bang-bang controller reading the sensor and commanding the valve.
+    struct Controller {
+        setpoint: f64,
+        last_level: f64,
+    }
+    impl Device<Tank> for Controller {
+        fn unit_id(&self) -> UnitId {
+            CONTROLLER
+        }
+        fn name(&self) -> &str {
+            "controller"
+        }
+        fn poll(&mut self, _plant: &mut Tank, outbox: &mut Outbox) {
+            outbox.send(BusRequest::read(CONTROLLER, SENSOR, 0, 1));
+            let command = if self.last_level < self.setpoint { 100u16 } else { 0 };
+            outbox.send(BusRequest::write(CONTROLLER, ACTUATOR, 0, command));
+        }
+        fn handle(&mut self, _plant: &mut Tank, _request: &BusRequest) -> BusResponse {
+            BusResponse::exception(ExceptionCode::IllegalFunction)
+        }
+        fn on_response(&mut self, _plant: &mut Tank, request: &BusRequest, response: &BusResponse) {
+            if request.dst == SENSOR {
+                if let Some(values) = response.values() {
+                    self.last_level = f64::from(values[0]) / 100.0;
+                }
+            }
+        }
+    }
+
+    fn closed_loop() -> Simulation<Tank> {
+        let mut sim = Simulation::new(
+            Tank {
+                level: 0.0,
+                inflow: 0.0,
+            },
+            0.1,
+        );
+        sim.add_device(LevelSensor);
+        sim.add_device(InflowValve);
+        sim.add_device(Controller {
+            setpoint: 5.0,
+            last_level: 0.0,
+        });
+        sim
+    }
+
+    #[test]
+    fn closed_loop_regulates_to_setpoint() {
+        let mut sim = closed_loop();
+        sim.run(2000);
+        assert!((sim.plant().level - 5.0).abs() < 0.5, "level {}", sim.plant().level);
+        assert!(sim.bus().message_count() > 0);
+    }
+
+    #[test]
+    fn duplicate_unit_ids_panic() {
+        let mut sim = closed_loop();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.add_device(LevelSensor);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn firewall_denial_is_logged_and_blocks_control() {
+        let mut sim = closed_loop();
+        sim.set_firewall(
+            Firewall::new(FirewallAction::Allow).with_rule(
+                FirewallRule::any(FirewallAction::Deny)
+                    .from_src(CONTROLLER)
+                    .to_dst(ACTUATOR),
+            ),
+        );
+        sim.run(500);
+        // The valve never opens, so the tank stays empty.
+        assert!(sim.plant().level < 0.1);
+        assert!(sim
+            .bus()
+            .log()
+            .iter()
+            .any(|e| e.outcome == BusOutcome::FirewallDenied));
+    }
+
+    #[test]
+    fn register_override_forces_the_actuator() {
+        let mut sim = closed_loop();
+        // Force every inflow command to zero: the tank can never fill.
+        sim.add_injector(RegisterOverride::new(
+            "force-closed",
+            TickWindow::always(),
+            ACTUATOR,
+            0,
+            0,
+        ));
+        sim.run(1000);
+        assert!(sim.plant().level < 0.1);
+        assert!(sim.bus().log().iter().any(|e| e.tampered));
+    }
+
+    #[test]
+    fn response_override_blinds_the_controller() {
+        let mut sim = closed_loop();
+        // Spoof the level reading to zero: controller keeps filling forever.
+        sim.add_injector(ResponseOverride::new(
+            "spoof-level",
+            TickWindow::always(),
+            SENSOR,
+            0,
+            0,
+        ));
+        sim.run(3000);
+        assert!(sim.plant().level > 7.0, "level {}", sim.plant().level);
+    }
+
+    #[test]
+    fn drop_injector_is_attributed_in_the_log() {
+        let mut sim = closed_loop();
+        sim.add_injector(DropMatching::new(
+            "dos",
+            TickWindow::always(),
+            Some(SENSOR),
+        ));
+        sim.run(10);
+        assert!(sim.bus().log().iter().any(|e| matches!(
+            &e.outcome,
+            BusOutcome::InjectorDropped { by } if by == "dos"
+        )));
+    }
+
+    #[test]
+    fn unknown_destination_is_logged() {
+        struct Babbler;
+        impl Device<Tank> for Babbler {
+            fn unit_id(&self) -> UnitId {
+                UnitId::new(99)
+            }
+            fn name(&self) -> &str {
+                "babbler"
+            }
+            fn poll(&mut self, _plant: &mut Tank, outbox: &mut Outbox) {
+                outbox.send(BusRequest::read(UnitId::new(99), UnitId::new(42), 0, 1));
+            }
+            fn handle(&mut self, _plant: &mut Tank, _req: &BusRequest) -> BusResponse {
+                BusResponse::exception(ExceptionCode::IllegalFunction)
+            }
+        }
+        let mut sim = Simulation::new(
+            Tank {
+                level: 0.0,
+                inflow: 0.0,
+            },
+            0.1,
+        );
+        sim.add_device(Babbler);
+        sim.step();
+        assert_eq!(sim.bus().log()[0].outcome, BusOutcome::NoSuchUnit);
+    }
+
+    #[test]
+    fn monitors_latch_and_run_until_hazard_stops() {
+        let mut sim = closed_loop();
+        sim.add_monitor(HazardMonitor::new("half-full", |t: &Tank| t.level > 2.5));
+        let event = sim.run_until_hazard(5000).expect("tank passes 2.5");
+        assert_eq!(event.hazard, "half-full");
+        assert_eq!(sim.hazards().len(), 1);
+        // Continue running: latched, no further events.
+        sim.run(100);
+        assert_eq!(sim.hazards().len(), 1);
+    }
+
+    #[test]
+    fn trace_samples_every_tick() {
+        let mut sim = closed_loop();
+        sim.probe("level", |t: &Tank| t.level);
+        sim.run(50);
+        assert_eq!(sim.trace().sample_count(), 50);
+        let summary = sim.trace().summary("level").unwrap();
+        assert!(summary.max <= 6.0);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs_agree() {
+        let run = || {
+            let mut sim = closed_loop();
+            sim.probe("level", |t: &Tank| t.level);
+            sim.run(500);
+            (
+                sim.plant().level.to_bits(),
+                sim.bus().message_count(),
+                sim.trace().series("level").unwrap().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn malformed_requests_draw_protocol_exceptions() {
+        struct Malformed {
+            responses: Vec<BusResponse>,
+        }
+        impl Device<Tank> for Malformed {
+            fn unit_id(&self) -> UnitId {
+                UnitId::new(88)
+            }
+            fn name(&self) -> &str {
+                "malformed"
+            }
+            fn poll(&mut self, _plant: &mut Tank, outbox: &mut Outbox) {
+                // Zero quantity, oversized quantity, mismatched payload.
+                outbox.send(BusRequest::read(UnitId::new(88), SENSOR, 0, 0));
+                outbox.send(BusRequest::read(UnitId::new(88), SENSOR, 0, 500));
+                let mut bad_write = BusRequest::write(UnitId::new(88), ACTUATOR, 0, 1);
+                bad_write.quantity = 2; // payload has one value
+                outbox.send(bad_write);
+            }
+            fn handle(&mut self, _plant: &mut Tank, _req: &BusRequest) -> BusResponse {
+                BusResponse::exception(ExceptionCode::IllegalFunction)
+            }
+            fn on_response(&mut self, _plant: &mut Tank, _req: &BusRequest, resp: &BusResponse) {
+                self.responses.push(resp.clone());
+            }
+        }
+        let mut sim = closed_loop();
+        sim.add_device(Malformed { responses: Vec::new() });
+        sim.step();
+        // All three malformed requests were answered with exceptions and
+        // never reached a device handler.
+        let exceptions = sim
+            .bus()
+            .log()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.outcome,
+                    BusOutcome::Answered(BusResponse::Exception(ExceptionCode::IllegalDataValue))
+                )
+            })
+            .count();
+        assert_eq!(exceptions, 3);
+    }
+
+    #[test]
+    fn after_tick_runs_once_per_tick_per_device() {
+        struct Counter {
+            ticks_seen: u64,
+        }
+        impl Device<Tank> for Counter {
+            fn unit_id(&self) -> UnitId {
+                UnitId::new(77)
+            }
+            fn name(&self) -> &str {
+                "counter"
+            }
+            fn poll(&mut self, _plant: &mut Tank, _outbox: &mut Outbox) {}
+            fn handle(&mut self, _plant: &mut Tank, _req: &BusRequest) -> BusResponse {
+                BusResponse::exception(ExceptionCode::IllegalFunction)
+            }
+            fn after_tick(&mut self, plant: &mut Tank, now: Tick) {
+                self.ticks_seen += 1;
+                assert_eq!(now.count(), self.ticks_seen);
+                // Bookkeeping may touch the plant.
+                plant.inflow = plant.inflow.max(0.0);
+            }
+        }
+        let mut sim = Simulation::new(
+            Tank {
+                level: 0.0,
+                inflow: 0.0,
+            },
+            0.1,
+        );
+        sim.add_device(Counter { ticks_seen: 0 });
+        sim.run(25);
+        assert_eq!(sim.now().count(), 25);
+    }
+
+    #[test]
+    fn elapsed_seconds_track_ticks() {
+        let mut sim = closed_loop();
+        sim.run(100);
+        assert_eq!(sim.now(), Tick::new(100));
+        assert!((sim.elapsed_seconds() - 10.0).abs() < 1e-9);
+        assert!(sim.has_unit(SENSOR));
+        assert!(!sim.has_unit(UnitId::new(123)));
+        assert_eq!(sim.device_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_is_rejected() {
+        let _ = Simulation::new(
+            Tank {
+                level: 0.0,
+                inflow: 0.0,
+            },
+            0.0,
+        );
+    }
+}

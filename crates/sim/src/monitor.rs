@@ -1,0 +1,144 @@
+//! Hazard monitors: latching predicates over the plant state.
+//!
+//! A hazard monitor is the simulation-side image of a hazard from the
+//! safety analysis: a condition on the physical state that, once true,
+//! counts as a hazardous excursion regardless of later recovery.
+
+use core::fmt;
+
+use crate::Tick;
+
+/// A recorded hazard occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardEvent {
+    /// The monitor that fired.
+    pub hazard: String,
+    /// First tick at which the condition held.
+    pub at: Tick,
+}
+
+impl fmt::Display for HazardEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hazard `{}` at {}", self.hazard, self.at)
+    }
+}
+
+/// A named, latching predicate over the plant state.
+///
+/// The monitor fires at most once (latching); [`HazardMonitor::reset`]
+/// re-arms it.
+pub struct HazardMonitor<P> {
+    name: String,
+    predicate: Box<dyn Fn(&P) -> bool + Send>,
+    fired_at: Option<Tick>,
+}
+
+impl<P> HazardMonitor<P> {
+    /// Creates a monitor from a name and predicate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpssec_sim::HazardMonitor;
+    /// struct Plant { temperature: f64 }
+    /// let monitor = HazardMonitor::new("overtemperature", |p: &Plant| p.temperature > 80.0);
+    /// assert_eq!(monitor.name(), "overtemperature");
+    /// ```
+    pub fn new(name: impl Into<String>, predicate: impl Fn(&P) -> bool + Send + 'static) -> Self {
+        HazardMonitor {
+            name: name.into(),
+            predicate: Box::new(predicate),
+            fired_at: None,
+        }
+    }
+
+    /// The monitor name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the predicate; returns an event the first time it holds.
+    pub fn check(&mut self, now: Tick, plant: &P) -> Option<HazardEvent> {
+        if self.fired_at.is_none() && (self.predicate)(plant) {
+            self.fired_at = Some(now);
+            return Some(HazardEvent {
+                hazard: self.name.clone(),
+                at: now,
+            });
+        }
+        None
+    }
+
+    /// When the monitor fired, if it has.
+    #[must_use]
+    pub fn fired_at(&self) -> Option<Tick> {
+        self.fired_at
+    }
+
+    /// Re-arms the monitor.
+    pub fn reset(&mut self) {
+        self.fired_at = None;
+    }
+}
+
+impl<P> fmt::Debug for HazardMonitor<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HazardMonitor")
+            .field("name", &self.name)
+            .field("fired_at", &self.fired_at)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Plant {
+        temperature: f64,
+    }
+
+    #[test]
+    fn monitor_latches_on_first_occurrence() {
+        let mut m = HazardMonitor::new("hot", |p: &Plant| p.temperature > 80.0);
+        let mut plant = Plant { temperature: 20.0 };
+        assert!(m.check(Tick::new(0), &plant).is_none());
+        plant.temperature = 99.0;
+        let event = m.check(Tick::new(1), &plant).unwrap();
+        assert_eq!(event.at, Tick::new(1));
+        assert_eq!(event.hazard, "hot");
+        // Still true, but latched: no second event.
+        assert!(m.check(Tick::new(2), &plant).is_none());
+        assert_eq!(m.fired_at(), Some(Tick::new(1)));
+    }
+
+    #[test]
+    fn recovery_does_not_clear_the_latch() {
+        let mut m = HazardMonitor::new("hot", |p: &Plant| p.temperature > 80.0);
+        let mut plant = Plant { temperature: 99.0 };
+        m.check(Tick::new(0), &plant).unwrap();
+        plant.temperature = 20.0;
+        assert!(m.check(Tick::new(1), &plant).is_none());
+        assert_eq!(m.fired_at(), Some(Tick::new(0)));
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let mut m = HazardMonitor::new("hot", |p: &Plant| p.temperature > 80.0);
+        let plant = Plant { temperature: 99.0 };
+        m.check(Tick::new(0), &plant).unwrap();
+        m.reset();
+        assert_eq!(m.fired_at(), None);
+        assert!(m.check(Tick::new(5), &plant).is_some());
+    }
+
+    #[test]
+    fn event_display_names_the_hazard() {
+        let e = HazardEvent {
+            hazard: "overspeed".into(),
+            at: Tick::new(7),
+        };
+        assert_eq!(e.to_string(), "hazard `overspeed` at t7");
+    }
+}

@@ -1,0 +1,112 @@
+//! Simulation time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A discrete simulation instant, counted in kernel steps from zero.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_sim::Tick;
+/// let t = Tick::new(10) + 5;
+/// assert_eq!(t, Tick::new(15));
+/// assert_eq!(t.as_seconds(0.1), 1.5);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tick(u64);
+
+impl Tick {
+    /// The start of time.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Creates a tick from a step count.
+    #[must_use]
+    pub fn new(steps: u64) -> Self {
+        Tick(steps)
+    }
+
+    /// The raw step count.
+    #[must_use]
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to seconds given the kernel step size.
+    #[must_use]
+    pub fn as_seconds(self, dt: f64) -> f64 {
+        self.0 as f64 * dt
+    }
+
+    /// The next tick.
+    #[must_use]
+    pub fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Tick {
+    type Output = Tick;
+
+    fn add(self, rhs: u64) -> Tick {
+        Tick(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Tick {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Tick> for Tick {
+    type Output = u64;
+
+    /// Elapsed steps between two ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: Tick) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("subtracting a later tick from an earlier one")
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_counters() {
+        let mut t = Tick::ZERO;
+        t += 3;
+        assert_eq!(t, Tick::new(3));
+        assert_eq!(t.next(), Tick::new(4));
+        assert_eq!(Tick::new(10) - Tick::new(4), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "subtracting a later tick")]
+    fn negative_elapsed_panics() {
+        let _ = Tick::new(1) - Tick::new(2);
+    }
+
+    #[test]
+    fn seconds_scale_with_dt() {
+        assert_eq!(Tick::new(100).as_seconds(0.01), 1.0);
+        assert_eq!(Tick::ZERO.as_seconds(5.0), 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Tick::new(42).to_string(), "t42");
+    }
+}

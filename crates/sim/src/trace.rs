@@ -1,0 +1,206 @@
+//! Time-series recording of plant signals.
+
+use core::fmt;
+
+/// Summary statistics of one recorded series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Last sample.
+    pub last: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// A boxed probe reading one scalar from the plant state.
+type Probe<P> = Box<dyn Fn(&P) -> f64 + Send>;
+
+/// Records named probes of the plant state every tick.
+///
+/// Probes are registered before the run; each tick appends one sample per
+/// probe. Columns share one length by construction.
+pub struct TraceRecorder<P> {
+    names: Vec<String>,
+    probes: Vec<Probe<P>>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl<P> Default for TraceRecorder<P> {
+    fn default() -> Self {
+        TraceRecorder {
+            names: Vec::new(),
+            probes: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+}
+
+impl<P> TraceRecorder<P> {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Registers a probe.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpssec_sim::TraceRecorder;
+    /// struct Plant { rpm: f64 }
+    /// let mut trace = TraceRecorder::new();
+    /// trace.probe("rpm", |p: &Plant| p.rpm);
+    /// trace.sample(&Plant { rpm: 1000.0 });
+    /// assert_eq!(trace.series("rpm").unwrap(), &[1000.0]);
+    /// ```
+    pub fn probe(&mut self, name: impl Into<String>, probe: impl Fn(&P) -> f64 + Send + 'static) {
+        self.names.push(name.into());
+        self.probes.push(Box::new(probe));
+        self.columns.push(Vec::new());
+    }
+
+    /// Samples every probe once.
+    pub fn sample(&mut self, plant: &P) {
+        for (probe, column) in self.probes.iter().zip(self.columns.iter_mut()) {
+            column.push(probe(plant));
+        }
+    }
+
+    /// The recorded series for a probe name.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// Registered probe names in registration order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of samples taken so far.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Summary statistics for one probe, or `None` for unknown names or
+    /// empty traces.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> Option<SeriesSummary> {
+        let series = self.series(name)?;
+        if series.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in series {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(SeriesSummary {
+            min,
+            max,
+            mean: sum / series.len() as f64,
+            last: *series.last().expect("nonempty"),
+            samples: series.len(),
+        })
+    }
+
+    /// Renders the whole trace as CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.names.join(","));
+        out.push('\n');
+        for row in 0..self.sample_count() {
+            let line: Vec<String> = self
+                .columns
+                .iter()
+                .map(|col| format!("{}", col[row]))
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<P> fmt::Debug for TraceRecorder<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("names", &self.names)
+            .field("samples", &self.sample_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Plant {
+        rpm: f64,
+        temp: f64,
+    }
+
+    fn recorded() -> TraceRecorder<Plant> {
+        let mut t = TraceRecorder::new();
+        t.probe("rpm", |p: &Plant| p.rpm);
+        t.probe("temp", |p: &Plant| p.temp);
+        for i in 0..5 {
+            t.sample(&Plant {
+                rpm: 1000.0 + i as f64,
+                temp: 20.0 - i as f64,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn columns_stay_aligned() {
+        let t = recorded();
+        assert_eq!(t.sample_count(), 5);
+        assert_eq!(t.series("rpm").unwrap().len(), 5);
+        assert_eq!(t.series("temp").unwrap().len(), 5);
+        assert_eq!(t.series("ghost"), None);
+    }
+
+    #[test]
+    fn summary_computes_min_max_mean_last() {
+        let s = recorded().summary("rpm").unwrap();
+        assert_eq!(s.min, 1000.0);
+        assert_eq!(s.max, 1004.0);
+        assert_eq!(s.mean, 1002.0);
+        assert_eq!(s.last, 1004.0);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn empty_trace_has_no_summary() {
+        let mut t: TraceRecorder<Plant> = TraceRecorder::new();
+        t.probe("rpm", |p| p.rpm);
+        assert_eq!(t.summary("rpm"), None);
+        assert_eq!(t.sample_count(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = recorded().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "rpm,temp");
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].starts_with("1000,20"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the `cpssec` workspace.
+//!
+//! Re-exports [`cpssec_core`] so the examples and integration tests in
+//! this repository can use a single dependency. Library users should
+//! depend on `cpssec-core` (or the individual crates) directly.
+
+pub use cpssec_core::{analysis, attackdb, model, prelude, scada, search, sim, Pipeline};

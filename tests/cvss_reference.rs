@@ -1,0 +1,93 @@
+//! CVSS v3.1 reference vectors.
+//!
+//! Canonical vector strings and the base scores NVD publishes for them.
+//! These pin the from-scratch implementation to the specification across
+//! the metric space: every attack vector value, scope change, privilege
+//! interaction, and the zero-impact edge.
+
+use cpssec::attackdb::{CvssVector, Severity};
+
+const REFERENCE: &[(&str, f64)] = &[
+    // Classic unauthenticated network RCE (EternalBlue-class with AC:L).
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8),
+    // Scope-changed total compromise (Log4Shell-class).
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0),
+    // High-complexity network RCE (EternalBlue's actual vector).
+    ("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.1),
+    // Authenticated network RCE.
+    ("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 8.8),
+    // One-click network RCE.
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H", 8.8),
+    // Adjacent-network full compromise.
+    ("CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.8),
+    // Local privilege escalation (Dirty COW class).
+    ("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8),
+    // Malicious-file local code execution.
+    ("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H", 7.8),
+    // High-complexity local escalation.
+    ("CVSS:3.1/AV:L/AC:H/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.0),
+    // Administrator-only local compromise.
+    ("CVSS:3.1/AV:L/AC:L/PR:H/UI:N/S:U/C:H/I:H/A:H", 6.7),
+    // Physical-access full compromise.
+    ("CVSS:3.1/AV:P/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 6.8),
+    // Unauthenticated remote information disclosure (Heartbleed-class band).
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5),
+    // Unauthenticated remote denial of service.
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 7.5),
+    // Partial remote information disclosure.
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 5.3),
+    // Reflected cross-site scripting.
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1),
+    // No impact at all.
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0),
+];
+
+#[test]
+fn reference_vectors_score_exactly() {
+    for (vector, expected) in REFERENCE {
+        let parsed: CvssVector = vector.parse().expect("reference vector parses");
+        assert_eq!(
+            parsed.base_score(),
+            *expected,
+            "{vector} should score {expected}"
+        );
+    }
+}
+
+#[test]
+fn reference_vectors_round_trip_display() {
+    for (vector, _) in REFERENCE {
+        let parsed: CvssVector = vector.parse().unwrap();
+        assert_eq!(&parsed.to_string(), vector);
+    }
+}
+
+#[test]
+fn severity_bands_agree_with_nvd_labels() {
+    let expect = [
+        ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", Severity::Critical),
+        ("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", Severity::High),
+        ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", Severity::Medium),
+        ("CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", Severity::Low),
+        ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", Severity::None),
+    ];
+    for (vector, severity) in expect {
+        let parsed: CvssVector = vector.parse().unwrap();
+        assert_eq!(parsed.severity(), severity, "{vector}");
+    }
+}
+
+#[test]
+fn exploitability_orders_attack_vectors() {
+    // Network > Adjacent > Local > Physical, everything else equal.
+    let scores: Vec<f64> = ["N", "A", "L", "P"]
+        .iter()
+        .map(|av| {
+            format!("CVSS:3.1/AV:{av}/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+                .parse::<CvssVector>()
+                .unwrap()
+                .exploitability()
+        })
+        .collect();
+    assert!(scores.windows(2).all(|w| w[0] > w[1]), "{scores:?}");
+}

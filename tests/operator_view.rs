@@ -1,0 +1,88 @@
+//! Content-spoofing visibility: what the operator sees on the bus.
+//!
+//! CAPEC-148 (Content Spoofing) is about "content presented to an
+//! operator, such as process values on a display, so decisions are made on
+//! falsified data". These tests inspect the actual bus traffic the
+//! workstation's monitoring reads produce during the sensor-spoof attack.
+
+use cpssec::prelude::*;
+use cpssec::scada::addresses;
+use cpssec::scada::attacks;
+use cpssec::sim::{BusOutcome, BusResponse, Tick};
+
+/// Extracts the values the workstation's BPCS temperature reads returned
+/// during the run (what the operator display showed).
+fn displayed_temperatures(harness: &ScadaHarness) -> Vec<f64> {
+    harness
+        .sim()
+        .bus()
+        .log()
+        .iter()
+        .filter(|entry| {
+            entry.request.src == addresses::WORKSTATION
+                && entry.request.dst == addresses::BPCS
+                && entry.request.address == cpssec::scada::addresses::bpcs::TEMPERATURE_X10
+                && !entry.request.function.is_write()
+        })
+        .filter_map(|entry| match &entry.outcome {
+            BusOutcome::Answered(BusResponse::Ok(values)) => {
+                Some(f64::from(values[0]) / 10.0)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn spoofed_sensor_falsifies_the_operator_display() {
+    let mut harness = ScadaHarness::with_attack(
+        ScadaConfig::default(),
+        &attacks::sensor_spoof(Tick::new(100)),
+    );
+    let report = harness.run_batch_for(12_000);
+    assert!(report.exploded, "the excursion must actually happen");
+
+    let shown = displayed_temperatures(&harness);
+    assert!(!shown.is_empty());
+    // While the real temperature passed 60 °C, every value shown to the
+    // operator after the attack window stayed pinned at the forged 35.0 °C.
+    let late: Vec<f64> = shown.iter().rev().take(50).copied().collect();
+    assert!(
+        late.iter().all(|t| (*t - 35.0).abs() < 0.2),
+        "operator display should show the forged value: {late:?}"
+    );
+    assert!(report.max_temperature_c >= 60.0);
+}
+
+#[test]
+fn honest_sensor_shows_the_real_excursion() {
+    // Same excursion caused physically (chiller degradation): the display
+    // tracks the real temperature, so an operator could intervene.
+    let mut harness = ScadaHarness::with_fault(
+        ScadaConfig::default(),
+        &cpssec::scada::faults::chiller_degradation(Tick::new(500), 0.05),
+    );
+    let report = harness.run_batch_for(12_000);
+    let shown = displayed_temperatures(&harness);
+    let max_shown = shown.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    assert!(
+        max_shown > 40.0,
+        "display should reveal the excursion: max shown {max_shown}"
+    );
+    assert!(report.emergency_stopped);
+}
+
+#[test]
+fn nominal_display_tracks_the_plant_within_sensor_accuracy() {
+    let mut harness = ScadaHarness::new(ScadaConfig::default());
+    let report = harness.run_batch();
+    assert_eq!(report.product, ProductQuality::Nominal);
+    let shown = displayed_temperatures(&harness);
+    let late: Vec<f64> = shown.iter().rev().take(20).copied().collect();
+    for value in late {
+        assert!(
+            (value - 35.0).abs() < 1.0,
+            "steady-state display ~35 °C, got {value}"
+        );
+    }
+}

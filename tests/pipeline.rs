@@ -1,0 +1,127 @@
+//! End-to-end integration: the three capabilities chained together.
+
+use cpssec::attackdb::seed::{seed_corpus, table1_attributes};
+use cpssec::attackdb::synth::{generate, SynthSpec};
+use cpssec::prelude::*;
+use cpssec::Pipeline;
+
+fn merged_corpus(scale: f64) -> Corpus {
+    let mut corpus = seed_corpus();
+    corpus
+        .merge(generate(&SynthSpec::paper2020(2020, scale)))
+        .expect("disjoint id spaces");
+    corpus
+}
+
+#[test]
+fn capability1_model_export_round_trips_through_graphml() {
+    let model = cpssec::scada::model::scada_model();
+    let xml = cpssec::model::to_graphml(&model);
+    let imported = cpssec::model::from_graphml(&xml).expect("exporter output imports");
+    assert_eq!(imported, model);
+
+    // The imported model drives the same association as the original.
+    let corpus = seed_corpus();
+    let from_original = Pipeline::new(corpus.clone(), model).associate();
+    let from_imported = Pipeline::new(corpus, imported).associate();
+    assert_eq!(from_original, from_imported);
+}
+
+#[test]
+fn capability2_association_covers_every_component() {
+    let map = Pipeline::new(merged_corpus(0.01), cpssec::scada::model::scada_model()).associate();
+    let model = cpssec::scada::model::scada_model();
+    for (_, component) in model.components() {
+        assert!(
+            map.matches(component.name()).is_some(),
+            "missing association for {}",
+            component.name()
+        );
+    }
+    // The paper's headline observation: the result space is large.
+    assert!(map.total_vectors() > 100, "total {}", map.total_vectors());
+}
+
+#[test]
+fn capability3_dashboard_reacts_to_edits_filters_and_fidelity() {
+    let mut dashboard =
+        Pipeline::new(merged_corpus(0.01), cpssec::scada::model::scada_model()).into_dashboard();
+    let full = dashboard.association().total_vectors();
+
+    dashboard.set_filters(FilterPipeline::new().then(Filter::SeverityAtLeast(Severity::High)));
+    let severe_only = dashboard.association().total_vectors();
+    assert!(severe_only < full);
+
+    dashboard.set_fidelity(Fidelity::Conceptual);
+    let conceptual = dashboard.association().total_vectors();
+    assert!(conceptual < severe_only);
+
+    dashboard.set_filters(FilterPipeline::new());
+    dashboard.set_fidelity(Fidelity::Implementation);
+    assert_eq!(dashboard.association().total_vectors(), full);
+}
+
+#[test]
+fn table1_shape_holds_end_to_end() {
+    let corpus = merged_corpus(0.02);
+    let engine = SearchEngine::build(&corpus);
+    let rows: Vec<(usize, usize, usize)> = table1_attributes()
+        .iter()
+        .map(|attr| engine.match_text(attr).counts())
+        .collect();
+    let [cisco, linux, win7, labview, crio63, crio64] = rows.as_slice() else {
+        panic!("six rows expected");
+    };
+    // Ordering of vulnerability counts matches the paper.
+    assert!(linux.2 > win7.2 && win7.2 > cisco.2 && cisco.2 > crio63.2);
+    // OS attributes match tens of patterns/weaknesses; appliances few; niche none.
+    assert!(linux.0 > 40 && win7.0 > 30);
+    assert!(cisco.0 <= 5);
+    assert_eq!(labview.0 + labview.1, 0);
+    assert_eq!(crio63.0 + crio63.1, 0);
+    assert_eq!(crio63, crio64);
+    // Niche product rows match the paper exactly (they are seed + fixed synth).
+    assert_eq!(labview.2, 6);
+    assert_eq!(crio63.2, 7);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut dashboard =
+            Pipeline::new(merged_corpus(0.01), cpssec::scada::model::scada_model())
+                .into_dashboard();
+        (
+            dashboard.association().total_vectors(),
+            dashboard.posture().total_score.to_bits(),
+            dashboard.figure_dot(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn posture_ranks_commodity_platforms_worst() {
+    let mut dashboard =
+        Pipeline::new(merged_corpus(0.02), cpssec::scada::model::scada_model()).into_dashboard();
+    let posture = dashboard.posture();
+    let ws = posture.component("Programming WS").unwrap();
+    let sensor = posture.component("Temperature sensor").unwrap();
+    // The Windows 7 + LabVIEW workstation relates to far more vectors than
+    // the passive probe.
+    assert!(ws.total_vectors() > 10 * sensor.total_vectors().max(1));
+}
+
+#[test]
+fn exploit_chains_connect_all_three_families_end_to_end() {
+    let corpus = merged_corpus(0.01);
+    let engine = SearchEngine::build(&corpus);
+    let matches = engine.match_text("NI cRIO 9064");
+    let chains = cpssec::search::exploit_chains(&matches, &corpus, 100);
+    assert!(!chains.is_empty());
+    for chain in &chains {
+        assert!(corpus.vulnerability(chain.vulnerability).is_some());
+        assert!(corpus.weakness(chain.weakness).is_some());
+        assert!(corpus.pattern(chain.pattern).is_some());
+    }
+}

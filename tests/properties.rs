@@ -1,0 +1,229 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use cpssec::attackdb::{CvssVector, Severity};
+use cpssec::model::{
+    from_graphml, to_graphml, Attribute, AttributeKind, ChannelKind, Component, ComponentKind,
+    Criticality, Fidelity, SystemModel,
+};
+use cpssec::search::text::{stem, tokenize};
+use cpssec::search::{Filter, FilterPipeline, SearchEngine};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9 _.-]{0,20}".prop_map(|s| s.trim().to_owned()).prop_filter(
+        "nonempty after trim",
+        |s| !s.is_empty(),
+    )
+}
+
+fn arb_kind() -> impl Strategy<Value = ComponentKind> {
+    prop::sample::select(ComponentKind::ALL.to_vec())
+}
+
+fn arb_channel_kind() -> impl Strategy<Value = ChannelKind> {
+    prop::sample::select(ChannelKind::ALL.to_vec())
+}
+
+fn arb_fidelity() -> impl Strategy<Value = Fidelity> {
+    prop::sample::select(Fidelity::ALL.to_vec())
+}
+
+fn arb_attr_kind() -> impl Strategy<Value = AttributeKind> {
+    prop::sample::select(AttributeKind::ALL.to_vec())
+}
+
+fn arb_criticality() -> impl Strategy<Value = Criticality> {
+    prop::sample::select(Criticality::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_attribute()(
+        kind in arb_attr_kind(),
+        value in "[a-zA-Z0-9 .:-]{1,24}",
+        fidelity in arb_fidelity(),
+    ) -> Attribute {
+        Attribute::new(kind, value).at_fidelity(fidelity)
+    }
+}
+
+/// An arbitrary well-formed model: unique names, valid channel endpoints.
+fn arb_model() -> impl Strategy<Value = SystemModel> {
+    (
+        prop::collection::btree_map(arb_name(), (arb_kind(), arb_criticality(), prop::collection::vec(arb_attribute(), 0..4), any::<bool>()), 1..8),
+        prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>(), arb_channel_kind()), 0..10),
+    )
+        .prop_map(|(components, edges)| {
+            let mut model = SystemModel::new("generated").expect("valid name");
+            let mut ids = Vec::new();
+            for (name, (kind, criticality, attrs, entry)) in components {
+                let mut component = Component::new(name, kind)
+                    .with_criticality(criticality)
+                    .with_entry_point(entry);
+                for attr in attrs {
+                    component.attributes_mut().insert(attr);
+                }
+                ids.push(model.add_component(component).expect("unique names"));
+            }
+            for (a, b, kind) in edges {
+                let from = ids[a.index(ids.len())];
+                let to = ids[b.index(ids.len())];
+                if from != to {
+                    model.add_channel(from, to, kind).expect("valid endpoints");
+                }
+            }
+            model
+        })
+}
+
+proptest! {
+    #[test]
+    fn graphml_round_trip_is_identity(model in arb_model()) {
+        let xml = to_graphml(&model);
+        let back = from_graphml(&xml).expect("own export parses");
+        prop_assert_eq!(back, model);
+    }
+
+    #[test]
+    fn generated_models_validate(model in arb_model()) {
+        prop_assert!(model.validate().is_ok());
+    }
+
+    #[test]
+    fn fidelity_projection_is_monotone(model in arb_model(), level in arb_fidelity()) {
+        let projected = model.at_fidelity(level);
+        prop_assert_eq!(projected.component_count(), model.component_count());
+        prop_assert_eq!(projected.channel_count(), model.channel_count());
+        // Attribute counts never grow, and Implementation keeps everything.
+        prop_assert!(projected.stats().attributes <= model.stats().attributes);
+        let full = model.at_fidelity(Fidelity::Implementation);
+        prop_assert_eq!(full.stats().attributes, model.stats().attributes);
+    }
+
+    #[test]
+    fn reachability_is_transitive_on_bidirectional_models(model in arb_model()) {
+        for (a, _) in model.components() {
+            for b in model.reachable_from(a) {
+                for c in model.reachable_from(b) {
+                    if c != a {
+                        prop_assert!(
+                            model.reachable_from(a).contains(&c),
+                            "{a} reaches {b}, {b} reaches {c}, but {a} does not reach {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_no_longer_than_any_simple_path(model in arb_model()) {
+        let ids: Vec<_> = model.components().map(|(id, _)| id).collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a == b { continue; }
+                let simple = model.simple_paths(a, b, 6);
+                if let Some(shortest) = model.shortest_path(a, b) {
+                    for path in &simple {
+                        prop_assert!(shortest.len() <= path.len());
+                    }
+                } else {
+                    prop_assert!(simple.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent(text in "\\PC{0,100}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn stemmed_tokens_are_never_longer(word in "[a-z]{1,20}") {
+        prop_assert!(stem(&word).len() <= word.len() + 1); // "-ies" -> "-y" can shrink by 2, never grow >1
+    }
+
+    #[test]
+    fn cvss_display_parse_round_trips(
+        av in 0u8..4, ac in 0u8..2, pr in 0u8..3, ui in 0u8..2,
+        s in 0u8..2, c in 0u8..3, i in 0u8..3, a in 0u8..3,
+    ) {
+        use cpssec::attackdb::{AttackComplexity, AttackVectorMetric, Impact, PrivilegesRequired, Scope, UserInteraction};
+        let vector = CvssVector {
+            av: [AttackVectorMetric::Network, AttackVectorMetric::Adjacent, AttackVectorMetric::Local, AttackVectorMetric::Physical][av as usize],
+            ac: [AttackComplexity::Low, AttackComplexity::High][ac as usize],
+            pr: [PrivilegesRequired::None, PrivilegesRequired::Low, PrivilegesRequired::High][pr as usize],
+            ui: [UserInteraction::None, UserInteraction::Required][ui as usize],
+            s: [Scope::Unchanged, Scope::Changed][s as usize],
+            c: [Impact::None, Impact::Low, Impact::High][c as usize],
+            i: [Impact::None, Impact::Low, Impact::High][i as usize],
+            a: [Impact::None, Impact::Low, Impact::High][a as usize],
+        };
+        let parsed: CvssVector = vector.to_string().parse().expect("own display parses");
+        prop_assert_eq!(parsed, vector);
+        let score = vector.base_score();
+        prop_assert!((0.0..=10.0).contains(&score));
+        prop_assert_eq!(Severity::from_score(score), vector.severity());
+    }
+
+    #[test]
+    fn filters_never_enlarge_result_sets(query in "[a-zA-Z0-9 ]{1,40}", k in 1usize..10) {
+        let corpus = cpssec::attackdb::seed::seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let raw = engine.match_text(&query);
+        let filtered = FilterPipeline::new()
+            .then(Filter::SeverityAtLeast(Severity::Medium))
+            .then(Filter::TopKPerFamily(k))
+            .apply(&raw, &corpus);
+        prop_assert!(filtered.total() <= raw.total());
+        prop_assert!(filtered.patterns.len() <= k);
+        prop_assert!(filtered.vulnerabilities.len() <= k);
+    }
+
+    #[test]
+    fn search_scores_are_positive_and_sorted(query in "[a-zA-Z0-9 ]{1,40}") {
+        let corpus = cpssec::attackdb::seed::seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let result = engine.match_text(&query);
+        for family in [&result.patterns, &result.weaknesses, &result.vulnerabilities] {
+            prop_assert!(family.windows(2).all(|w| w[0].score >= w[1].score));
+            prop_assert!(family.iter().all(|h| h.score > 0.0 && h.score.is_finite()));
+            prop_assert!(family.iter().all(|h| h.matched_terms >= 1));
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_random_synthetic_corpora(seed in any::<u64>(), scale in 1u32..20) {
+        use cpssec::attackdb::jsonl::{from_jsonl, to_jsonl};
+        use cpssec::attackdb::synth::{generate, SynthSpec};
+        let spec = SynthSpec::paper2020(seed, f64::from(scale) / 1000.0);
+        let corpus = generate(&spec);
+        let back = from_jsonl(&to_jsonl(&corpus)).expect("own export parses");
+        prop_assert_eq!(back, corpus);
+    }
+
+    #[test]
+    fn json_parser_round_trips_arbitrary_strings(text in "\\PC{0,60}") {
+        use cpssec::attackdb::json::{parse, write_escaped};
+        let mut encoded = String::new();
+        write_escaped(&mut encoded, &text);
+        let value = parse(&encoded).expect("escaped string parses");
+        prop_assert_eq!(value.as_str(), Some(text.as_str()));
+    }
+
+    #[test]
+    fn adding_an_attribute_never_reduces_matches(extra in "[a-zA-Z]{3,12}") {
+        let corpus = cpssec::attackdb::seed::seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let base = Component::new("c", ComponentKind::Controller)
+            .with_attribute(Attribute::new(AttributeKind::OperatingSystem, "Windows 7"));
+        let more = base.clone()
+            .with_attribute(Attribute::new(AttributeKind::Software, extra));
+        let base_total = engine.match_component(&base, Fidelity::Implementation).total();
+        let more_total = engine.match_component(&more, Fidelity::Implementation).total();
+        prop_assert!(more_total >= base_total);
+    }
+}
