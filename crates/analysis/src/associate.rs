@@ -68,22 +68,26 @@ impl AssociationMap {
         level: Fidelity,
         filters: &FilterPipeline,
     ) -> AssociationMap {
-        let by_component = model
-            .components()
-            .map(|(_, component)| {
-                let raw = engine.match_component(component, level);
-                (component.name().to_owned(), filters.apply(&raw, corpus))
-            })
+        // The per-element matching fans out across scoped threads; results
+        // come back in model insertion order, so the map is deterministic.
+        let by_component = engine
+            .par_match_model(model, level)
+            .into_iter()
+            .map(|(name, raw)| (name, filters.apply(&raw, corpus)))
             .collect();
-        let by_channel = model
-            .channels()
-            .map(|(id, channel)| {
-                let raw = engine.match_channel(channel, level);
+        let by_channel = engine
+            .par_match_channels(model, level)
+            .into_iter()
+            .map(|(id, raw)| {
+                let channel = model.channel(id).expect("id from this model");
                 let from = model
                     .component(channel.from())
                     .expect("valid endpoint")
                     .name();
-                let to = model.component(channel.to()).expect("valid endpoint").name();
+                let to = model
+                    .component(channel.to())
+                    .expect("valid endpoint")
+                    .name();
                 // Zero-padded so BTreeMap string order equals channel order.
                 let key = format!("e{:03}: {from} -- {to} [{}]", id.index(), channel.kind());
                 (key, filters.apply(&raw, corpus))
@@ -247,7 +251,14 @@ mod tests {
             Fidelity::Implementation,
             &FilterPipeline::new(),
         );
-        for needle in ["Cisco ASA", "Windows 7", "Labview", "NI cRIO 9063", "NI cRIO 9064", "NI RT Linux OS"] {
+        for needle in [
+            "Cisco ASA",
+            "Windows 7",
+            "Labview",
+            "NI cRIO 9063",
+            "NI cRIO 9064",
+            "NI RT Linux OS",
+        ] {
             let row = rows
                 .iter()
                 .find(|r| r.attribute == needle)

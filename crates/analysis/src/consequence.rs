@@ -52,11 +52,7 @@ impl ConsequenceRecord {
 }
 
 fn confirmed_weaknesses(set: &MatchSet, claimed: &[String]) -> Vec<String> {
-    let matched: Vec<String> = set
-        .weakness_ids()
-        .iter()
-        .map(ToString::to_string)
-        .collect();
+    let matched: Vec<String> = set.weakness_ids().iter().map(ToString::to_string).collect();
     claimed
         .iter()
         .filter(|c| matched.contains(c))

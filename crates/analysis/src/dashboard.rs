@@ -174,7 +174,12 @@ impl Dashboard {
             })
             .collect();
         render::text_table(
-            &["Attribute", "Attack Patterns", "Weaknesses", "Vulnerabilities"],
+            &[
+                "Attribute",
+                "Attack Patterns",
+                "Weaknesses",
+                "Vulnerabilities",
+            ],
             &cells,
         )
     }

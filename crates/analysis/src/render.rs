@@ -229,7 +229,10 @@ pub fn association_json(
             let mut fields: Vec<(String, Json)> = vec![
                 ("name".into(), component.name().into()),
                 ("kind".into(), component.kind().as_str().into()),
-                ("criticality".into(), component.criticality().as_str().into()),
+                (
+                    "criticality".into(),
+                    component.criticality().as_str().into(),
+                ),
                 ("entryPoint".into(), component.is_entry_point().into()),
             ];
             if let Some(set) = association.matches(component.name()) {
@@ -258,16 +261,10 @@ pub fn association_json(
         .collect();
     Json::Object(vec![
         ("model".into(), model.name().into()),
-        (
-            "fidelity".into(),
-            association.fidelity().as_str().into(),
-        ),
+        ("fidelity".into(), association.fidelity().as_str().into()),
         ("components".into(), Json::Array(components)),
         ("channels".into(), Json::Array(channels)),
-        (
-            "totalVectors".into(),
-            association.total_vectors().into(),
-        ),
+        ("totalVectors".into(), association.total_vectors().into()),
         ("systemScore".into(), posture.total_score.into()),
     ])
 }

@@ -118,7 +118,10 @@ pub fn render_report(input: &ReportInput<'_>) -> String {
 
     // Posture.
     let _ = writeln!(out, "## Posture (lower is better)\n");
-    let _ = writeln!(out, "| Component | Criticality | Vectors | Score |\n|---|---|---:|---:|");
+    let _ = writeln!(
+        out,
+        "| Component | Criticality | Vectors | Score |\n|---|---|---:|---:|"
+    );
     let mut ranked = input.posture.components.clone();
     ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
     for component in &ranked {
@@ -160,8 +163,7 @@ pub fn render_report(input: &ReportInput<'_>) -> String {
     let _ = writeln!(out, "## Recommended mitigations\n");
     let mut any = false;
     for component in ranked.iter().take(3) {
-        let recs =
-            recommendations_for(input.association, input.corpus, &component.component, 3);
+        let recs = recommendations_for(input.association, input.corpus, &component.component, 3);
         if recs.is_empty() {
             continue;
         }
@@ -190,7 +192,11 @@ pub fn render_report(input: &ReportInput<'_>) -> String {
                 record.scenario,
                 record.target_component,
                 record.product,
-                if record.emergency_stopped { "yes" } else { "no" },
+                if record.emergency_stopped {
+                    "yes"
+                } else {
+                    "no"
+                },
                 record.hazard_ids.join(", "),
                 record.loss_ids.join(", "),
             );
@@ -214,7 +220,8 @@ mod tests {
         let filters = FilterPipeline::new();
         let association =
             AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
-        let rows = crate::attribute_rows(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+        let rows =
+            crate::attribute_rows(&model, &engine, &corpus, Fidelity::Implementation, &filters);
         let posture = SystemPosture::compute(&model, &corpus, &association);
         render_report(&ReportInput {
             model: &model,

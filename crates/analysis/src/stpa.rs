@@ -122,7 +122,10 @@ impl ControlStructureAnalysis {
             .collect();
         loss_ids.sort_unstable();
         loss_ids.dedup();
-        loss_ids.into_iter().filter_map(|id| self.loss(id)).collect()
+        loss_ids
+            .into_iter()
+            .filter_map(|id| self.loss(id))
+            .collect()
     }
 
     /// Unsafe control actions that a given weakness can force.

@@ -58,7 +58,13 @@ pub fn attack_surface(
 ) -> AttackSurface {
     let entries = model.entry_points();
     let targets = model.components_at_criticality(target_criticality);
-    let name = |id: ComponentId| model.component(id).expect("id from model").name().to_owned();
+    let name = |id: ComponentId| {
+        model
+            .component(id)
+            .expect("id from model")
+            .name()
+            .to_owned()
+    };
 
     let mut paths = Vec::new();
     let mut reachable: Vec<ComponentId> = Vec::new();
@@ -88,7 +94,11 @@ pub fn attack_surface(
             exposure += f64::from(weight) / shortest.max(1) as f64;
         }
     }
-    paths.sort_by(|a, b| a.hops.cmp(&b.hops).then_with(|| a.components.cmp(&b.components)));
+    paths.sort_by(|a, b| {
+        a.hops
+            .cmp(&b.hops)
+            .then_with(|| a.components.cmp(&b.components))
+    });
 
     let unreachable_critical = targets
         .iter()
@@ -114,9 +124,7 @@ mod tests {
     fn scada_model_exposes_its_safety_critical_core() {
         let surface = attack_surface(&scada_model(), Criticality::SafetyCritical, 6);
         assert_eq!(surface.entry_points, vec![names::CORPORATE.to_owned()]);
-        assert!(surface
-            .reachable_critical
-            .contains(&names::SIS.to_owned()));
+        assert!(surface.reachable_critical.contains(&names::SIS.to_owned()));
         assert!(surface
             .reachable_critical
             .contains(&names::CENTRIFUGE.to_owned()));
@@ -144,7 +152,9 @@ mod tests {
     #[test]
     fn isolated_critical_component_is_reported_unreachable() {
         let model = SystemModelBuilder::new("m")
-            .component_with("internet", ComponentKind::Network, |c| c.with_entry_point(true))
+            .component_with("internet", ComponentKind::Network, |c| {
+                c.with_entry_point(true)
+            })
             .component("ws", ComponentKind::Workstation)
             .component_with("plc", ComponentKind::Controller, |c| {
                 c.with_criticality(Criticality::SafetyCritical)

@@ -64,11 +64,8 @@ pub fn apply_changes(
                 let comp = edited
                     .component_by_name_mut(component)
                     .ok_or_else(|| ModelError::UnknownComponent(component.clone()))?;
-                let values: Vec<String> = comp
-                    .attributes()
-                    .get_all(key)
-                    .map(str::to_owned)
-                    .collect();
+                let values: Vec<String> =
+                    comp.attributes().get_all(key).map(str::to_owned).collect();
                 for value in values {
                     comp.attributes_mut().remove(key, &value);
                 }

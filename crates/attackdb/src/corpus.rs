@@ -166,13 +166,19 @@ impl Corpus {
     /// Patterns related to a weakness (CAPEC records listing this CWE).
     #[must_use]
     pub fn patterns_for_weakness(&self, cwe: CweId) -> Vec<CapecId> {
-        self.weakness_to_patterns.get(&cwe).cloned().unwrap_or_default()
+        self.weakness_to_patterns
+            .get(&cwe)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Vulnerabilities mapped to a weakness (CVE records listing this CWE).
     #[must_use]
     pub fn vulnerabilities_for_weakness(&self, cwe: CweId) -> Vec<CveId> {
-        self.weakness_to_vulns.get(&cwe).cloned().unwrap_or_default()
+        self.weakness_to_vulns
+            .get(&cwe)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Weaknesses a pattern exploits (the forward CAPEC→CWE link).
@@ -287,20 +293,37 @@ mod tests {
 
     fn small() -> Corpus {
         let mut c = Corpus::new();
-        c.add_weakness(Weakness::new(CweId::new(78), "OS Command Injection", "shell injection"))
-            .unwrap();
-        c.add_weakness(Weakness::new(CweId::new(20), "Improper Input Validation", "no checks"))
-            .unwrap();
+        c.add_weakness(Weakness::new(
+            CweId::new(78),
+            "OS Command Injection",
+            "shell injection",
+        ))
+        .unwrap();
+        c.add_weakness(Weakness::new(
+            CweId::new(20),
+            "Improper Input Validation",
+            "no checks",
+        ))
+        .unwrap();
         c.add_pattern(
-            AttackPattern::new(CapecId::new(88), "OS Command Injection", "inject", Abstraction::Standard)
-                .with_weakness(CweId::new(78))
-                .with_weakness(CweId::new(20)),
+            AttackPattern::new(
+                CapecId::new(88),
+                "OS Command Injection",
+                "inject",
+                Abstraction::Standard,
+            )
+            .with_weakness(CweId::new(78))
+            .with_weakness(CweId::new(20)),
         )
         .unwrap();
         c.add_vulnerability(
             Vulnerability::new(CveId::new(2018, 101), "asa rce")
                 .with_weakness(CweId::new(78))
-                .with_cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap()),
+                .with_cvss(
+                    "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+                        .parse()
+                        .unwrap(),
+                ),
         )
         .unwrap();
         c
@@ -314,7 +337,12 @@ mod tests {
             Err(AttackDbError::DuplicateRecord(_))
         ));
         assert!(matches!(
-            c.add_pattern(AttackPattern::new(CapecId::new(88), "again", "x", Abstraction::Meta)),
+            c.add_pattern(AttackPattern::new(
+                CapecId::new(88),
+                "again",
+                "x",
+                Abstraction::Meta
+            )),
             Err(AttackDbError::DuplicateRecord(_))
         ));
         assert!(matches!(
@@ -326,8 +354,14 @@ mod tests {
     #[test]
     fn reverse_links_are_maintained() {
         let c = small();
-        assert_eq!(c.patterns_for_weakness(CweId::new(78)), vec![CapecId::new(88)]);
-        assert_eq!(c.patterns_for_weakness(CweId::new(20)), vec![CapecId::new(88)]);
+        assert_eq!(
+            c.patterns_for_weakness(CweId::new(78)),
+            vec![CapecId::new(88)]
+        );
+        assert_eq!(
+            c.patterns_for_weakness(CweId::new(20)),
+            vec![CapecId::new(88)]
+        );
         assert_eq!(
             c.vulnerabilities_for_weakness(CweId::new(78)),
             vec![CveId::new(2018, 101)]
@@ -394,14 +428,17 @@ mod tests {
     #[test]
     fn merge_combines_and_rejects_collisions() {
         let mut a = Corpus::new();
-        a.add_weakness(Weakness::new(CweId::new(1), "w1", "d")).unwrap();
+        a.add_weakness(Weakness::new(CweId::new(1), "w1", "d"))
+            .unwrap();
         let mut b = Corpus::new();
-        b.add_weakness(Weakness::new(CweId::new(2), "w2", "d")).unwrap();
+        b.add_weakness(Weakness::new(CweId::new(2), "w2", "d"))
+            .unwrap();
         a.merge(b).unwrap();
         assert_eq!(a.stats().weaknesses, 2);
 
         let mut c = Corpus::new();
-        c.add_weakness(Weakness::new(CweId::new(1), "w1 again", "d")).unwrap();
+        c.add_weakness(Weakness::new(CweId::new(1), "w1 again", "d"))
+            .unwrap();
         assert!(a.merge(c).is_err());
     }
 

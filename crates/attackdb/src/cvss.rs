@@ -394,7 +394,11 @@ impl FromStr for CvssVector {
     }
 }
 
-fn set_once<T>(slot: &mut Option<T>, value: T, dup: impl FnOnce() -> CvssError) -> Result<(), CvssError> {
+fn set_once<T>(
+    slot: &mut Option<T>,
+    value: T,
+    dup: impl FnOnce() -> CvssError,
+) -> Result<(), CvssError> {
     if slot.is_some() {
         return Err(dup());
     }
@@ -589,7 +593,16 @@ mod tests {
                             for c in [Impact::None, Impact::Low, Impact::High] {
                                 for i in [Impact::None, Impact::Low, Impact::High] {
                                     for a in [Impact::None, Impact::Low, Impact::High] {
-                                        let v = CvssVector { av, ac, pr, ui, s, c, i, a };
+                                        let v = CvssVector {
+                                            av,
+                                            ac,
+                                            pr,
+                                            ui,
+                                            s,
+                                            c,
+                                            i,
+                                            a,
+                                        };
                                         let score = v.base_score();
                                         assert!((0.0..=10.0).contains(&score), "{v}: {score}");
                                         // One decimal place exactly.
@@ -598,7 +611,10 @@ mod tests {
                                             (tenths - tenths.round()).abs() < 1e-9,
                                             "{v}: {score}"
                                         );
-                                        if c == Impact::None && i == Impact::None && a == Impact::None {
+                                        if c == Impact::None
+                                            && i == Impact::None
+                                            && a == Impact::None
+                                        {
                                             assert_eq!(score, 0.0, "{v}");
                                         } else {
                                             assert!(score > 0.0, "{v}");

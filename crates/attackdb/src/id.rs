@@ -25,7 +25,11 @@ pub(crate) fn parse_id_error(input: &str, expected: &'static str) -> ParseIdErro
 
 impl fmt::Display for ParseIdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "`{}` is not a valid {} identifier", self.input, self.expected)
+        write!(
+            f,
+            "`{}` is not a valid {} identifier",
+            self.input, self.expected
+        )
     }
 }
 
@@ -278,10 +282,7 @@ mod tests {
 
     #[test]
     fn vector_id_display_delegates() {
-        assert_eq!(
-            AttackVectorId::from(CweId::new(78)).to_string(),
-            "CWE-78"
-        );
+        assert_eq!(AttackVectorId::from(CweId::new(78)).to_string(), "CWE-78");
         assert_eq!(
             AttackVectorId::from(CveId::new(2018, 101)).to_string(),
             "CVE-2018-0101"

@@ -128,7 +128,10 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::new(self.pos, format!("expected `{}`", byte as char)))
+            Err(JsonError::new(
+                self.pos,
+                format!("expected `{}`", byte as char),
+            ))
         }
     }
 
@@ -248,8 +251,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(JsonError::new(start, "invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| JsonError::new(start, "invalid code point"))?
                             } else {
@@ -284,10 +286,10 @@ impl Parser<'_> {
             .bytes
             .get(self.pos..end)
             .ok_or_else(|| JsonError::new(start, "truncated \\u escape"))?;
-        let text = std::str::from_utf8(digits)
+        let text =
+            std::str::from_utf8(digits).map_err(|_| JsonError::new(start, "invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16)
             .map_err(|_| JsonError::new(start, "invalid \\u escape"))?;
-        let code =
-            u32::from_str_radix(text, 16).map_err(|_| JsonError::new(start, "invalid \\u escape"))?;
         self.pos = end;
         Ok(code)
     }
@@ -374,10 +376,7 @@ mod tests {
 
     #[test]
     fn surrogate_pairs_decode() {
-        assert_eq!(
-            parse(r#""😀""#).unwrap().as_str(),
-            Some("\u{1F600}")
-        );
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("\u{1F600}"));
         assert!(parse(r#""\ud83d""#).is_err());
     }
 

@@ -112,7 +112,11 @@ fn write_pattern(out: &mut String, p: &AttackPattern) {
     if let Some(severity) = p.typical_severity() {
         write_str_field(out, "severity", severity.as_str(), false);
     }
-    write_str_array(out, "weaknesses", p.related_weaknesses().iter().map(ToString::to_string));
+    write_str_array(
+        out,
+        "weaknesses",
+        p.related_weaknesses().iter().map(ToString::to_string),
+    );
     write_str_array(out, "prerequisites", p.prerequisites().iter().cloned());
     out.push('}');
 }
@@ -137,7 +141,11 @@ fn write_vulnerability(out: &mut String, v: &Vulnerability) {
     if let Some(cvss) = v.cvss() {
         write_str_field(out, "cvss", &cvss.to_string(), false);
     }
-    write_str_array(out, "weaknesses", v.weaknesses().iter().map(ToString::to_string));
+    write_str_array(
+        out,
+        "weaknesses",
+        v.weaknesses().iter().map(ToString::to_string),
+    );
     out.push(',');
     write_escaped(out, "affected");
     out.push_str(":[");
@@ -347,7 +355,9 @@ mod tests {
     fn optional_fields_default_empty() {
         let text = r#"{"type":"vulnerability","id":"CVE-2020-0001","description":"d"}"#;
         let corpus = from_jsonl(text).unwrap();
-        let v = corpus.vulnerability("CVE-2020-0001".parse().unwrap()).unwrap();
+        let v = corpus
+            .vulnerability("CVE-2020-0001".parse().unwrap())
+            .unwrap();
         assert!(v.cvss().is_none());
         assert!(v.weaknesses().is_empty());
         assert!(v.affected().is_empty());
@@ -362,7 +372,10 @@ mod tests {
 
     #[test]
     fn bad_ids_and_types_are_rejected() {
-        assert!(from_jsonl(r#"{"type":"weakness","id":"WEAK-1","name":"n","description":"d"}"#).is_err());
+        assert!(
+            from_jsonl(r#"{"type":"weakness","id":"WEAK-1","name":"n","description":"d"}"#)
+                .is_err()
+        );
         assert!(from_jsonl(r#"{"type":"exploit","id":"X-1"}"#).is_err());
         assert!(from_jsonl(r#"{"id":"CWE-1"}"#).is_err());
     }

@@ -36,8 +36,8 @@ pub mod synth;
 
 pub use corpus::{Corpus, CorpusStats};
 pub use cvss::{
-    AttackComplexity, AttackVectorMetric, CvssError, CvssVector, Impact, PrivilegesRequired,
-    Scope, Severity, UserInteraction,
+    AttackComplexity, AttackVectorMetric, CvssError, CvssVector, Impact, PrivilegesRequired, Scope,
+    Severity, UserInteraction,
 };
 pub use error::AttackDbError;
 pub use id::{AttackVectorId, CapecId, CveId, CweId, ParseIdError};

@@ -533,8 +533,11 @@ mod tests {
 
     #[test]
     fn vulnerability_severity_comes_from_cvss() {
-        let v = Vulnerability::new(CveId::new(2018, 101), "rce")
-            .with_cvss("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap());
+        let v = Vulnerability::new(CveId::new(2018, 101), "rce").with_cvss(
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+                .parse()
+                .unwrap(),
+        );
         assert_eq!(v.severity(), Some(Severity::Critical));
         let unscored = Vulnerability::new(CveId::new(2018, 102), "x");
         assert_eq!(unscored.severity(), None);
@@ -544,7 +547,9 @@ mod tests {
     fn cpe_display_includes_version_when_present() {
         assert_eq!(CpeName::new("ni", "labview").to_string(), "ni:labview");
         assert_eq!(
-            CpeName::new("ni", "labview").with_version("2019").to_string(),
+            CpeName::new("ni", "labview")
+                .with_version("2019")
+                .to_string(),
             "ni:labview:2019"
         );
     }

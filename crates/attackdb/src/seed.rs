@@ -52,7 +52,8 @@ pub fn seed_corpus() -> Corpus {
         c.add_pattern(p).expect("seed pattern ids unique");
     }
     for v in vulnerabilities() {
-        c.add_vulnerability(v).expect("seed vulnerability ids unique");
+        c.add_vulnerability(v)
+            .expect("seed vulnerability ids unique");
     }
     c
 }
@@ -715,7 +716,14 @@ mod tests {
     #[test]
     fn every_table1_product_has_a_vulnerability() {
         let c = seed_corpus();
-        for needle in ["asa", "windows 7", "rt linux", "labview", "crio 9063", "crio 9064"] {
+        for needle in [
+            "asa",
+            "windows 7",
+            "rt linux",
+            "labview",
+            "crio 9063",
+            "crio 9064",
+        ] {
             let hit = c.vulnerabilities().any(|v| {
                 v.affected()
                     .iter()

@@ -17,8 +17,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::{
-    Abstraction, AttackComplexity, AttackPattern, AttackVectorMetric, Corpus, CpeName, CveId,
-    CvssVector, CweId, CapecId, Impact, PrivilegesRequired, Scope, UserInteraction, Vulnerability,
+    Abstraction, AttackComplexity, AttackPattern, AttackVectorMetric, CapecId, Corpus, CpeName,
+    CveId, CvssVector, CweId, Impact, PrivilegesRequired, Scope, UserInteraction, Vulnerability,
     Weakness,
 };
 
@@ -50,7 +50,12 @@ pub struct ProductProfile {
 
 impl ProductProfile {
     /// Creates a profile with all counts zero.
-    pub fn new(key: impl Into<String>, mention: impl Into<String>, vendor: impl Into<String>, product: impl Into<String>) -> Self {
+    pub fn new(
+        key: impl Into<String>,
+        mention: impl Into<String>,
+        vendor: impl Into<String>,
+        product: impl Into<String>,
+    ) -> Self {
         ProductProfile {
             key: key.into(),
             mention: mention.into(),
@@ -78,7 +83,12 @@ impl ProductProfile {
 
     /// Sets the record counts (builder style).
     #[must_use]
-    pub fn with_counts(mut self, vulnerabilities: usize, patterns: usize, weaknesses: usize) -> Self {
+    pub fn with_counts(
+        mut self,
+        vulnerabilities: usize,
+        patterns: usize,
+        weaknesses: usize,
+    ) -> Self {
         self.vulnerabilities = vulnerabilities;
         self.patterns = patterns;
         self.weaknesses = weaknesses;
@@ -164,21 +174,11 @@ impl SynthSpec {
                 )
                 .with_platform_hint("Linux operating system")
                 .with_counts(v(9673).saturating_sub(3), 54, 75),
-                ProductProfile::new(
-                    "windows-7",
-                    "Microsoft Windows 7",
-                    "microsoft",
-                    "windows 7",
-                )
-                .with_platform_hint("Microsoft Windows operating system")
-                .with_counts(v(6627).saturating_sub(4), 41, 73),
-                ProductProfile::new(
-                    "labview",
-                    "National Instruments LabVIEW",
-                    "ni",
-                    "labview",
-                )
-                .with_counts(3, 0, 0),
+                ProductProfile::new("windows-7", "Microsoft Windows 7", "microsoft", "windows 7")
+                    .with_platform_hint("Microsoft Windows operating system")
+                    .with_counts(v(6627).saturating_sub(4), 41, 73),
+                ProductProfile::new("labview", "National Instruments LabVIEW", "ni", "labview")
+                    .with_counts(3, 0, 0),
                 ProductProfile::new(
                     "crio",
                     "National Instruments cRIO 9063 and cRIO 9064 CompactRIO controllers",
@@ -317,9 +317,9 @@ fn sentence(rng: &mut StdRng, mention: Option<&str>) -> String {
     let actor = ACTORS.choose(rng).expect("non-empty pool");
     let consequence = CONSEQUENCES.choose(rng).expect("non-empty pool");
     match mention {
-        Some(product) => format!(
-            "{flaw} in the {component} of {product} allows {actor} to {consequence}."
-        ),
+        Some(product) => {
+            format!("{flaw} in the {component} of {product} allows {actor} to {consequence}.")
+        }
         None => {
             let (vendor, product) = FAKE_PRODUCTS.choose(rng).expect("non-empty pool");
             format!(
@@ -400,10 +400,10 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
     let mut next_cwe = 10_000u32;
     let mut all_cwes: Vec<CweId> = Vec::new();
     let add_weakness = |corpus: &mut Corpus,
-                            rng: &mut StdRng,
-                            all_cwes: &mut Vec<CweId>,
-                            next_cwe: &mut u32,
-                            mention: Option<&str>| {
+                        rng: &mut StdRng,
+                        all_cwes: &mut Vec<CweId>,
+                        next_cwe: &mut u32,
+                        mention: Option<&str>| {
         let id = CweId::new(*next_cwe);
         *next_cwe += 1;
         let mode = WEAKNESS_MODES.choose(rng).expect("non-empty pool");
@@ -437,41 +437,48 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
 
     // Attack patterns.
     let mut next_capec = 10_000u32;
-    let abstractions = [Abstraction::Meta, Abstraction::Standard, Abstraction::Detailed];
-    let add_pattern = |corpus: &mut Corpus,
-                           rng: &mut StdRng,
-                           next_capec: &mut u32,
-                           mention: Option<&str>| {
-        let id = CapecId::new(*next_capec);
-        *next_capec += 1;
-        let verb = PATTERN_VERBS.choose(rng).expect("non-empty pool");
-        let object = PATTERN_OBJECTS.choose(rng).expect("non-empty pool");
-        let description = match mention {
-            Some(m) => format!(
-                "An adversary targets services running on {m} platforms. {}",
-                sentence(rng, None)
-            ),
-            None => sentence(rng, None),
-        };
-        let mut p = AttackPattern::new(
-            id,
-            format!("{verb} {object}"),
-            description,
-            *abstractions.choose(rng).expect("non-empty pool"),
-        );
-        for _ in 0..rng.gen_range(1..=3usize) {
-            if let Some(cwe) = all_cwes.choose(rng) {
-                p = p.with_weakness(*cwe);
+    let abstractions = [
+        Abstraction::Meta,
+        Abstraction::Standard,
+        Abstraction::Detailed,
+    ];
+    let add_pattern =
+        |corpus: &mut Corpus, rng: &mut StdRng, next_capec: &mut u32, mention: Option<&str>| {
+            let id = CapecId::new(*next_capec);
+            *next_capec += 1;
+            let verb = PATTERN_VERBS.choose(rng).expect("non-empty pool");
+            let object = PATTERN_OBJECTS.choose(rng).expect("non-empty pool");
+            let description = match mention {
+                Some(m) => format!(
+                    "An adversary targets services running on {m} platforms. {}",
+                    sentence(rng, None)
+                ),
+                None => sentence(rng, None),
+            };
+            let mut p = AttackPattern::new(
+                id,
+                format!("{verb} {object}"),
+                description,
+                *abstractions.choose(rng).expect("non-empty pool"),
+            );
+            for _ in 0..rng.gen_range(1..=3usize) {
+                if let Some(cwe) = all_cwes.choose(rng) {
+                    p = p.with_weakness(*cwe);
+                }
             }
-        }
-        corpus.add_pattern(p).expect("generated ids unique");
-    };
+            corpus.add_pattern(p).expect("generated ids unique");
+        };
     for _ in 0..spec.background_patterns {
         add_pattern(&mut corpus, &mut rng, &mut next_capec, None);
     }
     for profile in &spec.profiles {
         for _ in 0..profile.patterns {
-            add_pattern(&mut corpus, &mut rng, &mut next_capec, Some(profile.platform()));
+            add_pattern(
+                &mut corpus,
+                &mut rng,
+                &mut next_capec,
+                Some(profile.platform()),
+            );
         }
     }
 
@@ -479,9 +486,9 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
     let mut next_cve = 20_000u32;
     let classic_bias = spec.classic_weakness_bias.clamp(0.0, 1.0);
     let add_vuln = |corpus: &mut Corpus,
-                        rng: &mut StdRng,
-                        next_cve: &mut u32,
-                        profile: Option<&ProductProfile>| {
+                    rng: &mut StdRng,
+                    next_cve: &mut u32,
+                    profile: Option<&ProductProfile>| {
         let year = 2002 + (*next_cve % 19) as u16;
         let id = CveId::new(year, *next_cve);
         *next_cve += 1;
@@ -599,8 +606,13 @@ mod tests {
         let find = |spec: &SynthSpec, key: &str| {
             spec.profiles.iter().find(|p| p.key == key).unwrap().clone()
         };
-        assert_eq!(find(&full, "windows-7").patterns, find(&tenth, "windows-7").patterns);
-        assert!(find(&full, "windows-7").vulnerabilities > find(&tenth, "windows-7").vulnerabilities);
+        assert_eq!(
+            find(&full, "windows-7").patterns,
+            find(&tenth, "windows-7").patterns
+        );
+        assert!(
+            find(&full, "windows-7").vulnerabilities > find(&tenth, "windows-7").vulnerabilities
+        );
         // Niche products stay tiny at any scale.
         assert_eq!(find(&full, "labview").vulnerabilities, 3);
         assert_eq!(find(&full, "crio").vulnerabilities, 4);

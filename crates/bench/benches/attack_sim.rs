@@ -39,7 +39,11 @@ fn bench_attack_sim(c: &mut Criterion) {
             "{:<32} {:<16} {:>8} {:>8} {:<10} {:<14}",
             record.scenario,
             record.product.to_string(),
-            if record.emergency_stopped { "yes" } else { "no" },
+            if record.emergency_stopped {
+                "yes"
+            } else {
+                "no"
+            },
             if record.exploded { "yes" } else { "no" },
             record.hazard_ids.join(","),
             record.loss_ids.join(","),
@@ -55,7 +59,10 @@ fn bench_attack_sim(c: &mut Criterion) {
         })
     });
     for (name, scenario) in [
-        ("command_injection", attacks::command_injection_bpcs(Tick::new(3000))),
+        (
+            "command_injection",
+            attacks::command_injection_bpcs(Tick::new(3000)),
+        ),
         ("sensor_spoof", attacks::sensor_spoof(Tick::new(100))),
         (
             "triton_overtemp",

@@ -7,6 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use cpssec_model::Fidelity;
+use cpssec_scada::model::scada_model;
 use cpssec_search::SearchEngine;
 
 const SCALES: [f64; 3] = [0.02, 0.1, 0.3];
@@ -49,6 +51,41 @@ fn bench_search_scale(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(engine.match_text("NI RT Linux OS").total())
                         + black_box(engine.match_text("Cisco ASA").total())
+                })
+            },
+        );
+        // Whole-topology association: every component of the SCADA testbed
+        // matched at implementation fidelity — the paper's interactive unit
+        // of work for what-if edits.
+        let model = scada_model();
+        group.throughput(Throughput::Elements(model.component_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("match_model", format!("{records}rec")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .match_model(&model, Fidelity::Implementation)
+                            .iter()
+                            .map(|(_, set)| set.total())
+                            .sum::<usize>(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("par_match_model", format!("{records}rec")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .par_match_model(&model, Fidelity::Implementation)
+                            .iter()
+                            .map(|(_, set)| set.total())
+                            .sum::<usize>(),
+                    )
                 })
             },
         );

@@ -58,7 +58,10 @@ fn bench_whatif(c: &mut Criterion) {
     let filters = FilterPipeline::new();
 
     println!("\nWhat-if posture deltas (lower score = better posture):");
-    println!("{:<32} {:>12} {:>12} {:>10}", "Swap", "before", "after", "delta");
+    println!(
+        "{:<32} {:>12} {:>12} {:>10}",
+        "Swap", "before", "after", "delta"
+    );
     for (name, changes) in swaps() {
         let report = evaluate(
             &model,
@@ -85,21 +88,25 @@ fn bench_whatif(c: &mut Criterion) {
     let mut group = c.benchmark_group("whatif");
     group.sample_size(10);
     for (name, changes) in swaps() {
-        group.bench_with_input(BenchmarkId::new("evaluate", name), &changes, |b, changes| {
-            b.iter(|| {
-                black_box(
-                    evaluate(
-                        &model,
-                        changes,
-                        &engine,
-                        &corpus,
-                        Fidelity::Implementation,
-                        &filters,
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", name),
+            &changes,
+            |b, changes| {
+                b.iter(|| {
+                    black_box(
+                        evaluate(
+                            &model,
+                            changes,
+                            &engine,
+                            &corpus,
+                            Fidelity::Implementation,
+                            &filters,
+                        )
+                        .expect("valid changes"),
                     )
-                    .expect("valid changes"),
-                )
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -120,8 +120,8 @@ fn corpus_at(scale: f64) -> Corpus {
 fn load_corpus(options: &Options) -> Result<Corpus, String> {
     match &options.corpus_path {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             cpssec_attackdb::jsonl::from_jsonl(&text)
                 .map_err(|e| format!("cannot parse `{path}`: {e}"))
         }
@@ -145,9 +145,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "export-model" => cmd_export_model(&options, out),
         "export-corpus" => cmd_export_corpus(&options, out),
         "json" => cmd_json(&options, out),
-        "help" | "--help" | "-h" => {
-            writeln!(out, "{USAGE}").map_err(|e| e.to_string())
-        }
+        "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -178,7 +176,12 @@ fn cmd_table1(options: &Options, out: &mut dyn Write) -> Result<(), String> {
         out,
         "{}",
         text_table(
-            &["Attribute", "Attack Patterns", "Weaknesses", "Vulnerabilities"],
+            &[
+                "Attribute",
+                "Attack Patterns",
+                "Weaknesses",
+                "Vulnerabilities"
+            ],
             &cells,
         )
     )
@@ -218,11 +221,19 @@ fn cmd_associate(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     write!(
         out,
         "{}",
-        text_table(&["Component", "Patterns", "Weaknesses", "Vulnerabilities"], &cells)
+        text_table(
+            &["Component", "Patterns", "Weaknesses", "Vulnerabilities"],
+            &cells
+        )
     )
     .map_err(|e| e.to_string())?;
-    writeln!(out, "total: {} associated vectors at {} fidelity", map.total_vectors(), options.fidelity)
-        .map_err(|e| e.to_string())
+    writeln!(
+        out,
+        "total: {} associated vectors at {} fidelity",
+        map.total_vectors(),
+        options.fidelity
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn cmd_figure(options: &Options, out: &mut dyn Write) -> Result<(), String> {
@@ -268,8 +279,12 @@ fn print_batch(report: &BatchReport, out: &mut dyn Write) -> Result<(), String> 
     writeln!(out, "product:            {}", report.product).map_err(|e| e.to_string())?;
     writeln!(out, "emergency stop:     {}", report.emergency_stopped).map_err(|e| e.to_string())?;
     writeln!(out, "exploded:           {}", report.exploded).map_err(|e| e.to_string())?;
-    writeln!(out, "max temperature:    {:.1} °C", report.max_temperature_c)
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "max temperature:    {:.1} °C",
+        report.max_temperature_c
+    )
+    .map_err(|e| e.to_string())?;
     writeln!(
         out,
         "max speed deviation: {:.2} rpm",
@@ -290,7 +305,10 @@ fn cmd_simulate(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     let config = ScadaConfig::default();
     let report = if name == "nominal" {
         ScadaHarness::new(config).run_batch_for(options.ticks)
-    } else if let Some(attack) = attacks::all_scenarios().into_iter().find(|s| &s.name == name) {
+    } else if let Some(attack) = attacks::all_scenarios()
+        .into_iter()
+        .find(|s| &s.name == name)
+    {
         ScadaHarness::with_attack(config, &attack).run_batch_for(options.ticks)
     } else if let Some(fault) = faults::all_fault_scenarios()
         .into_iter()
@@ -371,8 +389,17 @@ mod tests {
         assert_eq!(options.fidelity, Fidelity::Implementation);
 
         let options = parse_options(
-            &["--scale", "0.2", "--fidelity", "conceptual", "--top", "5", "--simulate", "pos"]
-                .map(String::from),
+            &[
+                "--scale",
+                "0.2",
+                "--fidelity",
+                "conceptual",
+                "--top",
+                "5",
+                "--simulate",
+                "pos",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert_eq!(options.scale, 0.2);
@@ -407,7 +434,13 @@ mod tests {
     #[test]
     fn table1_prints_all_six_attributes() {
         let output = run_capture(&["table1", "--scale", "0.01"]).unwrap();
-        for attribute in ["Cisco ASA", "NI RT Linux OS", "Windows 7", "Labview", "NI cRIO 9063"] {
+        for attribute in [
+            "Cisco ASA",
+            "NI RT Linux OS",
+            "Windows 7",
+            "Labview",
+            "NI cRIO 9063",
+        ] {
             assert!(output.contains(attribute), "missing {attribute}");
         }
     }
@@ -434,14 +467,15 @@ mod tests {
 
     #[test]
     fn simulate_fault_by_name() {
-        let output =
-            run_capture(&["simulate", "chiller-degradation", "--ticks", "12000"]).unwrap();
+        let output = run_capture(&["simulate", "chiller-degradation", "--ticks", "12000"]).unwrap();
         assert!(output.contains("emergency stop:     true"));
     }
 
     #[test]
     fn simulate_unknown_scenario_fails() {
-        assert!(run_capture(&["simulate", "ghost"]).unwrap_err().contains("unknown scenario"));
+        assert!(run_capture(&["simulate", "ghost"])
+            .unwrap_err()
+            .contains("unknown scenario"));
     }
 
     #[test]
@@ -490,8 +524,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corpus.jsonl");
         std::fs::write(&path, &jsonl).unwrap();
-        let output =
-            run_capture(&["table1", "--corpus", path.to_str().unwrap()]).unwrap();
+        let output = run_capture(&["table1", "--corpus", path.to_str().unwrap()]).unwrap();
         assert!(output.contains("Cisco ASA"));
         // Same corpus either way: identical table.
         let direct = run_capture(&["table1", "--scale", "0.01"]).unwrap();

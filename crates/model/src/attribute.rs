@@ -359,7 +359,10 @@ mod tests {
     #[test]
     fn visibility_filters_by_fidelity() {
         let mut set = AttributeSet::new();
-        set.insert(Attribute::new(AttributeKind::Function, "separation control"));
+        set.insert(Attribute::new(
+            AttributeKind::Function,
+            "separation control",
+        ));
         set.insert(win7());
         assert_eq!(set.visible_at(Fidelity::Conceptual).count(), 1);
         assert_eq!(set.visible_at(Fidelity::Implementation).count(), 2);

@@ -1,8 +1,8 @@
 //! Fluent construction of system models.
 
 use crate::{
-    Attribute, Channel, ChannelKind, Component, ComponentKind, Criticality, Direction,
-    ModelError, SystemModel,
+    Attribute, Channel, ChannelKind, Component, ComponentKind, Criticality, Direction, ModelError,
+    SystemModel,
 };
 
 enum Op {
@@ -183,7 +183,10 @@ impl SystemModelBuilder {
                         .ok_or(ModelError::UnknownComponent(component))?;
                     if attribute.key() == "__criticality" {
                         comp.set_criticality(
-                            attribute.value().parse().expect("marker uses canonical name"),
+                            attribute
+                                .value()
+                                .parse()
+                                .expect("marker uses canonical name"),
                         );
                     } else {
                         comp.attributes_mut().insert(attribute);
@@ -238,7 +241,11 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(
-            model.component_by_name("a").unwrap().attributes().get("vendor"),
+            model
+                .component_by_name("a")
+                .unwrap()
+                .attributes()
+                .get("vendor"),
             Some("Cisco")
         );
     }
@@ -264,7 +271,11 @@ mod tests {
             Criticality::SafetyCritical
         );
         // The marker must not leak as an attribute.
-        assert!(model.component_by_name("sis").unwrap().attributes().is_empty());
+        assert!(model
+            .component_by_name("sis")
+            .unwrap()
+            .attributes()
+            .is_empty());
     }
 
     #[test]

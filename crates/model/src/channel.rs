@@ -194,11 +194,23 @@ mod tests {
     fn at_fidelity_filters_channel_attributes() {
         let (a, b) = ids();
         let mut attrs = AttributeSet::new();
-        attrs.insert(Attribute::new(AttributeKind::Protocol, "MODBUS/TCP")
-            .at_fidelity(Fidelity::Architectural));
-        let ch = Channel::new(a, b, ChannelKind::Ethernet, Direction::Bidirectional, String::new(), attrs);
+        attrs.insert(
+            Attribute::new(AttributeKind::Protocol, "MODBUS/TCP")
+                .at_fidelity(Fidelity::Architectural),
+        );
+        let ch = Channel::new(
+            a,
+            b,
+            ChannelKind::Ethernet,
+            Direction::Bidirectional,
+            String::new(),
+            attrs,
+        );
         assert!(ch.at_fidelity(Fidelity::Conceptual).attributes().is_empty());
-        assert_eq!(ch.at_fidelity(Fidelity::Architectural).attributes().len(), 1);
+        assert_eq!(
+            ch.at_fidelity(Fidelity::Architectural).attributes().len(),
+            1
+        );
     }
 
     #[test]
@@ -209,7 +221,14 @@ mod tests {
             Attribute::new(AttributeKind::Protocol, "MODBUS/TCP")
                 .at_fidelity(Fidelity::Architectural),
         );
-        let ch = Channel::new(a, b, ChannelKind::Fieldbus, Direction::Bidirectional, "control bus".into(), attrs);
+        let ch = Channel::new(
+            a,
+            b,
+            ChannelKind::Fieldbus,
+            Direction::Bidirectional,
+            "control bus".into(),
+            attrs,
+        );
         let abstract_text = ch.search_text(Fidelity::Conceptual);
         assert!(abstract_text.contains("control bus"));
         assert!(abstract_text.contains("fieldbus"));

@@ -163,7 +163,10 @@ mod tests {
             .component("ws", ComponentKind::Workstation)
             .component("plc", ComponentKind::Controller)
             .channel("ws", "plc", ChannelKind::Ethernet)
-            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .attribute(
+                "ws",
+                Attribute::new(AttributeKind::OperatingSystem, "Windows 7"),
+            )
             .build()
             .unwrap()
     }
@@ -179,8 +182,10 @@ mod tests {
         let mut new = base();
         let ws = new.component_by_name_mut("ws").unwrap();
         ws.attributes_mut().remove("os", "Windows 7");
-        ws.attributes_mut()
-            .insert(Attribute::new(AttributeKind::OperatingSystem, "NI RT Linux"));
+        ws.attributes_mut().insert(Attribute::new(
+            AttributeKind::OperatingSystem,
+            "NI RT Linux",
+        ));
         let diff = ModelDiff::between(&old, &new);
         assert_eq!(diff.changed_components.len(), 1);
         let change = &diff.changed_components[0];
@@ -201,7 +206,10 @@ mod tests {
         let new = SystemModelBuilder::new("m")
             .component("ws", ComponentKind::Workstation)
             .component("hist", ComponentKind::Historian)
-            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .attribute(
+                "ws",
+                Attribute::new(AttributeKind::OperatingSystem, "Windows 7"),
+            )
             .build()
             .unwrap();
         let diff = ModelDiff::between(&old, &new);
@@ -230,7 +238,10 @@ mod tests {
             .component("ws", ComponentKind::Workstation)
             .component("plc", ComponentKind::Controller)
             .channel("ws", "plc", ChannelKind::Serial)
-            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .attribute(
+                "ws",
+                Attribute::new(AttributeKind::OperatingSystem, "Windows 7"),
+            )
             .build()
             .unwrap();
         let diff = ModelDiff::between(&old, &new);

@@ -3,8 +3,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::{
-    Channel, ChannelId, ChannelKind, Component, ComponentId, ComponentKind, Criticality,
-    Direction, Fidelity, ModelError,
+    Channel, ChannelId, ChannelKind, Component, ComponentId, ComponentKind, Criticality, Direction,
+    Fidelity, ModelError,
 };
 
 /// Summary statistics over a model, used by reports and tests.
@@ -90,7 +90,8 @@ impl SystemModel {
         if self.by_name.contains_key(component.name()) {
             return Err(ModelError::DuplicateComponent(component.name().to_owned()));
         }
-        let id = ComponentId(u32::try_from(self.components.len()).expect("component count fits u32"));
+        let id =
+            ComponentId(u32::try_from(self.components.len()).expect("component count fits u32"));
         self.by_name.insert(component.name().to_owned(), id);
         self.components.push(component);
         Ok(id)
@@ -371,7 +372,11 @@ impl SystemModel {
     pub fn at_fidelity(&self, level: Fidelity) -> SystemModel {
         SystemModel {
             name: self.name.clone(),
-            components: self.components.iter().map(|c| c.at_fidelity(level)).collect(),
+            components: self
+                .components
+                .iter()
+                .map(|c| c.at_fidelity(level))
+                .collect(),
             channels: self.channels.iter().map(|c| c.at_fidelity(level)).collect(),
             by_name: self.by_name.clone(),
         }
@@ -438,8 +443,16 @@ impl SystemModel {
                 .iter()
                 .map(|c| c.attributes().len())
                 .sum::<usize>()
-                + self.channels.iter().map(|c| c.attributes().len()).sum::<usize>(),
-            entry_points: self.components.iter().filter(|c| c.is_entry_point()).count(),
+                + self
+                    .channels
+                    .iter()
+                    .map(|c| c.attributes().len())
+                    .sum::<usize>(),
+            entry_points: self
+                .components
+                .iter()
+                .filter(|c| c.is_entry_point())
+                .count(),
             safety_critical: self
                 .components
                 .iter()
@@ -475,7 +488,8 @@ mod tests {
     #[test]
     fn duplicate_component_names_are_rejected() {
         let mut m = SystemModel::new("m").unwrap();
-        m.add_component(Component::new("x", ComponentKind::Other)).unwrap();
+        m.add_component(Component::new("x", ComponentKind::Other))
+            .unwrap();
         let err = m
             .add_component(Component::new("x", ComponentKind::Other))
             .unwrap_err();
@@ -485,7 +499,9 @@ mod tests {
     #[test]
     fn self_loops_are_rejected() {
         let mut m = SystemModel::new("m").unwrap();
-        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        let a = m
+            .add_component(Component::new("a", ComponentKind::Other))
+            .unwrap();
         assert_eq!(
             m.add_channel(a, a, ChannelKind::Logical).unwrap_err(),
             ModelError::SelfLoop("a".into())
@@ -495,7 +511,9 @@ mod tests {
     #[test]
     fn foreign_ids_are_rejected() {
         let mut m = SystemModel::new("m").unwrap();
-        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
+        let a = m
+            .add_component(Component::new("a", ComponentKind::Other))
+            .unwrap();
         let bogus = ComponentId(99);
         assert!(matches!(
             m.add_channel(a, bogus, ChannelKind::Logical),
@@ -518,8 +536,12 @@ mod tests {
     #[test]
     fn neighbors_honour_direction() {
         let mut m = SystemModel::new("m").unwrap();
-        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
-        let b = m.add_component(Component::new("b", ComponentKind::Other)).unwrap();
+        let a = m
+            .add_component(Component::new("a", ComponentKind::Other))
+            .unwrap();
+        let b = m
+            .add_component(Component::new("b", ComponentKind::Other))
+            .unwrap();
         m.add_channel_with(a, b, ChannelKind::Serial, Direction::Forward, "tx")
             .unwrap();
         assert_eq!(m.neighbors(a), vec![b]);
@@ -529,8 +551,12 @@ mod tests {
     #[test]
     fn neighbors_deduplicate_parallel_channels() {
         let mut m = SystemModel::new("m").unwrap();
-        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
-        let b = m.add_component(Component::new("b", ComponentKind::Other)).unwrap();
+        let a = m
+            .add_component(Component::new("a", ComponentKind::Other))
+            .unwrap();
+        let b = m
+            .add_component(Component::new("b", ComponentKind::Other))
+            .unwrap();
         m.add_channel(a, b, ChannelKind::Ethernet).unwrap();
         m.add_channel(a, b, ChannelKind::Serial).unwrap();
         assert_eq!(m.neighbors(a), vec![b]);
@@ -560,8 +586,12 @@ mod tests {
     #[test]
     fn shortest_path_none_when_unreachable() {
         let mut m = SystemModel::new("m").unwrap();
-        let a = m.add_component(Component::new("a", ComponentKind::Other)).unwrap();
-        let b = m.add_component(Component::new("b", ComponentKind::Other)).unwrap();
+        let a = m
+            .add_component(Component::new("a", ComponentKind::Other))
+            .unwrap();
+        let b = m
+            .add_component(Component::new("b", ComponentKind::Other))
+            .unwrap();
         assert_eq!(m.shortest_path(a, b), None);
     }
 
@@ -637,6 +667,10 @@ mod tests {
         m.component_by_name_mut("c")
             .unwrap()
             .set_criticality(Criticality::SafetyCritical);
-        assert_eq!(m.components_at_criticality(Criticality::SafetyCritical).len(), 1);
+        assert_eq!(
+            m.components_at_criticality(Criticality::SafetyCritical)
+                .len(),
+            1
+        );
     }
 }

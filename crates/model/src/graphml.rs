@@ -46,9 +46,7 @@ const KEYS: &[(&str, &str, &str)] = &[
 pub fn to_graphml(model: &SystemModel) -> String {
     let mut out = String::new();
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
-    out.push_str(
-        "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n",
-    );
+    out.push_str("<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n");
     for (id, target, name) in KEYS {
         let _ = writeln!(
             out,
@@ -98,14 +96,22 @@ pub fn to_graphml(model: &SystemModel) -> String {
             ch.from(),
             ch.to()
         );
-        let _ = writeln!(out, "      <data key=\"d_ckind\">{}</data>", ch.kind().as_str());
+        let _ = writeln!(
+            out,
+            "      <data key=\"d_ckind\">{}</data>",
+            ch.kind().as_str()
+        );
         let _ = writeln!(
             out,
             "      <data key=\"d_dir\">{}</data>",
             ch.direction().as_str()
         );
         if !ch.label().is_empty() {
-            let _ = writeln!(out, "      <data key=\"d_label\">{}</data>", escape(ch.label()));
+            let _ = writeln!(
+                out,
+                "      <data key=\"d_label\">{}</data>",
+                escape(ch.label())
+            );
         }
         for attr in ch.attributes().iter() {
             let _ = writeln!(
@@ -264,11 +270,19 @@ pub fn from_graphml(input: &str) -> Result<SystemModel, ModelError> {
                 // pretty-printed input.
                 if in_node {
                     let node = nodes.last_mut().ok_or_else(|| malformed("node context"))?;
-                    let payload = if current_key == "d_attr" { &text } else { text.trim() };
+                    let payload = if current_key == "d_attr" {
+                        &text
+                    } else {
+                        text.trim()
+                    };
                     apply_node_data(node, &current_key, payload)?;
                 } else if in_edge {
                     let edge = edges.last_mut().ok_or_else(|| malformed("edge context"))?;
-                    let payload = if current_key == "d_attr" { &text } else { text.trim() };
+                    let payload = if current_key == "d_attr" {
+                        &text
+                    } else {
+                        text.trim()
+                    };
                     apply_edge_data(edge, &current_key, payload)?;
                 }
             }
@@ -278,16 +292,10 @@ pub fn from_graphml(input: &str) -> Result<SystemModel, ModelError> {
     let mut model = SystemModel::new(graph_name)?;
     let mut ids = std::collections::BTreeMap::new();
     for draft in nodes {
-        let name = draft
-            .name
-            .clone()
-            .unwrap_or_else(|| draft.xml_id.clone());
-        let mut comp = Component::new(
-            name,
-            draft.kind.unwrap_or(ComponentKind::Other),
-        )
-        .with_criticality(draft.criticality)
-        .with_entry_point(draft.entry_point);
+        let name = draft.name.clone().unwrap_or_else(|| draft.xml_id.clone());
+        let mut comp = Component::new(name, draft.kind.unwrap_or(ComponentKind::Other))
+            .with_criticality(draft.criticality)
+            .with_entry_point(draft.entry_point);
         for attr in draft.attributes {
             comp.attributes_mut().insert(attr);
         }

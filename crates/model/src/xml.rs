@@ -134,10 +134,7 @@ impl<'a> Reader<'a> {
 
     fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
         let hay = &self.input[self.pos..];
-        match hay
-            .windows(end.len())
-            .position(|w| w == end.as_bytes())
-        {
+        match hay.windows(end.len()).position(|w| w == end.as_bytes()) {
             Some(i) => {
                 self.pos += i + end.len();
                 Ok(())
@@ -151,8 +148,8 @@ impl<'a> Reader<'a> {
         while self.pos < self.input.len() && self.input[self.pos] != b'<' {
             self.pos += 1;
         }
-        let raw = core::str::from_utf8(&self.input[start..self.pos])
-            .map_err(|_| XmlError::Syntax {
+        let raw =
+            core::str::from_utf8(&self.input[start..self.pos]).map_err(|_| XmlError::Syntax {
                 at: start,
                 detail: "text is not valid UTF-8".to_owned(),
             })?;
@@ -216,11 +213,12 @@ impl<'a> Reader<'a> {
                     while self.peek()? != quote {
                         self.pos += 1;
                     }
-                    let raw = core::str::from_utf8(&self.input[start..self.pos])
-                        .map_err(|_| XmlError::Syntax {
+                    let raw = core::str::from_utf8(&self.input[start..self.pos]).map_err(|_| {
+                        XmlError::Syntax {
                             at: start,
                             detail: "attribute value is not valid UTF-8".to_owned(),
-                        })?;
+                        }
+                    })?;
                     self.pos += 1; // closing quote
                     attributes.push((key, unescape(raw)?));
                 }
@@ -251,7 +249,10 @@ impl<'a> Reader<'a> {
     }
 
     fn peek(&self) -> Result<u8, XmlError> {
-        self.input.get(self.pos).copied().ok_or(XmlError::UnexpectedEof)
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or(XmlError::UnexpectedEof)
     }
 
     fn expect(&mut self, byte: u8) -> Result<(), XmlError> {
@@ -354,14 +355,24 @@ mod tests {
         let evs = events(r#"<g id="a"><node id="n0" kind="x"/><node id="n1">hi</node></g>"#);
         assert_eq!(evs.len(), 6);
         match &evs[0] {
-            Event::Open { name, attributes, self_closing } => {
+            Event::Open {
+                name,
+                attributes,
+                self_closing,
+            } => {
                 assert_eq!(name, "g");
                 assert_eq!(attributes, &[("id".to_owned(), "a".to_owned())]);
                 assert!(!self_closing);
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(&evs[1], Event::Open { self_closing: true, .. }));
+        assert!(matches!(
+            &evs[1],
+            Event::Open {
+                self_closing: true,
+                ..
+            }
+        ));
         assert_eq!(evs[3], Event::Text("hi".to_owned()));
     }
 

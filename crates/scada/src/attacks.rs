@@ -433,7 +433,10 @@ mod tests {
             .effects
             .retain(|e| !matches!(e, AttackEffect::AllowWorkstationToSis));
         let report = run(&attack, 4010);
-        assert!(report.emergency_stopped, "firewall should protect the SIS: {report:?}");
+        assert!(
+            report.emergency_stopped,
+            "firewall should protect the SIS: {report:?}"
+        );
         assert_ne!(report.product, ProductQuality::Destroyed);
     }
 }

@@ -143,12 +143,10 @@ impl Device<CentrifugePlant> for Bpcs {
         let Some(values) = response.values() else {
             return;
         };
-        if request.dst == addresses::TEMP_SENSOR
-            && request.address == temp_sensor::TEMPERATURE_X10
+        if request.dst == addresses::TEMP_SENSOR && request.address == temp_sensor::TEMPERATURE_X10
         {
             self.last_temp_x10 = values[0];
-        } else if request.dst == addresses::CENTRIFUGE && request.address == centrifuge::SPEED_RPM
-        {
+        } else if request.dst == addresses::CENTRIFUGE && request.address == centrifuge::SPEED_RPM {
             self.last_speed_rpm = values[0];
         }
     }
@@ -179,7 +177,9 @@ mod tests {
             8000
         );
         assert_eq!(
-            bpcs.handle(&mut plant, &ws_read(bpcs::MODE)).values().unwrap()[0],
+            bpcs.handle(&mut plant, &ws_read(bpcs::MODE))
+                .values()
+                .unwrap()[0],
             mode::RUN
         );
     }
@@ -196,7 +196,10 @@ mod tests {
             .filter(|r| r.function.is_write())
             .cloned()
             .collect();
-        let drive = writes.iter().find(|r| r.dst == addresses::CENTRIFUGE).unwrap();
+        let drive = writes
+            .iter()
+            .find(|r| r.dst == addresses::CENTRIFUGE)
+            .unwrap();
         assert_eq!(drive.values[0], 0);
         let chill = writes.iter().find(|r| r.dst == addresses::COOLING).unwrap();
         assert_eq!(chill.values[0], 0);
@@ -254,7 +257,9 @@ mod tests {
         bpcs.on_response(&mut plant, &speed_req, &BusResponse::ok(vec![7985]));
         assert_eq!(bpcs.last_speed_rpm(), 7985);
         assert_eq!(
-            bpcs.handle(&mut plant, &ws_read(bpcs::SPEED_RPM)).values().unwrap()[0],
+            bpcs.handle(&mut plant, &ws_read(bpcs::SPEED_RPM))
+                .values()
+                .unwrap()[0],
             7985
         );
         // Exception responses are ignored.

@@ -110,7 +110,9 @@ impl Device<CentrifugePlant> for CentrifugeDrive {
     }
 
     fn poll(&mut self, plant: &mut CentrifugePlant, _outbox: &mut Outbox) {
-        let drive = self.pid.update(self.setpoint_rpm, plant.speed_rpm(), self.dt);
+        let drive = self
+            .pid
+            .update(self.setpoint_rpm, plant.speed_rpm(), self.dt);
         plant.set_drive(drive);
     }
 
@@ -224,7 +226,12 @@ mod tests {
         let dt = 0.1;
         let mut sim = Simulation::new(CentrifugePlant::new(), dt);
         let mut drive = CentrifugeDrive::new(dt);
-        let req = BusRequest::write(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 8000);
+        let req = BusRequest::write(
+            addresses::BPCS,
+            addresses::CENTRIFUGE,
+            centrifuge::SETPOINT_RPM,
+            8000,
+        );
         drive.handle(sim.plant_mut(), &req);
         sim.add_device(drive);
         sim.run(3000); // 300 s
@@ -242,7 +249,12 @@ mod tests {
         let mut drive = CentrifugeDrive::new(dt);
         drive.handle(
             &mut plant,
-            &BusRequest::write(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 8000),
+            &BusRequest::write(
+                addresses::BPCS,
+                addresses::CENTRIFUGE,
+                centrifuge::SETPOINT_RPM,
+                8000,
+            ),
         );
         for _ in 0..600 {
             let mut outbox = cpssec_sim::Outbox::default();
@@ -270,16 +282,31 @@ mod tests {
         let mut drive = CentrifugeDrive::new(0.1);
         drive.handle(
             &mut plant,
-            &BusRequest::write(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 4321),
+            &BusRequest::write(
+                addresses::BPCS,
+                addresses::CENTRIFUGE,
+                centrifuge::SETPOINT_RPM,
+                4321,
+            ),
         );
         let sp = drive.handle(
             &mut plant,
-            &BusRequest::read(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SETPOINT_RPM, 1),
+            &BusRequest::read(
+                addresses::BPCS,
+                addresses::CENTRIFUGE,
+                centrifuge::SETPOINT_RPM,
+                1,
+            ),
         );
         assert_eq!(sp.values().unwrap()[0], 4321);
         let speed = drive.handle(
             &mut plant,
-            &BusRequest::read(addresses::BPCS, addresses::CENTRIFUGE, centrifuge::SPEED_RPM, 1),
+            &BusRequest::read(
+                addresses::BPCS,
+                addresses::CENTRIFUGE,
+                centrifuge::SPEED_RPM,
+                1,
+            ),
         );
         assert_eq!(speed.values().unwrap()[0], 0);
     }
@@ -290,7 +317,12 @@ mod tests {
         let mut unit = CoolingUnit::new();
         unit.handle(
             &mut plant,
-            &BusRequest::write(addresses::BPCS, addresses::COOLING, cooling::COMMAND_PERMILLE, 400),
+            &BusRequest::write(
+                addresses::BPCS,
+                addresses::COOLING,
+                cooling::COMMAND_PERMILLE,
+                400,
+            ),
         );
         let mut outbox = cpssec_sim::Outbox::default();
         unit.poll(&mut plant, &mut outbox);
@@ -298,7 +330,12 @@ mod tests {
         // Commands above 1000 are clamped.
         unit.handle(
             &mut plant,
-            &BusRequest::write(addresses::BPCS, addresses::COOLING, cooling::COMMAND_PERMILLE, 5000),
+            &BusRequest::write(
+                addresses::BPCS,
+                addresses::COOLING,
+                cooling::COMMAND_PERMILLE,
+                5000,
+            ),
         );
         unit.poll(&mut plant, &mut outbox);
         assert!((plant.cooling() - 1.0).abs() < 1e-9);

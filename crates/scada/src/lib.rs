@@ -45,9 +45,9 @@ mod system;
 mod workstation;
 
 pub use attacks::{AttackEffect, AttackScenario};
-pub use faults::{FaultMode, FaultScenario};
 pub use bpcs::Bpcs;
 pub use devices::{CentrifugeDrive, CoolingUnit, TemperatureSensor};
+pub use faults::{FaultMode, FaultScenario};
 pub use physics::CentrifugePlant;
 pub use sis::Sis;
 pub use system::{BatchReport, ProductQuality, ScadaConfig, ScadaHarness};

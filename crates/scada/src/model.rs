@@ -9,8 +9,8 @@
 //! the increasingly vulnerability-heavy result spaces of §3.
 
 use cpssec_model::{
-    Attribute, AttributeKind, ChannelKind, ComponentKind, Criticality, Fidelity,
-    SystemModel, SystemModelBuilder,
+    Attribute, AttributeKind, ChannelKind, ComponentKind, Criticality, Fidelity, SystemModel,
+    SystemModelBuilder,
 };
 
 /// Component name constants, shared with
@@ -52,8 +52,10 @@ pub mod names {
 pub fn scada_model() -> SystemModel {
     SystemModelBuilder::new("particle-separation-centrifuge")
         .component_with(names::CORPORATE, ComponentKind::Network, |c| {
-            c.with_entry_point(true)
-                .with_attribute(Attribute::new(AttributeKind::Function, "corporate IT network"))
+            c.with_entry_point(true).with_attribute(Attribute::new(
+                AttributeKind::Function,
+                "corporate IT network",
+            ))
         })
         .component_with(names::WORKSTATION, ComponentKind::Workstation, |c| {
             c.with_criticality(Criticality::High)
@@ -134,8 +136,11 @@ pub fn scada_model() -> SystemModel {
                     "monitors the temperature of the solution",
                 ))
                 .with_attribute(
-                    Attribute::new(AttributeKind::Product, "precision passive temperature probe")
-                        .at_fidelity(Fidelity::Architectural),
+                    Attribute::new(
+                        AttributeKind::Product,
+                        "precision passive temperature probe",
+                    )
+                    .at_fidelity(Fidelity::Architectural),
                 )
         })
         .component_with(names::CENTRIFUGE, ComponentKind::Actuator, |c| {
@@ -211,7 +216,10 @@ mod tests {
         let model = scada_model();
         let entries = model.entry_points();
         assert_eq!(entries.len(), 1);
-        assert_eq!(model.component(entries[0]).unwrap().name(), names::CORPORATE);
+        assert_eq!(
+            model.component(entries[0]).unwrap().name(),
+            names::CORPORATE
+        );
     }
 
     #[test]
@@ -270,7 +278,9 @@ mod tests {
         let model = scada_model();
         for scenario in crate::attacks::all_scenarios() {
             assert!(
-                model.component_by_name(&scenario.target_component).is_some(),
+                model
+                    .component_by_name(&scenario.target_component)
+                    .is_some(),
                 "scenario `{}` targets unknown component `{}`",
                 scenario.name,
                 scenario.target_component

@@ -130,8 +130,7 @@ impl Device<CentrifugePlant> for Sis {
         };
         if request.dst == addresses::TEMP_SENSOR {
             self.last_temp_x10 = values[0];
-        } else if request.dst == addresses::CENTRIFUGE && request.address == centrifuge::SPEED_RPM
-        {
+        } else if request.dst == addresses::CENTRIFUGE && request.address == centrifuge::SPEED_RPM {
             self.last_speed_rpm = values[0];
         }
     }
@@ -164,8 +163,12 @@ mod tests {
             .iter()
             .filter(|r| r.function.is_write())
             .collect();
-        assert!(writes.iter().any(|r| r.dst == addresses::CENTRIFUGE && r.address == centrifuge::ESTOP));
-        assert!(writes.iter().any(|r| r.dst == addresses::COOLING && r.values[0] == 1000));
+        assert!(writes
+            .iter()
+            .any(|r| r.dst == addresses::CENTRIFUGE && r.address == centrifuge::ESTOP));
+        assert!(writes
+            .iter()
+            .any(|r| r.dst == addresses::COOLING && r.values[0] == 1000));
     }
 
     #[test]

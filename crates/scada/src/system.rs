@@ -153,14 +153,17 @@ impl ScadaHarness {
 
         // Firewall: workstation may reach the BPCS; the controllers may
         // reach the field devices; everything else is denied.
-        let mut firewall = Firewall::new(FirewallAction::Deny)
-            .with_rule(
-                FirewallRule::any(FirewallAction::Allow)
-                    .from_src(addresses::WORKSTATION)
-                    .to_dst(addresses::BPCS),
-            );
+        let mut firewall = Firewall::new(FirewallAction::Deny).with_rule(
+            FirewallRule::any(FirewallAction::Allow)
+                .from_src(addresses::WORKSTATION)
+                .to_dst(addresses::BPCS),
+        );
         for controller in [addresses::BPCS, addresses::SIS] {
-            for field in [addresses::TEMP_SENSOR, addresses::CENTRIFUGE, addresses::COOLING] {
+            for field in [
+                addresses::TEMP_SENSOR,
+                addresses::CENTRIFUGE,
+                addresses::COOLING,
+            ] {
                 firewall = firewall.with_rule(
                     FirewallRule::any(FirewallAction::Allow)
                         .from_src(controller)
@@ -170,8 +173,10 @@ impl ScadaHarness {
         }
         firewall.set_enabled(config.firewall_enabled);
 
-        let mut workstation =
-            Workstation::new(Workstation::standard_recipe(config.batch_start, config.setpoint_rpm));
+        let mut workstation = Workstation::new(Workstation::standard_recipe(
+            config.batch_start,
+            config.setpoint_rpm,
+        ));
 
         if let Some(attack) = attack {
             let build = apply_effects(attack, firewall, workstation, &mut sim);

@@ -25,7 +25,11 @@ pub struct ExploitChain {
 
 impl fmt::Display for ExploitChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} -> {}", self.vulnerability, self.weakness, self.pattern)
+        write!(
+            f,
+            "{} -> {} -> {}",
+            self.vulnerability, self.weakness, self.pattern
+        )
     }
 }
 

@@ -1,11 +1,11 @@
 //! The match engine: attribute text in, scored attack vectors out.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 
 use cpssec_attackdb::{AttackVectorId, CapecId, Corpus, CveId, CweId};
-use cpssec_model::{Component, Fidelity, SystemModel};
+use cpssec_model::{Channel, ChannelId, Component, Fidelity, SystemModel};
 
-use crate::index::{DocId, InvertedIndex};
+use crate::index::InvertedIndex;
 use crate::score::{expand_query, ScoringModel};
 use crate::text::tokenize;
 
@@ -103,13 +103,19 @@ impl MatchSet {
     /// The matched pattern ids, best first.
     #[must_use]
     pub fn pattern_ids(&self) -> Vec<CapecId> {
-        self.patterns.iter().filter_map(|h| h.id.as_pattern()).collect()
+        self.patterns
+            .iter()
+            .filter_map(|h| h.id.as_pattern())
+            .collect()
     }
 
     /// The matched weakness ids, best first.
     #[must_use]
     pub fn weakness_ids(&self) -> Vec<CweId> {
-        self.weaknesses.iter().filter_map(|h| h.id.as_weakness()).collect()
+        self.weaknesses
+            .iter()
+            .filter_map(|h| h.id.as_weakness())
+            .collect()
     }
 
     /// The matched vulnerability ids, best first.
@@ -122,11 +128,53 @@ impl MatchSet {
     }
 }
 
+/// Per-document accumulator slot in the dense scratch table.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accum {
+    score: f64,
+    matched: u32,
+    max_idf: f64,
+}
+
+/// Reusable dense accumulation state for one thread's queries.
+///
+/// The table has one slot per document of the largest family index; a query
+/// touches only the slots on its postings lists (tracked in `touched`) and
+/// resets exactly those afterwards, so reuse costs `O(postings touched)`,
+/// not `O(corpus)`. [`SearchEngine::match_text`] keeps one per thread
+/// automatically; [`SearchEngine::match_text_with`] lets a caller own one
+/// explicitly across many queries.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    accum: Vec<Accum>,
+    touched: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch; it grows to fit the first engine it serves.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    fn ensure(&mut self, len: usize) {
+        if self.accum.len() < len {
+            self.accum.resize(len, Accum::default());
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
 /// The search engine: three per-family indices over one corpus snapshot.
 ///
-/// Building is `O(total corpus text)`; matching is `O(postings touched)`.
-/// The engine holds no reference to the corpus — record ids are the
-/// currency between the two.
+/// Building is `O(total corpus text)` (the three family indices build on
+/// separate threads, and per-posting weights for both scoring models are
+/// precomputed at freeze time); matching is `O(postings touched)`. The
+/// engine holds no reference to the corpus — record ids are the currency
+/// between the two.
 ///
 /// # Examples
 ///
@@ -150,6 +198,19 @@ pub struct SearchEngine {
     vulnerability_ids: Vec<CveId>,
 }
 
+/// Indexes one record family and pre-freezes its query-side image so the
+/// cost lands in the build phase (off the first query).
+fn build_family<I>(records: impl Iterator<Item = (String, I)>) -> (InvertedIndex, Vec<I>) {
+    let mut index = InvertedIndex::new();
+    let mut ids = Vec::new();
+    for (text, id) in records {
+        index.add_document(&text);
+        ids.push(id);
+    }
+    index.freeze();
+    (index, ids)
+}
+
 impl SearchEngine {
     /// Indexes a corpus with the default [`MatchConfig`].
     #[must_use]
@@ -157,27 +218,27 @@ impl SearchEngine {
         SearchEngine::with_config(corpus, MatchConfig::default())
     }
 
-    /// Indexes a corpus with an explicit configuration.
+    /// Indexes a corpus with an explicit configuration. The three family
+    /// indices are independent, so they build on separate scoped threads.
     #[must_use]
     pub fn with_config(corpus: &Corpus, config: MatchConfig) -> Self {
-        let mut patterns = InvertedIndex::new();
-        let mut pattern_ids = Vec::new();
-        for p in corpus.patterns() {
-            patterns.add_document(&p.search_text());
-            pattern_ids.push(p.id());
-        }
-        let mut weaknesses = InvertedIndex::new();
-        let mut weakness_ids = Vec::new();
-        for w in corpus.weaknesses() {
-            weaknesses.add_document(&w.search_text());
-            weakness_ids.push(w.id());
-        }
-        let mut vulnerabilities = InvertedIndex::new();
-        let mut vulnerability_ids = Vec::new();
-        for v in corpus.vulnerabilities() {
-            vulnerabilities.add_document(&v.search_text());
-            vulnerability_ids.push(v.id());
-        }
+        let (
+            (patterns, pattern_ids),
+            (weaknesses, weakness_ids),
+            (vulnerabilities, vulnerability_ids),
+        ) = std::thread::scope(|s| {
+            let patterns =
+                s.spawn(|| build_family(corpus.patterns().map(|p| (p.search_text(), p.id()))));
+            let weaknesses =
+                s.spawn(|| build_family(corpus.weaknesses().map(|w| (w.search_text(), w.id()))));
+            let vulnerabilities =
+                build_family(corpus.vulnerabilities().map(|v| (v.search_text(), v.id())));
+            (
+                patterns.join().expect("pattern index build"),
+                weaknesses.join().expect("weakness index build"),
+                vulnerabilities,
+            )
+        });
         SearchEngine {
             config,
             patterns,
@@ -196,9 +257,16 @@ impl SearchEngine {
     }
 
     /// Matches free text (an attribute value, a component description)
-    /// against all three families.
+    /// against all three families, using a per-thread [`QueryScratch`].
     #[must_use]
     pub fn match_text(&self, text: &str) -> MatchSet {
+        SCRATCH.with(|scratch| self.match_text_with(text, &mut scratch.borrow_mut()))
+    }
+
+    /// [`Self::match_text`] with an explicitly owned scratch, for callers
+    /// running many queries that want to control allocator traffic.
+    #[must_use]
+    pub fn match_text_with(&self, text: &str, scratch: &mut QueryScratch) -> MatchSet {
         let mut terms = tokenize(text);
         terms.sort_unstable();
         terms.dedup();
@@ -209,12 +277,17 @@ impl SearchEngine {
                 .into_iter()
                 .filter(|t| !terms.contains(t))
                 .collect();
-            return self.match_terms(&terms, &extras);
+            return self.match_terms(&terms, &extras, scratch);
         }
-        self.match_terms(&terms, &[])
+        self.match_terms(&terms, &[], scratch)
     }
 
-    fn match_terms(&self, terms: &[String], extras: &[String]) -> MatchSet {
+    fn match_terms(
+        &self,
+        terms: &[String],
+        extras: &[String],
+        scratch: &mut QueryScratch,
+    ) -> MatchSet {
         MatchSet {
             patterns: run_family(
                 &self.patterns,
@@ -222,6 +295,7 @@ impl SearchEngine {
                 terms,
                 extras,
                 self.config,
+                scratch,
                 |id| AttackVectorId::Pattern(*id),
             ),
             weaknesses: run_family(
@@ -230,6 +304,7 @@ impl SearchEngine {
                 terms,
                 extras,
                 self.config,
+                scratch,
                 |id| AttackVectorId::Weakness(*id),
             ),
             vulnerabilities: run_family(
@@ -238,6 +313,7 @@ impl SearchEngine {
                 terms,
                 extras,
                 self.config,
+                scratch,
                 |id| AttackVectorId::Vulnerability(*id),
             ),
         }
@@ -253,7 +329,7 @@ impl SearchEngine {
     /// paper's "interactions" are model elements too, and protocol
     /// attributes on them ("MODBUS/TCP") match protocol-level records.
     #[must_use]
-    pub fn match_channel(&self, channel: &cpssec_model::Channel, level: Fidelity) -> MatchSet {
+    pub fn match_channel(&self, channel: &Channel, level: Fidelity) -> MatchSet {
         self.match_text(&channel.search_text(level))
     }
 
@@ -266,58 +342,131 @@ impl SearchEngine {
             .map(|(_, c)| (c.name().to_owned(), self.match_component(c, level)))
             .collect()
     }
+
+    /// [`Self::match_model`] with the component fan-out spread across scoped
+    /// threads. Output is identical (same order, same scores): each thread
+    /// writes a disjoint chunk of the result vector, and per-component
+    /// matching is already deterministic.
+    #[must_use]
+    pub fn par_match_model(&self, model: &SystemModel, level: Fidelity) -> Vec<(String, MatchSet)> {
+        let components: Vec<&Component> = model.components().map(|(_, c)| c).collect();
+        par_fan_out(&components, |c| {
+            (c.name().to_owned(), self.match_component(c, level))
+        })
+    }
+
+    /// Matches every channel of a model at a fidelity level, in channel
+    /// insertion order, with the fan-out spread across scoped threads.
+    #[must_use]
+    pub fn par_match_channels(
+        &self,
+        model: &SystemModel,
+        level: Fidelity,
+    ) -> Vec<(ChannelId, MatchSet)> {
+        let channels: Vec<(ChannelId, &Channel)> = model.channels().collect();
+        par_fan_out(&channels, |&(id, channel)| {
+            (id, self.match_channel(channel, level))
+        })
+    }
 }
 
+/// Runs `work` over `items`, splitting the slice into one contiguous chunk
+/// per available core; each scoped thread fills a disjoint chunk of the
+/// output, preserving input order exactly.
+fn par_fan_out<T: Sync, R: Send>(items: &[T], work: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(|| {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(work(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every chunk is filled"))
+        .collect()
+}
+
+/// Sorts hits best-first: descending score, ties broken by ascending id.
+/// `total_cmp` keeps the order total even if a pathological configuration
+/// (e.g. a NaN `min_score` arithmetic upstream) ever produces a NaN score —
+/// the pipeline must degrade to a deterministic order, never panic.
+fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_family<I: Copy>(
     index: &InvertedIndex,
     ids: &[I],
     terms: &[String],
     extras: &[String],
     config: MatchConfig,
+    scratch: &mut QueryScratch,
     wrap: impl Fn(&I) -> AttackVectorId,
 ) -> Vec<Hit> {
-    #[derive(Default)]
-    struct Accum {
-        score: f64,
-        matched: usize,
-        max_idf: f64,
-    }
-    let mut per_doc: BTreeMap<DocId, Accum> = BTreeMap::new();
+    scratch.ensure(index.len());
+    let model = config.scoring;
     for term in terms {
-        for tm in index.term_matches(term, config.scoring) {
-            let acc = per_doc.entry(tm.doc).or_default();
-            acc.score += tm.weight;
-            acc.matched += 1;
-            if tm.idf > acc.max_idf {
-                acc.max_idf = tm.idf;
+        let Some(tp) = index.term_postings(term) else {
+            continue;
+        };
+        for p in tp.postings {
+            let slot = &mut scratch.accum[p.doc.index()];
+            if slot.matched == 0 {
+                scratch.touched.push(p.doc.0);
+            }
+            slot.score += p.weight(model);
+            slot.matched += 1;
+            if tp.idf > slot.max_idf {
+                slot.max_idf = tp.idf;
             }
         }
     }
     // Synonym-expansion terms only refine the scores of documents that
     // already matched an original term — they never create hits.
     for term in extras {
-        for tm in index.term_matches(term, config.scoring) {
-            if let Some(acc) = per_doc.get_mut(&tm.doc) {
-                acc.score += tm.weight;
+        let Some(tp) = index.term_postings(term) else {
+            continue;
+        };
+        for p in tp.postings {
+            let slot = &mut scratch.accum[p.doc.index()];
+            if slot.matched > 0 {
+                slot.score += p.weight(model);
             }
         }
     }
-    let mut hits: Vec<Hit> = per_doc
-        .into_iter()
-        .filter(|(_, acc)| acc.max_idf >= config.idf_floor || acc.matched >= config.min_terms)
-        .map(|(doc, acc)| Hit {
-            id: wrap(&ids[doc.index()]),
-            score: acc.score,
-            matched_terms: acc.matched,
-        })
-        .filter(|h| h.score >= config.min_score)
-        .collect();
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then_with(|| a.id.cmp(&b.id))
-    });
+    let mut hits: Vec<Hit> = Vec::with_capacity(scratch.touched.len());
+    for &doc in &scratch.touched {
+        let acc = scratch.accum[doc as usize];
+        if (acc.max_idf >= config.idf_floor || acc.matched as usize >= config.min_terms)
+            && acc.score >= config.min_score
+        {
+            hits.push(Hit {
+                id: wrap(&ids[doc as usize]),
+                score: acc.score,
+                matched_terms: acc.matched as usize,
+            });
+        }
+    }
+    // Reset exactly the slots this query touched so the table is clean for
+    // the next family/query without an O(corpus) sweep.
+    for &doc in &scratch.touched {
+        scratch.accum[doc as usize] = Accum::default();
+    }
+    scratch.touched.clear();
+    sort_hits(&mut hits);
     hits
 }
 
@@ -355,9 +504,11 @@ mod tests {
         // records; that must not be enough.
         let hits = engine().match_text("NI cRIO 9063");
         for id in hits.vulnerability_ids() {
-            assert!(id.to_string().contains("CVE-2017-2778")
-                || id.to_string().contains("CVE-2018-16804")
-                || id.to_string().contains("CVE-2019-9997"));
+            assert!(
+                id.to_string().contains("CVE-2017-2778")
+                    || id.to_string().contains("CVE-2018-16804")
+                    || id.to_string().contains("CVE-2019-9997")
+            );
         }
     }
 
@@ -415,9 +566,20 @@ mod tests {
     }
 
     #[test]
+    fn explicit_scratch_reuse_matches_thread_local_path() {
+        let e = engine();
+        let mut scratch = QueryScratch::new();
+        for query in ["Windows 7", "Cisco ASA", "NI RT Linux OS", "Labview"] {
+            assert_eq!(e.match_text_with(query, &mut scratch), e.match_text(query));
+        }
+    }
+
+    #[test]
     fn synthetic_corpus_reproduces_table1_shape() {
         let mut corpus = seed_corpus();
-        corpus.merge(generate(&SynthSpec::paper2020(7, 0.02))).unwrap();
+        corpus
+            .merge(generate(&SynthSpec::paper2020(7, 0.02)))
+            .unwrap();
         let e = SearchEngine::build(&corpus);
         let rows: Vec<(usize, usize, usize)> = table1_attributes()
             .iter()
@@ -479,6 +641,61 @@ mod tests {
         let pruned = strict.match_text("Microsoft Windows 7 SMB remote code execution");
         assert!(pruned.total() < all.total());
         assert!(pruned.iter().all(|h| h.score >= 1.5));
+    }
+
+    #[test]
+    fn pathological_min_score_is_nan_safe() {
+        // A NaN min_score poisons the `score >= min_score` comparison (all
+        // comparisons with NaN are false), so every hit is pruned — but
+        // nothing may panic, and the outcome must be deterministic.
+        let corpus = seed_corpus();
+        let nan_floor = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                min_score: f64::NAN,
+                ..MatchConfig::default()
+            },
+        );
+        let hits = nan_floor.match_text("Microsoft Windows 7 SMB remote code execution");
+        assert!(hits.is_empty(), "NaN threshold admits nothing");
+        // An infinite idf_floor with min_terms = 0 admits every touched
+        // document; ordering still must not panic on any score pattern.
+        let admit_all = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                idf_floor: f64::INFINITY,
+                min_terms: 0,
+                min_score: f64::NEG_INFINITY,
+                ..MatchConfig::default()
+            },
+        );
+        let a = admit_all.match_text("Microsoft Windows 7 SMB remote code execution");
+        let b = admit_all.match_text("Microsoft Windows 7 SMB remote code execution");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn sort_hits_orders_nan_scores_deterministically() {
+        let hit = |n: u32, score: f64| Hit {
+            id: AttackVectorId::Vulnerability(CveId::new(2020, n)),
+            score,
+            matched_terms: 1,
+        };
+        let mut a = vec![hit(1, f64::NAN), hit(2, 1.0), hit(3, f64::NAN), hit(4, 2.0)];
+        let mut b = a.clone();
+        b.reverse();
+        sort_hits(&mut a);
+        sort_hits(&mut b);
+        // No panic, and the order is total: both permutations agree on the
+        // id sequence (NaN != NaN blocks whole-Hit equality).
+        let ids = |hits: &[Hit]| hits.iter().map(|h| h.id).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        // NaN sorts above +inf under total_cmp, finite scores keep their
+        // descending order after it.
+        assert!(a[0].score.is_nan() && a[1].score.is_nan());
+        assert_eq!(a[2].score, 2.0);
+        assert_eq!(a[3].score, 1.0);
     }
 
     #[test]
@@ -546,7 +763,10 @@ mod tests {
         let model = cpssec_model::SystemModelBuilder::new("m")
             .component("ws", ComponentKind::Workstation)
             .component("fw", ComponentKind::Firewall)
-            .attribute("ws", Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
+            .attribute(
+                "ws",
+                Attribute::new(AttributeKind::OperatingSystem, "Windows 7"),
+            )
             .attribute("fw", Attribute::new(AttributeKind::Product, "Cisco ASA"))
             .build()
             .unwrap();
@@ -555,5 +775,69 @@ mod tests {
         assert_eq!(results[0].0, "ws");
         assert!(results[0].1.vulnerabilities.len() >= 4);
         assert!(results[1].1.vulnerabilities.len() >= 3);
+    }
+
+    #[test]
+    fn par_match_model_equals_sequential_exactly() {
+        let e = engine();
+        let model = cpssec_scada_model();
+        for level in [
+            Fidelity::Conceptual,
+            Fidelity::Architectural,
+            Fidelity::Implementation,
+        ] {
+            assert_eq!(
+                e.par_match_model(&model, level),
+                e.match_model(&model, level),
+                "parallel fan-out must be bit-identical at {level:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_match_channels_covers_every_channel_in_order() {
+        let e = engine();
+        let model = cpssec_scada_model();
+        let par = e.par_match_channels(&model, Fidelity::Implementation);
+        assert_eq!(par.len(), model.channel_count());
+        for (id, set) in &par {
+            let channel = model
+                .channels()
+                .find(|(cid, _)| cid == id)
+                .expect("id valid")
+                .1;
+            assert_eq!(*set, e.match_channel(channel, Fidelity::Implementation));
+        }
+        // Insertion order preserved.
+        let ids: Vec<usize> = par.iter().map(|(id, _)| id.index()).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// A miniature SCADA-shaped model without depending on cpssec-scada
+    /// (which would be a dependency cycle from inside this crate).
+    fn cpssec_scada_model() -> cpssec_model::SystemModel {
+        let mut builder = cpssec_model::SystemModelBuilder::new("mini-scada");
+        let specs = [
+            ("eng-ws", ComponentKind::Workstation, "Windows 7"),
+            ("hist", ComponentKind::Historian, "NI RT Linux OS"),
+            ("fw", ComponentKind::Firewall, "Cisco ASA"),
+            ("plc-a", ComponentKind::Controller, "NI cRIO 9063"),
+            ("plc-b", ComponentKind::Controller, "NI cRIO 9064"),
+            ("hmi", ComponentKind::Hmi, "Labview"),
+        ];
+        for (name, kind, product) in specs {
+            builder = builder.component(name, kind).attribute(
+                name,
+                Attribute::new(AttributeKind::Product, product)
+                    .at_fidelity(Fidelity::Implementation),
+            );
+        }
+        builder
+            .channel("eng-ws", "fw", cpssec_model::ChannelKind::Ethernet)
+            .channel("fw", "hist", cpssec_model::ChannelKind::Ethernet)
+            .channel("plc-a", "hmi", cpssec_model::ChannelKind::Fieldbus)
+            .channel("plc-b", "hmi", cpssec_model::ChannelKind::Fieldbus)
+            .build()
+            .unwrap()
     }
 }

@@ -1,6 +1,16 @@
 //! A TF-IDF inverted index over one record family.
+//!
+//! Internally the index is split into a mutable *build side* and an
+//! immutable *frozen side*. Documents are interned into a term dictionary
+//! (`HashMap<String, u32>`) as they are added; the first query freezes the
+//! index into flat per-term entries over a contiguous postings arena, with
+//! per-term `idf`/`bm25_idf` and fully normalized per-posting weights for
+//! *both* scoring models precomputed. After the freeze, looking up one
+//! query term is a single hash probe returning a weight slice — zero
+//! allocation, zero arithmetic on the query path.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::score::{ScoringModel, BM25_B, BM25_K1};
 use crate::text::tokenize;
@@ -17,13 +27,62 @@ impl DocId {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Posting {
+/// Build-side posting: raw term frequency, weights not yet computed.
+#[derive(Debug, Clone, Copy)]
+struct RawPosting {
     doc: DocId,
     tf: u32,
 }
 
-/// One query term's contribution to a document match.
+/// Frozen per-term dictionary entry: postings-arena span plus the
+/// precomputed inverse document frequencies for both scoring models.
+#[derive(Debug, Clone, Copy)]
+struct TermEntry {
+    start: u32,
+    len: u32,
+    idf: f64,
+}
+
+/// Frozen posting with both models' fully normalized weights precomputed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PostingWeight {
+    /// The containing document.
+    pub doc: DocId,
+    /// Length-normalized TF-IDF weight: `(1 + ln tf) · ln(N/df) / √|doc|`.
+    pub tfidf: f64,
+    /// BM25 weight: `bm25_idf · saturation(tf, |doc|)`.
+    pub bm25: f64,
+}
+
+impl PostingWeight {
+    /// The weight under `model`.
+    #[inline]
+    pub fn weight(&self, model: ScoringModel) -> f64 {
+        match model {
+            ScoringModel::TfIdf => self.tfidf,
+            ScoringModel::Bm25 => self.bm25,
+        }
+    }
+}
+
+/// One query term's resolved postings: the shared `ln(N/df)` IDF (used by
+/// the model-independent hit criteria) and the precomputed weight slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TermPostings<'a> {
+    pub idf: f64,
+    pub postings: &'a [PostingWeight],
+}
+
+/// Frozen query-side image of the index.
+#[derive(Debug, Clone, Default)]
+struct Frozen {
+    entries: Vec<TermEntry>,
+    arena: Vec<PostingWeight>,
+}
+
+/// One query term's contribution to a document match (test/reference view;
+/// the hot path uses [`TermPostings`] slices directly).
+#[cfg(test)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct TermMatch {
     pub doc: DocId,
@@ -50,8 +109,13 @@ pub(crate) struct TermMatch {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
-    postings: BTreeMap<String, Vec<Posting>>,
+    /// Term dictionary: normalized term → dense term id (build-side interner).
+    term_ids: HashMap<String, u32>,
+    /// Build-side postings, indexed by term id; doc-ascending within a term.
+    raw: Vec<Vec<RawPosting>>,
     doc_lengths: Vec<u32>,
+    /// Lazily built query-side image; invalidated by [`Self::add_document`].
+    frozen: OnceLock<Frozen>,
 }
 
 impl InvertedIndex {
@@ -66,13 +130,28 @@ impl InvertedIndex {
         let id = DocId(u32::try_from(self.doc_lengths.len()).expect("doc count fits u32"));
         let tokens = tokenize(text);
         self.doc_lengths.push(tokens.len() as u32);
-        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        // Intern tokens, then count a sorted run per distinct term id.
+        let mut tids: Vec<u32> = Vec::with_capacity(tokens.len());
         for token in tokens {
-            *counts.entry(token).or_insert(0) += 1;
+            let next = self.raw.len() as u32;
+            let tid = *self.term_ids.entry(token).or_insert(next);
+            if tid == next {
+                self.raw.push(Vec::new());
+            }
+            tids.push(tid);
         }
-        for (term, tf) in counts {
-            self.postings.entry(term).or_default().push(Posting { doc: id, tf });
+        tids.sort_unstable();
+        let mut run = tids.as_slice();
+        while let Some(&tid) = run.first() {
+            let tf = run.iter().take_while(|&&t| t == tid).count();
+            self.raw[tid as usize].push(RawPosting {
+                doc: id,
+                tf: tf as u32,
+            });
+            run = &run[tf..];
         }
+        // The query-side image is stale now.
+        self.frozen.take();
         id
     }
 
@@ -91,14 +170,16 @@ impl InvertedIndex {
     /// Number of distinct terms.
     #[must_use]
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.term_ids.len()
     }
 
     /// How many documents contain `term` (after normalization of the
     /// documents; `term` itself is taken verbatim).
     #[must_use]
     pub fn document_frequency(&self, term: &str) -> usize {
-        self.postings.get(term).map_or(0, Vec::len)
+        self.term_ids
+            .get(term)
+            .map_or(0, |&tid| self.raw[tid as usize].len())
     }
 
     /// Inverse document frequency of `term`: `ln(N / df)`, or `0.0` for
@@ -128,49 +209,83 @@ impl InvertedIndex {
         (total as f64 / self.doc_lengths.len() as f64).max(1.0)
     }
 
+    /// Forces construction of the frozen query-side image so its cost lands
+    /// in the build phase rather than the first query.
+    pub(crate) fn freeze(&self) {
+        let _ = self.frozen();
+    }
+
+    /// The frozen image, built on first use.
+    fn frozen(&self) -> &Frozen {
+        self.frozen.get_or_init(|| {
+            let n = self.doc_lengths.len() as f64;
+            let avg = self.average_document_length();
+            let total_postings: usize = self.raw.iter().map(Vec::len).sum();
+            let mut entries = Vec::with_capacity(self.raw.len());
+            let mut arena = Vec::with_capacity(total_postings);
+            for postings in &self.raw {
+                let start = arena.len() as u32;
+                let df = postings.len() as f64;
+                let idf = if postings.is_empty() || self.doc_lengths.is_empty() {
+                    0.0
+                } else {
+                    (self.doc_lengths.len() as f64 / df).ln()
+                };
+                let bm25_idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                for p in postings {
+                    let tf = p.tf as f64;
+                    // TF-IDF guards zero-length docs; BM25's normalizer is
+                    // already safe because `avg >= 1.0`.
+                    let len = f64::from(self.doc_lengths[p.doc.index()]);
+                    let tfidf = (1.0 + tf.ln()) * idf / len.max(1.0).sqrt();
+                    let saturation =
+                        tf * (BM25_K1 + 1.0) / (tf + BM25_K1 * (1.0 - BM25_B + BM25_B * len / avg));
+                    arena.push(PostingWeight {
+                        doc: p.doc,
+                        tfidf,
+                        bm25: bm25_idf * saturation,
+                    });
+                }
+                entries.push(TermEntry {
+                    start,
+                    len: postings.len() as u32,
+                    idf,
+                });
+            }
+            Frozen { entries, arena }
+        })
+    }
+
+    /// Zero-allocation lookup of one query term: a hash probe into the term
+    /// dictionary, then a slice of precomputed posting weights.
+    pub(crate) fn term_postings(&self, term: &str) -> Option<TermPostings<'_>> {
+        let &tid = self.term_ids.get(term)?;
+        let frozen = self.frozen();
+        let entry = frozen.entries[tid as usize];
+        let start = entry.start as usize;
+        Some(TermPostings {
+            idf: entry.idf,
+            postings: &frozen.arena[start..start + entry.len as usize],
+        })
+    }
+
     /// All `(document, weight, idf)` contributions for one query term under
-    /// the given scoring model. Weights are fully normalized (length
-    /// normalization included), so a document's score is the plain sum of
-    /// its term weights. The `idf` field always carries `ln(N/df)` so hit
-    /// criteria stay model-independent.
+    /// the given scoring model — a materialized view of [`Self::term_postings`]
+    /// kept for tests and reference scorers; the engine's hot path reads the
+    /// weight slices directly.
+    #[cfg(test)]
     pub(crate) fn term_matches(&self, term: &str, model: ScoringModel) -> Vec<TermMatch> {
-        let idf = self.idf(term);
-        let Some(postings) = self.postings.get(term) else {
+        let Some(tp) = self.term_postings(term) else {
             return Vec::new();
         };
-        match model {
-            ScoringModel::TfIdf => postings
-                .iter()
-                .map(|p| {
-                    let len = f64::from(self.doc_lengths[p.doc.index()]).max(1.0);
-                    TermMatch {
-                        doc: p.doc,
-                        weight: (1.0 + (p.tf as f64).ln()) * idf / len.sqrt(),
-                        idf,
-                    }
-                })
-                .collect(),
-            ScoringModel::Bm25 => {
-                let n = self.doc_lengths.len() as f64;
-                let df = postings.len() as f64;
-                let bm25_idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
-                let avg = self.average_document_length();
-                postings
-                    .iter()
-                    .map(|p| {
-                        let tf = p.tf as f64;
-                        let len = f64::from(self.doc_lengths[p.doc.index()]);
-                        let saturation =
-                            tf * (BM25_K1 + 1.0) / (tf + BM25_K1 * (1.0 - BM25_B + BM25_B * len / avg));
-                        TermMatch {
-                            doc: p.doc,
-                            weight: bm25_idf * saturation,
-                            idf,
-                        }
-                    })
-                    .collect()
-            }
-        }
+        tp.postings
+            .iter()
+            .map(|p| TermMatch {
+                doc: p.doc,
+                weight: p.weight(model),
+                idf: tp.idf,
+            })
+            .collect()
     }
 }
 
@@ -268,5 +383,37 @@ mod tests {
         assert_eq!(idx.idf("anything"), 0.0);
         assert!(idx.term_matches("anything", ScoringModel::TfIdf).is_empty());
         assert!(idx.term_matches("anything", ScoringModel::Bm25).is_empty());
+    }
+
+    #[test]
+    fn adding_a_document_invalidates_the_frozen_image() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("kernel overflow");
+        let before = idx.term_postings("kernel").expect("indexed").idf;
+        idx.add_document("kernel panic");
+        idx.add_document("web interface");
+        let after = idx.term_postings("kernel").expect("indexed").idf;
+        // df went 1/1 → 2/3: the idf must have been recomputed, not cached.
+        assert!(before.abs() < 1e-12, "idf of the only doc's term is ln(1)");
+        assert!((after - (3.0f64 / 2.0).ln()).abs() < 1e-12);
+        assert_eq!(
+            idx.term_postings("kernel").expect("indexed").postings.len(),
+            2
+        );
+    }
+
+    #[test]
+    fn term_postings_match_term_matches_for_both_models() {
+        let idx = sample();
+        for model in ScoringModel::ALL {
+            let reference = idx.term_matches("kernel", model);
+            let tp = idx.term_postings("kernel").expect("indexed");
+            assert_eq!(reference.len(), tp.postings.len());
+            for (r, p) in reference.iter().zip(tp.postings.iter()) {
+                assert_eq!(r.doc, p.doc);
+                assert_eq!(r.weight, p.weight(model), "precomputed bits must agree");
+                assert_eq!(r.idf, tp.idf);
+            }
+        }
     }
 }

@@ -39,7 +39,7 @@ mod score;
 pub mod text;
 
 pub use chains::{chains_for_weakness, exploit_chains, ExploitChain};
-pub use engine::{Hit, MatchConfig, MatchSet, SearchEngine};
+pub use engine::{Hit, MatchConfig, MatchSet, QueryScratch, SearchEngine};
 pub use filter::{Filter, FilterPipeline};
 pub use index::{DocId, InvertedIndex};
 pub use score::{expand_query, ScoringModel, UnknownScoringModel};

@@ -78,13 +78,13 @@ pub(crate) const BM25_B: f64 = 0.75;
 const SYNONYMS: &[(&str, &[&str])] = &[
     ("os", &["operat", "system"]),
     ("ws", &["workstation"]),
-    ("hmi", &["human", "machine", "interface"]),
-    ("plc", &["programmable", "logic", "controller"]),
-    ("rtu", &["remote", "terminal", "unit"]),
+    ("hmi", &["human", "machin", "interfac"]),
+    ("plc", &["programmabl", "logic", "controller"]),
+    ("rtu", &["remot", "terminal", "unit"]),
     ("sis", &["safety", "instrument", "system"]),
     ("bpcs", &["process", "control", "system"]),
     ("dcs", &["distribut", "control", "system"]),
-    ("firewall", &["network", "appliance"]),
+    ("firewall", &["network", "applianc"]),
 ];
 
 /// Expands a normalized query term list with domain synonyms.

@@ -32,9 +32,21 @@ pub fn is_stopword(word: &str) -> bool {
 
 /// Applies the light stemming rules to a lowercase word.
 ///
-/// Rules (first match wins): `-ies` → `-y`, `-sses` → `-ss`, `-ing` dropped
-/// from words of length ≥ 6, `-ed` dropped from words of length ≥ 5, final
-/// `-s` dropped from words of length ≥ 4 unless they end in `-ss` or `-us`.
+/// One pass applies the first matching rule: `-ies` → `-y`, `-sses` →
+/// `-ss`, `-ing` dropped from words of length ≥ 6, `-ed` dropped from
+/// words of length ≥ 5, final `-s` dropped from words of length ≥ 4 unless
+/// they end in `-ss` or `-us`, final `-e` dropped from words of length ≥ 5,
+/// and a final doubled consonant (other than `-ss`/`-zz`) undoubled in
+/// words of length ≥ 4. Passes repeat until a fixed point, so every
+/// inflection of a verb lands on one stem and stemming is idempotent by
+/// construction: `parse`/`parses`/`parsed`/`parsing` → `par`,
+/// `route`/`routes`/`routed`/`routing` → `rout`, `embeds`/`embedded` →
+/// `embed`. (The final-`e` and undoubling rules exist exactly for this
+/// conflation — `-s` keeps a base-form `e` that `-ing`/`-ed` stripping
+/// never saw, and `-ed`/`-ing` leave a doubled consonant the base form
+/// never had. The stems are not always pretty; what retrieval needs is
+/// that documents and queries agree on them, which running the identical
+/// fixed-point rules on both sides guarantees.)
 ///
 /// # Examples
 ///
@@ -43,9 +55,23 @@ pub fn is_stopword(word: &str) -> bool {
 /// assert_eq!(stem("vulnerabilities"), "vulnerability");
 /// assert_eq!(stem("windows"), "window");
 /// assert_eq!(stem("access"), "access");
+/// assert_eq!(stem("routing"), stem("routes"));
+/// assert_eq!(stem("parsing"), stem("parses"));
 /// ```
 #[must_use]
 pub fn stem(word: &str) -> String {
+    let mut current = word.to_owned();
+    loop {
+        let next = stem_once(&current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// One rule pass of [`stem`]; first matching rule wins.
+fn stem_once(word: &str) -> String {
     if let Some(base) = word.strip_suffix("ies") {
         if !base.is_empty() {
             return format!("{base}y");
@@ -67,6 +93,25 @@ pub fn stem(word: &str) -> String {
     // The plural rule needs a real stem left over: "commands" → "command",
     // but "os"/"dos"/"gas" are not plurals and must survive intact.
     if word.ends_with('s') && !word.ends_with("ss") && !word.ends_with("us") && word.len() >= 4 {
+        return word[..word.len() - 1].to_owned();
+    }
+    // Drop a base-form final "e" so "parse"/"parses" meet "parsing"/"parsed"
+    // at the same stem ("pars").
+    if word.len() >= 5 && word.ends_with('e') {
+        return word[..word.len() - 1].to_owned();
+    }
+    // Undouble a trailing consonant so "embedded" meets "embeds" at "embed".
+    // Applied to base forms too ("install" → "instal") — consistency across
+    // inflections is what matters for retrieval, not pretty stems.
+    let bytes = word.as_bytes();
+    if word.len() >= 4
+        && bytes[word.len() - 1] == bytes[word.len() - 2]
+        && bytes[word.len() - 1].is_ascii_alphabetic()
+        && !matches!(
+            bytes[word.len() - 1],
+            b'a' | b'e' | b'i' | b'o' | b'u' | b's' | b'z'
+        )
+    {
         return word[..word.len() - 1].to_owned();
     }
     word.to_owned()
@@ -104,12 +149,14 @@ fn push_token(tokens: &mut Vec<String>, raw: String) {
         return;
     }
     let stemmed = stem(&raw);
-    // Single non-digit characters carry no signal — and the check must run
-    // on the *stemmed* form, or "Bs" → "b" would survive one pass of
-    // tokenization but not two.
-    if stemmed.chars().count() == 1
-        && !stemmed.chars().next().expect("nonempty").is_ascii_digit()
-    {
+    // Both drop checks must run on the *stemmed* form too, or a token would
+    // survive one pass of tokenization but not two ("Bs" → "b" for the
+    // single-character check, "cans" → "can" for the stopword check) —
+    // breaking tokenize(tokenize(..)) == tokenize(..).
+    if is_stopword(&stemmed) {
+        return;
+    }
+    if stemmed.chars().count() == 1 && !stemmed.chars().next().expect("nonempty").is_ascii_digit() {
         return;
     }
     tokens.push(stemmed);
@@ -128,9 +175,11 @@ mod tests {
 
     #[test]
     fn tokenize_lowercases_and_splits_on_punctuation() {
+        // "adaptive"/"appliance" lose their base-form "e" so that their
+        // "-ed"/"-ing" inflections land on the same stem.
         assert_eq!(
             tokenize("Cisco Adaptive-Security Appliance (ASA)"),
-            ["cisco", "adaptive", "security", "appliance", "asa"]
+            ["cisco", "adaptiv", "security", "applianc", "asa"]
         );
     }
 
@@ -141,20 +190,23 @@ mod tests {
     }
 
     #[test]
-    fn single_letters_are_dropped(){
+    fn single_letters_are_dropped() {
         assert_eq!(tokenize("a b c linux"), ["linux"]);
     }
 
     #[test]
     fn stopwords_are_dropped() {
-        assert_eq!(tokenize("the injection of commands"), ["injection", "command"]);
+        assert_eq!(
+            tokenize("the injection of commands"),
+            ["injection", "command"]
+        );
     }
 
     #[test]
     fn stemming_conflates_inflections() {
         assert_eq!(stem("attacks"), "attack");
-        assert_eq!(stem("parsing"), "pars");
-        assert_eq!(stem("parses"), "parse");
+        assert_eq!(stem("parsing"), "par");
+        assert_eq!(stem("parses"), "par");
         assert_eq!(stem("crafted"), "craft");
         assert_eq!(stem("classes"), "class");
         assert_eq!(stem("status"), "status");
@@ -162,8 +214,43 @@ mod tests {
     }
 
     #[test]
+    fn all_inflections_of_a_verb_share_one_stem() {
+        // The conflation bug this guards against: "-s" keeps a base-form
+        // "e" ("parses" → "parse") that "-ing"/"-ed" stripping never saw
+        // ("parsing" → "pars"), so a model attribute saying "routing"
+        // missed records saying "routes".
+        for family in [
+            ["parse", "parses", "parsed", "parsing"],
+            ["route", "routes", "routed", "routing"],
+            ["execute", "executes", "executed", "executing"],
+            ["service", "services", "serviced", "servicing"],
+            ["attack", "attacks", "attacked", "attacking"],
+            ["exploit", "exploits", "exploited", "exploiting"],
+            ["craft", "crafts", "crafted", "crafting"],
+        ] {
+            let stems: Vec<String> = family.iter().map(|w| stem(w)).collect();
+            assert!(
+                stems.windows(2).all(|w| w[0] == w[1]),
+                "{family:?} → {stems:?}"
+            );
+        }
+        // Doubled-consonant forms conflate too.
+        assert_eq!(stem("embeds"), stem("embedded"));
+        assert_eq!(stem("logs"), stem("logging"));
+    }
+
+    #[test]
     fn stemming_is_idempotent_on_query_and_doc() {
-        for word in ["overflows", "services", "vulnerabilities", "windows"] {
+        for word in [
+            "overflows",
+            "services",
+            "vulnerabilities",
+            "windows",
+            "parses",
+            "routing",
+            "embedded",
+            "executes",
+        ] {
             let doc = stem(word);
             // A query containing the already-stemmed form still matches.
             assert_eq!(stem(&doc), doc);

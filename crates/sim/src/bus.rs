@@ -478,19 +478,35 @@ mod tests {
     fn firewall_first_match_wins() {
         let (a, b) = units();
         let fw = Firewall::new(FirewallAction::Allow)
-            .with_rule(FirewallRule::any(FirewallAction::Deny).from_src(a).writes_only())
+            .with_rule(
+                FirewallRule::any(FirewallAction::Deny)
+                    .from_src(a)
+                    .writes_only(),
+            )
             .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(a));
-        assert_eq!(fw.decide(&BusRequest::write(a, b, 0, 1)), FirewallAction::Deny);
-        assert_eq!(fw.decide(&BusRequest::read(a, b, 0, 1)), FirewallAction::Allow);
+        assert_eq!(
+            fw.decide(&BusRequest::write(a, b, 0, 1)),
+            FirewallAction::Deny
+        );
+        assert_eq!(
+            fw.decide(&BusRequest::read(a, b, 0, 1)),
+            FirewallAction::Allow
+        );
     }
 
     #[test]
     fn disabled_firewall_allows_everything() {
         let (a, b) = units();
         let mut fw = Firewall::new(FirewallAction::Deny);
-        assert_eq!(fw.decide(&BusRequest::read(a, b, 0, 1)), FirewallAction::Deny);
+        assert_eq!(
+            fw.decide(&BusRequest::read(a, b, 0, 1)),
+            FirewallAction::Deny
+        );
         fw.set_enabled(false);
-        assert_eq!(fw.decide(&BusRequest::read(a, b, 0, 1)), FirewallAction::Allow);
+        assert_eq!(
+            fw.decide(&BusRequest::read(a, b, 0, 1)),
+            FirewallAction::Allow
+        );
         assert!(!fw.is_enabled());
     }
 
@@ -508,16 +524,28 @@ mod tests {
         let (a, b) = units();
         let baseline = Firewall::new(FirewallAction::Deny)
             .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(b));
-        let scenario = Firewall::new(FirewallAction::Allow)
-            .with_rule(FirewallRule::any(FirewallAction::Allow).from_src(a).to_dst(b));
+        let scenario = Firewall::new(FirewallAction::Allow).with_rule(
+            FirewallRule::any(FirewallAction::Allow)
+                .from_src(a)
+                .to_dst(b),
+        );
         let merged = scenario.merged_with(baseline);
         // The scenario's allow rule wins first...
-        assert_eq!(merged.decide(&BusRequest::write(a, b, 0, 1)), FirewallAction::Allow);
+        assert_eq!(
+            merged.decide(&BusRequest::write(a, b, 0, 1)),
+            FirewallAction::Allow
+        );
         // ...the baseline rules still apply...
-        assert_eq!(merged.decide(&BusRequest::read(b, a, 0, 1)), FirewallAction::Allow);
+        assert_eq!(
+            merged.decide(&BusRequest::read(b, a, 0, 1)),
+            FirewallAction::Allow
+        );
         // ...and the baseline's default-deny is preserved.
         let c = UnitId::new(9);
-        assert_eq!(merged.decide(&BusRequest::read(c, a, 0, 1)), FirewallAction::Deny);
+        assert_eq!(
+            merged.decide(&BusRequest::read(c, a, 0, 1)),
+            FirewallAction::Deny
+        );
     }
 
     #[test]

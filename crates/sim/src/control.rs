@@ -71,8 +71,7 @@ impl Pid {
         self.previous_error = Some(error);
 
         let tentative_integral = self.integral + error * dt;
-        let unclamped =
-            self.kp * error + self.ki * tentative_integral + self.kd * derivative;
+        let unclamped = self.kp * error + self.ki * tentative_integral + self.kd * derivative;
         let output = unclamped.clamp(self.output_min, self.output_max);
         // Conditional anti-windup: only accumulate when not pushing further
         // into saturation.
@@ -115,7 +114,10 @@ mod tests {
     fn proportional_only_leaves_steady_state_error() {
         let mut pid = Pid::new(1.0, 0.0, 0.0);
         let value = settle(&mut pid, 10.0, 5000);
-        assert!(value < 10.0 - 0.5, "P-only should not reach setpoint: {value}");
+        assert!(
+            value < 10.0 - 0.5,
+            "P-only should not reach setpoint: {value}"
+        );
         assert!(value > 5.0);
     }
 

@@ -251,10 +251,16 @@ mod tests {
             Some(UnitId::new(2)),
         );
         let mut r = req();
-        assert_eq!(inj.intercept_request(Tick::new(0), &mut r), Verdict::Deliver);
+        assert_eq!(
+            inj.intercept_request(Tick::new(0), &mut r),
+            Verdict::Deliver
+        );
         assert_eq!(inj.intercept_request(Tick::new(1), &mut r), Verdict::Drop);
         let mut other = BusRequest::write(UnitId::new(1), UnitId::new(9), 40, 1);
-        assert_eq!(inj.intercept_request(Tick::new(1), &mut other), Verdict::Deliver);
+        assert_eq!(
+            inj.intercept_request(Tick::new(1), &mut other),
+            Verdict::Deliver
+        );
     }
 
     #[test]
@@ -262,14 +268,18 @@ mod tests {
         let mut inj =
             DropMatching::new("dos", TickWindow::always(), Some(UnitId::new(2))).writes_only();
         let mut read = BusRequest::read(UnitId::new(1), UnitId::new(2), 0, 1);
-        assert_eq!(inj.intercept_request(Tick::ZERO, &mut read), Verdict::Deliver);
+        assert_eq!(
+            inj.intercept_request(Tick::ZERO, &mut read),
+            Verdict::Deliver
+        );
         let mut write = req();
         assert_eq!(inj.intercept_request(Tick::ZERO, &mut write), Verdict::Drop);
     }
 
     #[test]
     fn register_override_rewrites_matching_write() {
-        let mut inj = RegisterOverride::new("cmd-inject", TickWindow::always(), UnitId::new(2), 40, 9999);
+        let mut inj =
+            RegisterOverride::new("cmd-inject", TickWindow::always(), UnitId::new(2), 40, 9999);
         let mut r = req();
         assert_eq!(inj.intercept_request(Tick::ZERO, &mut r), Verdict::Deliver);
         assert_eq!(r.values, vec![9999]);

@@ -161,11 +161,7 @@ impl<P: Plant> Simulation<P> {
         // the device — like a real protocol stack.
         if let Some(code) = validate_request(&request) {
             let response = crate::BusResponse::exception(code);
-            if let Some(src_index) = self
-                .devices
-                .iter()
-                .position(|d| d.unit_id() == request.src)
-            {
+            if let Some(src_index) = self.devices.iter().position(|d| d.unit_id() == request.src) {
                 self.devices[src_index].on_response(&mut self.plant, &request, &response);
             }
             self.bus.record(BusLogEntry {
@@ -176,11 +172,7 @@ impl<P: Plant> Simulation<P> {
             });
             return;
         }
-        let Some(dst_index) = self
-            .devices
-            .iter()
-            .position(|d| d.unit_id() == request.dst)
-        else {
+        let Some(dst_index) = self.devices.iter().position(|d| d.unit_id() == request.dst) else {
             self.bus.record(BusLogEntry {
                 tick: self.now,
                 request,
@@ -193,11 +185,7 @@ impl<P: Plant> Simulation<P> {
         for injector in &mut self.injectors {
             injector.intercept_response(self.now, &request, &mut response);
         }
-        if let Some(src_index) = self
-            .devices
-            .iter()
-            .position(|d| d.unit_id() == request.src)
-        {
+        if let Some(src_index) = self.devices.iter().position(|d| d.unit_id() == request.src) {
             self.devices[src_index].on_response(&mut self.plant, &request, &response);
         }
         self.bus.record(BusLogEntry {
@@ -322,8 +310,8 @@ impl<P: fmt::Debug> fmt::Debug for Simulation<P> {
 mod tests {
     use super::*;
     use crate::{
-        BusResponse, DropMatching, ExceptionCode, FirewallRule, RegisterOverride,
-        ResponseOverride, TickWindow,
+        BusResponse, DropMatching, ExceptionCode, FirewallRule, RegisterOverride, ResponseOverride,
+        TickWindow,
     };
 
     #[derive(Debug)]
@@ -395,7 +383,11 @@ mod tests {
         }
         fn poll(&mut self, _plant: &mut Tank, outbox: &mut Outbox) {
             outbox.send(BusRequest::read(CONTROLLER, SENSOR, 0, 1));
-            let command = if self.last_level < self.setpoint { 100u16 } else { 0 };
+            let command = if self.last_level < self.setpoint {
+                100u16
+            } else {
+                0
+            };
             outbox.send(BusRequest::write(CONTROLLER, ACTUATOR, 0, command));
         }
         fn handle(&mut self, _plant: &mut Tank, _request: &BusRequest) -> BusResponse {
@@ -431,7 +423,11 @@ mod tests {
     fn closed_loop_regulates_to_setpoint() {
         let mut sim = closed_loop();
         sim.run(2000);
-        assert!((sim.plant().level - 5.0).abs() < 0.5, "level {}", sim.plant().level);
+        assert!(
+            (sim.plant().level - 5.0).abs() < 0.5,
+            "level {}",
+            sim.plant().level
+        );
         assert!(sim.bus().message_count() > 0);
     }
 
@@ -498,11 +494,7 @@ mod tests {
     #[test]
     fn drop_injector_is_attributed_in_the_log() {
         let mut sim = closed_loop();
-        sim.add_injector(DropMatching::new(
-            "dos",
-            TickWindow::always(),
-            Some(SENSOR),
-        ));
+        sim.add_injector(DropMatching::new("dos", TickWindow::always(), Some(SENSOR)));
         sim.run(10);
         assert!(sim.bus().log().iter().any(|e| matches!(
             &e.outcome,
@@ -604,7 +596,9 @@ mod tests {
             }
         }
         let mut sim = closed_loop();
-        sim.add_device(Malformed { responses: Vec::new() });
+        sim.add_device(Malformed {
+            responses: Vec::new(),
+        });
         sim.step();
         // All three malformed requests were answered with exceptions and
         // never reached a device handler.

@@ -61,9 +61,7 @@ pub use bus::{
 };
 pub use control::Pid;
 pub use device::{Device, Outbox};
-pub use inject::{
-    DropMatching, Injector, RegisterOverride, ResponseOverride, TickWindow, Verdict,
-};
+pub use inject::{DropMatching, Injector, RegisterOverride, ResponseOverride, TickWindow, Verdict};
 pub use kernel::{Plant, Simulation};
 pub use monitor::{HazardEvent, HazardMonitor};
 pub use time::Tick;

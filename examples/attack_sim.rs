@@ -39,7 +39,15 @@ fn main() {
     print!(
         "{}",
         text_table(
-            &["Scenario", "Target", "Confirmed CWE", "Product", "SIS trip", "Hazards", "Losses"],
+            &[
+                "Scenario",
+                "Target",
+                "Confirmed CWE",
+                "Product",
+                "SIS trip",
+                "Hazards",
+                "Losses"
+            ],
             &rows,
         )
     );

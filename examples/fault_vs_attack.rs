@@ -15,7 +15,12 @@ use cpssec::sim::Tick;
 fn outcome(report: &BatchReport) -> Vec<String> {
     vec![
         report.product.to_string(),
-        if report.emergency_stopped { "yes" } else { "no" }.to_owned(),
+        if report.emergency_stopped {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_owned(),
         if report.exploded { "yes" } else { "no" }.to_owned(),
         report
             .hazards
@@ -50,8 +55,11 @@ fn main() {
             )
             .run_batch_for(12_000),
             "cooling-dos (attack)",
-            ScadaHarness::with_attack(ScadaConfig::default(), &attacks::cooling_dos(Tick::new(500)))
-                .run_batch_for(12_000),
+            ScadaHarness::with_attack(
+                ScadaConfig::default(),
+                &attacks::cooling_dos(Tick::new(500)),
+            )
+            .run_batch_for(12_000),
         ),
     ];
 
@@ -67,7 +75,13 @@ fn main() {
     print!(
         "{}",
         text_table(
-            &["Scenario (origin)", "Product", "SIS trip", "Exploded", "Hazards"],
+            &[
+                "Scenario (origin)",
+                "Product",
+                "SIS trip",
+                "Exploded",
+                "Hazards"
+            ],
             &rows,
         )
     );

@@ -16,10 +16,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .component_with("pump controller", ComponentKind::Controller, |c| {
             c.with_criticality(Criticality::SafetyCritical)
                 .with_attribute(Attribute::new(AttributeKind::Hardware, "NI cRIO 9063"))
-                .with_attribute(Attribute::new(AttributeKind::OperatingSystem, "NI RT Linux OS"))
+                .with_attribute(Attribute::new(
+                    AttributeKind::OperatingSystem,
+                    "NI RT Linux OS",
+                ))
         })
         .component("pump", ComponentKind::Actuator)
-        .channel("engineering laptop", "pump controller", ChannelKind::Ethernet)
+        .channel(
+            "engineering laptop",
+            "pump controller",
+            ChannelKind::Ethernet,
+        )
         .channel("pump controller", "pump", ChannelKind::Analog)
         .build()?;
 
@@ -59,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nwhat-if: replace Windows 7 -> hardened thin client: Δscore = {:+.2} ({})",
         report.score_delta,
-        if report.is_improvement() { "improvement" } else { "regression" }
+        if report.is_improvement() {
+            "improvement"
+        } else {
+            "regression"
+        }
     );
     Ok(())
 }

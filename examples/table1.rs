@@ -52,7 +52,12 @@ fn main() {
     print!(
         "{}",
         text_table(
-            &["Attribute", "Attack Patterns", "Weaknesses", "Vulnerabilities"],
+            &[
+                "Attribute",
+                "Attack Patterns",
+                "Weaknesses",
+                "Vulnerabilities"
+            ],
             &rows,
         )
     );

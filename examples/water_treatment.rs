@@ -46,7 +46,11 @@ fn water_treatment_model() -> Result<SystemModel, cpssec::model::ModelError> {
             c.with_criticality(Criticality::SafetyCritical)
         })
         .component("turbidity sensor", ComponentKind::Sensor)
-        .channel("business network", "perimeter firewall", ChannelKind::Ethernet)
+        .channel(
+            "business network",
+            "perimeter firewall",
+            ChannelKind::Ethernet,
+        )
         .channel("perimeter firewall", "scada server", ChannelKind::Ethernet)
         .channel("scada server", "dosing plc", ChannelKind::Ethernet)
         .channel("dosing plc", "chlorine pump", ChannelKind::Analog)
@@ -74,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print!(
         "{}",
-        text_table(&["Component", "Patterns", "Weaknesses", "Vulnerabilities"], &rows)
+        text_table(
+            &["Component", "Patterns", "Weaknesses", "Vulnerabilities"],
+            &rows
+        )
     );
 
     println!("\n== Attack surface ==");
@@ -96,9 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // its own firewall? Topology changes are model edits too — compare
     // exposure before/after.
     let mut segmented = dashboard.model().clone();
-    let fw = segmented.add_component(
-        cpssec::model::Component::new("cell firewall", ComponentKind::Firewall),
-    )?;
+    let fw = segmented.add_component(cpssec::model::Component::new(
+        "cell firewall",
+        ComponentKind::Firewall,
+    ))?;
     let scada = segmented.component_id("scada server").expect("exists");
     let plc = segmented.component_id("dosing plc").expect("exists");
     segmented.add_channel(scada, fw, ChannelKind::Ethernet)?;
@@ -109,10 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nsegmentation what-if: shortest path to the PLC today is {} hops; adding a\n\
          dedicated cell firewall lengthens every new path and shrinks exposure ({:.2}).",
-        before
-            .paths
-            .first()
-            .map_or(0, |p| p.hops),
+        before.paths.first().map_or(0, |p| p.hops),
         before.exposure
     );
     Ok(())

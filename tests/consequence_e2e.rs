@@ -89,7 +89,10 @@ fn sis_is_the_difference_between_product_loss_and_catastrophe() {
     for catastrophic in ["sis-disable-overtemperature", "temperature-sensor-spoof"] {
         let record = by_name(catastrophic);
         assert!(record.exploded, "{catastrophic}");
-        assert!(record.loss_ids.contains(&"L-3".to_owned()), "{catastrophic}");
+        assert!(
+            record.loss_ids.contains(&"L-3".to_owned()),
+            "{catastrophic}"
+        );
     }
 }
 

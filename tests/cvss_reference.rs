@@ -65,11 +65,26 @@ fn reference_vectors_round_trip_display() {
 #[test]
 fn severity_bands_agree_with_nvd_labels() {
     let expect = [
-        ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", Severity::Critical),
-        ("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", Severity::High),
-        ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", Severity::Medium),
-        ("CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", Severity::Low),
-        ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", Severity::None),
+        (
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            Severity::Critical,
+        ),
+        (
+            "CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+            Severity::High,
+        ),
+        (
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N",
+            Severity::Medium,
+        ),
+        (
+            "CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N",
+            Severity::Low,
+        ),
+        (
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N",
+            Severity::None,
+        ),
     ];
     for (vector, severity) in expect {
         let parsed: CvssVector = vector.parse().unwrap();

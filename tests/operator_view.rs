@@ -25,9 +25,7 @@ fn displayed_temperatures(harness: &ScadaHarness) -> Vec<f64> {
                 && !entry.request.function.is_write()
         })
         .filter_map(|entry| match &entry.outcome {
-            BusOutcome::Answered(BusResponse::Ok(values)) => {
-                Some(f64::from(values[0]) / 10.0)
-            }
+            BusOutcome::Answered(BusResponse::Ok(values)) => Some(f64::from(values[0]) / 10.0),
             _ => None,
         })
         .collect()

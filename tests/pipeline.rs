@@ -88,9 +88,8 @@ fn table1_shape_holds_end_to_end() {
 #[test]
 fn whole_pipeline_is_deterministic() {
     let run = || {
-        let mut dashboard =
-            Pipeline::new(merged_corpus(0.01), cpssec::scada::model::scada_model())
-                .into_dashboard();
+        let mut dashboard = Pipeline::new(merged_corpus(0.01), cpssec::scada::model::scada_model())
+            .into_dashboard();
         (
             dashboard.association().total_vectors(),
             dashboard.posture().total_score.to_bits(),

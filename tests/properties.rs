@@ -11,10 +11,9 @@ use cpssec::search::text::{stem, tokenize};
 use cpssec::search::{Filter, FilterPipeline, SearchEngine};
 
 fn arb_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9 _.-]{0,20}".prop_map(|s| s.trim().to_owned()).prop_filter(
-        "nonempty after trim",
-        |s| !s.is_empty(),
-    )
+    "[a-zA-Z][a-zA-Z0-9 _.-]{0,20}"
+        .prop_map(|s| s.trim().to_owned())
+        .prop_filter("nonempty after trim", |s| !s.is_empty())
 }
 
 fn arb_kind() -> impl Strategy<Value = ComponentKind> {
@@ -50,8 +49,24 @@ prop_compose! {
 /// An arbitrary well-formed model: unique names, valid channel endpoints.
 fn arb_model() -> impl Strategy<Value = SystemModel> {
     (
-        prop::collection::btree_map(arb_name(), (arb_kind(), arb_criticality(), prop::collection::vec(arb_attribute(), 0..4), any::<bool>()), 1..8),
-        prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>(), arb_channel_kind()), 0..10),
+        prop::collection::btree_map(
+            arb_name(),
+            (
+                arb_kind(),
+                arb_criticality(),
+                prop::collection::vec(arb_attribute(), 0..4),
+                any::<bool>(),
+            ),
+            1..8,
+        ),
+        prop::collection::vec(
+            (
+                any::<prop::sample::Index>(),
+                any::<prop::sample::Index>(),
+                arb_channel_kind(),
+            ),
+            0..10,
+        ),
     )
         .prop_map(|(components, edges)| {
             let mut model = SystemModel::new("generated").expect("valid name");

@@ -1,0 +1,351 @@
+//! Offline mini benchmark harness exposing the subset of the criterion 0.5
+//! API used by this workspace's benches.
+//!
+//! The registry is unreachable in this environment, so this crate stands in
+//! for the real `criterion`. It keeps the same programming model — groups,
+//! parameterized benchmark IDs, throughput annotations, `Bencher::iter` —
+//! and reports wall-clock statistics (median / min / max per iteration) to
+//! stdout. It does not do HTML reports, outlier classification, or
+//! statistical regression testing; it exists so `cargo bench` compiles,
+//! runs, and prints honest numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working like the real crate.
+pub use std::hint::black_box;
+
+/// Target wall-clock budget for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Warm-up budget before measurement starts.
+const WARMUP_TARGET: Duration = Duration::from_millis(200);
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("query", 0.3)` renders as `query/0.3`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier with only a parameter component.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure given to `bench_function`/`bench_with_input`;
+/// `iter` runs the routine repeatedly and records wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the sample's iteration count, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Timed routine with per-iteration setup excluded from measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by this mini harness).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Per-iteration allocation.
+    PerIteration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.4} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of measured samples per benchmark (min 2 in this harness).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate throughput; reported as elements/sec alongside timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a routine with an explicit input value.
+    pub fn bench_with_input<S: IntoBenchmarkId, I: ?Sized, R>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.id, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a routine with no external input.
+    pub fn bench_function<S: IntoBenchmarkId, R>(&mut self, id: S, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.id, |b| routine(b));
+        self
+    }
+
+    fn run<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
+        // Warm-up: discover a per-iteration estimate while warming caches.
+        let mut iters: u64 = 1;
+        let warm_start = Instant::now();
+        let per_iter = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            if warm_start.elapsed() >= WARMUP_TARGET {
+                break b.elapsed / iters.max(1) as u32;
+            }
+            iters = iters.saturating_mul(2).min(1 << 20);
+        };
+
+        // Pick an iteration count so one sample lands near SAMPLE_TARGET.
+        let iters_per_sample = if per_iter.is_zero() {
+            1 << 20
+        } else {
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1))
+                .clamp(1, 1 << 24) as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed / iters_per_sample as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+
+        let mut line = format!(
+            "{}/{id}: median {} (min {}, max {}) [{} samples x {} iters]",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            samples.len(),
+            iters_per_sample
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let eps = n as f64 / median.as_secs_f64().max(1e-12);
+            line.push_str(&format!(" — {eps:.0} elem/s"));
+        }
+        println!("{line}");
+    }
+
+    /// Finish the group (prints a separator; kept for API parity).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Conversion trait so `bench_function` accepts both `&str` and `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Convert into a concrete [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Standalone benchmark outside a group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        group.finish();
+        self
+    }
+
+    /// Configure default sample size (builder style, like real criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        let id = BenchmarkId::new("query", 0.3);
+        assert_eq!(id.id, "query/0.3");
+    }
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn fmt_duration_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).contains('s'));
+    }
+}

@@ -1,0 +1,685 @@
+//! Offline mini property-testing harness.
+//!
+//! The build environment has no access to crates.io, so the real `proptest`
+//! crate cannot be fetched. This vendored stand-in implements the subset of
+//! the API this workspace uses — `proptest!`, `prop_compose!`,
+//! `prop_assert*!`, regex-pattern string strategies, `prop_map` /
+//! `prop_filter`, tuple and range strategies, `sample::{select, Index}`,
+//! `collection::{vec, btree_map}`, and `any` — with the same call-site
+//! syntax.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs and seed, but is
+//!   not minimized;
+//! * **regex support is a subset** — character classes (with ranges),
+//!   `\PC` (any non-control character), and `{m,n}` / `{n}` counted
+//!   repetition, which covers every pattern in this repository;
+//! * cases are generated from a deterministic per-test seed, so failures
+//!   reproduce without a regression file.
+//!
+//! The number of cases per property defaults to 64 and can be raised with
+//! the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64 — quality is ample for test generation).
+// ---------------------------------------------------------------------------
+
+/// The generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for one `(test name, case index)` pair.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn in_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below(range.end - range.start)
+    }
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES`, default 64).
+#[must_use]
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying up to an internal cap.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!("strategy rejected 1000 candidates in a row: {}", self.reason);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Tuples of strategies generate tuples of values, left to right.
+macro_rules! tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// Integer ranges are strategies over their element type.
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+        )+
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// `any::<T>()` and Arbitrary.
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from regex-like patterns.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `[...]` — inclusive char ranges (single chars are 1-wide ranges).
+    Class(Vec<(char, char)>),
+    /// `\PC` — any non-control character.
+    AnyNonControl,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                assert!(
+                    chars.get(i) != Some(&'^'),
+                    "negated classes are not supported by the offline proptest stub"
+                );
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let designator = (chars.get(i + 1), chars.get(i + 2));
+                assert!(
+                    designator == (Some(&'P'), Some(&'C')),
+                    "only the \\PC escape is supported by the offline proptest stub"
+                );
+                i += 3;
+                Atom::AnyNonControl
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repetition lower bound"),
+                    hi.parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("repetition count");
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let width = hi as u32 - lo as u32 + 1;
+                if pick < width {
+                    return char::from_u32(lo as u32 + pick).expect("valid scalar in class");
+                }
+                pick -= width;
+            }
+            unreachable!("pick is within total width")
+        }
+        Atom::AnyNonControl => {
+            // Mostly printable ASCII, seasoned with multibyte non-controls.
+            const EXOTIC: &[char] = &['é', 'Ü', 'ß', 'λ', '中', '—', '°', 'ø'];
+            if rng.below(20) == 0 {
+                EXOTIC[rng.below(EXOTIC.len())]
+            } else {
+                char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).expect("printable ascii")
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = if piece.max > piece.min {
+                rng.in_range(piece.min..piece.max + 1)
+            } else {
+                piece.min
+            };
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sample / collection modules.
+// ---------------------------------------------------------------------------
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+
+    /// Chooses uniformly from `items` (which must be non-empty).
+    #[must_use]
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    /// An index into a collection whose size is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects onto `[0, size)`; `size` must be nonzero.
+        #[must_use]
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "cannot index an empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{BTreeMap, Range, Strategy, TestRng};
+
+    /// Strategy for vectors with sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with length in `size`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap`s with sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.in_range(self.size.clone());
+            let mut map = BTreeMap::new();
+            // Duplicate keys collapse; retry a bounded number of times to
+            // approach the target size, as real proptest does.
+            for _ in 0..target * 4 {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+
+    /// A `BTreeMap` of `keys → values` with size in `size`.
+    #[must_use]
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: each `fn` runs its body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                let strategy = ($($strat,)+);
+                for case in 0..cases {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                    let described = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?} ")),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest {}: case {case} failed with inputs: {described}",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Composes named sub-strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident()($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($strat,)+), move |($($arg,)+)| $body)
+        }
+    };
+}
+
+/// Asserts inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, Just, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategies_respect_classes_and_counts() {
+        let mut rng = TestRng::for_case("pattern", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{3,12}", &mut rng);
+            assert!((3..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_atom_then_counted_tail() {
+        let mut rng = TestRng::for_case("tail", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z][a-zA-Z0-9 _.-]{0,20}", &mut rng);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().count() <= 21);
+        }
+    }
+
+    #[test]
+    fn non_control_pattern_never_emits_controls() {
+        let mut rng = TestRng::for_case("pc", 0);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"\\PC{0,100}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn filters_retry_until_accepted() {
+        let mut rng = TestRng::for_case("filter", 0);
+        let strategy = "[ a]{1,4}".prop_filter("nonblank", |s: &String| !s.trim().is_empty());
+        for _ in 0..100 {
+            assert!(!strategy.generate(&mut rng).trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn select_and_index_cover_domains() {
+        let mut rng = TestRng::for_case("select", 0);
+        let strategy = prop::sample::select(vec![1, 2, 3]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strategy.generate(&mut rng) - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let idx: prop::sample::Index = Arbitrary::arbitrary(&mut rng);
+        assert!(idx.index(7) < 7);
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = TestRng::for_case("coll", 0);
+        let vecs = prop::collection::vec(0u8..10, 2..5);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let maps = prop::collection::btree_map("[a-z]{1,8}", any::<bool>(), 1..8);
+        for _ in 0..50 {
+            let m = maps.generate(&mut rng);
+            assert!((1..8).contains(&m.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u8..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline resolution placeholder for `serde`.
+//!
+//! The workspace's `serde` support is entirely behind optional `serde`
+//! features in `cpssec-model` and `cpssec-attackdb`, and no crate enables
+//! those features in default builds — the dependency only has to *resolve*
+//! for `cargo` to produce a lockfile without network access. This stub
+//! declares the two marker traits so that, if the feature is ever toggled,
+//! the compile error points here (derive support is not provided offline)
+//! rather than at an unreachable registry.
+
+/// Marker stand-in for `serde::Serialize` (no derive support offline).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no derive support offline).
+pub trait Deserialize<'de> {}
