@@ -1,10 +1,10 @@
 //! Association of attack vectors to the system model — the paper's
 //! "main output".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cpssec_attackdb::Corpus;
-use cpssec_model::{Fidelity, SystemModel};
+use cpssec_model::{fnv1a_64, Fidelity, ModelDiff, SystemModel};
 use cpssec_search::{FilterPipeline, MatchSet, SearchEngine};
 
 /// One row of a Table 1-style report: an attribute value and how many
@@ -75,24 +75,80 @@ impl AssociationMap {
             .into_iter()
             .map(|(name, raw)| (name, filters.apply(&raw, corpus)))
             .collect();
-        let by_channel = engine
-            .par_match_channels(model, level)
-            .into_iter()
-            .map(|(id, raw)| {
-                let channel = model.channel(id).expect("id from this model");
-                let from = model
-                    .component(channel.from())
-                    .expect("valid endpoint")
-                    .name();
-                let to = model
-                    .component(channel.to())
-                    .expect("valid endpoint")
-                    .name();
-                // Zero-padded so BTreeMap string order equals channel order.
-                let key = format!("e{:03}: {from} -- {to} [{}]", id.index(), channel.kind());
-                (key, filters.apply(&raw, corpus))
+        AssociationMap {
+            fidelity: level,
+            by_component,
+            by_channel: build_channels(model, engine, corpus, level, filters),
+        }
+    }
+
+    /// Incrementally re-associates after a model edit, reusing `prior`.
+    ///
+    /// Per-element matching is a pure function of the element's query text
+    /// (given one engine, corpus snapshot, and filter pipeline), so only
+    /// components whose text at the prior's fidelity actually changed are
+    /// re-queried; every other entry is spliced from `prior`. Channels are
+    /// spliced wholesale when the channel lists and component name order
+    /// are unchanged (the usual what-if case of attribute edits), and
+    /// rebuilt otherwise.
+    ///
+    /// # Contract
+    ///
+    /// `prior` must have been built from `old` with the same `engine`,
+    /// `corpus`, and `filters`, and `diff` must be
+    /// `ModelDiff::between(old, new)`. Under that contract the result is
+    /// exactly `AssociationMap::build(new, engine, corpus,
+    /// prior.fidelity(), filters)` — bit-identical scores and order.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn rebuild(
+        prior: &AssociationMap,
+        old: &SystemModel,
+        new: &SystemModel,
+        diff: &ModelDiff,
+        engine: &SearchEngine,
+        corpus: &Corpus,
+        filters: &FilterPipeline,
+    ) -> AssociationMap {
+        let level = prior.fidelity;
+        // Names whose query text may differ: the diff narrows the candidate
+        // set, the text hash decides (an attribute edit at another fidelity
+        // level is invisible to this map and splices through).
+        let mut requery: BTreeSet<&str> =
+            diff.added_components.iter().map(String::as_str).collect();
+        for change in &diff.changed_components {
+            let unchanged_text = old
+                .component_by_name(&change.name)
+                .zip(new.component_by_name(&change.name))
+                .is_some_and(|(oc, nc)| {
+                    fnv1a_64(oc.search_text(level).as_bytes())
+                        == fnv1a_64(nc.search_text(level).as_bytes())
+                });
+            if !unchanged_text {
+                requery.insert(&change.name);
+            }
+        }
+        let by_component = new
+            .components()
+            .map(|(_, component)| {
+                let name = component.name();
+                let set = match prior.by_component.get(name) {
+                    Some(prior_set) if !requery.contains(name) => prior_set.clone(),
+                    _ => filters.apply(&engine.match_component(component, level), corpus),
+                };
+                (name.to_owned(), set)
             })
             .collect();
+        let same_names = old
+            .components()
+            .map(|(_, c)| c.name())
+            .eq(new.components().map(|(_, c)| c.name()));
+        let same_channels = same_names && old.channels().eq(new.channels());
+        let by_channel = if same_channels {
+            prior.by_channel.clone()
+        } else {
+            build_channels(new, engine, corpus, level, filters)
+        };
         AssociationMap {
             fidelity: level,
             by_component,
@@ -149,6 +205,34 @@ impl AssociationMap {
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         ranked
     }
+}
+
+/// Associates every channel of `model`, keyed so BTreeMap string order
+/// equals channel order (zero-padded ids).
+fn build_channels(
+    model: &SystemModel,
+    engine: &SearchEngine,
+    corpus: &Corpus,
+    level: Fidelity,
+    filters: &FilterPipeline,
+) -> BTreeMap<String, MatchSet> {
+    engine
+        .par_match_channels(model, level)
+        .into_iter()
+        .map(|(id, raw)| {
+            let channel = model.channel(id).expect("id from this model");
+            let from = model
+                .component(channel.from())
+                .expect("valid endpoint")
+                .name();
+            let to = model
+                .component(channel.to())
+                .expect("valid endpoint")
+                .name();
+            let key = format!("e{:03}: {from} -- {to} [{}]", id.index(), channel.kind());
+            (key, filters.apply(&raw, corpus))
+        })
+        .collect()
 }
 
 /// Builds Table 1-style rows: one row per *concrete attribute value* in the
@@ -368,6 +452,108 @@ mod tests {
         assert!(keys[0].starts_with("e000:"));
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
         assert!(keys.iter().any(|k| k.contains("[fieldbus]")));
+    }
+
+    fn swap_workstation_os(model: &SystemModel) -> SystemModel {
+        let mut edited = model.clone();
+        let ws = edited.component_by_name_mut(names::WORKSTATION).unwrap();
+        let old_values: Vec<String> = ws.attributes().get_all("os").map(str::to_owned).collect();
+        for value in old_values {
+            ws.attributes_mut().remove("os", &value);
+        }
+        ws.attributes_mut().insert(
+            cpssec_model::Attribute::new(
+                cpssec_model::AttributeKind::OperatingSystem,
+                "hardened thin client image",
+            )
+            .at_fidelity(Fidelity::Implementation),
+        );
+        edited
+    }
+
+    #[test]
+    fn incremental_rebuild_equals_full_rebuild() {
+        let (model, engine, corpus) = setup();
+        let filters = FilterPipeline::new();
+        let prior =
+            AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+        let edited = swap_workstation_os(&model);
+        let diff = cpssec_model::ModelDiff::between(&model, &edited);
+        let incremental =
+            AssociationMap::rebuild(&prior, &model, &edited, &diff, &engine, &corpus, &filters);
+        let full = AssociationMap::build(
+            &edited,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &filters,
+        );
+        assert_eq!(incremental, full);
+    }
+
+    #[test]
+    fn incremental_rebuild_requeries_only_the_changed_component() {
+        let (model, engine, corpus) = setup();
+        let filters = FilterPipeline::new();
+        let prior =
+            AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+        let edited = swap_workstation_os(&model);
+        let diff = cpssec_model::ModelDiff::between(&model, &edited);
+        let before = engine.queries_run();
+        let _ = AssociationMap::rebuild(&prior, &model, &edited, &diff, &engine, &corpus, &filters);
+        assert_eq!(
+            engine.queries_run() - before,
+            1,
+            "exactly one component re-queried, all channels spliced"
+        );
+    }
+
+    #[test]
+    fn edits_invisible_at_the_map_fidelity_splice_through() {
+        let (model, engine, corpus) = setup();
+        let filters = FilterPipeline::new();
+        // A conceptual-level map must not re-query for an implementation-
+        // only attribute swap: the query text is unchanged at that level.
+        let prior = AssociationMap::build(&model, &engine, &corpus, Fidelity::Conceptual, &filters);
+        let edited = swap_workstation_os(&model);
+        let diff = cpssec_model::ModelDiff::between(&model, &edited);
+        let before = engine.queries_run();
+        let incremental =
+            AssociationMap::rebuild(&prior, &model, &edited, &diff, &engine, &corpus, &filters);
+        assert_eq!(engine.queries_run(), before, "no re-queries needed");
+        assert_eq!(
+            incremental,
+            AssociationMap::build(&edited, &engine, &corpus, Fidelity::Conceptual, &filters)
+        );
+    }
+
+    #[test]
+    fn incremental_rebuild_handles_component_add_and_remove() {
+        let (model, engine, corpus) = setup();
+        let filters = FilterPipeline::new();
+        let prior =
+            AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+        // Removing a component drops its channels; adding one brings a new
+        // entry. Both invalidate the channel splice path.
+        let mut edited = model.clone();
+        edited
+            .add_component(cpssec_model::Component::new(
+                "New historian",
+                cpssec_model::ComponentKind::Historian,
+            ))
+            .unwrap();
+        let diff = cpssec_model::ModelDiff::between(&model, &edited);
+        let incremental =
+            AssociationMap::rebuild(&prior, &model, &edited, &diff, &engine, &corpus, &filters);
+        let full = AssociationMap::build(
+            &edited,
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &filters,
+        );
+        assert_eq!(incremental, full);
+        assert!(incremental.matches("New historian").is_some());
     }
 
     #[test]

@@ -37,3 +37,4 @@ pub mod whatif;
 pub use associate::{attribute_rows, AssociationMap, AttributeRow};
 pub use dashboard::Dashboard;
 pub use posture::{ComponentPosture, SystemPosture};
+pub use whatif::{ModelChange, WhatIfReport};

@@ -269,6 +269,87 @@ pub fn association_json(
     ])
 }
 
+/// Serializes a what-if comparison as a JSON artifact: before/after scores,
+/// the structural diff, and per-component posture pairs. This is the
+/// canonical rendering both the analysis service and the batch pipeline
+/// produce, so their outputs can be compared byte for byte.
+#[must_use]
+pub fn whatif_json(
+    model_name: &str,
+    fidelity: cpssec_model::Fidelity,
+    report: &crate::WhatIfReport,
+) -> Json {
+    let posture_fields = |p: &crate::ComponentPosture| {
+        Json::Object(vec![
+            ("patterns".into(), p.patterns.into()),
+            ("weaknesses".into(), p.weaknesses.into()),
+            ("vulnerabilities".into(), p.vulnerabilities.into()),
+            ("score".into(), p.score.into()),
+        ])
+    };
+    let mut names: Vec<&str> = report
+        .before
+        .components
+        .iter()
+        .chain(report.after.components.iter())
+        .map(|p| p.component.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let components = names
+        .into_iter()
+        .map(|name| {
+            Json::Object(vec![
+                ("name".into(), name.into()),
+                (
+                    "before".into(),
+                    report
+                        .before
+                        .component(name)
+                        .map_or(Json::Null, &posture_fields),
+                ),
+                (
+                    "after".into(),
+                    report
+                        .after
+                        .component(name)
+                        .map_or(Json::Null, &posture_fields),
+                ),
+            ])
+        })
+        .collect();
+    let strings =
+        |items: &[String]| Json::Array(items.iter().map(|s| Json::from(s.as_str())).collect());
+    Json::Object(vec![
+        ("model".into(), model_name.into()),
+        ("fidelity".into(), fidelity.as_str().into()),
+        ("scoreBefore".into(), report.before.total_score.into()),
+        ("scoreAfter".into(), report.after.total_score.into()),
+        ("scoreDelta".into(), report.score_delta.into()),
+        ("improved".into(), report.is_improvement().into()),
+        (
+            "addedComponents".into(),
+            strings(&report.diff.added_components),
+        ),
+        (
+            "removedComponents".into(),
+            strings(&report.diff.removed_components),
+        ),
+        (
+            "changedComponents".into(),
+            Json::Array(
+                report
+                    .diff
+                    .changed_components
+                    .iter()
+                    .map(|c| Json::from(c.name.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("components".into(), Json::Array(components)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +451,33 @@ mod tests {
     fn integers_render_without_decimal_point() {
         assert_eq!(Json::Number(42.0).to_text(), "42");
         assert_eq!(Json::Number(0.5).to_text(), "0.5");
+    }
+
+    #[test]
+    fn whatif_json_records_the_comparison() {
+        use cpssec_model::{Attribute, AttributeKind};
+        let corpus = seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let model = scada_model();
+        let report = crate::whatif::evaluate(
+            &model,
+            &[crate::ModelChange::AddAttribute {
+                component: cpssec_scada::model::names::TEMP_SENSOR.into(),
+                attribute: Attribute::new(AttributeKind::OperatingSystem, "Windows 7")
+                    .at_fidelity(Fidelity::Implementation),
+            }],
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &FilterPipeline::new(),
+        )
+        .unwrap();
+        let json = whatif_json(model.name(), Fidelity::Implementation, &report);
+        let text = json.to_text();
+        assert!(text.contains("\"improved\":false"));
+        assert!(text.contains("\"changedComponents\":[\"Temperature sensor\"]"));
+        assert!(text.contains("\"scoreDelta\""));
+        cpssec_attackdb::json::parse(&text).expect("artifact parses");
     }
 
     #[test]

@@ -146,6 +146,41 @@ pub fn evaluate(
     })
 }
 
+/// [`evaluate`] with a precomputed association of the baseline model: the
+/// baseline is not re-associated at all, and the edited model is
+/// re-associated *incrementally* ([`AssociationMap::rebuild`]) — only
+/// components whose query text changed are re-queried. This is the hot
+/// path behind the analysis service's what-if endpoint.
+///
+/// `prior` must have been built from `model` with the same `engine`,
+/// `corpus`, and `filters`; the report is then identical to
+/// [`evaluate`] at `prior.fidelity()`.
+///
+/// # Errors
+///
+/// Propagates [`apply_changes`] errors.
+pub fn evaluate_with_prior(
+    model: &SystemModel,
+    changes: &[ModelChange],
+    prior: &AssociationMap,
+    engine: &SearchEngine,
+    corpus: &Corpus,
+    filters: &FilterPipeline,
+) -> Result<WhatIfReport, ModelError> {
+    let edited = apply_changes(model, changes)?;
+    let diff = ModelDiff::between(model, &edited);
+    let after_map = AssociationMap::rebuild(prior, model, &edited, &diff, engine, corpus, filters);
+    let before = SystemPosture::compute(model, corpus, prior);
+    let after = SystemPosture::compute(&edited, corpus, &after_map);
+    let score_delta = after.total_score - before.total_score;
+    Ok(WhatIfReport {
+        diff,
+        before,
+        after,
+        score_delta,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +285,33 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ModelError::UnknownComponent("ghost".into()));
+    }
+
+    #[test]
+    fn prior_based_evaluation_matches_the_full_path() {
+        let (model, engine, corpus) = setup();
+        let filters = FilterPipeline::new();
+        let prior =
+            AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+        let full = evaluate(
+            &model,
+            &harden_workstation(),
+            &engine,
+            &corpus,
+            Fidelity::Implementation,
+            &filters,
+        )
+        .unwrap();
+        let incremental = evaluate_with_prior(
+            &model,
+            &harden_workstation(),
+            &prior,
+            &engine,
+            &corpus,
+            &filters,
+        )
+        .unwrap();
+        assert_eq!(incremental, full);
     }
 
     #[test]

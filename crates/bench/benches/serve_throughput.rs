@@ -1,0 +1,149 @@
+//! E11 — Analysis service throughput and cache behavior.
+//!
+//! Starts the concurrent server in-process, then measures (a) cold
+//! association requests — every request carries a distinct filter spec so
+//! each misses the content-addressed cache and runs the full pipeline —
+//! against cache-hit requests repeating one spec, and (b) sustained
+//! keep-alive throughput with the built-in load generator.
+//!
+//! `CPSSEC_BENCH_FAST=1` (CI test mode) shrinks the request counts so the
+//! bench completes in seconds while still exercising every path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use cpssec_server::load::{self, read_response, LoadConfig};
+use cpssec_server::{AppState, Server};
+
+fn fast_mode() -> bool {
+    std::env::var("CPSSEC_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+struct Running {
+    addr: std::net::SocketAddr,
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Running {
+    fn start(workers: usize) -> Running {
+        let state = AppState::new(cpssec_bench::corpus());
+        let server = Server::bind("127.0.0.1:0", workers, state).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        Running {
+            addr,
+            flag,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        let stream = TcpStream::connect(self.addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+}
+
+/// One keep-alive connection: latency measurements exclude TCP setup.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn get(&mut self, target: &str) -> Vec<u8> {
+        self.writer
+            .write_all(format!("GET {target} HTTP/1.1\r\n\r\n").as_bytes())
+            .expect("write");
+        let response = read_response(&mut self.reader).expect("response");
+        assert_eq!(response.status, 200, "GET {target}");
+        response.body
+    }
+}
+
+impl Drop for Running {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Mean per-request latency in microseconds over `targets`, on one
+/// keep-alive connection.
+fn mean_latency_us(client: &mut Client, targets: &[String]) -> f64 {
+    let started = Instant::now();
+    for target in targets {
+        black_box(client.get(target));
+    }
+    started.elapsed().as_micros() as f64 / targets.len() as f64
+}
+
+fn print_cold_vs_hit(server: &Running, rounds: usize) -> (f64, f64) {
+    // Cold: distinct minScore per request → distinct cache key → full
+    // pipeline run. Warm: one spec repeated → served from the cache.
+    let cold_targets: Vec<String> = (0..rounds)
+        .map(|i| format!("/models/scada/associate?minScore={}.{i}", i + 10))
+        .collect();
+    let hit_targets: Vec<String> = (0..rounds)
+        .map(|_| "/models/scada/associate".to_owned())
+        .collect();
+    let mut client = server.client();
+    client.get("/models/scada/associate"); // prime the warm entry
+    let cold = mean_latency_us(&mut client, &cold_targets);
+    let hit = mean_latency_us(&mut client, &hit_targets);
+    println!("\nE11 — result cache, scale {}:", cpssec_bench::scale());
+    println!("  cold (distinct spec): {cold:>10.1} us/request");
+    println!("  cache hit           : {hit:>10.1} us/request");
+    println!("  speedup             : {:>10.1}x", cold / hit.max(0.1));
+    (cold, hit)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let fast = fast_mode();
+    let server = Running::start(4);
+    let (cold, hit) = print_cold_vs_hit(&server, if fast { 8 } else { 32 });
+    assert!(
+        cold > hit,
+        "a cache hit must beat recomputation (cold {cold:.1} us vs hit {hit:.1} us)"
+    );
+
+    let requests = if fast { 16 } else { 100 };
+    let report = load::run(&LoadConfig {
+        addr: server.addr.to_string(),
+        clients: 8,
+        requests,
+    });
+    assert_eq!(report.errors, 0, "load errors: {}", report.summary());
+    println!(
+        "  8-client mixed load : {:>10.0} req/s ({})",
+        report.throughput(),
+        report.summary()
+    );
+
+    let mut client = server.client();
+    let mut group = c.benchmark_group("serve");
+    if fast {
+        group.sample_size(2);
+    }
+    group.bench_function("associate_cache_hit", |b| {
+        b.iter(|| black_box(client.get("/models/scada/associate")));
+    });
+    group.bench_function("healthz", |b| {
+        b.iter(|| black_box(client.get("/healthz")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

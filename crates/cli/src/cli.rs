@@ -22,6 +22,8 @@ const USAGE: &str = "usage:
   cpssec export-model [--fidelity LEVEL]
   cpssec export-corpus [--scale S]
   cpssec json [--scale S] [--corpus FILE.jsonl] [--fidelity LEVEL]
+  cpssec serve [--addr HOST:PORT] [--workers N] [--scale S] [--corpus FILE.jsonl]
+  cpssec load [--addr HOST:PORT] [--clients N] [--requests M]
   cpssec help
 
 the corpus defaults to the built-in seed + synthetic corpus at --scale;
@@ -42,6 +44,14 @@ pub struct Options {
     pub ticks: u64,
     /// Path to a JSON Lines corpus replacing the built-in one.
     pub corpus_path: Option<String>,
+    /// Bind/connect address for `serve` and `load`.
+    pub addr: String,
+    /// Worker threads for `serve`.
+    pub workers: usize,
+    /// Concurrent clients for `load`.
+    pub clients: usize,
+    /// Requests per client for `load`.
+    pub requests: usize,
     /// Positional arguments.
     pub positional: Vec<String>,
 }
@@ -55,6 +65,10 @@ impl Default for Options {
             simulate: false,
             ticks: 12_000,
             corpus_path: None,
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            clients: 4,
+            requests: 16,
             positional: Vec::new(),
         }
     }
@@ -100,6 +114,34 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 let value = iter.next().ok_or("--corpus needs a path")?;
                 options.corpus_path = Some(value.clone());
             }
+            "--addr" => {
+                let value = iter.next().ok_or("--addr needs a HOST:PORT value")?;
+                options.addr = value.clone();
+            }
+            "--workers" => {
+                let value = iter.next().ok_or("--workers needs a value")?;
+                options.workers = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid workers `{value}`"))?;
+            }
+            "--clients" => {
+                let value = iter.next().ok_or("--clients needs a value")?;
+                options.clients = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid clients `{value}`"))?;
+            }
+            "--requests" => {
+                let value = iter.next().ok_or("--requests needs a value")?;
+                options.requests = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid requests `{value}`"))?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -109,12 +151,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn corpus_at(scale: f64) -> Corpus {
+fn corpus_at(scale: f64) -> Result<Corpus, String> {
     let mut corpus = seed_corpus();
     corpus
         .merge(generate(&SynthSpec::paper2020(2020, scale)))
-        .expect("disjoint id spaces");
-    corpus
+        .map_err(|e| format!("cannot merge synthetic corpus: {e}"))?;
+    Ok(corpus)
 }
 
 fn load_corpus(options: &Options) -> Result<Corpus, String> {
@@ -125,14 +167,14 @@ fn load_corpus(options: &Options) -> Result<Corpus, String> {
             cpssec_attackdb::jsonl::from_jsonl(&text)
                 .map_err(|e| format!("cannot parse `{path}`: {e}"))
         }
-        None => Ok(corpus_at(options.scale)),
+        None => corpus_at(options.scale),
     }
 }
 
 /// Executes a full command line; output goes to `out`.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
-        return Err(format!("missing command\n{USAGE}"));
+        return Err("missing command (run `cpssec help` for usage)".into());
     };
     let options = parse_options(rest)?;
     match command.as_str() {
@@ -145,8 +187,42 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "export-model" => cmd_export_model(&options, out),
         "export-corpus" => cmd_export_corpus(&options, out),
         "json" => cmd_json(&options, out),
+        "serve" => cmd_serve(&options, out),
+        "load" => cmd_load(&options, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(format!(
+            "unknown command `{other}` (run `cpssec help` for usage)"
+        )),
+    }
+}
+
+fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let corpus = load_corpus(options)?;
+    let state = cpssec_server::AppState::new(corpus);
+    let server = cpssec_server::Server::bind(&options.addr, options.workers, state)
+        .map_err(|e| format!("cannot bind `{}`: {e}", options.addr))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    cpssec_server::signal::install(&server.shutdown_flag());
+    writeln!(out, "listening on {addr} ({} workers)", options.workers)
+        .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| format!("server error: {e}"))?;
+    writeln!(out, "shutdown complete").map_err(|e| e.to_string())
+}
+
+fn cmd_load(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let report = cpssec_server::load::run(&cpssec_server::load::LoadConfig {
+        addr: options.addr.clone(),
+        clients: options.clients,
+        requests: options.requests,
+    });
+    writeln!(out, "{}", report.summary()).map_err(|e| e.to_string())?;
+    if report.errors > 0 {
+        Err(format!("{} request(s) failed", report.errors))
+    } else {
+        Ok(())
     }
 }
 
@@ -419,10 +495,11 @@ mod tests {
     }
 
     #[test]
-    fn unknown_command_fails_with_usage() {
+    fn unknown_command_fails_on_one_line() {
         let err = run_capture(&["frobnicate"]).unwrap_err();
         assert!(err.contains("unknown command"));
-        assert!(err.contains("usage:"));
+        assert!(err.contains("cpssec help"));
+        assert_eq!(err.lines().count(), 1, "error must be one line: {err:?}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! cpssec simulate <scenario> [--ticks N]       run an attack/fault in the plant
 //! cpssec scenarios                             list built-in scenarios
 //! cpssec export-model [--fidelity LEVEL]       emit the SCADA model as GraphML
+//! cpssec serve [--addr A] [--workers N]        run the concurrent analysis service
+//! cpssec load [--addr A] [--clients N] [--requests M]   drive a running service
 //! ```
 
 mod cli;

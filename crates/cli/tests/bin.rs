@@ -1,0 +1,131 @@
+//! Drives the compiled `cpssec` binary: error paths must exit non-zero
+//! with a single stderr line (no panics, no usage dumps), and
+//! `serve`/`load` must survive a real client run plus a clean SIGTERM.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+fn cpssec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cpssec"))
+}
+
+/// Runs the binary, returning (exit success, stdout, stderr).
+fn run(args: &[&str]) -> (bool, String, String) {
+    let output = cpssec().args(args).output().expect("spawn cpssec");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn assert_one_line_failure(args: &[&str], needle: &str) {
+    let (success, _stdout, stderr) = run(args);
+    assert!(!success, "{args:?} should exit non-zero");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{args:?} stderr must be one line, got: {stderr:?}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr should mention {needle:?}: {stderr:?}"
+    );
+    assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+}
+
+#[test]
+fn unknown_subcommand_is_a_one_line_error() {
+    assert_one_line_failure(&["frobnicate"], "unknown command");
+}
+
+#[test]
+fn missing_command_is_a_one_line_error() {
+    assert_one_line_failure(&[], "missing command");
+}
+
+#[test]
+fn unreadable_model_file_is_a_one_line_error() {
+    assert_one_line_failure(
+        &["associate", "/nonexistent/model.graphml", "--scale", "0.01"],
+        "cannot read",
+    );
+}
+
+#[test]
+fn malformed_graphml_is_a_one_line_error() {
+    let dir = std::env::temp_dir().join("cpssec-bin-test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("broken.graphml");
+    std::fs::write(&path, "<graphml><unclosed").expect("write");
+    let path = path.to_str().expect("utf8 path");
+    assert_one_line_failure(&["associate", path, "--scale", "0.01"], "cannot parse");
+}
+
+#[test]
+fn bad_flag_values_are_one_line_errors() {
+    assert_one_line_failure(&["serve", "--workers", "0"], "invalid workers");
+    assert_one_line_failure(&["load", "--clients", "none"], "invalid clients");
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let (success, stdout, _) = run(&["help"]);
+    assert!(success);
+    assert!(stdout.contains("cpssec serve"));
+    assert!(stdout.contains("cpssec load"));
+}
+
+#[test]
+#[cfg(unix)]
+fn serve_survives_load_and_sigterm_shuts_down_cleanly() {
+    // Ephemeral port, tiny corpus for fast startup.
+    let mut serve = cpssec()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--scale",
+            "0.01",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let stdout = serve.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_owned();
+
+    let (success, stdout, stderr) = run(&[
+        "load",
+        "--addr",
+        &addr,
+        "--clients",
+        "4",
+        "--requests",
+        "12",
+    ]);
+    assert!(success, "load failed: {stdout} {stderr}");
+    assert!(stdout.contains(" 0 errors"), "{stdout}");
+
+    // SIGTERM → graceful drain → exit code 0 and the shutdown banner.
+    let term = Command::new("kill")
+        .args(["-TERM", &serve.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = serve.wait().expect("serve exit");
+    assert!(status.success(), "serve exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).expect("drain stdout");
+    assert!(rest.contains("shutdown complete"), "{rest:?}");
+}

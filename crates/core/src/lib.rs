@@ -72,24 +72,31 @@ pub mod prelude {
         SystemModelBuilder,
     };
     pub use cpssec_scada::{ProductQuality, ScadaConfig, ScadaHarness};
-    pub use cpssec_search::{Filter, FilterPipeline, MatchSet, SearchEngine};
+    pub use cpssec_search::{Filter, FilterPipeline, MatchSet, ScoringModel, SearchEngine};
 }
+
+use std::sync::OnceLock;
 
 use cpssec_analysis::{AssociationMap, Dashboard};
 use cpssec_attackdb::Corpus;
 use cpssec_model::{Fidelity, SystemModel};
-use cpssec_search::{FilterPipeline, SearchEngine};
+use cpssec_search::{FilterPipeline, MatchConfig, ScoringModel, SearchEngine};
 
 /// A one-call pipeline: corpus + model → association → dashboard.
 ///
 /// For fine-grained control use the constituent crates directly; the
-/// pipeline exists so the common path is one expression.
+/// pipeline exists so the common path is one expression. The search engine
+/// is built lazily on first use and cached, so repeated [`associate`]
+/// (Pipeline::associate) calls — or a long-lived service holding one
+/// pipeline per corpus — pay the indexing cost once.
 #[derive(Debug)]
 pub struct Pipeline {
     corpus: Corpus,
     model: SystemModel,
     fidelity: Fidelity,
     filters: FilterPipeline,
+    scoring: ScoringModel,
+    engine: OnceLock<SearchEngine>,
 }
 
 impl Pipeline {
@@ -101,6 +108,8 @@ impl Pipeline {
             model,
             fidelity: Fidelity::Implementation,
             filters: FilterPipeline::new(),
+            scoring: ScoringModel::TfIdf,
+            engine: OnceLock::new(),
         }
     }
 
@@ -118,13 +127,34 @@ impl Pipeline {
         self
     }
 
+    /// Sets the scoring model (builder style). Discards any cached engine.
+    #[must_use]
+    pub fn with_scoring(mut self, scoring: ScoringModel) -> Self {
+        self.scoring = scoring;
+        self.engine = OnceLock::new();
+        self
+    }
+
+    /// The cached search engine over this pipeline's corpus, built on first
+    /// access.
+    pub fn engine(&self) -> &SearchEngine {
+        self.engine.get_or_init(|| {
+            SearchEngine::with_config(
+                &self.corpus,
+                MatchConfig {
+                    scoring: self.scoring,
+                    ..MatchConfig::default()
+                },
+            )
+        })
+    }
+
     /// Runs capability 2: the association of attack vectors to the model.
     #[must_use]
     pub fn associate(&self) -> AssociationMap {
-        let engine = SearchEngine::build(&self.corpus);
         AssociationMap::build(
             &self.model,
-            &engine,
+            self.engine(),
             &self.corpus,
             self.fidelity,
             &self.filters,
@@ -163,6 +193,28 @@ mod tests {
             .at_fidelity(Fidelity::Conceptual)
             .associate();
         assert!(abstract_.total_vectors() < concrete.total_vectors());
+    }
+
+    #[test]
+    fn engine_is_cached_across_associate_calls() {
+        let pipeline = Pipeline::new(seed_corpus(), scada_model());
+        let first = pipeline.associate();
+        let queries_after_first = pipeline.engine().queries_run();
+        let second = pipeline.associate();
+        assert_eq!(first, second);
+        assert!(std::ptr::eq(pipeline.engine(), pipeline.engine()));
+        // The second associate ran its queries on the same cached engine.
+        assert_eq!(pipeline.engine().queries_run(), 2 * queries_after_first);
+    }
+
+    #[test]
+    fn scoring_knob_changes_scores_not_hit_sets() {
+        let tfidf = Pipeline::new(seed_corpus(), scada_model()).associate();
+        let bm25 = Pipeline::new(seed_corpus(), scada_model())
+            .with_scoring(ScoringModel::Bm25)
+            .associate();
+        assert_eq!(tfidf.total_vectors(), bm25.total_vectors());
+        assert_ne!(tfidf, bm25, "scores should differ between models");
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn to_graphml(model: &SystemModel) -> String {
             let _ = writeln!(
                 out,
                 "      <data key=\"d_label\">{}</data>",
-                escape(ch.label())
+                escape_preserving_edges(ch.label())
             );
         }
         for attr in ch.attributes().iter() {
@@ -130,11 +130,23 @@ fn encode_name(name: &str) -> String {
     format!("__name|||{name}")
 }
 
+/// Escapes `|` inside a payload field so the `kind|key|fidelity|value` split
+/// stays unambiguous. Only the key needs this: kind and fidelity are
+/// enum-generated and the value is the tail of a bounded split, so pipes in
+/// it survive verbatim.
+fn encode_field(field: &str) -> String {
+    field.replace('%', "%25").replace('|', "%7C")
+}
+
+fn decode_field(field: &str) -> String {
+    field.replace("%7C", "|").replace("%25", "%")
+}
+
 fn encode_attr(attr: &Attribute) -> String {
     format!(
         "{}|{}|{}|{}",
         attr.kind().as_str(),
-        attr.key(),
+        encode_field(attr.key()),
         attr.fidelity().as_str(),
         attr.value()
     )
@@ -146,7 +158,7 @@ fn decode_attr(text: &str) -> Result<Attribute, ModelError> {
         .next()
         .ok_or_else(|| malformed("attr kind"))?
         .parse()?;
-    let key = parts.next().ok_or_else(|| malformed("attr key"))?;
+    let key = decode_field(parts.next().ok_or_else(|| malformed("attr key"))?);
     let fidelity: Fidelity = parts
         .next()
         .ok_or_else(|| malformed("attr fidelity"))?
@@ -158,6 +170,24 @@ fn decode_attr(text: &str) -> Result<Attribute, ModelError> {
         Attribute::new(kind, value)
     };
     Ok(attr.at_fidelity(fidelity))
+}
+
+/// Escapes character data, additionally writing leading and trailing
+/// whitespace as numeric character references so readers cannot mistake it
+/// for layout indentation (the XML reader drops literal whitespace-only
+/// runs, and enumeration payloads are trimmed on import).
+fn escape_preserving_edges(text: &str) -> String {
+    let core_start = text.len() - text.trim_start().len();
+    let core_end = text.trim_end().len();
+    let mut out = String::with_capacity(text.len());
+    for ch in text[..core_start].chars() {
+        let _ = write!(out, "&#{};", ch as u32);
+    }
+    out.push_str(&escape(&text[core_start..core_end.max(core_start)]));
+    for ch in text[core_end.max(core_start)..].chars() {
+        let _ = write!(out, "&#{};", ch as u32);
+    }
+    out
 }
 
 fn malformed(what: &str) -> ModelError {
@@ -264,25 +294,17 @@ pub fn from_graphml(input: &str) -> Result<SystemModel, ModelError> {
                 }
                 let in_node = stack.iter().rev().any(|s| s == "node");
                 let in_edge = stack.iter().rev().any(|s| s == "edge");
-                // Attribute payloads are preserved verbatim (values may
-                // legitimately contain leading or trailing whitespace);
-                // enumeration-valued keys are trimmed for robustness against
-                // pretty-printed input.
+                // Attribute and label payloads are preserved verbatim
+                // (values may legitimately contain leading or trailing
+                // whitespace); enumeration-valued keys are trimmed for
+                // robustness against pretty-printed input.
+                let verbatim = current_key == "d_attr" || current_key == "d_label";
+                let payload = if verbatim { &text } else { text.trim() };
                 if in_node {
                     let node = nodes.last_mut().ok_or_else(|| malformed("node context"))?;
-                    let payload = if current_key == "d_attr" {
-                        &text
-                    } else {
-                        text.trim()
-                    };
                     apply_node_data(node, &current_key, payload)?;
                 } else if in_edge {
                     let edge = edges.last_mut().ok_or_else(|| malformed("edge context"))?;
-                    let payload = if current_key == "d_attr" {
-                        &text
-                    } else {
-                        text.trim()
-                    };
                     apply_edge_data(edge, &current_key, payload)?;
                 }
             }

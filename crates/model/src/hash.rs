@@ -1,0 +1,199 @@
+//! Stable content hashing of models.
+//!
+//! The analysis service caches results keyed by *what the model says*, not
+//! by which session uploaded it, so two analysts uploading the same
+//! architecture share cache entries. The hash is FNV-1a 64 over a canonical
+//! field walk — deterministic across processes and platforms (unlike
+//! [`std::hash`], whose `DefaultHasher` is seeded and unspecified).
+
+use crate::SystemModel;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_model::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write(b"NI cRIO 9063");
+/// assert_eq!(h.finish(), cpssec_model::fnv1a_64(b"NI cRIO 9063"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a hash at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a string field into the hash, terminated with a separator byte
+    /// so adjacent fields cannot alias (`"ab" + "c"` vs `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0x1f]);
+    }
+
+    /// The hash of everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte string.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+impl SystemModel {
+    /// A stable content hash of the model: name, components in insertion
+    /// order with their full attribute sets, and channels with endpoints.
+    ///
+    /// Two models with identical content hash to the same value in any
+    /// process; any observable difference (an attribute value, a fidelity
+    /// tag, a channel label) changes the hash with FNV's mixing quality.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpssec_model::{SystemModelBuilder, ComponentKind};
+    ///
+    /// # fn main() -> Result<(), cpssec_model::ModelError> {
+    /// let a = SystemModelBuilder::new("m")
+    ///     .component("plc", ComponentKind::Controller)
+    ///     .build()?;
+    /// let b = a.clone();
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(self.name());
+        for (_, component) in self.components() {
+            h.write(&[0x01]);
+            h.write_str(component.name());
+            h.write_str(component.kind().as_str());
+            h.write_str(component.criticality().as_str());
+            h.write(&[u8::from(component.is_entry_point())]);
+            for attr in component.attributes().iter() {
+                h.write(&[0x02]);
+                h.write_str(attr.kind().as_str());
+                h.write_str(attr.key());
+                h.write_str(attr.fidelity().as_str());
+                h.write_str(attr.value());
+            }
+        }
+        for (_, channel) in self.channels() {
+            h.write(&[0x03]);
+            h.write(&(channel.from().index() as u64).to_le_bytes());
+            h.write(&(channel.to().index() as u64).to_le_bytes());
+            h.write_str(channel.kind().as_str());
+            h.write_str(channel.direction().as_str());
+            h.write_str(channel.label());
+            for attr in channel.attributes().iter() {
+                h.write(&[0x02]);
+                h.write_str(attr.kind().as_str());
+                h.write_str(attr.key());
+                h.write_str(attr.fidelity().as_str());
+                h.write_str(attr.value());
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, AttributeKind, ChannelKind, ComponentKind, SystemModelBuilder};
+
+    fn base() -> SystemModel {
+        SystemModelBuilder::new("m")
+            .component("ws", ComponentKind::Workstation)
+            .component("plc", ComponentKind::Controller)
+            .channel("ws", "plc", ChannelKind::Ethernet)
+            .attribute(
+                "ws",
+                Attribute::new(AttributeKind::OperatingSystem, "Windows 7"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a 64 reference vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn identical_models_hash_identically() {
+        assert_eq!(base().content_hash(), base().content_hash());
+    }
+
+    #[test]
+    fn any_field_change_changes_the_hash() {
+        let reference = base().content_hash();
+        let mut renamed = base();
+        renamed
+            .component_by_name_mut("ws")
+            .unwrap()
+            .attributes_mut()
+            .insert(Attribute::new(AttributeKind::Software, "Labview"));
+        assert_ne!(renamed.content_hash(), reference);
+
+        let relabeled = SystemModelBuilder::new("m2")
+            .component("ws", ComponentKind::Workstation)
+            .build()
+            .unwrap();
+        assert_ne!(relabeled.content_hash(), reference);
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let a = SystemModelBuilder::new("ab")
+            .component("c", ComponentKind::Other)
+            .build()
+            .unwrap();
+        let b = SystemModelBuilder::new("a")
+            .component("bc", ComponentKind::Other)
+            .build()
+            .unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+}

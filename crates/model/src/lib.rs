@@ -42,6 +42,7 @@ mod error;
 mod fidelity;
 mod graph;
 mod graphml;
+mod hash;
 mod ident;
 mod kind;
 pub mod xml;
@@ -55,5 +56,6 @@ pub use error::ModelError;
 pub use fidelity::Fidelity;
 pub use graph::{ModelStats, SystemModel};
 pub use graphml::{from_graphml, to_graphml};
+pub use hash::{fnv1a_64, Fnv64};
 pub use ident::{ChannelId, ComponentId};
 pub use kind::{ChannelKind, ComponentKind, Direction};

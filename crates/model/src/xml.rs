@@ -65,7 +65,8 @@ pub enum Event {
         /// Element name.
         String,
     ),
-    /// Character data between tags, entity-decoded, never empty.
+    /// Character data between tags, entity-decoded. Literal whitespace-only
+    /// runs are skipped as layout; entity-encoded whitespace is delivered.
     Text(String),
 }
 
@@ -121,8 +122,16 @@ impl<'a> Reader<'a> {
                 }
                 return self.parse_open().map(Some);
             }
+            let start = self.pos;
             let text = self.take_text()?;
-            if !text.trim().is_empty() {
+            // Literal whitespace-only runs are layout (pretty-printing) and
+            // are dropped; a run containing any non-whitespace byte — which
+            // includes entity references such as `&#32;` — is character data
+            // even if it decodes to pure whitespace.
+            if !self.input[start..self.pos]
+                .iter()
+                .all(u8::is_ascii_whitespace)
+            {
                 return Ok(Some(Event::Text(text)));
             }
         }

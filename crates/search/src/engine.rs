@@ -1,6 +1,8 @@
 //! The match engine: attribute text in, scored attack vectors out.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cpssec_attackdb::{AttackVectorId, CapecId, Corpus, CveId, CweId};
 use cpssec_model::{Channel, ChannelId, Component, Fidelity, SystemModel};
@@ -196,6 +198,10 @@ pub struct SearchEngine {
     weakness_ids: Vec<CweId>,
     vulnerabilities: InvertedIndex,
     vulnerability_ids: Vec<CveId>,
+    /// Lifetime query counter, shared across clones of this engine so the
+    /// incremental-association tests (and the server's metrics) can observe
+    /// exactly how many matcher runs an operation cost.
+    queries: Arc<AtomicU64>,
 }
 
 /// Indexes one record family and pre-freezes its query-side image so the
@@ -247,7 +253,14 @@ impl SearchEngine {
             weakness_ids,
             vulnerabilities,
             vulnerability_ids,
+            queries: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Number of queries this engine (and its clones) has run so far.
+    #[must_use]
+    pub fn queries_run(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// The active configuration.
@@ -267,6 +280,7 @@ impl SearchEngine {
     /// running many queries that want to control allocator traffic.
     #[must_use]
     pub fn match_text_with(&self, text: &str, scratch: &mut QueryScratch) -> MatchSet {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let mut terms = tokenize(text);
         terms.sort_unstable();
         terms.dedup();
@@ -557,6 +571,17 @@ mod tests {
         assert_eq!(v, 3);
         assert_eq!(p + w, 0);
         assert_eq!(hits.total(), 3);
+    }
+
+    #[test]
+    fn query_counter_counts_matches_and_is_shared_by_clones() {
+        let e = engine();
+        assert_eq!(e.queries_run(), 0);
+        let _ = e.match_text("Windows 7");
+        let clone = e.clone();
+        let _ = clone.match_text("Cisco ASA");
+        assert_eq!(e.queries_run(), 2);
+        assert_eq!(clone.queries_run(), 2);
     }
 
     #[test]

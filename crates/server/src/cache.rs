@@ -1,0 +1,201 @@
+//! A sharded, content-addressed LRU result cache.
+//!
+//! Keys are canonical strings derived from model content hashes plus the
+//! full request spec (see [`crate::router`]), so a cache hit is exact by
+//! construction: two requests share an entry only when every input that
+//! could influence the response is identical. Shards bound lock contention
+//! under the worker pool; eviction is least-recently-used per shard via
+//! monotonic access stamps.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent shards (a power of two).
+const SHARDS: usize = 8;
+
+struct Shard<V> {
+    entries: HashMap<String, (V, u64)>,
+    clock: u64,
+}
+
+impl<V> Shard<V> {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// The cache. `V` is cheap to clone (the service stores `Arc`s).
+pub struct Cache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> Cache<V> {
+    /// A cache holding at most `capacity` entries across all shards.
+    #[must_use]
+    pub fn new(capacity: usize) -> Cache<V> {
+        let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
+        Cache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard<V>> {
+        // DefaultHasher::new() is deterministic (no per-process random
+        // state), so shard placement — and thus eviction order — is
+        // reproducible across runs.
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let stamp = shard.tick();
+        match shard.entries.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = stamp;
+                let value = value.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the shard's least recently used
+    /// entry when over capacity.
+    pub fn insert(&self, key: String, value: V) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let stamp = shard.tick();
+        shard.entries.insert(key, (value, stamp));
+        if shard.entries.len() > self.capacity_per_shard {
+            if let Some(oldest) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Clone> std::fmt::Debug for Cache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("Cache")
+            .field("len", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache: Cache<Arc<String>> = Cache::new(16);
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), Arc::new("v".into()));
+        assert_eq!(cache.get("k").unwrap().as_str(), "v");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_used() {
+        let cache: Cache<u32> = Cache::new(1); // one entry per shard
+                                               // Find three keys landing in the same shard so eviction triggers.
+        let mut same_shard = Vec::new();
+        let probe = |cache: &Cache<u32>, key: &str| {
+            std::ptr::eq(
+                cache.shard(key) as *const _,
+                cache.shard("seed-0") as *const _,
+            )
+        };
+        for i in 0.. {
+            let key = format!("seed-{i}");
+            if probe(&cache, &key) {
+                same_shard.push(key);
+                if same_shard.len() == 3 {
+                    break;
+                }
+            }
+        }
+        cache.insert(same_shard[0].clone(), 0);
+        cache.insert(same_shard[1].clone(), 1);
+        // [0] was evicted (LRU); touching [1] keeps it over a new insert.
+        assert!(cache.get(&same_shard[0]).is_none());
+        assert_eq!(cache.get(&same_shard[1]), Some(1));
+        cache.insert(same_shard[2].clone(), 2);
+        assert_eq!(cache.get(&same_shard[2]), Some(2));
+        assert!(cache.get(&same_shard[1]).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache: Arc<Cache<usize>> = Arc::new(Cache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let key = format!("k{}", (t * 100 + i) % 32);
+                        cache.insert(key.clone(), i);
+                        let _ = cache.get(&key);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 400);
+    }
+}

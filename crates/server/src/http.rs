@@ -1,0 +1,420 @@
+//! A minimal HTTP/1.1 reader/writer — exactly the subset the analysis
+//! service speaks.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, percent
+//! decoding of the request target, keep-alive with `Connection: close`
+//! honored. Deliberately absent: chunked transfer encoding, trailers,
+//! upgrades, HTTP/2 — an analyst dashboard client needs none of them.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted body size (a GraphML model upload fits comfortably).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Maximum accepted header count.
+const MAX_HEADERS: usize = 100;
+/// Maximum accepted line length (request line or one header).
+const MAX_LINE: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// Decoded query parameters in document order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A header value by (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request violates the protocol subset (message for the client).
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY`].
+    TooLarge,
+    /// Transport error (including read timeouts on idle keep-alives).
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::TooLarge => write!(f, "request body too large"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if raw.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Malformed("truncated line".into()))
+            };
+        }
+        byte[0] = buf[0];
+        reader.consume(1);
+        if byte[0] == b'\n' {
+            if raw.last() == Some(&b'\r') {
+                raw.pop();
+            }
+            let line = String::from_utf8(raw)
+                .map_err(|_| HttpError::Malformed("line is not UTF-8".into()))?;
+            return Ok(Some(line));
+        }
+        raw.push(byte[0]);
+        if raw.len() > MAX_LINE {
+            return Err(HttpError::Malformed("line too long".into()));
+        }
+    }
+}
+
+/// Reads one request, or `Ok(None)` at a clean end of stream (the peer
+/// closed an idle keep-alive connection).
+///
+/// # Errors
+///
+/// [`HttpError`] for protocol violations, oversized bodies, and transport
+/// failures.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path, false)
+        .ok_or_else(|| HttpError::Malformed("bad percent escape in path".into()))?;
+    let mut query = Vec::new();
+    if let Some(raw) = raw_query {
+        for pair in raw.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k, true)
+                .ok_or_else(|| HttpError::Malformed("bad percent escape in query".into()))?;
+            let v = percent_decode(v, true)
+                .ok_or_else(|| HttpError::Malformed("bad percent escape in query".into()))?;
+            query.push((k, v));
+        }
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line =
+            read_line(reader)?.ok_or_else(|| HttpError::Malformed("truncated headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed("header without colon".into()))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+        }
+        headers.push((name, value));
+    }
+
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(reader, &mut body)?;
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Decodes `%hh` escapes; in query position (`plus_is_space`) `+` decodes
+/// to a space. Returns `None` on a truncated or non-hex escape or invalid
+/// UTF-8.
+#[must_use]
+pub fn percent_decode(raw: &str, plus_is_space: bool) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Percent-encodes a string for use in a URL path segment or query value.
+#[must_use]
+pub fn percent_encode(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for &b in raw.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => {
+                out.push('%');
+                out.push(
+                    char::from_digit(u32::from(b) >> 4, 16)
+                        .expect("nibble")
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit(u32::from(b) & 0xf, 16)
+                        .expect("nibble")
+                        .to_ascii_uppercase(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One response, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        cpssec_attackdb::json::write_escaped(&mut body, message);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// Serializes the response; `close` controls the `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, writer: &mut impl Write, close: bool) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Request {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /models/scada/associate?fidelity=implementation&topK=3 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/models/scada/associate");
+        assert_eq!(req.query_param("fidelity"), Some("implementation"));
+        assert_eq!(req.query_param("topK"), Some("3"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /models HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 13\r\nConnection: close\r\n\r\n{\"id\":\"m1\"}ab",
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"id\":\"m1\"}ab");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn percent_decoding_round_trips() {
+        for s in ["SIS platform", "a&b=c", "100% café", "plain"] {
+            assert_eq!(percent_decode(&percent_encode(s), true).unwrap(), s);
+        }
+        let req = parse("GET /x?name=SIS+platform&v=a%26b HTTP/1.1\r\n\r\n");
+        assert_eq!(req.query_param("name"), Some("SIS platform"));
+        assert_eq!(req.query_param("v"), Some("a&b"));
+    }
+
+    #[test]
+    fn eof_before_any_bytes_is_clean_close() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let err = read_request(&mut BufReader::new(&b"not http\r\n\r\n"[..])).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /m HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_envelope_escapes_the_message() {
+        let resp = Response::error(400, "bad \"thing\"");
+        assert_eq!(resp.body, br#"{"error":"bad \"thing\""}"#);
+    }
+}

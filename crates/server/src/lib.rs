@@ -1,0 +1,285 @@
+//! `cpssec-server`: the analysis pipeline as a concurrent service.
+//!
+//! The paper's dashboard is interactive — "the systems engineer or
+//! security analyst … change[s] the model on the fly and immediately
+//! see[s] the new results" (§3). This crate serves that loop over HTTP:
+//! a multithreaded TCP server (hand-rolled HTTP/1.1, no external crates)
+//! in front of the exact same pipeline the CLI runs in batch, with three
+//! service-shaped additions:
+//!
+//! * a **session store** of named models (upload GraphML, or use the
+//!   built-in `scada` demonstration model) — [`session`];
+//! * a **content-addressed result cache** keyed by model content hash +
+//!   fidelity + scoring + canonical filter spec — [`cache`]; identical
+//!   requests are served from memory, and a model edit changes the hash
+//!   so stale entries are simply never hit;
+//! * **incremental what-if**: the baseline association is cached as the
+//!   *prior* and [`cpssec_analysis::AssociationMap::rebuild`] re-queries
+//!   only components whose query text actually changed.
+//!
+//! Concurrency shape: one nonblocking accept loop feeding a fixed
+//! [`pool::WorkerPool`] over `mpsc`; shared state is an `Arc<AppState>`
+//! (immutable corpus + search engines, `RwLock` session store, sharded
+//! `Mutex` caches). Responses are byte-identical to the single-threaded
+//! pipeline because both sides call the same canonical renderers.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod load;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod session;
+pub mod signal;
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpssec_analysis::AssociationMap;
+use cpssec_attackdb::Corpus;
+use cpssec_search::{MatchConfig, ScoringModel, SearchEngine};
+
+use cache::Cache;
+use metrics::Metrics;
+use session::SessionStore;
+
+/// Everything the workers share.
+#[derive(Debug)]
+pub struct AppState {
+    /// The attack vector corpus (immutable for the server's lifetime).
+    pub corpus: Arc<Corpus>,
+    /// Prebuilt engine per scoring model — one index per corpus, built at
+    /// startup, shared immutably by every worker.
+    engine_tfidf: Arc<SearchEngine>,
+    engine_bm25: Arc<SearchEngine>,
+    /// Named models.
+    pub sessions: SessionStore,
+    /// Rendered response bodies, content-addressed.
+    pub responses: Cache<Arc<String>>,
+    /// Baseline association maps (the what-if priors), content-addressed.
+    pub priors: Cache<Arc<AssociationMap>>,
+    /// Request counters and latency histograms.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Builds the shared state: indexes the corpus once per scoring model
+    /// and preloads the `scada` session.
+    #[must_use]
+    pub fn new(corpus: Corpus) -> Arc<AppState> {
+        let engine_of = |scoring| {
+            Arc::new(SearchEngine::with_config(
+                &corpus,
+                MatchConfig {
+                    scoring,
+                    ..MatchConfig::default()
+                },
+            ))
+        };
+        Arc::new(AppState {
+            engine_tfidf: engine_of(ScoringModel::TfIdf),
+            engine_bm25: engine_of(ScoringModel::Bm25),
+            corpus: Arc::new(corpus),
+            sessions: SessionStore::new(),
+            responses: Cache::new(256),
+            priors: Cache::new(64),
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// The shared engine for a scoring model.
+    #[must_use]
+    pub fn engine(&self, scoring: ScoringModel) -> &SearchEngine {
+        match scoring {
+            ScoringModel::TfIdf => &self.engine_tfidf,
+            ScoringModel::Bm25 => &self.engine_bm25,
+        }
+    }
+}
+
+/// How long an idle keep-alive connection may sit between requests.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Accept-loop poll interval while no connection is pending. Short enough
+/// that connection setup never dominates request latency; the idle loop is
+/// still >99% asleep.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// The server: a bound listener plus shared state, not yet accepting.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares `workers` worker threads over `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, workers: usize, state: Arc<AppState>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state,
+            workers,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The flag that stops [`run`](Server::run); set it (or deliver
+    /// SIGTERM/SIGINT after [`signal::install`]) to begin a graceful
+    /// shutdown.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shared state.
+    #[must_use]
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until the shutdown flag is set, then drains: queued and
+    /// in-flight requests complete before this returns (the worker pool's
+    /// drop joins every worker).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection I/O errors are
+    /// absorbed).
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = pool::WorkerPool::new(self.workers);
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    pool.execute(move || handle_connection(stream, &state, &shutdown));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(pool); // Drain the queue, join the workers.
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Serves one connection: keep-alive request loop until the peer closes,
+/// asks to close, errors, times out, or the server begins shutdown.
+fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,                    // Peer closed cleanly.
+            Err(http::HttpError::Io(_)) => return, // Timeout or reset.
+            Err(http::HttpError::TooLarge) => {
+                let _ = http::Response::error(413, "request body too large")
+                    .write_to(&mut writer, true);
+                return;
+            }
+            Err(http::HttpError::Malformed(detail)) => {
+                let _ = http::Response::error(400, &detail).write_to(&mut writer, true);
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        let (route, response) = router::dispatch(state, &request);
+        state
+            .metrics
+            .record(route, response.status, started.elapsed());
+
+        // Close after this response if the client asked, or if the server
+        // is draining (keeps shutdown prompt under keep-alive load).
+        let close = request.wants_close() || shutdown.load(Ordering::Relaxed);
+        if response.write_to(&mut writer, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    fn start_server() -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let state = AppState::new(cpssec_attackdb::seed::seed_corpus());
+        let server = Server::bind("127.0.0.1:0", 2, state).unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, flag, handle)
+    }
+
+    #[test]
+    fn healthz_round_trip_and_clean_shutdown() {
+        let (addr, flag, handle) = start_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.ends_with("ok\n"), "{response}");
+        flag.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let (addr, flag, handle) = start_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for _ in 0..3 {
+            stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let response = load::read_response(&mut reader).unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, b"ok\n");
+        }
+        drop(stream);
+        flag.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

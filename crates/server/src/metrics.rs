@@ -1,0 +1,136 @@
+//! Request counters and latency histograms, rendered as plain text.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in microseconds (the last bucket is
+/// unbounded).
+const BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+
+#[derive(Default)]
+struct RouteStats {
+    count: u64,
+    errors: u64,
+    total_us: u64,
+    buckets: [u64; BUCKETS_US.len()],
+}
+
+/// Per-route request counters plus cumulative latency histograms.
+#[derive(Default)]
+pub struct Metrics {
+    routes: Mutex<BTreeMap<String, RouteStats>>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one request against `route` (the matched pattern, e.g.
+    /// `GET /models/:id/associate`).
+    pub fn record(&self, route: &str, status: u16, elapsed: Duration) {
+        let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut routes = self.routes.lock().expect("metrics poisoned");
+        let stats = routes.entry(route.to_owned()).or_default();
+        stats.count += 1;
+        if status >= 400 {
+            stats.errors += 1;
+        }
+        stats.total_us = stats.total_us.saturating_add(elapsed_us);
+        let bucket = BUCKETS_US
+            .iter()
+            .position(|&le| elapsed_us <= le)
+            .unwrap_or(BUCKETS_US.len() - 1);
+        stats.buckets[bucket] += 1;
+    }
+
+    /// Total requests recorded across all routes.
+    pub fn total_requests(&self) -> u64 {
+        let routes = self.routes.lock().expect("metrics poisoned");
+        routes.values().map(|s| s.count).sum()
+    }
+
+    /// Renders the registry in a flat `name{labels} value` text format.
+    /// `caches` supplies `(name, hits, misses)` triples from the result
+    /// caches.
+    pub fn render(&self, caches: &[(&str, u64, u64)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let routes = self.routes.lock().expect("metrics poisoned");
+        for (route, stats) in routes.iter() {
+            let _ = writeln!(out, "requests_total{{route=\"{route}\"}} {}", stats.count);
+            let _ = writeln!(out, "errors_total{{route=\"{route}\"}} {}", stats.errors);
+            let _ = writeln!(
+                out,
+                "latency_us_sum{{route=\"{route}\"}} {}",
+                stats.total_us
+            );
+            let mut cumulative = 0;
+            for (i, &le) in BUCKETS_US.iter().enumerate() {
+                cumulative += stats.buckets[i];
+                let le = if le == u64::MAX {
+                    "+Inf".to_owned()
+                } else {
+                    le.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "latency_us_bucket{{route=\"{route}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+        }
+        drop(routes);
+        for &(name, hits, misses) in caches {
+            let _ = writeln!(out, "cache_hits_total{{cache=\"{name}\"}} {hits}");
+            let _ = writeln!(out, "cache_misses_total{{cache=\"{name}\"}} {misses}");
+            let total = hits + misses;
+            let ratio = if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            };
+            let _ = writeln!(out, "cache_hit_ratio{{cache=\"{name}\"}} {ratio:.4}");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("total_requests", &self.total_requests())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_a_route() {
+        let metrics = Metrics::new();
+        metrics.record("GET /healthz", 200, Duration::from_micros(50));
+        metrics.record("GET /healthz", 200, Duration::from_micros(5_000));
+        metrics.record("GET /healthz", 404, Duration::from_micros(150));
+        let text = metrics.render(&[("responses", 3, 1)]);
+        assert!(text.contains("requests_total{route=\"GET /healthz\"} 3"));
+        assert!(text.contains("errors_total{route=\"GET /healthz\"} 1"));
+        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"100\"} 1"));
+        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"1000\"} 2"));
+        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"+Inf\"} 3"));
+        assert!(text.contains("cache_hits_total{cache=\"responses\"} 3"));
+        assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.7500"));
+        assert_eq!(metrics.total_requests(), 3);
+    }
+
+    #[test]
+    fn empty_cache_ratio_is_zero() {
+        let metrics = Metrics::new();
+        let text = metrics.render(&[("responses", 0, 0)]);
+        assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.0000"));
+    }
+}

@@ -1,0 +1,536 @@
+//! Request routing: URL + query → analysis pipeline → canonical JSON.
+//!
+//! Every analysis response is produced by the *same* renderers the batch
+//! pipeline uses ([`cpssec_analysis::render`]), so a served body is byte
+//! for byte what the single-threaded pipeline would print. Responses are
+//! memoized in the content-addressed cache: the key concatenates the model
+//! content hash, fidelity, scoring model, the canonical filter spec, and
+//! any endpoint-specific discriminator (component name, what-if body
+//! hash) — all inputs that can influence the bytes.
+
+use std::sync::Arc;
+
+use cpssec_analysis::render::{self, Json};
+use cpssec_analysis::{attribute_rows, whatif, AssociationMap, ModelChange, SystemPosture};
+use cpssec_attackdb::json::{parse as parse_json, JsonValue};
+use cpssec_attackdb::Severity;
+use cpssec_model::{fnv1a_64, Attribute, AttributeKind, Fidelity};
+use cpssec_search::{Filter, FilterPipeline, ScoringModel};
+
+use crate::http::{Request, Response};
+use crate::AppState;
+
+/// The analysis knobs every read endpoint accepts, plus their canonical
+/// cache-key rendering.
+#[derive(Debug)]
+pub struct RequestSpec {
+    /// Fidelity level of the projection (default implementation).
+    pub fidelity: Fidelity,
+    /// Scoring model (default tf-idf).
+    pub scoring: ScoringModel,
+    /// The filter pipeline, assembled in a fixed order.
+    pub filters: FilterPipeline,
+    /// Canonical filter-spec string: every knob, defaults included, fixed
+    /// order — identical requests produce identical strings.
+    pub filter_spec: String,
+}
+
+fn parse_severity(raw: &str) -> Option<Severity> {
+    match raw {
+        "none" => Some(Severity::None),
+        "low" => Some(Severity::Low),
+        "medium" => Some(Severity::Medium),
+        "high" => Some(Severity::High),
+        "critical" => Some(Severity::Critical),
+        _ => None,
+    }
+}
+
+/// Parses fidelity/scoring/filter query parameters.
+///
+/// # Errors
+///
+/// A client-facing message naming the offending parameter.
+pub fn parse_spec(req: &Request) -> Result<RequestSpec, String> {
+    let fidelity = match req.query_param("fidelity") {
+        Some(raw) => raw
+            .parse::<Fidelity>()
+            .map_err(|_| format!("unknown fidelity '{raw}'"))?,
+        None => Fidelity::Implementation,
+    };
+    let scoring = match req.query_param("scoring") {
+        Some(raw) => raw
+            .parse::<ScoringModel>()
+            .map_err(|_| format!("unknown scoring model '{raw}'"))?,
+        None => ScoringModel::TfIdf,
+    };
+
+    let mut filters = FilterPipeline::new();
+    let mut spec_parts: Vec<String> = Vec::with_capacity(5);
+    // Fixed assembly order: the pipeline stages and the spec string line
+    // up, so equal specs mean equal pipelines.
+    let min_score = req
+        .query_param("minScore")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("bad minScore '{raw}'"))
+        })
+        .transpose()?;
+    if let Some(v) = min_score {
+        filters = filters.then(Filter::MinScore(v));
+    }
+    spec_parts.push(format!(
+        "minScore={}",
+        min_score.map_or("-".into(), |v| v.to_string())
+    ));
+
+    let min_terms = req
+        .query_param("minTerms")
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| format!("bad minTerms '{raw}'"))
+        })
+        .transpose()?;
+    if let Some(v) = min_terms {
+        filters = filters.then(Filter::MinMatchedTerms(v));
+    }
+    spec_parts.push(format!(
+        "minTerms={}",
+        min_terms.map_or("-".into(), |v| v.to_string())
+    ));
+
+    let top_k = req
+        .query_param("topK")
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| format!("bad topK '{raw}'"))
+        })
+        .transpose()?;
+    if let Some(v) = top_k {
+        filters = filters.then(Filter::TopKPerFamily(v));
+    }
+    spec_parts.push(format!(
+        "topK={}",
+        top_k.map_or("-".into(), |v| v.to_string())
+    ));
+
+    let severity = req
+        .query_param("severity")
+        .map(|raw| parse_severity(raw).ok_or_else(|| format!("unknown severity '{raw}'")))
+        .transpose()?;
+    if let Some(v) = severity {
+        filters = filters.then(Filter::SeverityAtLeast(v));
+    }
+    spec_parts.push(format!(
+        "severity={}",
+        severity.map_or("-".to_owned(), |v| v.as_str().to_ascii_lowercase())
+    ));
+
+    let drop_vulns = match req.query_param("dropVulns") {
+        Some("true" | "1") => true,
+        Some("false" | "0") | None => false,
+        Some(raw) => return Err(format!("bad dropVulns '{raw}' (expected true/false)")),
+    };
+    if drop_vulns {
+        filters = filters.then(Filter::DropVulnerabilities);
+    }
+    spec_parts.push(format!("dropVulns={drop_vulns}"));
+
+    Ok(RequestSpec {
+        fidelity,
+        scoring,
+        filters,
+        filter_spec: spec_parts.join(";"),
+    })
+}
+
+impl RequestSpec {
+    /// The shared cache-key prefix: `{model-hash}/{fidelity}/{scoring}/{filters}`.
+    #[must_use]
+    pub fn key_prefix(&self, model_hash: u64) -> String {
+        format!(
+            "{model_hash:016x}/{}/{}/{}",
+            self.fidelity.as_str(),
+            self.scoring.as_str(),
+            self.filter_spec
+        )
+    }
+}
+
+/// Parses the what-if request body:
+/// `{"changes": [{"op": "add|replace|remove", "component": …, …}]}`.
+///
+/// # Errors
+///
+/// A client-facing message for malformed JSON or unknown fields.
+pub fn parse_changes(body: &[u8]) -> Result<Vec<ModelChange>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let value = parse_json(text).map_err(|e| format!("bad JSON body: {e}"))?;
+    let changes = value
+        .get("changes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "body must be {\"changes\": [...]}".to_owned())?;
+
+    let str_field = |change: &JsonValue, name: &str| -> Result<String, String> {
+        change
+            .get(name)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("change is missing string field '{name}'"))
+    };
+    let attribute_of = |change: &JsonValue| -> Result<Attribute, String> {
+        let kind_raw = str_field(change, "kind")?;
+        let kind = kind_raw
+            .parse::<AttributeKind>()
+            .map_err(|_| format!("unknown attribute kind '{kind_raw}'"))?;
+        let value = str_field(change, "value")?;
+        let mut attribute = if kind == AttributeKind::Custom {
+            Attribute::custom(str_field(change, "key")?, value)
+        } else {
+            Attribute::new(kind, value)
+        };
+        if let Some(raw) = change.get("atFidelity").and_then(JsonValue::as_str) {
+            let fidelity = raw
+                .parse::<Fidelity>()
+                .map_err(|_| format!("unknown fidelity '{raw}'"))?;
+            attribute = attribute.at_fidelity(fidelity);
+        }
+        Ok(attribute)
+    };
+
+    changes
+        .iter()
+        .map(|change| {
+            let op = str_field(change, "op")?;
+            let component = str_field(change, "component")?;
+            match op.as_str() {
+                "add" => Ok(ModelChange::AddAttribute {
+                    component,
+                    attribute: attribute_of(change)?,
+                }),
+                "replace" => Ok(ModelChange::ReplaceAttribute {
+                    component,
+                    key: str_field(change, "key")?,
+                    with: attribute_of(change)?,
+                }),
+                "remove" => Ok(ModelChange::RemoveAttribute {
+                    component,
+                    key: str_field(change, "key")?,
+                    value: str_field(change, "value")?,
+                }),
+                other => Err(format!(
+                    "unknown op '{other}' (expected add/replace/remove)"
+                )),
+            }
+        })
+        .collect()
+}
+
+/// Dispatches one request. Returns the matched route pattern (for metrics)
+/// and the response.
+#[must_use]
+pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ("GET /healthz", Response::text(200, "ok\n")),
+        ("GET", ["metrics"]) => ("GET /metrics", metrics(state)),
+        ("GET", ["table1"]) => ("GET /table1", table1(state, req)),
+        ("POST", ["models"]) => ("POST /models", upload_model(state, req)),
+        ("GET", ["models", id, "associate"]) => {
+            ("GET /models/:id/associate", associate(state, req, id))
+        }
+        ("POST", ["models", id, "whatif"]) => {
+            ("POST /models/:id/whatif", whatif_route(state, req, id))
+        }
+        (_, ["healthz" | "metrics" | "table1"])
+        | (_, ["models"])
+        | (_, ["models", _, "associate" | "whatif"]) => (
+            "method-not-allowed",
+            Response::error(405, "method not allowed"),
+        ),
+        _ => ("not-found", Response::error(404, "no such endpoint")),
+    }
+}
+
+fn metrics(state: &AppState) -> Response {
+    let (resp_hits, resp_misses) = state.responses.stats();
+    let (prior_hits, prior_misses) = state.priors.stats();
+    Response::text(
+        200,
+        state.metrics.render(&[
+            ("responses", resp_hits, resp_misses),
+            ("priors", prior_hits, prior_misses),
+        ]),
+    )
+}
+
+fn upload_model(state: &AppState, req: &Request) -> Response {
+    let Some(id) = req.query_param("id").filter(|id| !id.is_empty()) else {
+        return Response::error(400, "missing ?id=<name> query parameter");
+    };
+    if id.contains('/') {
+        return Response::error(400, "model id must not contain '/'");
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let model = match cpssec_model::from_graphml(text) {
+        Ok(model) => model,
+        Err(e) => return Response::error(400, &format!("bad GraphML: {e}")),
+    };
+    let components = model.components().count();
+    let channels = model.channels().count();
+    let hash = state.sessions.insert(id, model);
+    let body = Json::Object(vec![
+        ("id".into(), id.into()),
+        ("hash".into(), format!("{hash:016x}").as_str().into()),
+        ("components".into(), components.into()),
+        ("channels".into(), channels.into()),
+    ]);
+    Response::json(201, body.to_text())
+}
+
+/// Computes (or fetches) the association map for `stored` under `spec`.
+/// The map doubles as the *prior* for incremental what-if requests, so it
+/// is cached separately from rendered responses.
+fn prior_map(
+    state: &AppState,
+    stored: &crate::session::StoredModel,
+    spec: &RequestSpec,
+) -> Arc<AssociationMap> {
+    let key = format!("prior/{}", spec.key_prefix(stored.hash));
+    if let Some(map) = state.priors.get(&key) {
+        return map;
+    }
+    let map = Arc::new(AssociationMap::build(
+        &stored.model,
+        state.engine(spec.scoring),
+        &state.corpus,
+        spec.fidelity,
+        &spec.filters,
+    ));
+    state.priors.insert(key, Arc::clone(&map));
+    map
+}
+
+fn associate(state: &AppState, req: &Request, id: &str) -> Response {
+    let spec = match parse_spec(req) {
+        Ok(spec) => spec,
+        Err(message) => return Response::error(400, &message),
+    };
+    let Some(stored) = state.sessions.get(id) else {
+        return Response::error(404, &format!("unknown model '{id}'"));
+    };
+    let component = req.query_param("component");
+    let key = format!(
+        "assoc/{}/{}",
+        spec.key_prefix(stored.hash),
+        component.unwrap_or("-")
+    );
+    if let Some(body) = state.responses.get(&key) {
+        return Response::json(200, body.as_str());
+    }
+
+    let map = prior_map(state, &stored, &spec);
+    let posture = SystemPosture::compute(&stored.model, &state.corpus, &map);
+    let body = match component {
+        None => render::association_json(&stored.model, &map, &posture).to_text(),
+        Some(name) => {
+            let Some(set) = map.matches(name) else {
+                return Response::error(404, &format!("unknown component '{name}'"));
+            };
+            let (patterns, weaknesses, vulnerabilities) = set.counts();
+            let mut fields: Vec<(String, Json)> = vec![
+                ("model".into(), stored.model.name().into()),
+                ("fidelity".into(), map.fidelity().as_str().into()),
+                ("name".into(), name.into()),
+                ("patterns".into(), patterns.into()),
+                ("weaknesses".into(), weaknesses.into()),
+                ("vulnerabilities".into(), vulnerabilities.into()),
+            ];
+            if let Some(p) = posture.component(name) {
+                fields.push(("score".into(), p.score.into()));
+            }
+            Json::Object(fields).to_text()
+        }
+    };
+    state.responses.insert(key, Arc::new(body.clone()));
+    Response::json(200, body)
+}
+
+fn whatif_route(state: &AppState, req: &Request, id: &str) -> Response {
+    let spec = match parse_spec(req) {
+        Ok(spec) => spec,
+        Err(message) => return Response::error(400, &message),
+    };
+    let Some(stored) = state.sessions.get(id) else {
+        return Response::error(404, &format!("unknown model '{id}'"));
+    };
+    let key = format!(
+        "whatif/{}/{:016x}",
+        spec.key_prefix(stored.hash),
+        fnv1a_64(&req.body)
+    );
+    if let Some(body) = state.responses.get(&key) {
+        return Response::json(200, body.as_str());
+    }
+
+    let changes = match parse_changes(&req.body) {
+        Ok(changes) => changes,
+        Err(message) => return Response::error(400, &message),
+    };
+    let prior = prior_map(state, &stored, &spec);
+    let report = match whatif::evaluate_with_prior(
+        &stored.model,
+        &changes,
+        &prior,
+        state.engine(spec.scoring),
+        &state.corpus,
+        &spec.filters,
+    ) {
+        Ok(report) => report,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let body = render::whatif_json(stored.model.name(), spec.fidelity, &report).to_text();
+    state.responses.insert(key, Arc::new(body.clone()));
+    Response::json(200, body)
+}
+
+fn table1(state: &AppState, req: &Request) -> Response {
+    let spec = match parse_spec(req) {
+        Ok(spec) => spec,
+        Err(message) => return Response::error(400, &message),
+    };
+    let model_id = req.query_param("model").unwrap_or("scada");
+    let Some(stored) = state.sessions.get(model_id) else {
+        return Response::error(404, &format!("unknown model '{model_id}'"));
+    };
+    let key = format!("table1/{}", spec.key_prefix(stored.hash));
+    if let Some(body) = state.responses.get(&key) {
+        return Response::text(200, body.as_str());
+    }
+
+    let rows = attribute_rows(
+        &stored.model,
+        state.engine(spec.scoring),
+        &state.corpus,
+        spec.fidelity,
+        &spec.filters,
+    );
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.attribute.clone(),
+                r.patterns.to_string(),
+                r.weaknesses.to_string(),
+                r.vulnerabilities.to_string(),
+            ]
+        })
+        .collect();
+    let body = render::text_table(
+        &[
+            "Attribute",
+            "Attack Patterns",
+            "Weaknesses",
+            "Vulnerabilities",
+        ],
+        &cells,
+    );
+    state.responses.insert(key, Arc::new(body.clone()));
+    Response::text(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str) -> Request {
+        let raw = format!("{method} {target} HTTP/1.1\r\n\r\n");
+        crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn spec_defaults_are_canonical() {
+        let spec = parse_spec(&request("GET", "/models/scada/associate")).unwrap();
+        assert_eq!(spec.fidelity, Fidelity::Implementation);
+        assert_eq!(spec.scoring, ScoringModel::TfIdf);
+        assert!(spec.filters.is_empty());
+        assert_eq!(
+            spec.filter_spec,
+            "minScore=-;minTerms=-;topK=-;severity=-;dropVulns=false"
+        );
+    }
+
+    #[test]
+    fn spec_reflects_every_knob() {
+        let spec = parse_spec(&request(
+            "GET",
+            "/x?fidelity=conceptual&scoring=bm25&minScore=0.5&minTerms=2&topK=3&severity=high&dropVulns=true",
+        ))
+        .unwrap();
+        assert_eq!(spec.fidelity, Fidelity::Conceptual);
+        assert_eq!(spec.scoring, ScoringModel::Bm25);
+        assert_eq!(spec.filters.len(), 5);
+        assert_eq!(
+            spec.filter_spec,
+            "minScore=0.5;minTerms=2;topK=3;severity=high;dropVulns=true"
+        );
+    }
+
+    #[test]
+    fn bad_knobs_are_named_in_the_error() {
+        for (target, needle) in [
+            ("/x?fidelity=quantum", "fidelity"),
+            ("/x?scoring=magic", "scoring"),
+            ("/x?minScore=NaN", "minScore"),
+            ("/x?minTerms=-1", "minTerms"),
+            ("/x?topK=many", "topK"),
+            ("/x?severity=extreme", "severity"),
+            ("/x?dropVulns=maybe", "dropVulns"),
+        ] {
+            let err = parse_spec(&request("GET", target)).unwrap_err();
+            assert!(err.contains(needle), "{target}: {err}");
+        }
+    }
+
+    #[test]
+    fn changes_parse_all_three_ops() {
+        let body = br#"{"changes":[
+            {"op":"add","component":"c","kind":"os","value":"Windows 7","atFidelity":"implementation"},
+            {"op":"replace","component":"c","key":"os","kind":"os","value":"Linux"},
+            {"op":"remove","component":"c","key":"software","value":"Labview"}
+        ]}"#;
+        let changes = parse_changes(body).unwrap();
+        assert_eq!(changes.len(), 3);
+        assert!(
+            matches!(&changes[0], ModelChange::AddAttribute { component, attribute }
+            if component == "c" && attribute.value() == "Windows 7"
+               && attribute.fidelity() == Fidelity::Implementation)
+        );
+        assert!(matches!(&changes[1], ModelChange::ReplaceAttribute { key, .. } if key == "os"));
+        assert!(
+            matches!(&changes[2], ModelChange::RemoveAttribute { value, .. } if value == "Labview")
+        );
+    }
+
+    #[test]
+    fn change_errors_are_descriptive() {
+        assert!(parse_changes(b"not json").unwrap_err().contains("JSON"));
+        assert!(parse_changes(b"{}").unwrap_err().contains("changes"));
+        assert!(
+            parse_changes(br#"{"changes":[{"op":"warp","component":"c"}]}"#)
+                .unwrap_err()
+                .contains("warp")
+        );
+        assert!(parse_changes(
+            br#"{"changes":[{"op":"add","component":"c","kind":"exotic","value":"x"}]}"#
+        )
+        .unwrap_err()
+        .contains("exotic"));
+    }
+}

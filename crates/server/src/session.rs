@@ -1,0 +1,114 @@
+//! The session store: named models uploaded by analysts.
+//!
+//! Models are immutable once stored (`Arc<StoredModel>`); a what-if never
+//! mutates the stored baseline, it derives an edited copy. The store is a
+//! `RwLock` map because reads (every associate/what-if request) vastly
+//! outnumber writes (uploads).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use cpssec_model::SystemModel;
+
+/// A stored model plus its content hash (the cache-key ingredient).
+#[derive(Debug)]
+pub struct StoredModel {
+    /// The model itself.
+    pub model: SystemModel,
+    /// FNV-1a 64 hash of the model's full content
+    /// ([`SystemModel::content_hash`]).
+    pub hash: u64,
+}
+
+impl StoredModel {
+    fn new(model: SystemModel) -> Arc<StoredModel> {
+        let hash = model.content_hash();
+        Arc::new(StoredModel { model, hash })
+    }
+}
+
+/// Named models, keyed by the id chosen at upload.
+#[derive(Debug)]
+pub struct SessionStore {
+    models: RwLock<BTreeMap<String, Arc<StoredModel>>>,
+}
+
+impl SessionStore {
+    /// A store preloaded with the built-in SCADA demonstration model under
+    /// the id `scada`.
+    #[must_use]
+    pub fn new() -> SessionStore {
+        let mut models = BTreeMap::new();
+        models.insert(
+            "scada".to_owned(),
+            StoredModel::new(cpssec_scada::model::scada_model()),
+        );
+        SessionStore {
+            models: RwLock::new(models),
+        }
+    }
+
+    /// Stores (or replaces) a model under `id`; returns its content hash.
+    pub fn insert(&self, id: &str, model: SystemModel) -> u64 {
+        let stored = StoredModel::new(model);
+        let hash = stored.hash;
+        self.models
+            .write()
+            .expect("session store poisoned")
+            .insert(id.to_owned(), stored);
+        hash
+    }
+
+    /// Fetches a model by id.
+    pub fn get(&self, id: &str) -> Option<Arc<StoredModel>> {
+        self.models
+            .read()
+            .expect("session store poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// All stored ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        self.models
+            .read()
+            .expect("session store poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        SessionStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scada_is_preloaded() {
+        let store = SessionStore::new();
+        let stored = store.get("scada").expect("preloaded");
+        assert_eq!(stored.model.name(), "particle-separation-centrifuge");
+        assert_eq!(stored.hash, stored.model.content_hash());
+        assert_eq!(store.ids(), ["scada"]);
+    }
+
+    #[test]
+    fn insert_replaces_and_rehashes() {
+        let store = SessionStore::new();
+        let model = cpssec_model::SystemModelBuilder::new("tiny")
+            .component("only", cpssec_model::ComponentKind::Other)
+            .build()
+            .unwrap();
+        let hash = store.insert("tiny", model.clone());
+        assert_eq!(hash, model.content_hash());
+        assert_eq!(store.ids(), ["scada", "tiny"]);
+        assert_eq!(store.get("tiny").unwrap().model, model);
+        assert!(store.get("missing").is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! SIGTERM/SIGINT → shutdown flag, with no external crates.
+//!
+//! The only unsafe code in the workspace: binding libc's `signal(2)`
+//! directly. The handler does one async-signal-safe thing — a relaxed
+//! store to a process-global `AtomicBool` the accept loop polls.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // OnceLock::get and AtomicBool::store are both lock-free loads/stores;
+    // safe inside a signal handler.
+    if let Some(flag) = FLAG.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Routes SIGTERM and SIGINT to `flag`. Idempotent: only the first call's
+/// flag is registered (the process has one shutdown flag). On non-Unix
+/// targets this is a no-op and shutdown relies on the flag being set
+/// programmatically.
+pub fn install(flag: &Arc<AtomicBool>) {
+    let _ = FLAG.set(Arc::clone(flag));
+    #[cfg(unix)]
+    {
+        let handler: extern "C" fn(i32) = on_signal;
+        unsafe {
+            signal(SIGTERM, handler as usize);
+            signal(SIGINT, handler as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn raised_sigterm_sets_the_flag() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        install(&flag);
+        unsafe {
+            raise(SIGTERM);
+        }
+        // FLAG is process-global: whichever flag won the OnceLock race is
+        // the one handlers write to. Check that one.
+        assert!(FLAG.get().expect("installed").load(Ordering::Relaxed));
+    }
+}

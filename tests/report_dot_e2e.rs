@@ -1,0 +1,114 @@
+//! End-to-end: SCADA model at implementation fidelity → association →
+//! filtering → rendered artifacts. Asserts the paper's Table 1 *shape*
+//! (commodity technology attracts orders of magnitude more vectors than
+//! niche lab equipment) and that the Figure 1 DOT output is structurally
+//! valid (balanced braces, every edge endpoint declared as a node).
+
+use cpssec_core::analysis::render::model_dot;
+use cpssec_core::analysis::{attribute_rows, report, AssociationMap, SystemPosture};
+use cpssec_core::attackdb::seed::seed_corpus;
+use cpssec_core::attackdb::synth::{generate, SynthSpec};
+use cpssec_core::attackdb::Corpus;
+use cpssec_core::model::Fidelity;
+use cpssec_core::prelude::{Filter, FilterPipeline, SearchEngine};
+use cpssec_core::scada::model::scada_model;
+
+fn paper_corpus() -> Corpus {
+    let mut corpus = seed_corpus();
+    corpus
+        .merge(generate(&SynthSpec::paper2020(2020, 0.05)))
+        .expect("disjoint id spaces");
+    corpus
+}
+
+#[test]
+fn scada_association_report_and_dot_are_coherent() {
+    let corpus = paper_corpus();
+    let engine = SearchEngine::build(&corpus);
+    let model = scada_model();
+    let filters = FilterPipeline::new();
+
+    let association =
+        AssociationMap::build(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+    let rows = attribute_rows(&model, &engine, &corpus, Fidelity::Implementation, &filters);
+    let posture = SystemPosture::compute(&model, &corpus, &association);
+
+    // --- Table 1 shape: commodity >> niche. -------------------------------
+    let vulns_of = |needle: &str| -> usize {
+        rows.iter()
+            .filter(|r| r.attribute.contains(needle))
+            .map(|r| r.vulnerabilities)
+            .max()
+            .unwrap_or_else(|| panic!("no Table 1 row mentions {needle}"))
+    };
+    let windows = vulns_of("Windows 7");
+    let cisco = vulns_of("Cisco ASA");
+    let labview = vulns_of("Labview");
+    let crio = vulns_of("NI cRIO 9063");
+    assert!(
+        windows >= 10 * labview.max(1),
+        "commodity OS ({windows}) should dwarf niche software ({labview})"
+    );
+    assert!(
+        cisco >= 10 * crio.max(1),
+        "commodity appliance ({cisco}) should dwarf niche hardware ({crio})"
+    );
+
+    // --- Filtering narrows, never widens. ---------------------------------
+    let filtered = AssociationMap::build(
+        &model,
+        &engine,
+        &corpus,
+        Fidelity::Implementation,
+        &FilterPipeline::new().then(Filter::TopKPerFamily(3)),
+    );
+    assert!(filtered.total_vectors() < association.total_vectors());
+    assert!(filtered.total_vectors() > 0);
+
+    // --- The Markdown report covers the pipeline's outputs. ---------------
+    let markdown = report::render_report(&report::ReportInput {
+        model: &model,
+        corpus: &corpus,
+        association: &association,
+        attribute_rows: &rows,
+        posture: &posture,
+        consequences: &[],
+    });
+    assert!(markdown.contains("# Security analysis report"));
+    assert!(markdown.contains("Windows 7"));
+    assert!(markdown.contains("SIS platform"));
+
+    // --- The DOT artifact is structurally sound. --------------------------
+    let dot = model_dot(&model, Some(&association));
+    let opens = dot.matches('{').count();
+    let closes = dot.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces in DOT:\n{dot}");
+    assert!(dot.trim_end().ends_with('}'));
+
+    // Every edge endpoint must be a declared node id.
+    let mut declared = Vec::new();
+    let mut edges = Vec::new();
+    for line in dot.lines().map(str::trim) {
+        if let Some((endpoints, _)) = line.split_once('[') {
+            if let Some((from, to)) = endpoints.split_once("--") {
+                edges.push((from.trim().to_owned(), to.trim().to_owned()));
+            } else if let Some(id) = endpoints.trim().split_whitespace().next() {
+                if id != "node" && !id.is_empty() {
+                    declared.push(id.to_owned());
+                }
+            }
+        }
+    }
+    assert_eq!(declared.len(), model.components().count());
+    assert!(!edges.is_empty(), "Figure 1 must have channels:\n{dot}");
+    for (from, to) in &edges {
+        assert!(
+            declared.contains(from),
+            "edge endpoint {from} not declared:\n{dot}"
+        );
+        assert!(
+            declared.contains(to),
+            "edge endpoint {to} not declared:\n{dot}"
+        );
+    }
+}
