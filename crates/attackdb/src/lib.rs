@@ -32,6 +32,7 @@ pub mod json;
 pub mod jsonl;
 mod record;
 pub mod seed;
+pub mod snapshot;
 pub mod synth;
 
 pub use corpus::{Corpus, CorpusStats};

@@ -22,12 +22,17 @@ const USAGE: &str = "usage:
   cpssec export-model [--fidelity LEVEL]
   cpssec export-corpus [--scale S]
   cpssec json [--scale S] [--corpus FILE.jsonl] [--fidelity LEVEL]
+  cpssec snapshot build <FILE.cpsnap> [--scale S] [--corpus FILE.jsonl]
+  cpssec snapshot inspect <FILE.cpsnap>
+  cpssec snapshot verify <FILE.cpsnap>
   cpssec serve [--addr HOST:PORT] [--workers N] [--scale S] [--corpus FILE.jsonl]
+               [--snapshot FILE.cpsnap]
   cpssec load [--addr HOST:PORT] [--clients N] [--requests M]
   cpssec help
 
 the corpus defaults to the built-in seed + synthetic corpus at --scale;
---corpus loads a JSON Lines corpus (see cpssec_attackdb::jsonl) instead.";
+--corpus loads a JSON Lines corpus (see cpssec_attackdb::jsonl) instead;
+--snapshot warm-starts `serve` from a binary snapshot (see `snapshot build`).";
 
 /// Parsed global options.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +49,8 @@ pub struct Options {
     pub ticks: u64,
     /// Path to a JSON Lines corpus replacing the built-in one.
     pub corpus_path: Option<String>,
+    /// Path to a `.cpsnap` snapshot for `serve` warm start.
+    pub snapshot_path: Option<String>,
     /// Bind/connect address for `serve` and `load`.
     pub addr: String,
     /// Worker threads for `serve`.
@@ -65,6 +72,7 @@ impl Default for Options {
             simulate: false,
             ticks: 12_000,
             corpus_path: None,
+            snapshot_path: None,
             addr: "127.0.0.1:7878".into(),
             workers: 4,
             clients: 4,
@@ -113,6 +121,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--corpus" => {
                 let value = iter.next().ok_or("--corpus needs a path")?;
                 options.corpus_path = Some(value.clone());
+            }
+            "--snapshot" => {
+                let value = iter.next().ok_or("--snapshot needs a path")?;
+                options.snapshot_path = Some(value.clone());
             }
             "--addr" => {
                 let value = iter.next().ok_or("--addr needs a HOST:PORT value")?;
@@ -187,6 +199,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "export-model" => cmd_export_model(&options, out),
         "export-corpus" => cmd_export_corpus(&options, out),
         "json" => cmd_json(&options, out),
+        "snapshot" => cmd_snapshot(&options, out),
         "serve" => cmd_serve(&options, out),
         "load" => cmd_load(&options, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
@@ -196,9 +209,82 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+fn read_snapshot(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn cmd_snapshot(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let action = options
+        .positional
+        .first()
+        .ok_or("snapshot needs an action: build, inspect, or verify")?;
+    let path = options
+        .positional
+        .get(1)
+        .ok_or_else(|| format!("snapshot {action} needs a .cpsnap file path"))?;
+    match action.as_str() {
+        "build" => {
+            let corpus = load_corpus(options)?;
+            let engine = SearchEngine::build(&corpus);
+            let bytes = cpssec_search::snapshot::encode(&corpus, &engine);
+            std::fs::write(path, &bytes).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            let stats = corpus.stats();
+            writeln!(
+                out,
+                "wrote {path}: {} bytes, {} records ({} patterns, {} weaknesses, {} vulnerabilities)",
+                bytes.len(),
+                stats.total(),
+                stats.patterns,
+                stats.weaknesses,
+                stats.vulnerabilities
+            )
+            .map_err(|e| e.to_string())
+        }
+        "inspect" => {
+            let bytes = read_snapshot(path)?;
+            let info = cpssec_search::snapshot::inspect(&bytes)
+                .map_err(|e| format!("invalid snapshot `{path}`: {e}"))?;
+            writeln!(out, "{path}: format version {}", info.version).map_err(|e| e.to_string())?;
+            for section in &info.sections {
+                writeln!(
+                    out,
+                    "  {:<16} {:>12} bytes  checksum {:016x}",
+                    section.name, section.len, section.checksum
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        "verify" => {
+            let bytes = read_snapshot(path)?;
+            let (corpus, _engine) = cpssec_search::snapshot::verify(&bytes)
+                .map_err(|e| format!("invalid snapshot `{path}`: {e}"))?;
+            let stats = corpus.stats();
+            writeln!(
+                out,
+                "ok: {} records ({} patterns, {} weaknesses, {} vulnerabilities)",
+                stats.total(),
+                stats.patterns,
+                stats.weaknesses,
+                stats.vulnerabilities
+            )
+            .map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown snapshot action `{other}` (expected build, inspect, or verify)"
+        )),
+    }
+}
+
 fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), String> {
-    let corpus = load_corpus(options)?;
-    let state = cpssec_server::AppState::new(corpus);
+    let state = match &options.snapshot_path {
+        Some(path) => {
+            let bytes = read_snapshot(path)?;
+            cpssec_server::AppState::from_snapshot(&bytes)
+                .map_err(|e| format!("invalid snapshot `{path}`: {e}"))?
+        }
+        None => cpssec_server::AppState::new(load_corpus(options)?),
+    };
     let server = cpssec_server::Server::bind(&options.addr, options.workers, state)
         .map_err(|e| format!("cannot bind `{}`: {e}", options.addr))?;
     let addr = server

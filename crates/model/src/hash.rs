@@ -68,6 +68,28 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Word-folded FNV variant for bulk checksumming: folds eight bytes per
+/// multiply (`h = (h ^ word_le) * PRIME`), then the length and the byte
+/// tail. Roughly 8× faster than [`fnv1a_64`] on large buffers with the
+/// same per-step mixing — suitable for corruption detection over
+/// megabyte-scale payloads, NOT interchangeable with [`fnv1a_64`].
+#[must_use]
+pub fn fnv1a_64_wide(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ word).wrapping_mul(FNV_PRIME);
+    }
+    // Fold the length so buffers differing only in trailing zero bytes
+    // cannot collide, then the sub-word tail.
+    h = (h ^ bytes.len() as u64).wrapping_mul(FNV_PRIME);
+    for &b in chunks.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 impl SystemModel {
     /// A stable content hash of the model: name, components in insertion
     /// order with their full attribute sets, and channels with endpoints.
@@ -187,6 +209,26 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn wide_hash_detects_single_byte_and_length_changes() {
+        let base: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let reference = fnv1a_64_wide(&base);
+        // Any single-byte flip changes the hash, at word-aligned and
+        // tail positions alike.
+        for i in [0, 7, 8, 500, 992, 999] {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(fnv1a_64_wide(&flipped), reference, "flip at {i}");
+        }
+        // Trailing zeros change the hash (the length fold).
+        let mut extended = base.clone();
+        extended.push(0);
+        assert_ne!(fnv1a_64_wide(&extended), reference);
+        assert_ne!(fnv1a_64_wide(&[]), fnv1a_64_wide(&[0]));
+        // Deterministic.
+        assert_eq!(fnv1a_64_wide(&base), reference);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub use error::ModelError;
 pub use fidelity::Fidelity;
 pub use graph::{ModelStats, SystemModel};
 pub use graphml::{from_graphml, to_graphml};
-pub use hash::{fnv1a_64, Fnv64};
+pub use hash::{fnv1a_64, fnv1a_64_wide, Fnv64};
 pub use ident::{ChannelId, ComponentId};
 pub use kind::{ChannelKind, ComponentKind, Direction};

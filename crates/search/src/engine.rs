@@ -34,6 +34,11 @@ pub struct MatchConfig {
     /// terms contribute to *scores* only, never to the hit criteria, so
     /// turning this on re-ranks results without changing their count.
     pub expand_synonyms: bool,
+    /// Cap on hits returned per family. When set, selection runs through a
+    /// bounded binary heap of size `k` instead of sorting every candidate,
+    /// and returns exactly the prefix the full sort would have: the heap's
+    /// ordering is the same `f64::total_cmp`-then-id comparator.
+    pub max_hits: Option<usize>,
 }
 
 impl Default for MatchConfig {
@@ -44,6 +49,7 @@ impl Default for MatchConfig {
             min_score: 0.0,
             scoring: ScoringModel::TfIdf,
             expand_synonyms: true,
+            max_hits: None,
         }
     }
 }
@@ -205,14 +211,11 @@ pub struct SearchEngine {
 }
 
 /// Indexes one record family and pre-freezes its query-side image so the
-/// cost lands in the build phase (off the first query).
+/// cost lands in the build phase (off the first query). Large families
+/// shard across worker threads inside [`InvertedIndex::from_documents`].
 fn build_family<I>(records: impl Iterator<Item = (String, I)>) -> (InvertedIndex, Vec<I>) {
-    let mut index = InvertedIndex::new();
-    let mut ids = Vec::new();
-    for (text, id) in records {
-        index.add_document(&text);
-        ids.push(id);
-    }
+    let (texts, ids): (Vec<String>, Vec<I>) = records.unzip();
+    let index = InvertedIndex::from_documents(&texts);
     index.freeze();
     (index, ids)
 }
@@ -255,6 +258,53 @@ impl SearchEngine {
             vulnerability_ids,
             queries: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Assembles an engine from pre-built (e.g. snapshot-thawed) parts.
+    pub(crate) fn from_parts(
+        config: MatchConfig,
+        patterns: (InvertedIndex, Vec<CapecId>),
+        weaknesses: (InvertedIndex, Vec<CweId>),
+        vulnerabilities: (InvertedIndex, Vec<CveId>),
+    ) -> SearchEngine {
+        SearchEngine {
+            config,
+            patterns: patterns.0,
+            pattern_ids: patterns.1,
+            weaknesses: weaknesses.0,
+            weakness_ids: weaknesses.1,
+            vulnerabilities: vulnerabilities.0,
+            vulnerability_ids: vulnerabilities.1,
+            queries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The three family indices with their id tables, for serialization.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        (&InvertedIndex, &[CapecId]),
+        (&InvertedIndex, &[CweId]),
+        (&InvertedIndex, &[CveId]),
+    ) {
+        (
+            (&self.patterns, &self.pattern_ids),
+            (&self.weaknesses, &self.weakness_ids),
+            (&self.vulnerabilities, &self.vulnerability_ids),
+        )
+    }
+
+    /// A copy of this engine under a different scoring model. Both models'
+    /// weights are precomputed in every frozen index, so no text is
+    /// re-processed — this is how a server derives its BM25 engine from
+    /// one snapshot decode.
+    #[must_use]
+    pub fn with_scoring(&self, scoring: ScoringModel) -> SearchEngine {
+        let mut engine = self.clone();
+        engine.config.scoring = scoring;
+        engine.queries = Arc::new(AtomicU64::new(0));
+        engine
     }
 
     /// Number of queries this engine (and its clones) has run so far.
@@ -384,9 +434,17 @@ impl SearchEngine {
     }
 }
 
+/// Fan-outs smaller than this run sequentially: spawning a scoped thread
+/// costs ~50–100 µs while one matcher query at paper scale runs in ~10 µs,
+/// so parallelism only pays once a chunk amortizes the spawn (E7b measured
+/// `par_match_model` at 166 µs vs 100 µs sequential on the 8-component
+/// model; the tuning sweep is recorded in EXPERIMENTS §E12b).
+const PAR_FAN_OUT_MIN: usize = 32;
+
 /// Runs `work` over `items`, splitting the slice into one contiguous chunk
 /// per available core; each scoped thread fills a disjoint chunk of the
-/// output, preserving input order exactly.
+/// output, preserving input order exactly. Inputs below [`PAR_FAN_OUT_MIN`]
+/// run on the calling thread — same results, no spawn overhead.
 fn par_fan_out<T: Sync, R: Send>(items: &[T], work: impl Fn(&T) -> R + Sync) -> Vec<R> {
     if items.is_empty() {
         return Vec::new();
@@ -395,6 +453,9 @@ fn par_fan_out<T: Sync, R: Send>(items: &[T], work: impl Fn(&T) -> R + Sync) -> 
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(items.len());
+    if items.len() < PAR_FAN_OUT_MIN || threads == 1 {
+        return items.iter().map(work).collect();
+    }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
@@ -412,12 +473,69 @@ fn par_fan_out<T: Sync, R: Send>(items: &[T], work: impl Fn(&T) -> R + Sync) -> 
         .collect()
 }
 
-/// Sorts hits best-first: descending score, ties broken by ascending id.
-/// `total_cmp` keeps the order total even if a pathological configuration
-/// (e.g. a NaN `min_score` arithmetic upstream) ever produces a NaN score —
-/// the pipeline must degrade to a deterministic order, never panic.
+/// Ranks `a` against `b` best-first: descending score, ties broken by
+/// ascending id. `total_cmp` keeps the order total even if a pathological
+/// configuration (e.g. NaN `min_score` arithmetic upstream) ever produces
+/// a NaN score — the pipeline must degrade to a deterministic order, never
+/// panic. The order is *strict* (ids are unique per family), so top-k
+/// selection through a heap returns exactly the sorted prefix.
+fn rank(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id))
+}
+
+/// Sorts hits best-first under [`rank`].
 fn sort_hits(hits: &mut [Hit]) {
-    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+    hits.sort_by(rank);
+}
+
+/// A [`Hit`] ordered by [`rank`] so a max-[`BinaryHeap`] keeps its
+/// worst-ranked element on top, ready to evict.
+///
+/// [`BinaryHeap`]: std::collections::BinaryHeap
+struct Ranked(Hit);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        rank(&self.0, &other.0).is_eq()
+    }
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        rank(&self.0, &other.0)
+    }
+}
+
+/// Bounded top-k selection: feeds `hits` through a k-element binary heap
+/// and returns the best `k` in [`rank`] order — element for element what
+/// `sort_hits` + truncate would produce, in `O(n log k)` instead of
+/// `O(n log n)` and without materializing all candidates.
+fn top_k_hits(hits: impl Iterator<Item = Hit>, k: usize) -> Vec<Hit> {
+    use std::collections::BinaryHeap;
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Ranked> = BinaryHeap::with_capacity(k + 1);
+    for hit in hits {
+        if heap.len() < k {
+            heap.push(Ranked(hit));
+        } else if let Some(worst) = heap.peek() {
+            if rank(&hit, &worst.0).is_lt() {
+                heap.pop();
+                heap.push(Ranked(hit));
+            }
+        }
+    }
+    // Ascending under `Ord` = best-first under `rank`.
+    heap.into_sorted_vec().into_iter().map(|r| r.0).collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -461,26 +579,32 @@ fn run_family<I: Copy>(
             }
         }
     }
-    let mut hits: Vec<Hit> = Vec::with_capacity(scratch.touched.len());
-    for &doc in &scratch.touched {
+    let candidates = scratch.touched.iter().filter_map(|&doc| {
         let acc = scratch.accum[doc as usize];
-        if (acc.max_idf >= config.idf_floor || acc.matched as usize >= config.min_terms)
-            && acc.score >= config.min_score
-        {
-            hits.push(Hit {
-                id: wrap(&ids[doc as usize]),
-                score: acc.score,
-                matched_terms: acc.matched as usize,
-            });
+        let admitted = (acc.max_idf >= config.idf_floor
+            || acc.matched as usize >= config.min_terms)
+            && acc.score >= config.min_score;
+        admitted.then(|| Hit {
+            id: wrap(&ids[doc as usize]),
+            score: acc.score,
+            matched_terms: acc.matched as usize,
+        })
+    });
+    let hits = match config.max_hits {
+        // Capped: bounded-heap selection, O(candidates · log k).
+        Some(k) => top_k_hits(candidates, k),
+        None => {
+            let mut hits: Vec<Hit> = candidates.collect();
+            sort_hits(&mut hits);
+            hits
         }
-    }
+    };
     // Reset exactly the slots this query touched so the table is clean for
     // the next family/query without an O(corpus) sweep.
     for &doc in &scratch.touched {
         scratch.accum[doc as usize] = Accum::default();
     }
     scratch.touched.clear();
-    sort_hits(&mut hits);
     hits
 }
 
@@ -721,6 +845,82 @@ mod tests {
         assert!(a[0].score.is_nan() && a[1].score.is_nan());
         assert_eq!(a[2].score, 2.0);
         assert_eq!(a[3].score, 1.0);
+    }
+
+    #[test]
+    fn max_hits_heap_returns_exactly_the_sorted_prefix() {
+        let mut corpus = seed_corpus();
+        corpus
+            .merge(generate(&SynthSpec::paper2020(11, 0.05)))
+            .unwrap();
+        let unbounded = SearchEngine::build(&corpus);
+        for k in [0, 1, 2, 3, 7, 25, 10_000] {
+            let capped = SearchEngine::with_config(
+                &corpus,
+                MatchConfig {
+                    max_hits: Some(k),
+                    ..MatchConfig::default()
+                },
+            );
+            for query in table1_attributes() {
+                let full = unbounded.match_text(query);
+                let bounded = capped.match_text(query);
+                for (all, cut) in [
+                    (&full.patterns, &bounded.patterns),
+                    (&full.weaknesses, &bounded.weaknesses),
+                    (&full.vulnerabilities, &bounded.vulnerabilities),
+                ] {
+                    assert_eq!(
+                        &all[..k.min(all.len())],
+                        cut.as_slice(),
+                        "k={k} query={query}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_orders_nan_scores_like_the_sort() {
+        let hit = |n: u32, score: f64| Hit {
+            id: AttackVectorId::Vulnerability(CveId::new(2020, n)),
+            score,
+            matched_terms: 1,
+        };
+        let pool = vec![
+            hit(5, f64::NAN),
+            hit(2, 1.0),
+            hit(9, f64::NAN),
+            hit(4, 2.0),
+            hit(1, 1.0),
+            hit(7, f64::NEG_INFINITY),
+            hit(3, f64::INFINITY),
+        ];
+        for k in 0..=pool.len() + 1 {
+            let mut sorted = pool.clone();
+            sort_hits(&mut sorted);
+            sorted.truncate(k);
+            let heaped = top_k_hits(pool.iter().cloned(), k);
+            let ids = |hits: &[Hit]| hits.iter().map(|h| h.id).collect::<Vec<_>>();
+            let bits = |hits: &[Hit]| hits.iter().map(|h| h.score.to_bits()).collect::<Vec<_>>();
+            assert_eq!(ids(&sorted), ids(&heaped), "k={k}");
+            assert_eq!(bits(&sorted), bits(&heaped), "k={k}");
+        }
+    }
+
+    #[test]
+    fn par_fan_out_above_threshold_preserves_order() {
+        // Force the threaded path (>= PAR_FAN_OUT_MIN items) and check the
+        // output is the identity map in order.
+        let items: Vec<usize> = (0..PAR_FAN_OUT_MIN * 3 + 5).collect();
+        let out = par_fan_out(&items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+        // And the sequential fallback agrees on a small input.
+        let small: Vec<usize> = (0..PAR_FAN_OUT_MIN / 2).collect();
+        assert_eq!(
+            par_fan_out(&small, |&i| i + 1),
+            small.iter().map(|&i| i + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]

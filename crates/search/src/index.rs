@@ -12,6 +12,8 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+use cpssec_attackdb::snapshot::{put_f64_bits, put_str, put_u32, Reader, SnapshotError};
+
 use crate::score::{ScoringModel, BM25_B, BM25_K1};
 use crate::text::tokenize;
 
@@ -80,6 +82,98 @@ struct Frozen {
     arena: Vec<PostingWeight>,
 }
 
+/// Minimum documents per worker before [`InvertedIndex::from_documents`]
+/// shards the build. Tokenizing one corpus record costs ~10 µs; a scoped
+/// thread costs ~50–100 µs to start, so a shard needs a few hundred
+/// documents before the parallel build wins (measured in EXPERIMENTS §E12b).
+const SHARD_MIN_DOCS: usize = 512;
+
+/// One worker's partial index: terms in local first-occurrence order,
+/// postings carrying *global* doc ids (each shard owns a contiguous range).
+struct ShardIndex {
+    terms: Vec<String>,
+    postings: Vec<Vec<RawPosting>>,
+    doc_lengths: Vec<u32>,
+}
+
+/// Interns `tokens` and appends one posting run per distinct term —
+/// the shared inner loop of the sequential and sharded builds.
+fn push_token_runs(
+    tokens: Vec<String>,
+    doc: DocId,
+    term_ids: &mut HashMap<String, u32>,
+    raw: &mut Vec<Vec<RawPosting>>,
+) {
+    let mut tids: Vec<u32> = Vec::with_capacity(tokens.len());
+    for token in tokens {
+        let next = raw.len() as u32;
+        let tid = *term_ids.entry(token).or_insert(next);
+        if tid == next {
+            raw.push(Vec::new());
+        }
+        tids.push(tid);
+    }
+    tids.sort_unstable();
+    let mut run = tids.as_slice();
+    while let Some(&tid) = run.first() {
+        let tf = run.iter().take_while(|&&t| t == tid).count();
+        raw[tid as usize].push(RawPosting { doc, tf: tf as u32 });
+        run = &run[tf..];
+    }
+}
+
+/// Indexes one contiguous chunk of documents starting at global id `base`.
+fn index_shard<S: AsRef<str>>(docs: &[S], base: u32) -> ShardIndex {
+    let mut term_ids: HashMap<String, u32> = HashMap::new();
+    let mut postings: Vec<Vec<RawPosting>> = Vec::new();
+    let mut doc_lengths = Vec::with_capacity(docs.len());
+    for (offset, doc) in docs.iter().enumerate() {
+        let id = DocId(base + offset as u32);
+        let tokens = tokenize(doc.as_ref());
+        doc_lengths.push(tokens.len() as u32);
+        push_token_runs(tokens, id, &mut term_ids, &mut postings);
+    }
+    let mut terms = vec![String::new(); term_ids.len()];
+    for (term, tid) in term_ids {
+        terms[tid as usize] = term;
+    }
+    ShardIndex {
+        terms,
+        postings,
+        doc_lengths,
+    }
+}
+
+/// Merges shards (in doc order) into one index. Term ids are assigned in
+/// shard order and local first-occurrence order, which — because shards
+/// cover contiguous ascending doc ranges — is exactly the global
+/// first-occurrence order the sequential build produces; per-term postings
+/// concatenate in shard order, preserving the doc-ascending invariant.
+fn merge_shards(shards: Vec<ShardIndex>) -> InvertedIndex {
+    let mut index = InvertedIndex::new();
+    for shard in shards {
+        index.doc_lengths.extend_from_slice(&shard.doc_lengths);
+        let mut remap: Vec<u32> = Vec::with_capacity(shard.terms.len());
+        for term in shard.terms {
+            let next = index.raw.len() as u32;
+            let gid = *index.term_ids.entry(term).or_insert(next);
+            if gid == next {
+                index.raw.push(Vec::new());
+            }
+            remap.push(gid);
+        }
+        for (local, postings) in shard.postings.into_iter().enumerate() {
+            let slot = &mut index.raw[remap[local] as usize];
+            if slot.is_empty() {
+                *slot = postings; // First shard holding this term: move, no copy.
+            } else {
+                slot.extend_from_slice(&postings);
+            }
+        }
+    }
+    index
+}
+
 /// One query term's contribution to a document match (test/reference view;
 /// the hot path uses [`TermPostings`] slices directly).
 #[cfg(test)]
@@ -130,29 +224,61 @@ impl InvertedIndex {
         let id = DocId(u32::try_from(self.doc_lengths.len()).expect("doc count fits u32"));
         let tokens = tokenize(text);
         self.doc_lengths.push(tokens.len() as u32);
-        // Intern tokens, then count a sorted run per distinct term id.
-        let mut tids: Vec<u32> = Vec::with_capacity(tokens.len());
-        for token in tokens {
-            let next = self.raw.len() as u32;
-            let tid = *self.term_ids.entry(token).or_insert(next);
-            if tid == next {
-                self.raw.push(Vec::new());
-            }
-            tids.push(tid);
-        }
-        tids.sort_unstable();
-        let mut run = tids.as_slice();
-        while let Some(&tid) = run.first() {
-            let tf = run.iter().take_while(|&&t| t == tid).count();
-            self.raw[tid as usize].push(RawPosting {
-                doc: id,
-                tf: tf as u32,
-            });
-            run = &run[tf..];
-        }
+        push_token_runs(tokens, id, &mut self.term_ids, &mut self.raw);
         // The query-side image is stale now.
         self.frozen.take();
         id
+    }
+
+    /// Builds an index over `docs`, sharding tokenization and term
+    /// interning across `std::thread::scope` workers when the input is
+    /// large enough to amortize thread startup (below
+    /// [`SHARD_MIN_DOCS`] per worker it falls back to the sequential
+    /// build). The result is identical (`==` on every observable, and
+    /// byte-identical under snapshot encoding) to adding the documents
+    /// one by one: shards own contiguous ascending doc-id ranges and the
+    /// merge assigns term ids in global first-occurrence order.
+    #[must_use]
+    pub fn from_documents<S: AsRef<str> + Sync>(docs: &[S]) -> InvertedIndex {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let shards = threads.min(docs.len() / SHARD_MIN_DOCS);
+        InvertedIndex::from_documents_sharded(docs, shards.max(1))
+    }
+
+    /// [`Self::from_documents`] with an explicit worker count, exposed so
+    /// tests and benchmarks can exercise the sharded merge on any machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn from_documents_sharded<S: AsRef<str> + Sync>(
+        docs: &[S],
+        shards: usize,
+    ) -> InvertedIndex {
+        assert!(shards > 0, "at least one shard");
+        if shards == 1 || docs.len() < 2 {
+            let mut index = InvertedIndex::new();
+            for doc in docs {
+                index.add_document(doc.as_ref());
+            }
+            return index;
+        }
+        let chunk = docs.len().div_ceil(shards);
+        let built: Vec<ShardIndex> = std::thread::scope(|s| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, docs)| s.spawn(move || index_shard(docs, (i * chunk) as u32)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build"))
+                .collect()
+        });
+        merge_shards(built)
     }
 
     /// Number of documents.
@@ -253,6 +379,101 @@ impl InvertedIndex {
                 });
             }
             Frozen { entries, arena }
+        })
+    }
+
+    /// Serializes the index — term dictionary, raw postings, *and* the
+    /// frozen image with both models' precomputed weights as raw `f64`
+    /// bits — so [`Self::decode`] can restore it without re-tokenizing or
+    /// recomputing anything, bit-identical on every score.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        self.freeze();
+        let frozen = self.frozen.get().expect("frozen image just built");
+        put_u32(out, self.doc_lengths.len() as u32);
+        for &len in &self.doc_lengths {
+            put_u32(out, len);
+        }
+        // Terms in term-id order, so decode re-interns to the same ids.
+        let mut terms: Vec<&str> = vec![""; self.term_ids.len()];
+        for (term, &tid) in &self.term_ids {
+            terms[tid as usize] = term;
+        }
+        put_u32(out, terms.len() as u32);
+        for (tid, term) in terms.iter().enumerate() {
+            put_str(out, term);
+            let entry = frozen.entries[tid];
+            put_f64_bits(out, entry.idf);
+            let postings = &self.raw[tid];
+            put_u32(out, postings.len() as u32);
+            let start = entry.start as usize;
+            let weights = &frozen.arena[start..start + entry.len as usize];
+            for (p, w) in postings.iter().zip(weights) {
+                put_u32(out, p.doc.0);
+                put_u32(out, p.tf);
+                put_f64_bits(out, w.tfidf);
+                put_f64_bits(out, w.bm25);
+            }
+        }
+    }
+
+    /// Restores an index serialized by [`Self::encode_into`]. The frozen
+    /// image is installed directly from the stored weight bits — no
+    /// tokenization, no floating-point arithmetic — so a thawed index
+    /// scores bit-identically to the one that was encoded.
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<InvertedIndex, SnapshotError> {
+        let doc_count = r.u32()?;
+        let mut doc_lengths = Vec::with_capacity(r.capacity_for(doc_count, 4));
+        for _ in 0..doc_count {
+            doc_lengths.push(r.u32()?);
+        }
+        let term_count = r.u32()?;
+        let capacity = r.capacity_for(term_count, 16);
+        let mut term_ids = HashMap::with_capacity(capacity);
+        let mut raw = Vec::with_capacity(capacity);
+        let mut entries = Vec::with_capacity(capacity);
+        let mut arena = Vec::new();
+        for tid in 0..term_count {
+            let term = r.str()?.to_owned();
+            if term_ids.insert(term, tid).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "term {tid} duplicates an earlier dictionary entry"
+                )));
+            }
+            let idf = r.f64_bits()?;
+            let len = r.u32()?;
+            let start = u32::try_from(arena.len())
+                .map_err(|_| SnapshotError::Corrupt("postings arena overflows u32".into()))?;
+            let mut postings = Vec::with_capacity(r.capacity_for(len, 24));
+            for _ in 0..len {
+                let doc = r.u32()?;
+                if doc >= doc_count {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "posting references document {doc} of {doc_count}"
+                    )));
+                }
+                let tf = r.u32()?;
+                let tfidf = r.f64_bits()?;
+                let bm25 = r.f64_bits()?;
+                postings.push(RawPosting {
+                    doc: DocId(doc),
+                    tf,
+                });
+                arena.push(PostingWeight {
+                    doc: DocId(doc),
+                    tfidf,
+                    bm25,
+                });
+            }
+            entries.push(TermEntry { start, len, idf });
+            raw.push(postings);
+        }
+        let frozen = OnceLock::new();
+        let _ = frozen.set(Frozen { entries, arena });
+        Ok(InvertedIndex {
+            term_ids,
+            raw,
+            doc_lengths,
+            frozen,
         })
     }
 
@@ -400,6 +621,84 @@ mod tests {
             idx.term_postings("kernel").expect("indexed").postings.len(),
             2
         );
+    }
+
+    #[test]
+    fn sharded_build_is_byte_identical_to_sequential_at_any_shard_count() {
+        let docs: Vec<String> = (0..97)
+            .map(|i| {
+                format!(
+                    "kernel overflow document {i} shares token group{} and product{}",
+                    i % 7,
+                    i % 13
+                )
+            })
+            .collect();
+        let encode = |index: &InvertedIndex| {
+            let mut out = Vec::new();
+            index.encode_into(&mut out);
+            out
+        };
+        let sequential = encode(&InvertedIndex::from_documents_sharded(&docs, 1));
+        for shards in [2, 3, 4, 8, 97, 200] {
+            let sharded = encode(&InvertedIndex::from_documents_sharded(&docs, shards));
+            assert_eq!(sequential, sharded, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn decode_restores_bit_identical_postings() {
+        let idx = sample();
+        let mut bytes = Vec::new();
+        idx.encode_into(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        let thawed = InvertedIndex::decode(&mut r).expect("decode");
+        assert!(r.finished(), "decode must consume the payload exactly");
+        assert_eq!(thawed.len(), idx.len());
+        assert_eq!(thawed.term_count(), idx.term_count());
+        for term in ["kernel", "overflow", "script", "race"] {
+            let a = idx.term_postings(term);
+            let b = thawed.term_postings(term);
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.idf.to_bits(), b.idf.to_bits(), "{term}");
+                    assert_eq!(a.postings.len(), b.postings.len());
+                    for (x, y) in a.postings.iter().zip(b.postings.iter()) {
+                        assert_eq!(x.doc, y.doc);
+                        assert_eq!(x.tfidf.to_bits(), y.tfidf.to_bits());
+                        assert_eq!(x.bm25.to_bits(), y.bm25.to_bits());
+                    }
+                }
+                _ => panic!("presence of `{term}` diverged"),
+            }
+        }
+        // The thawed index stays mutable: adding a document invalidates the
+        // installed frozen image and rebuilds it on the next query.
+        let mut grown = thawed;
+        grown.add_document("kernel regression");
+        assert_eq!(grown.document_frequency("kernel"), 3);
+    }
+
+    #[test]
+    fn decode_rejects_dangling_doc_reference() {
+        let idx = sample();
+        let mut bytes = Vec::new();
+        idx.encode_into(&mut bytes);
+        // Corrupt the first posting's doc id (right after the doc-length
+        // table, term string, and idf of term 0).
+        let mut r = Reader::new(&bytes);
+        let doc_count = r.u32().unwrap();
+        for _ in 0..doc_count {
+            r.u32().unwrap();
+        }
+        r.u32().unwrap(); // term count
+        let term = r.str().unwrap();
+        let pos = bytes.len() - r.remaining() + 8 + 4; // skip idf + postings len
+        assert!(!term.is_empty());
+        bytes[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = InvertedIndex::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod engine;
 mod filter;
 mod index;
 mod score;
+pub mod snapshot;
 pub mod text;
 
 pub use chains::{chains_for_weakness, exploit_chains, ExploitChain};

@@ -1,0 +1,495 @@
+//! The `.cpsnap` container: corpus + frozen indices in one binary artifact.
+//!
+//! A snapshot converts cold start from *O(parse + tokenize + build)* to
+//! *O(read)*: the corpus records (via `cpssec_attackdb::snapshot`) and the
+//! three frozen family indices — term dictionaries, postings, and the
+//! precomputed TF-IDF/BM25 weights as raw `f64` bits — land in one file
+//! behind a section table, and [`decode`] restores a [`SearchEngine`]
+//! whose scores are bit-identical to one built from the original corpus.
+//!
+//! # Layout (format version 1)
+//!
+//! ```text
+//! magic    "CPSNAP"                      6 bytes
+//! version  u16 LE                        2 bytes
+//! count    u32 LE                        4 bytes
+//! table    count × { id:u16, offset:u64, len:u64, checksum:u64 }
+//! payload  sections at their offsets
+//! ```
+//!
+//! Sections: `1` corpus records, `2`/`3`/`4` the pattern / weakness /
+//! vulnerability family (id table + inverted index). Offsets are absolute;
+//! each checksum is word-folded FNV ([`cpssec_model::fnv1a_64_wide`])
+//! over the section payload. Compatibility is
+//! strict: readers reject any version they were not built for — a snapshot
+//! is a cache artifact, regenerable from the corpus, never an archival
+//! format.
+
+use cpssec_attackdb::snapshot as record_wire;
+use cpssec_attackdb::snapshot::{put_u16, put_u32, put_u64, Reader};
+use cpssec_attackdb::{CapecId, Corpus, CveId, CweId};
+use cpssec_model::fnv1a_64_wide;
+
+pub use cpssec_attackdb::snapshot::SnapshotError;
+
+use crate::engine::MatchConfig;
+use crate::index::InvertedIndex;
+use crate::SearchEngine;
+
+/// The six magic bytes every `.cpsnap` file starts with.
+pub const MAGIC: [u8; 6] = *b"CPSNAP";
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+const SEC_CORPUS: u16 = 1;
+const SEC_PATTERNS: u16 = 2;
+const SEC_WEAKNESSES: u16 = 3;
+const SEC_VULNERABILITIES: u16 = 4;
+/// Section order in every written snapshot.
+const SECTION_IDS: [u16; 4] = [
+    SEC_CORPUS,
+    SEC_PATTERNS,
+    SEC_WEAKNESSES,
+    SEC_VULNERABILITIES,
+];
+
+fn section_name(id: u16) -> Option<&'static str> {
+    match id {
+        SEC_CORPUS => Some("corpus"),
+        SEC_PATTERNS => Some("patterns"),
+        SEC_WEAKNESSES => Some("weaknesses"),
+        SEC_VULNERABILITIES => Some("vulnerabilities"),
+        _ => None,
+    }
+}
+
+/// One section table entry, as [`inspect`] reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name (`corpus`, `patterns`, `weaknesses`, `vulnerabilities`).
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Stored word-folded FNV checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Header-level description of a snapshot (no payload decoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version from the header.
+    pub version: u16,
+    /// The section table, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl SnapshotInfo {
+    /// Total payload bytes across all sections.
+    #[must_use]
+    pub fn payload_len(&self) -> u64 {
+        self.sections.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Serializes `corpus` and `engine` into a `.cpsnap` byte image.
+///
+/// The engine must have been built over `corpus` — the id tables are
+/// validated against the corpus on decode. Output is deterministic: the
+/// same inputs always produce the same bytes.
+///
+/// # Panics
+///
+/// Panics if a section exceeds `u64::MAX` bytes or a family holds more
+/// than `u32::MAX` records — unreachable for any corpus that fits memory.
+#[must_use]
+pub fn encode(corpus: &Corpus, engine: &SearchEngine) -> Vec<u8> {
+    let ((p_index, p_ids), (w_index, w_ids), (v_index, v_ids)) = engine.parts();
+
+    let mut corpus_payload = Vec::new();
+    record_wire::encode_corpus_into(corpus, &mut corpus_payload);
+
+    let encode_family = |index: &InvertedIndex, put_ids: &dyn Fn(&mut Vec<u8>)| {
+        let mut out = Vec::new();
+        put_ids(&mut out);
+        index.encode_into(&mut out);
+        out
+    };
+    let patterns_payload = encode_family(p_index, &|out| {
+        put_u32(out, u32::try_from(p_ids.len()).expect("fits u32"));
+        for id in p_ids {
+            put_u32(out, id.number());
+        }
+    });
+    let weaknesses_payload = encode_family(w_index, &|out| {
+        put_u32(out, u32::try_from(w_ids.len()).expect("fits u32"));
+        for id in w_ids {
+            put_u32(out, id.number());
+        }
+    });
+    let vulnerabilities_payload = encode_family(v_index, &|out| {
+        put_u32(out, u32::try_from(v_ids.len()).expect("fits u32"));
+        for id in v_ids {
+            put_u16(out, id.year());
+            put_u32(out, id.number());
+        }
+    });
+
+    let payloads = [
+        corpus_payload,
+        patterns_payload,
+        weaknesses_payload,
+        vulnerabilities_payload,
+    ];
+    let header_len = MAGIC.len() + 2 + 4 + payloads.len() * (2 + 8 + 8 + 8);
+    let total: usize = header_len + payloads.iter().map(Vec::len).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, u32::try_from(payloads.len()).expect("fits u32"));
+    let mut offset = header_len as u64;
+    for (id, payload) in SECTION_IDS.iter().zip(payloads.iter()) {
+        put_u16(&mut out, *id);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, payload.len() as u64);
+        put_u64(&mut out, fnv1a_64_wide(payload));
+        offset += payload.len() as u64;
+    }
+    for payload in &payloads {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// A parsed section: table entry plus its (not yet verified) payload.
+struct Section<'a> {
+    id: u16,
+    name: &'static str,
+    checksum: u64,
+    payload: &'a [u8],
+}
+
+/// Parses the header and section table, bounds-checking every payload.
+fn split_sections(bytes: &[u8]) -> Result<(u16, Vec<Section<'_>>), SnapshotError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let count = r.u32()?;
+    let mut sections = Vec::with_capacity(r.capacity_for(count, 26));
+    for _ in 0..count {
+        let id = r.u16()?;
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        let checksum = r.u64()?;
+        let name = section_name(id).ok_or_else(|| {
+            SnapshotError::Corrupt(format!("unknown section id {id} in the section table"))
+        })?;
+        let end = offset.checked_add(len).ok_or(SnapshotError::Truncated)?;
+        if end > bytes.len() as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        sections.push(Section {
+            id,
+            name,
+            checksum,
+            payload: &bytes[offset as usize..end as usize],
+        });
+    }
+    Ok((version, sections))
+}
+
+/// Verifies every section checksum, then returns payloads keyed by id.
+fn checked_sections(bytes: &[u8]) -> Result<Vec<Section<'_>>, SnapshotError> {
+    let (_, sections) = split_sections(bytes)?;
+    for section in &sections {
+        if fnv1a_64_wide(section.payload) != section.checksum {
+            return Err(SnapshotError::ChecksumMismatch(section.name));
+        }
+    }
+    Ok(sections)
+}
+
+fn find_section<'a>(
+    sections: &'a [Section<'_>],
+    id: u16,
+) -> Result<&'a Section<'a>, SnapshotError> {
+    sections.iter().find(|s| s.id == id).ok_or_else(|| {
+        let name = section_name(id).unwrap_or("?");
+        SnapshotError::Corrupt(format!("missing `{name}` section"))
+    })
+}
+
+/// Decodes one family section: id table + index, fully consumed.
+fn decode_family<I>(
+    section: &Section<'_>,
+    mut read_id: impl FnMut(&mut Reader<'_>) -> Result<I, SnapshotError>,
+) -> Result<(InvertedIndex, Vec<I>), SnapshotError> {
+    let mut r = Reader::new(section.payload);
+    let count = r.u32()?;
+    let mut ids = Vec::with_capacity(r.capacity_for(count, 4));
+    for _ in 0..count {
+        ids.push(read_id(&mut r)?);
+    }
+    let index = InvertedIndex::decode(&mut r)?;
+    if !r.finished() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing byte(s) in `{}` section",
+            r.remaining(),
+            section.name
+        )));
+    }
+    if index.len() != ids.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "`{}` id table has {} entries for {} indexed documents",
+            section.name,
+            ids.len(),
+            index.len()
+        )));
+    }
+    Ok((index, ids))
+}
+
+/// Decodes a snapshot into its corpus and a search engine using `config`.
+///
+/// All section checksums are verified first; the engine's frozen weights
+/// come straight from the stored bits, so its scores are bit-identical to
+/// the engine that was encoded.
+///
+/// # Errors
+///
+/// Every [`SnapshotError`] variant: truncation, bad magic, unsupported
+/// version, checksum mismatch, or structurally corrupt payloads.
+pub fn decode_with_config(
+    bytes: &[u8],
+    config: MatchConfig,
+) -> Result<(Corpus, SearchEngine), SnapshotError> {
+    let sections = checked_sections(bytes)?;
+
+    let corpus_section = find_section(&sections, SEC_CORPUS)?;
+    let corpus = record_wire::decode_corpus(corpus_section.payload)?;
+
+    let patterns = decode_family(find_section(&sections, SEC_PATTERNS)?, |r| {
+        Ok(CapecId::new(r.u32()?))
+    })?;
+    let weaknesses = decode_family(find_section(&sections, SEC_WEAKNESSES)?, |r| {
+        Ok(CweId::new(r.u32()?))
+    })?;
+    let vulnerabilities = decode_family(find_section(&sections, SEC_VULNERABILITIES)?, |r| {
+        Ok(CveId::new(r.u16()?, r.u32()?))
+    })?;
+
+    let stats = corpus.stats();
+    for (name, got, expected) in [
+        ("patterns", patterns.1.len(), stats.patterns),
+        ("weaknesses", weaknesses.1.len(), stats.weaknesses),
+        (
+            "vulnerabilities",
+            vulnerabilities.1.len(),
+            stats.vulnerabilities,
+        ),
+    ] {
+        if got != expected {
+            return Err(SnapshotError::Corrupt(format!(
+                "`{name}` index covers {got} documents but the corpus holds {expected} records"
+            )));
+        }
+    }
+
+    let engine = SearchEngine::from_parts(config, patterns, weaknesses, vulnerabilities);
+    Ok((corpus, engine))
+}
+
+/// [`decode_with_config`] with the default [`MatchConfig`].
+///
+/// # Errors
+///
+/// As [`decode_with_config`].
+pub fn decode(bytes: &[u8]) -> Result<(Corpus, SearchEngine), SnapshotError> {
+    decode_with_config(bytes, MatchConfig::default())
+}
+
+/// Parses the header and section table without decoding payloads — the
+/// cheap `snapshot inspect` path. Bounds are validated; checksums are not
+/// (use [`verify`] for that).
+///
+/// # Errors
+///
+/// Truncation, bad magic, unsupported version, or an unknown section id.
+pub fn inspect(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
+    let (version, sections) = split_sections(bytes)?;
+    Ok(SnapshotInfo {
+        version,
+        sections: sections
+            .iter()
+            .map(|s| SectionInfo {
+                name: s.name,
+                len: s.payload.len() as u64,
+                checksum: s.checksum,
+            })
+            .collect(),
+    })
+}
+
+/// Fully verifies a snapshot — header, checksums, and a complete decode —
+/// and returns the decoded corpus and engine for further use.
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn verify(bytes: &[u8]) -> Result<(Corpus, SearchEngine), SnapshotError> {
+    decode(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoringModel;
+    use cpssec_attackdb::seed::{seed_corpus, table1_attributes};
+
+    fn snapshot() -> (Corpus, Vec<u8>) {
+        let corpus = seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let bytes = encode(&corpus, &engine);
+        (corpus, bytes)
+    }
+
+    #[test]
+    fn round_trip_restores_corpus_and_bit_identical_scores() {
+        let (corpus, bytes) = snapshot();
+        let (decoded_corpus, engine) = decode(&bytes).expect("decode");
+        assert_eq!(decoded_corpus, corpus);
+        let fresh = SearchEngine::build(&corpus);
+        for query in table1_attributes() {
+            let a = fresh.match_text(query);
+            let b = engine.match_text(query);
+            assert_eq!(a, b, "{query}");
+            let left = a
+                .patterns
+                .iter()
+                .chain(&a.weaknesses)
+                .chain(&a.vulnerabilities);
+            let right = b
+                .patterns
+                .iter()
+                .chain(&b.weaknesses)
+                .chain(&b.vulnerabilities);
+            for (x, y) in left.zip(right) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{query}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_a_fixpoint() {
+        let (corpus, bytes) = snapshot();
+        let engine = SearchEngine::build(&corpus);
+        assert_eq!(bytes, encode(&corpus, &engine));
+        let (c2, e2) = decode(&bytes).unwrap();
+        assert_eq!(encode(&c2, &e2), bytes, "decode → encode must be identity");
+    }
+
+    #[test]
+    fn with_scoring_reuses_the_thawed_weights() {
+        let (corpus, bytes) = snapshot();
+        let (_, engine) = decode(&bytes).unwrap();
+        let bm25 = engine.with_scoring(ScoringModel::Bm25);
+        let fresh = SearchEngine::with_config(
+            &corpus,
+            MatchConfig {
+                scoring: ScoringModel::Bm25,
+                ..MatchConfig::default()
+            },
+        );
+        for query in table1_attributes() {
+            assert_eq!(fresh.match_text(query), bm25.match_text(query), "{query}");
+        }
+    }
+
+    #[test]
+    fn inspect_reports_the_section_table() {
+        let (_, bytes) = snapshot();
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION);
+        let names: Vec<&str> = info.sections.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["corpus", "patterns", "weaknesses", "vulnerabilities"]
+        );
+        assert!(info.payload_len() > 0);
+        assert!(info.payload_len() < bytes.len() as u64);
+    }
+
+    #[test]
+    fn truncated_bad_magic_wrong_version_and_bad_checksum_are_distinct() {
+        let (_, bytes) = snapshot();
+
+        assert_eq!(decode(&bytes[..3]).unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            SnapshotError::Truncated
+        );
+
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert_eq!(decode(&magic).unwrap_err(), SnapshotError::BadMagic);
+
+        let mut version = bytes.clone();
+        version[6] = 9;
+        assert_eq!(
+            decode(&version).unwrap_err(),
+            SnapshotError::UnsupportedVersion(9)
+        );
+
+        let mut payload = bytes.clone();
+        let last = payload.len() - 1;
+        payload[last] ^= 0xFF;
+        assert_eq!(
+            decode(&payload).unwrap_err(),
+            SnapshotError::ChecksumMismatch("vulnerabilities")
+        );
+    }
+
+    #[test]
+    fn every_header_truncation_point_fails_cleanly() {
+        let (_, bytes) = snapshot();
+        let header = 6 + 2 + 4 + 4 * 26;
+        for len in 0..header {
+            let err = decode(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated | SnapshotError::UnsupportedVersion(_)
+                ),
+                "prefix {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_id_table_is_corrupt() {
+        // Encode an engine over a *different* corpus than the one stored.
+        let seed = seed_corpus();
+        let mut bigger = seed_corpus();
+        bigger
+            .add_weakness(cpssec_attackdb::Weakness::new(
+                cpssec_attackdb::CweId::new(9999),
+                "extra",
+                "record",
+            ))
+            .unwrap();
+        let engine = SearchEngine::build(&bigger);
+        let bytes = encode(&seed, &engine);
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+}

@@ -188,6 +188,7 @@ prop_compose! {
             min_score: 0.0,
             scoring: if model_is_bm25 { ScoringModel::Bm25 } else { ScoringModel::TfIdf },
             expand_synonyms: expand,
+            max_hits: None,
         }
     }
 }

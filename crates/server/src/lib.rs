@@ -43,10 +43,11 @@ use std::time::{Duration, Instant};
 
 use cpssec_analysis::AssociationMap;
 use cpssec_attackdb::Corpus;
-use cpssec_search::{MatchConfig, ScoringModel, SearchEngine};
+use cpssec_search::snapshot::SnapshotError;
+use cpssec_search::{snapshot, MatchConfig, ScoringModel, SearchEngine};
 
 use cache::Cache;
-use metrics::Metrics;
+use metrics::{Metrics, StartupStats};
 use session::SessionStore;
 
 /// Everything the workers share.
@@ -66,13 +67,17 @@ pub struct AppState {
     pub priors: Cache<Arc<AssociationMap>>,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// Index-load timing and snapshot hit/miss, fixed at construction.
+    pub startup: StartupStats,
 }
 
 impl AppState {
     /// Builds the shared state: indexes the corpus once per scoring model
-    /// and preloads the `scada` session.
+    /// and preloads the `scada` session. Counts as a snapshot *miss* in
+    /// `/metrics` — the engines were built, not thawed.
     #[must_use]
     pub fn new(corpus: Corpus) -> Arc<AppState> {
+        let started = Instant::now();
         let engine_of = |scoring| {
             Arc::new(SearchEngine::with_config(
                 &corpus,
@@ -82,14 +87,55 @@ impl AppState {
                 },
             ))
         };
+        let engine_tfidf = engine_of(ScoringModel::TfIdf);
+        let engine_bm25 = engine_of(ScoringModel::Bm25);
+        let startup = StartupStats {
+            index_load_us: elapsed_us(started),
+            snapshot_hits: 0,
+            snapshot_misses: 1,
+        };
+        Self::assemble(corpus, engine_tfidf, engine_bm25, startup)
+    }
+
+    /// Thaws the shared state from a `.cpsnap` image: one decode restores
+    /// the corpus and the TF-IDF engine with its precomputed weights; the
+    /// BM25 twin shares the same thawed index. Counts as a snapshot *hit*.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from [`snapshot::decode`].
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Arc<AppState>, SnapshotError> {
+        let started = Instant::now();
+        let (corpus, engine_tfidf) = snapshot::decode(bytes)?;
+        let engine_bm25 = engine_tfidf.with_scoring(ScoringModel::Bm25);
+        let startup = StartupStats {
+            index_load_us: elapsed_us(started),
+            snapshot_hits: 1,
+            snapshot_misses: 0,
+        };
+        Ok(Self::assemble(
+            corpus,
+            Arc::new(engine_tfidf),
+            Arc::new(engine_bm25),
+            startup,
+        ))
+    }
+
+    fn assemble(
+        corpus: Corpus,
+        engine_tfidf: Arc<SearchEngine>,
+        engine_bm25: Arc<SearchEngine>,
+        startup: StartupStats,
+    ) -> Arc<AppState> {
         Arc::new(AppState {
-            engine_tfidf: engine_of(ScoringModel::TfIdf),
-            engine_bm25: engine_of(ScoringModel::Bm25),
+            engine_tfidf,
+            engine_bm25,
             corpus: Arc::new(corpus),
             sessions: SessionStore::new(),
             responses: Cache::new(256),
             priors: Cache::new(64),
             metrics: Metrics::new(),
+            startup,
         })
     }
 
@@ -101,6 +147,11 @@ impl AppState {
             ScoringModel::Bm25 => &self.engine_bm25,
         }
     }
+}
+
+/// Elapsed wall time since `started`, saturating into microseconds.
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// How long an idle keep-alive connection may sit between requests.

@@ -16,6 +16,19 @@ struct RouteStats {
     buckets: [u64; BUCKETS_US.len()],
 }
 
+/// Startup facts recorded once when the shared state is built: how long
+/// the index came up and whether it was thawed from a snapshot (hit) or
+/// built from the corpus (miss).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StartupStats {
+    /// Wall time to produce the ready-to-query engines, in microseconds.
+    pub index_load_us: u64,
+    /// Engines thawed from a `.cpsnap` snapshot.
+    pub snapshot_hits: u64,
+    /// Engines built from the corpus (no usable snapshot).
+    pub snapshot_misses: u64,
+}
+
 /// Per-route request counters plus cumulative latency histograms.
 #[derive(Default)]
 pub struct Metrics {
@@ -55,8 +68,8 @@ impl Metrics {
 
     /// Renders the registry in a flat `name{labels} value` text format.
     /// `caches` supplies `(name, hits, misses)` triples from the result
-    /// caches.
-    pub fn render(&self, caches: &[(&str, u64, u64)]) -> String {
+    /// caches; `startup` supplies the one-time index-load facts.
+    pub fn render(&self, caches: &[(&str, u64, u64)], startup: &StartupStats) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let routes = self.routes.lock().expect("metrics poisoned");
@@ -94,6 +107,17 @@ impl Metrics {
             };
             let _ = writeln!(out, "cache_hit_ratio{{cache=\"{name}\"}} {ratio:.4}");
         }
+        let _ = writeln!(out, "index_load_us {}", startup.index_load_us);
+        let _ = writeln!(
+            out,
+            "snapshot_loads_total{{result=\"hit\"}} {}",
+            startup.snapshot_hits
+        );
+        let _ = writeln!(
+            out,
+            "snapshot_loads_total{{result=\"miss\"}} {}",
+            startup.snapshot_misses
+        );
         out
     }
 }
@@ -116,7 +140,12 @@ mod tests {
         metrics.record("GET /healthz", 200, Duration::from_micros(50));
         metrics.record("GET /healthz", 200, Duration::from_micros(5_000));
         metrics.record("GET /healthz", 404, Duration::from_micros(150));
-        let text = metrics.render(&[("responses", 3, 1)]);
+        let startup = StartupStats {
+            index_load_us: 1234,
+            snapshot_hits: 1,
+            snapshot_misses: 0,
+        };
+        let text = metrics.render(&[("responses", 3, 1)], &startup);
         assert!(text.contains("requests_total{route=\"GET /healthz\"} 3"));
         assert!(text.contains("errors_total{route=\"GET /healthz\"} 1"));
         assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"100\"} 1"));
@@ -124,13 +153,16 @@ mod tests {
         assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"+Inf\"} 3"));
         assert!(text.contains("cache_hits_total{cache=\"responses\"} 3"));
         assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.7500"));
+        assert!(text.contains("index_load_us 1234"));
+        assert!(text.contains("snapshot_loads_total{result=\"hit\"} 1"));
+        assert!(text.contains("snapshot_loads_total{result=\"miss\"} 0"));
         assert_eq!(metrics.total_requests(), 3);
     }
 
     #[test]
     fn empty_cache_ratio_is_zero() {
         let metrics = Metrics::new();
-        let text = metrics.render(&[("responses", 0, 0)]);
+        let text = metrics.render(&[("responses", 0, 0)], &StartupStats::default());
         assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.0000"));
     }
 }

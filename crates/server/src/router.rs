@@ -259,10 +259,13 @@ fn metrics(state: &AppState) -> Response {
     let (prior_hits, prior_misses) = state.priors.stats();
     Response::text(
         200,
-        state.metrics.render(&[
-            ("responses", resp_hits, resp_misses),
-            ("priors", prior_hits, prior_misses),
-        ]),
+        state.metrics.render(
+            &[
+                ("responses", resp_hits, resp_misses),
+                ("priors", prior_hits, prior_misses),
+            ],
+            &state.startup,
+        ),
     )
 }
 

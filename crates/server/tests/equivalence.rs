@@ -25,7 +25,20 @@ struct TestServer {
 
 impl TestServer {
     fn start(workers: usize) -> TestServer {
-        let state = AppState::new(seed_corpus());
+        Self::start_with(workers, AppState::new(seed_corpus()))
+    }
+
+    /// Boots a server whose state was thawed from a `.cpsnap` image
+    /// instead of built from the corpus.
+    fn start_from_snapshot(workers: usize) -> TestServer {
+        let corpus = seed_corpus();
+        let engine = SearchEngine::build(&corpus);
+        let bytes = cpssec_search::snapshot::encode(&corpus, &engine);
+        let state = AppState::from_snapshot(&bytes).expect("thaw");
+        Self::start_with(workers, state)
+    }
+
+    fn start_with(workers: usize, state: Arc<AppState>) -> TestServer {
         let server = Server::bind("127.0.0.1:0", workers, state).expect("bind");
         let addr = server.local_addr().expect("addr");
         let flag = server.shutdown_flag();
@@ -262,6 +275,40 @@ fn metrics_report_traffic_and_cache_hits() {
     );
     assert!(text.contains("cache_hit_ratio"), "{text}");
     assert!(text.contains("latency_us_bucket"), "{text}");
+}
+
+#[test]
+fn snapshot_thawed_server_is_byte_identical_to_the_direct_pipeline() {
+    let server = TestServer::start_from_snapshot(2);
+
+    // Default knobs and the bm25/conceptual/topK variant: both engines
+    // (the thawed TF-IDF one and its BM25 twin) must reproduce the
+    // direct pipeline byte for byte.
+    let expected = direct_association(
+        Fidelity::Implementation,
+        ScoringModel::TfIdf,
+        &FilterPipeline::new(),
+    );
+    let (status, body) = server.get("/models/scada/associate");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected.as_bytes());
+
+    let filters = FilterPipeline::new().then(Filter::TopKPerFamily(2));
+    let expected = direct_association(Fidelity::Conceptual, ScoringModel::Bm25, &filters);
+    let (status, body) =
+        server.get("/models/scada/associate?fidelity=conceptual&scoring=bm25&topK=2");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected.as_bytes());
+
+    // The warm start is visible in /metrics as a snapshot hit.
+    let (status, body) = server.get("/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("snapshot_loads_total{result=\"hit\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("index_load_us"), "{text}");
 }
 
 #[test]
