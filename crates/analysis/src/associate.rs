@@ -68,6 +68,8 @@ impl AssociationMap {
         level: Fidelity,
         filters: &FilterPipeline,
     ) -> AssociationMap {
+        let mut span = cpssec_obs::span!("associate");
+        span.add_items(model.component_count() as u64);
         // The per-element matching fans out across scoped threads; results
         // come back in model insertion order, so the map is deterministic.
         let by_component = engine
@@ -110,6 +112,7 @@ impl AssociationMap {
         corpus: &Corpus,
         filters: &FilterPipeline,
     ) -> AssociationMap {
+        let _span = cpssec_obs::span!("associate-rebuild");
         let level = prior.fidelity;
         // Names whose query text may differ: the diff narrows the candidate
         // set, the text hash decides (an attribute edit at another fidelity

@@ -67,6 +67,7 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// border.
 #[must_use]
 pub fn model_dot(model: &SystemModel, association: Option<&AssociationMap>) -> String {
+    let _span = cpssec_obs::span!("render");
     let mut out = String::new();
     let _ = writeln!(out, "graph \"{}\" {{", escape_dot(model.name()));
     out.push_str("  node [shape=box];\n");
@@ -223,6 +224,7 @@ pub fn association_json(
     association: &AssociationMap,
     posture: &crate::SystemPosture,
 ) -> Json {
+    let _span = cpssec_obs::span!("render");
     let components = model
         .components()
         .map(|(_, component)| {
@@ -279,6 +281,7 @@ pub fn whatif_json(
     fidelity: cpssec_model::Fidelity,
     report: &crate::WhatIfReport,
 ) -> Json {
+    let _span = cpssec_obs::span!("render");
     let posture_fields = |p: &crate::ComponentPosture| {
         Json::Object(vec![
             ("patterns".into(), p.patterns.into()),

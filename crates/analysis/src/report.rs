@@ -64,6 +64,7 @@ pub struct ReportInput<'a> {
 /// ```
 #[must_use]
 pub fn render_report(input: &ReportInput<'_>) -> String {
+    let _span = cpssec_obs::span!("render");
     let mut out = String::new();
     let _ = writeln!(out, "# Security analysis report — {}\n", input.model.name());
 

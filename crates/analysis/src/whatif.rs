@@ -132,6 +132,8 @@ pub fn evaluate(
     level: Fidelity,
     filters: &FilterPipeline,
 ) -> Result<WhatIfReport, ModelError> {
+    let mut span = cpssec_obs::span!("whatif");
+    span.add_items(changes.len() as u64);
     let edited = apply_changes(model, changes)?;
     let before_map = AssociationMap::build(model, engine, corpus, level, filters);
     let after_map = AssociationMap::build(&edited, engine, corpus, level, filters);
@@ -167,6 +169,8 @@ pub fn evaluate_with_prior(
     corpus: &Corpus,
     filters: &FilterPipeline,
 ) -> Result<WhatIfReport, ModelError> {
+    let mut span = cpssec_obs::span!("whatif");
+    span.add_items(changes.len() as u64);
     let edited = apply_changes(model, changes)?;
     let diff = ModelDiff::between(model, &edited);
     let after_map = AssociationMap::rebuild(prior, model, &edited, &diff, engine, corpus, filters);

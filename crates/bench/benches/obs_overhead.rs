@@ -1,0 +1,157 @@
+//! E13 — observability overhead: the instrumented whole-model match path
+//! with the recorder disabled, with span aggregation on, and with the
+//! trace ring on, plus the raw per-span-site cost in each mode.
+//!
+//! The pipeline is permanently instrumented (`span!` sites in tokenize,
+//! score, filter, chain-build, render); the claim under test is that a
+//! *disabled* recorder — one relaxed atomic load per site — keeps the
+//! match path within 2% of its uninstrumented baseline (EXPERIMENTS.md
+//! records the before/after pair). `CPSSEC_BENCH_FAST=1` shrinks rounds;
+//! `CPSSEC_SCALE` picks the corpus scale (default 0.05, the scale the
+//! baseline was measured at).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpssec_model::Fidelity;
+use cpssec_scada::model::scada_model;
+use cpssec_search::SearchEngine;
+
+fn fast_mode() -> bool {
+    std::env::var("CPSSEC_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn bench_scale() -> f64 {
+    std::env::var("CPSSEC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+fn mean_us(rounds: usize, mut work: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..rounds {
+        work();
+    }
+    started.elapsed().as_secs_f64() * 1e6 / rounds.max(1) as f64
+}
+
+/// Mean cost of one `span!` open+drop, in nanoseconds, under the
+/// recorder's current mode.
+fn span_site_ns(iterations: u64) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iterations {
+        drop(black_box(cpssec_obs::span!("bench-probe")));
+    }
+    started.elapsed().as_secs_f64() * 1e9 / iterations.max(1) as f64
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let fast = fast_mode();
+    let scale = bench_scale();
+    let corpus = cpssec_bench::corpus_at(scale);
+    let records = corpus.stats().total() as u64;
+    let engine = SearchEngine::build(&corpus);
+    let model = scada_model();
+    let rec = cpssec_obs::recorder();
+
+    let rounds = if fast { 8 } else { 20 };
+    let span_iters: u64 = if fast { 200_000 } else { 2_000_000 };
+    let work = || {
+        black_box(
+            engine
+                .match_model(&model, Fidelity::Implementation)
+                .iter()
+                .map(|(_, set)| set.total())
+                .sum::<usize>(),
+        );
+    };
+
+    // Ordering matters: the global recorder's modes only ratchet within
+    // a mode block, so measure disabled → spans → trace. Each mode warms
+    // up first — the first enabled rounds pay one-off costs (stage
+    // interning, histogram pages, the trace ring allocation) — and the
+    // headline is the best of several chunk means, which shrugs off
+    // scheduler interference on single-core CI boxes where a plain mean
+    // can swing ±40%.
+    let best_of = |rounds: usize, work: &mut dyn FnMut()| {
+        for _ in 0..rounds.div_ceil(2) {
+            work();
+        }
+        (0..5)
+            .map(|_| mean_us(rounds, &mut *work))
+            .fold(f64::INFINITY, f64::min)
+    };
+    rec.disable();
+    let disabled_us = best_of(rounds, &mut { work });
+    let disabled_span_ns = span_site_ns(span_iters);
+
+    rec.enable_spans();
+    let spans_us = best_of(rounds, &mut { work });
+    let enabled_span_ns = span_site_ns(span_iters);
+
+    rec.enable_trace();
+    let trace_us = best_of(rounds, &mut { work });
+    let trace_span_ns = span_site_ns(span_iters);
+    rec.disable();
+
+    println!("\nE13 — observability overhead at scale {scale} ({records} records):");
+    println!("  match_model, recorder disabled : {disabled_us:>10.0} us");
+    println!(
+        "  match_model, spans enabled     : {spans_us:>10.0} us  ({:+.1}% vs disabled)",
+        (spans_us / disabled_us.max(1.0) - 1.0) * 100.0
+    );
+    println!(
+        "  match_model, trace enabled     : {trace_us:>10.0} us  ({:+.1}% vs disabled)",
+        (trace_us / disabled_us.max(1.0) - 1.0) * 100.0
+    );
+    println!("  span site, disabled            : {disabled_span_ns:>10.1} ns");
+    println!("  span site, spans enabled       : {enabled_span_ns:>10.1} ns");
+    println!("  span site, trace enabled       : {trace_span_ns:>10.1} ns");
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(if fast { 2 } else { 10 });
+    group.throughput(Throughput::Elements(records));
+    group.bench_with_input(
+        BenchmarkId::new("match_model_disabled", format!("{records}rec")),
+        &(),
+        |b, ()| b.iter(work),
+    );
+    rec.enable_spans();
+    group.bench_with_input(
+        BenchmarkId::new("match_model_spans", format!("{records}rec")),
+        &(),
+        |b, ()| b.iter(work),
+    );
+    rec.enable_trace();
+    group.bench_with_input(
+        BenchmarkId::new("match_model_trace", format!("{records}rec")),
+        &(),
+        |b, ()| b.iter(work),
+    );
+    rec.disable();
+    group.finish();
+
+    // A disabled span site must stay in the tens-of-nanoseconds range —
+    // one relaxed load, no clock read, no allocation.
+    assert!(
+        disabled_span_ns < 200.0,
+        "disabled span site costs {disabled_span_ns:.1} ns; expected an atomic load"
+    );
+    // Even fully enabled, spans must not distort the match path. The 2%
+    // disabled-overhead claim is checked against the recorded baseline in
+    // EXPERIMENTS.md; here we bound the *enabled* modes, which dominate
+    // it, allowing slack for timer noise on tiny corpora.
+    assert!(
+        spans_us <= disabled_us * 1.25 + 50.0 || records < 1_000,
+        "span aggregation overhead too high: {spans_us:.0} us vs {disabled_us:.0} us disabled"
+    );
+    assert!(
+        trace_us <= disabled_us * 1.35 + 50.0 || records < 1_000,
+        "trace overhead too high: {trace_us:.0} us vs {disabled_us:.0} us disabled"
+    );
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

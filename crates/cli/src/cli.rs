@@ -13,7 +13,7 @@ use cpssec_scada::{attacks, faults, BatchReport, ScadaConfig, ScadaHarness};
 use cpssec_search::{FilterPipeline, SearchEngine};
 const USAGE: &str = "usage:
   cpssec table1 [--scale S] [--corpus FILE.jsonl]
-  cpssec associate <model.graphml> [--fidelity conceptual|architectural|implementation]
+  cpssec associate <model.graphml|scada> [--fidelity conceptual|architectural|implementation]
                    [--scale S] [--corpus FILE.jsonl] [--top K]
   cpssec figure [--scale S] [--corpus FILE.jsonl]
   cpssec report [--scale S] [--corpus FILE.jsonl] [--simulate]
@@ -32,7 +32,10 @@ const USAGE: &str = "usage:
 
 the corpus defaults to the built-in seed + synthetic corpus at --scale;
 --corpus loads a JSON Lines corpus (see cpssec_attackdb::jsonl) instead;
---snapshot warm-starts `serve` from a binary snapshot (see `snapshot build`).";
+--snapshot warm-starts `serve` from a binary snapshot (see `snapshot build`);
+--trace FILE.json (any command) writes a Chrome trace of the pipeline
+stages, viewable in Perfetto or chrome://tracing;
+`associate scada` uses the built-in SCADA testbed model.";
 
 /// Parsed global options.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +54,8 @@ pub struct Options {
     pub corpus_path: Option<String>,
     /// Path to a `.cpsnap` snapshot for `serve` warm start.
     pub snapshot_path: Option<String>,
+    /// Path to write a Chrome-trace JSON of the run's pipeline spans.
+    pub trace_path: Option<String>,
     /// Bind/connect address for `serve` and `load`.
     pub addr: String,
     /// Worker threads for `serve`.
@@ -73,6 +78,7 @@ impl Default for Options {
             ticks: 12_000,
             corpus_path: None,
             snapshot_path: None,
+            trace_path: None,
             addr: "127.0.0.1:7878".into(),
             workers: 4,
             clients: 4,
@@ -125,6 +131,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--snapshot" => {
                 let value = iter.next().ok_or("--snapshot needs a path")?;
                 options.snapshot_path = Some(value.clone());
+            }
+            "--trace" => {
+                let value = iter.next().ok_or("--trace needs a path")?;
+                options.trace_path = Some(value.clone());
             }
             "--addr" => {
                 let value = iter.next().ok_or("--addr needs a HOST:PORT value")?;
@@ -189,7 +199,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         return Err("missing command (run `cpssec help` for usage)".into());
     };
     let options = parse_options(rest)?;
-    match command.as_str() {
+    if options.trace_path.is_some() {
+        let recorder = cpssec_obs::recorder();
+        recorder.enable_spans();
+        recorder.enable_trace();
+    }
+    let result = match command.as_str() {
         "table1" => cmd_table1(&options, out),
         "associate" => cmd_associate(&options, out),
         "figure" => cmd_figure(&options, out),
@@ -206,7 +221,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         other => Err(format!(
             "unknown command `{other}` (run `cpssec help` for usage)"
         )),
+    };
+    if let Some(path) = &options.trace_path {
+        result?;
+        std::fs::write(path, cpssec_obs::recorder().trace_json())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        return Ok(());
     }
+    result
 }
 
 fn read_snapshot(path: &str) -> Result<Vec<u8>, String> {
@@ -359,8 +381,12 @@ fn cmd_associate(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     let path = options
         .positional
         .first()
-        .ok_or("associate needs a GraphML model path")?;
-    let model = load_model(path)?;
+        .ok_or("associate needs a GraphML model path (or `scada` for the built-in model)")?;
+    let model = if path == "scada" {
+        cpssec_scada::model::scada_model()
+    } else {
+        load_model(path)?
+    };
     let corpus = load_corpus(options)?;
     let engine = SearchEngine::build(&corpus);
     let mut filters = FilterPipeline::new();
@@ -536,6 +562,7 @@ fn cmd_json(options: &Options, out: &mut dyn Write) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpssec_attackdb::json::JsonValue;
 
     fn run_capture(args: &[&str]) -> Result<String, String> {
         let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
@@ -678,6 +705,52 @@ mod tests {
     #[test]
     fn associate_requires_a_path() {
         assert!(run_capture(&["associate"]).unwrap_err().contains("GraphML"));
+    }
+
+    #[test]
+    fn associate_scada_uses_the_builtin_model() {
+        let output = run_capture(&["associate", "scada", "--scale", "0.01", "--top", "3"]).unwrap();
+        assert!(output.contains("SIS platform"));
+        assert!(output.contains("total:"));
+    }
+
+    #[test]
+    fn trace_flag_writes_a_chrome_trace() {
+        let dir = std::env::temp_dir().join("cpssec-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit-trace.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        run_capture(&[
+            "associate",
+            "scada",
+            "--scale",
+            "0.01",
+            "--trace",
+            &path_str,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = cpssec_attackdb::json::parse(&text).expect("trace is valid json");
+        let events = value.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty(), "trace should contain span events");
+        for event in events {
+            assert_eq!(event.get("ph").unwrap().as_str(), Some("X"));
+            assert!(event.get("ts").is_some());
+            assert!(event.get("dur").is_some());
+        }
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+            .collect();
+        assert!(names.contains(&"associate"), "stages seen: {names:?}");
+        assert!(names.contains(&"score"), "stages seen: {names:?}");
+    }
+
+    #[test]
+    fn parse_trace_flag() {
+        let options = parse_options(&["--trace".into(), "out.json".into()]).unwrap();
+        assert_eq!(options.trace_path.as_deref(), Some("out.json"));
+        assert!(parse_options(&["--trace".into()]).is_err());
     }
 
     #[test]

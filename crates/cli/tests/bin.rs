@@ -35,6 +35,44 @@ fn assert_one_line_failure(args: &[&str], needle: &str) {
 }
 
 #[test]
+fn associate_scada_with_trace_emits_a_valid_chrome_trace() {
+    let dir = std::env::temp_dir().join("cpssec-bin-test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("associate.trace.json");
+    let path_str = path.to_str().expect("utf8 path");
+
+    let (success, stdout, stderr) =
+        run(&["associate", "scada", "--scale", "0.01", "--trace", path_str]);
+    assert!(success, "associate failed: {stderr}");
+    assert!(stdout.contains("total:"), "{stdout}");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let value = cpssec_attackdb::json::parse(&text).expect("trace is valid json");
+    let events = value
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty(), "trace should contain span events");
+    let mut names = Vec::new();
+    for event in events {
+        // Complete events carry a phase, a timestamp, and a duration.
+        assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(event.get("ts").is_some(), "missing ts: {event:?}");
+        assert!(event.get("dur").is_some(), "missing dur: {event:?}");
+        if let Some(name) = event.get("name").and_then(|v| v.as_str()) {
+            names.push(name.to_owned());
+        }
+    }
+    for stage in ["tokenize", "score", "associate"] {
+        assert!(
+            names.iter().any(|n| n == stage),
+            "missing {stage} span, got {names:?}"
+        );
+    }
+}
+
+#[test]
 fn unknown_subcommand_is_a_one_line_error() {
     assert_one_line_failure(&["frobnicate"], "unknown command");
 }

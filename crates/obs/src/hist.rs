@@ -1,0 +1,243 @@
+//! Log-linear (HDR-style) latency histogram over microsecond values.
+//!
+//! Values 0..16 µs get exact single-value buckets; above that, each
+//! power-of-two octave is split into 16 linear sub-buckets, giving a
+//! worst-case relative error of 1/16 (6.25%) across the tracked range
+//! of 1 µs .. 2^24-1 µs (~16.7 s). Recording is a pair of relaxed
+//! atomic increments — safe to hammer from every server worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Largest tracked value in µs (~16.7 s); larger values clamp here.
+pub const MAX_VALUE_US: u64 = (1 << 24) - 1;
+/// Total bucket count: 16 exact values + 20 octaves x 16 sub-buckets.
+pub const NUM_BUCKETS: usize = 21 << SUB_BITS;
+
+/// Bucket index for a value (clamped to [`MAX_VALUE_US`]).
+pub fn index_of(value: u64) -> usize {
+    let v = value.min(MAX_VALUE_US);
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let octave = (exp - (SUB_BITS - 1)) as usize;
+    let sub = ((v >> (exp - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (octave << SUB_BITS) | sub
+}
+
+/// Inclusive `(low, high)` value range covered by bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    debug_assert!(idx < NUM_BUCKETS);
+    if idx < SUB_BUCKETS {
+        return (idx as u64, idx as u64);
+    }
+    let octave = (idx >> SUB_BITS) as u32;
+    let sub = (idx & (SUB_BUCKETS - 1)) as u64;
+    let width = 1u64 << (octave - 1);
+    let low = (SUB_BUCKETS as u64 + sub) << (octave - 1);
+    (low, low + width - 1)
+}
+
+/// Concurrent log-linear histogram. All updates are relaxed atomics;
+/// reads race benignly with writers (take a [`Histogram::snapshot`] for
+/// a self-consistent view when rendering).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (µs). Lock-free: two relaxed `fetch_add`s.
+    pub fn record(&self, value_us: u64) {
+        self.buckets[index_of(value_us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(value_us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-wise add of `other` into `self`. Equivalent to having
+    /// recorded the concatenation of both sample streams.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Convenience: quantile straight off the live buckets.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.snapshot().quantile_us(q)
+    }
+
+    /// A point-in-time copy safe to iterate repeatedly.
+    pub fn snapshot(&self) -> Snapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the total from the copied buckets so count/cumulative
+        // sums stay internally consistent even while writers race.
+        let count = counts.iter().sum();
+        Snapshot {
+            counts,
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a histogram's buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum_us: u64,
+}
+
+impl Snapshot {
+    /// Nearest-rank quantile, reported as the upper bound of the bucket
+    /// that holds the rank — so the true quantile lies within the
+    /// reported bucket's bounds (<= 6.25% relative error).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        MAX_VALUE_US
+    }
+
+    /// Cumulative count of buckets that start at or below `bound` —
+    /// the Prometheus `le` accumulator. Exact when `bound` is a bucket
+    /// boundary minus the tail of the bucket containing it (i.e. up to
+    /// one sub-bucket of fuzz, 6.25% relative).
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if bucket_bounds(i).0 > bound {
+                break;
+            }
+            cum += c;
+        }
+        cum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_round_trip_every_bucket() {
+        for idx in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(idx);
+            assert!(low <= high);
+            assert_eq!(index_of(low), idx, "low bound of {idx}");
+            assert_eq!(index_of(high), idx, "high bound of {idx}");
+        }
+        // Buckets tile the range with no gaps.
+        for idx in 1..NUM_BUCKETS {
+            assert_eq!(bucket_bounds(idx).0, bucket_bounds(idx - 1).1 + 1);
+        }
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, MAX_VALUE_US);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [17u64, 100, 999, 4_321, 1_000_000, MAX_VALUE_US] {
+            let (low, high) = bucket_bounds(index_of(v));
+            assert!(low <= v && v <= high);
+            let err = (high - low) as f64 / low.max(1) as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "bucket too wide at {v}: {err}");
+        }
+    }
+
+    #[test]
+    fn clamps_overflow() {
+        assert_eq!(index_of(u64::MAX), NUM_BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().quantile_us(0.5), MAX_VALUE_US);
+    }
+
+    #[test]
+    fn quantiles_on_known_samples() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum_us, 5050);
+        // Values <= 16 are exact; p10 = 10 exactly.
+        assert_eq!(snap.quantile_us(0.10), 10);
+        // p99 = 99 lies in the [96,101] octave-5 sub-bucket.
+        let (low, high) = bucket_bounds(index_of(99));
+        let p99 = snap.quantile_us(0.99);
+        assert!(p99 >= low && p99 <= high);
+    }
+
+    #[test]
+    fn count_le_is_monotone() {
+        let h = Histogram::new();
+        for v in [3u64, 50, 150, 5_000, 80_000, 2_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut prev = 0;
+        for bound in [1u64, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 1 << 24] {
+            let c = snap.count_le(bound);
+            assert!(c >= prev, "count_le must be monotone");
+            prev = c;
+        }
+        assert_eq!(snap.count_le(MAX_VALUE_US), 6);
+    }
+}

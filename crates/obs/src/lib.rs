@@ -1,0 +1,479 @@
+//! `cpssec-obs` — std-only observability for the cpssec pipeline.
+//!
+//! A process-global, lock-free [`Recorder`] collects hierarchical
+//! spans ([`span!`]) from every pipeline stage (tokenize → score →
+//! filter → chain-build → render, plus associate/whatif/serve). Each
+//! completed span feeds a per-stage aggregate — count, total wall
+//! time, item count, and a log-linear latency [`hist::Histogram`] —
+//! and, when tracing is on, a wait-free ring of Chrome
+//! `trace_event`s ([`trace`]).
+//!
+//! Disabled is the default and costs one relaxed atomic load per span
+//! site (no `Instant::now()`, no allocation); the overhead bench in
+//! `crates/bench` holds that under 2% on the whole-model match path.
+//! All of this is safe Rust: the "lock-free" structures are arrays of
+//! `AtomicU64` plus a per-slot seqlock, and the only mutexes
+//! (stage-name interning, slow-query ring) sit on cold paths.
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod slow;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use slow::{SlowEntry, SlowLog};
+pub use trace::{chrome_trace_json, TraceEvent, TraceRing};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans feed per-stage aggregates (and the slow-log capture).
+const FLAG_SPANS: u8 = 1;
+/// Completed spans are additionally pushed into the trace ring.
+const FLAG_TRACE: u8 = 2;
+
+/// Fixed number of stage slots; registration beyond this aliases into
+/// the last slot rather than failing.
+pub const MAX_STAGES: usize = 64;
+
+/// Cap on stages captured per request for the slow-query breakdown.
+const MAX_CAPTURE: usize = 64;
+
+/// Interned identifier for a stage name. Cheap to copy; resolved back
+/// to its name via [`Recorder::stage_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageId(u16);
+
+impl StageId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+struct StageAgg {
+    count: std::sync::atomic::AtomicU64,
+    total_us: std::sync::atomic::AtomicU64,
+    items: std::sync::atomic::AtomicU64,
+    hist: Histogram,
+}
+
+/// Aggregate view of one stage, as returned by [`Recorder::stage_stats`].
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_us: u64,
+    pub items: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+}
+
+pub struct Recorder {
+    flags: AtomicU8,
+    epoch: Instant,
+    names: Mutex<Vec<&'static str>>,
+    stages: Vec<StageAgg>,
+    trace: OnceLock<TraceRing>,
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-global recorder used by [`span!`].
+pub fn recorder() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    /// Small dense per-thread ordinal for trace tracks
+    /// (`std::thread::ThreadId` has no stable integer accessor).
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+    /// Per-request stage capture for the slow-query log.
+    static CAPTURE: RefCell<Option<Vec<(StageId, u64)>>> = const { RefCell::new(None) };
+    /// Model identity noted by route handlers for the slow-query log.
+    static NOTE: RefCell<Option<(u64, String)>> = const { RefCell::new(None) };
+}
+
+fn thread_ordinal() -> u32 {
+    TID.with(|t| *t)
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder {
+            flags: AtomicU8::new(0),
+            epoch: Instant::now(),
+            names: Mutex::new(Vec::new()),
+            stages: (0..MAX_STAGES)
+                .map(|_| StageAgg {
+                    count: std::sync::atomic::AtomicU64::new(0),
+                    total_us: std::sync::atomic::AtomicU64::new(0),
+                    items: std::sync::atomic::AtomicU64::new(0),
+                    hist: Histogram::new(),
+                })
+                .collect(),
+            trace: OnceLock::new(),
+        }
+    }
+
+    pub fn spans_enabled(&self) -> bool {
+        self.flags.load(Ordering::Relaxed) & FLAG_SPANS != 0
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.flags.load(Ordering::Relaxed) & FLAG_TRACE != 0
+    }
+
+    /// Turn on span aggregation (idempotent).
+    pub fn enable_spans(&self) {
+        self.flags.fetch_or(FLAG_SPANS, Ordering::Relaxed);
+    }
+
+    /// Turn on tracing (implies spans); allocates the ring on first use.
+    pub fn enable_trace(&self) {
+        self.trace
+            .get_or_init(|| TraceRing::new(trace::DEFAULT_TRACE_CAPACITY));
+        self.flags
+            .fetch_or(FLAG_SPANS | FLAG_TRACE, Ordering::Relaxed);
+    }
+
+    /// Turn everything off. In-flight spans still record their
+    /// aggregates (they captured the enabled flags at entry).
+    pub fn disable(&self) {
+        self.flags.store(0, Ordering::Relaxed);
+    }
+
+    /// Intern a stage name. Cold path (a mutex) — call sites cache the
+    /// result in a `static OnceLock`, which [`span!`] does for you.
+    pub fn register(&self, name: &'static str) -> StageId {
+        let mut names = self.names.lock().unwrap();
+        if let Some(i) = names.iter().position(|n| *n == name) {
+            return StageId(i as u16);
+        }
+        if names.len() < MAX_STAGES {
+            names.push(name);
+            StageId((names.len() - 1) as u16)
+        } else {
+            StageId((MAX_STAGES - 1) as u16)
+        }
+    }
+
+    pub fn stage_name(&self, id: StageId) -> &'static str {
+        self.names
+            .lock()
+            .unwrap()
+            .get(id.index())
+            .copied()
+            .unwrap_or("?")
+    }
+
+    /// Open a span for an interned stage. When the recorder is
+    /// disabled this is one atomic load and returns an inert guard.
+    pub fn span(&self, id: StageId) -> Span<'_> {
+        let flags = self.flags.load(Ordering::Relaxed);
+        if flags & FLAG_SPANS == 0 {
+            return Span { inner: None };
+        }
+        let start = Instant::now();
+        let ts_us = start.duration_since(self.epoch).as_micros() as u64;
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_add(1));
+            v
+        });
+        Span {
+            inner: Some(SpanInner {
+                rec: self,
+                id,
+                start,
+                ts_us,
+                depth,
+                items: 0,
+                flags,
+            }),
+        }
+    }
+
+    /// Per-stage aggregates for every registered stage with activity.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        let names = self.names.lock().unwrap().clone();
+        names
+            .iter()
+            .enumerate()
+            .filter_map(|(i, name)| {
+                let agg = &self.stages[i];
+                let count = agg.count.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let snap = agg.hist.snapshot();
+                Some(StageStats {
+                    name,
+                    count,
+                    total_us: agg.total_us.load(Ordering::Relaxed),
+                    items: agg.items.load(Ordering::Relaxed),
+                    p50_us: snap.quantile_us(0.50),
+                    p99_us: snap.quantile_us(0.99),
+                })
+            })
+            .collect()
+    }
+
+    /// Latency histogram for one stage (live view).
+    pub fn stage_histogram(&self, id: StageId) -> &Histogram {
+        &self.stages[id.index()].hist
+    }
+
+    /// Events currently retained in the trace ring (empty when tracing
+    /// was never enabled).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.get().map(|r| r.events()).unwrap_or_default()
+    }
+
+    /// Chrome `trace_event` JSON for everything in the trace ring.
+    pub fn trace_json(&self) -> String {
+        let names = self.names.lock().unwrap().clone();
+        chrome_trace_json(&self.trace_events(), |stage| {
+            names
+                .get(stage as usize)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("stage-{stage}"))
+        })
+    }
+}
+
+struct SpanInner<'a> {
+    rec: &'a Recorder,
+    id: StageId,
+    start: Instant,
+    ts_us: u64,
+    depth: u16,
+    items: u64,
+    flags: u8,
+}
+
+/// RAII guard: records wall time (and optional item count) for its
+/// stage when dropped. Inert when the recorder is disabled.
+pub struct Span<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+impl Span<'_> {
+    /// Attach a processed-item count (e.g. hits scored, chains built).
+    pub fn add_items(&mut self, n: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.items += n;
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = inner.start.elapsed().as_micros() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let agg = &inner.rec.stages[inner.id.index()];
+        agg.count.fetch_add(1, Ordering::Relaxed);
+        agg.total_us.fetch_add(dur_us, Ordering::Relaxed);
+        agg.items.fetch_add(inner.items, Ordering::Relaxed);
+        agg.hist.record(dur_us);
+        if inner.flags & FLAG_TRACE != 0 {
+            if let Some(ring) = inner.rec.trace.get() {
+                ring.push(
+                    inner.id.0,
+                    inner.depth,
+                    thread_ordinal(),
+                    inner.ts_us,
+                    dur_us,
+                    inner.items,
+                );
+            }
+        }
+        capture_push(inner.id, dur_us);
+    }
+}
+
+/// Open a span on the global recorder, interning the stage name once
+/// per call site:
+///
+/// ```
+/// let mut span = cpssec_obs::span!("tokenize");
+/// // ... work ...
+/// span.add_items(42);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static STAGE: ::std::sync::OnceLock<$crate::StageId> = ::std::sync::OnceLock::new();
+        let rec = $crate::recorder();
+        let id = *STAGE.get_or_init(|| rec.register($name));
+        rec.span(id)
+    }};
+}
+
+/// Begin capturing span completions on this thread (for the slow-query
+/// stage breakdown). Nest-safe: restores any outer capture on finish.
+pub struct Capture {
+    prev: Option<Vec<(StageId, u64)>>,
+}
+
+impl Capture {
+    pub fn begin() -> Capture {
+        let prev = CAPTURE.with(|c| c.borrow_mut().replace(Vec::new()));
+        Capture { prev }
+    }
+
+    /// Stop capturing and return (stage, µs) pairs in completion order
+    /// (children before parents), resolved to names by `rec`.
+    pub fn finish(mut self, rec: &Recorder) -> Vec<(String, u64)> {
+        let cur = CAPTURE.with(|c| {
+            let mut slot = c.borrow_mut();
+            std::mem::replace(&mut *slot, self.prev.take())
+        });
+        cur.unwrap_or_default()
+            .into_iter()
+            .map(|(id, us)| (rec.stage_name(id).to_string(), us))
+            .collect()
+    }
+}
+
+fn capture_push(id: StageId, dur_us: u64) {
+    CAPTURE.with(|c| {
+        if let Ok(mut slot) = c.try_borrow_mut() {
+            if let Some(v) = slot.as_mut() {
+                if v.len() < MAX_CAPTURE {
+                    v.push((id, dur_us));
+                }
+            }
+        }
+    });
+}
+
+/// Note the model a request is operating on, for the slow-query log.
+/// Called by route handlers; consumed once per request via
+/// [`take_note`].
+pub fn note_model(hash: u64, fidelity: &str) {
+    NOTE.with(|n| *n.borrow_mut() = Some((hash, fidelity.to_string())));
+}
+
+/// Take (and clear) the model note for the current request.
+pub fn take_note() -> Option<(u64, String)> {
+    NOTE.with(|n| n.borrow_mut().take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global recorder is shared across tests in this binary, so
+    /// each test uses its own stage names.
+    #[test]
+    fn disabled_span_records_nothing() {
+        let rec = Recorder::new();
+        let id = rec.register("t-disabled");
+        drop(rec.span(id));
+        assert!(rec.stage_stats().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_aggregates() {
+        let rec = Recorder::new();
+        rec.enable_spans();
+        let id = rec.register("t-agg");
+        for _ in 0..3 {
+            let mut span = rec.span(id);
+            span.add_items(5);
+        }
+        let stats = rec.stage_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "t-agg");
+        assert_eq!(stats[0].count, 3);
+        assert_eq!(stats[0].items, 15);
+    }
+
+    #[test]
+    fn register_is_idempotent_and_bounded() {
+        let rec = Recorder::new();
+        let a = rec.register("t-a");
+        assert_eq!(rec.register("t-a"), a);
+        assert_eq!(rec.stage_name(a), "t-a");
+        // Exhausting the table aliases into the last slot, never panics.
+        for i in 0..2 * MAX_STAGES {
+            let leaked: &'static str = Box::leak(format!("t-flood-{i}").into_boxed_str());
+            let id = rec.register(leaked);
+            assert!(id.index() < MAX_STAGES);
+        }
+    }
+
+    #[test]
+    fn trace_ring_collects_nested_spans() {
+        let rec = Recorder::new();
+        rec.enable_trace();
+        let outer = rec.register("t-outer");
+        let inner = rec.register("t-inner");
+        {
+            let _o = rec.span(outer);
+            let _i = rec.span(inner);
+        }
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 2);
+        let inner_ev = events.iter().find(|e| e.stage == inner.0).unwrap();
+        let outer_ev = events.iter().find(|e| e.stage == outer.0).unwrap();
+        assert_eq!(outer_ev.depth, 0);
+        assert_eq!(inner_ev.depth, 1);
+        assert!(inner_ev.ts_us >= outer_ev.ts_us);
+        let json = rec.trace_json();
+        assert!(json.contains("\"name\":\"t-inner\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn capture_restores_outer_scope() {
+        let rec = recorder();
+        rec.enable_spans();
+        let outer_cap = Capture::begin();
+        drop(span!("t-cap-outer"));
+        {
+            let inner_cap = Capture::begin();
+            drop(span!("t-cap-inner"));
+            let stages = inner_cap.finish(rec);
+            assert_eq!(stages.len(), 1);
+            assert_eq!(stages[0].0, "t-cap-inner");
+        }
+        drop(span!("t-cap-outer"));
+        let stages = outer_cap.finish(rec);
+        let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["t-cap-outer", "t-cap-outer"]);
+    }
+
+    #[test]
+    fn span_macro_works_via_global() {
+        recorder().enable_spans();
+        {
+            let mut span = span!("t-macro");
+            span.add_items(2);
+            assert!(span.is_active());
+        }
+        let stats = recorder().stage_stats();
+        let s = stats.iter().find(|s| s.name == "t-macro").unwrap();
+        assert!(s.count >= 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Ring-buffer slow-query log: requests whose total latency crosses a
+//! threshold are kept with their route, model identity, and per-stage
+//! breakdown. The ring is behind a `Mutex`, but the lock is taken only
+//! for requests that already blew the threshold — never on the hot
+//! path — and for `/debug/slow` reads.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::escape_json;
+
+/// One slow request, with its stage breakdown (stage name, µs) in span
+/// completion order (children before parents).
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    pub route: String,
+    pub status: u16,
+    pub total_us: u64,
+    pub model_hash: Option<u64>,
+    pub fidelity: Option<String>,
+    pub stages: Vec<(String, u64)>,
+}
+
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_us: AtomicU64,
+    capacity: usize,
+    observed: AtomicU64,
+    ring: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    pub fn new(capacity: usize, threshold_us: u64) -> Self {
+        SlowLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            capacity: capacity.max(1),
+            observed: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Total slow requests seen (including ones the ring has dropped).
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Keep `entry` if it crossed the threshold; returns whether it was
+    /// recorded. The cheap below-threshold path is one atomic load.
+    pub fn observe(&self, entry: SlowEntry) -> bool {
+        if entry.total_us < self.threshold_us() {
+            return false;
+        }
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        ring.push_back(entry);
+        while ring.len() > self.capacity {
+            ring.pop_front();
+        }
+        true
+    }
+
+    /// Newest-last copy of the retained entries.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// JSON document for `GET /debug/slow`.
+    pub fn to_json(&self) -> String {
+        let entries = self.entries();
+        let mut out = String::with_capacity(128 + entries.len() * 160);
+        out.push_str(&format!(
+            "{{\"threshold_us\":{},\"observed\":{},\"entries\":[",
+            self.threshold_us(),
+            self.observed(),
+        ));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"route\":\"{}\",\"status\":{},\"total_us\":{}",
+                escape_json(&e.route),
+                e.status,
+                e.total_us,
+            ));
+            match e.model_hash {
+                Some(h) => out.push_str(&format!(",\"model_hash\":\"{h:016x}\"")),
+                None => out.push_str(",\"model_hash\":null"),
+            }
+            match &e.fidelity {
+                Some(f) => out.push_str(&format!(",\"fidelity\":\"{}\"", escape_json(f))),
+                None => out.push_str(",\"fidelity\":null"),
+            }
+            out.push_str(",\"stages\":[");
+            for (j, (stage, us)) in e.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"stage\":\"{}\",\"us\":{us}}}",
+                    escape_json(stage)
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(route: &str, total_us: u64) -> SlowEntry {
+        SlowEntry {
+            route: route.to_string(),
+            status: 200,
+            total_us,
+            model_hash: Some(0xabc),
+            fidelity: Some("implementation".to_string()),
+            stages: vec![("tokenize".to_string(), 10), ("score".to_string(), 40)],
+        }
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let log = SlowLog::new(8, 100);
+        assert!(!log.observe(entry("GET /a", 99)));
+        assert!(log.observe(entry("GET /a", 100)));
+        assert_eq!(log.entries().len(), 1);
+        assert_eq!(log.observed(), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let log = SlowLog::new(2, 0);
+        for i in 0..5u64 {
+            log.observe(entry(&format!("GET /{i}"), 10 + i));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].route, "GET /3");
+        assert_eq!(entries[1].route, "GET /4");
+        assert_eq!(log.observed(), 5);
+    }
+
+    #[test]
+    fn json_has_expected_fields() {
+        let log = SlowLog::new(4, 0);
+        log.observe(entry("GET /models/:id/associate", 250));
+        let json = log.to_json();
+        assert!(json.contains("\"threshold_us\":0"));
+        assert!(json.contains("\"route\":\"GET /models/:id/associate\""));
+        assert!(json.contains("\"model_hash\":\"0000000000000abc\""));
+        assert!(json.contains("\"fidelity\":\"implementation\""));
+        assert!(json.contains("{\"stage\":\"tokenize\",\"us\":10}"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Lock-free ring buffer of completed spans plus a Chrome
+//! `trace_event` JSON exporter (loadable in `chrome://tracing` and
+//! Perfetto).
+//!
+//! Each slot is guarded by a per-slot sequence counter (a safe
+//! seqlock): writers bump it odd, store the fields, bump it even;
+//! the exporter skips slots whose sequence is odd or changed while
+//! reading. Writers claim slots with a single `fetch_add` on the ring
+//! head, so recording never blocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default ring capacity (events); ~0.7 MB of atomics.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 14;
+
+struct Slot {
+    seq: AtomicU64,
+    /// stage id (16 bits) | depth (16 bits) | thread ordinal (32 bits)
+    meta: AtomicU64,
+    ts_us: AtomicU64,
+    dur_us: AtomicU64,
+    items: AtomicU64,
+}
+
+pub struct TraceRing {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+/// One completed span, decoded from the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub stage: u16,
+    pub depth: u16,
+    pub tid: u32,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub items: u64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> Self {
+        let slots = (0..capacity.max(1))
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                meta: AtomicU64::new(0),
+                ts_us: AtomicU64::new(0),
+                dur_us: AtomicU64::new(0),
+                items: AtomicU64::new(0),
+            })
+            .collect();
+        TraceRing {
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Record one completed span. Wait-free for the writer; on wrap the
+    /// oldest events are overwritten.
+    pub fn push(&self, stage: u16, depth: u16, tid: u32, ts_us: u64, dur_us: u64, items: u64) {
+        let n = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        let slot = &self.slots[n];
+        slot.seq.fetch_add(1, Ordering::AcqRel); // even -> odd: write in progress
+        let meta = ((stage as u64) << 48) | ((depth as u64) << 32) | tid as u64;
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.ts_us.store(ts_us, Ordering::Relaxed);
+        slot.dur_us.store(dur_us, Ordering::Relaxed);
+        slot.items.store(items, Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::Release); // odd -> even: stable
+    }
+
+    /// Number of events ever pushed (may exceed capacity).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Decode every stable slot, sorted by start timestamp. Slots mid
+    /// write (odd or changed sequence) are skipped rather than torn.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 == 0 || seq1 % 2 == 1 {
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let ts_us = slot.ts_us.load(Ordering::Relaxed);
+            let dur_us = slot.dur_us.load(Ordering::Relaxed);
+            let items = slot.items.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != seq1 {
+                continue; // overwritten while reading
+            }
+            out.push(TraceEvent {
+                stage: (meta >> 48) as u16,
+                depth: (meta >> 32) as u16,
+                tid: meta as u32,
+                ts_us,
+                dur_us,
+                items,
+            });
+        }
+        out.sort_by_key(|e| (e.ts_us, std::cmp::Reverse(e.dur_us)));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (names and labels are plain ASCII in
+/// practice, but stay correct regardless).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render events as a Chrome `trace_event` JSON object: complete
+/// (`"ph":"X"`) events with microsecond `ts`/`dur`. Nesting in the
+/// viewer comes from time containment per thread track.
+pub fn chrome_trace_json(events: &[TraceEvent], stage_name: impl Fn(u16) -> String) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"cpssec\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"items\":{},\"depth\":{}}}}}",
+            escape_json(&stage_name(e.stage)),
+            e.tid,
+            e.ts_us,
+            e.dur_us,
+            e.items,
+            e.depth,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_decode() {
+        let ring = TraceRing::new(8);
+        ring.push(3, 1, 7, 100, 25, 4);
+        ring.push(1, 0, 7, 90, 50, 0);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        // Sorted by start time.
+        assert_eq!(events[0].stage, 1);
+        assert_eq!(events[1].stage, 3);
+        assert_eq!(events[1].tid, 7);
+        assert_eq!(events[1].depth, 1);
+        assert_eq!(events[1].items, 4);
+    }
+
+    #[test]
+    fn wraps_keeping_latest() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.push(i as u16, 0, 1, i * 10, 1, 0);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.stage >= 6));
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let ring = TraceRing::new(4);
+        ring.push(0, 0, 1, 5, 17, 2);
+        let json = chrome_trace_json(&ring.events(), |_| "associate".to_string());
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":17"));
+        assert!(json.contains("\"name\":\"associate\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_controls() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the log-linear histogram: reported quantiles
+//! stay within the true quantile's bucket bounds, and merging two
+//! histograms is indistinguishable from recording the concatenated
+//! sample stream.
+
+use cpssec_obs::hist::{bucket_bounds, index_of, Histogram, MAX_VALUE_US};
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Nearest-rank quantile over the raw samples (the ground truth the
+/// histogram approximates), with out-of-range values clamped the same
+/// way recording clamps them.
+fn true_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted: Vec<u64> = samples.iter().map(|&v| v.min(MAX_VALUE_US)).collect();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn assert_quantile_in_true_bucket(samples: &[u64], q: f64) {
+    let h = record_all(samples);
+    let reported = h.snapshot().quantile_us(q);
+    let truth = true_quantile(samples, q);
+    let (low, high) = bucket_bounds(index_of(truth));
+    assert!(
+        low <= truth && truth <= high,
+        "bucket bounds must contain the true quantile"
+    );
+    assert!(
+        reported >= low && reported <= high,
+        "q={q}: reported {reported} outside true-quantile bucket [{low},{high}] \
+         (truth {truth}, n={})",
+        samples.len()
+    );
+}
+
+proptest! {
+    #[test]
+    fn p50_and_p99_fall_in_true_quantile_bucket(
+        samples in prop::collection::vec(0u64..2_000_000, 1..200)
+    ) {
+        assert_quantile_in_true_bucket(&samples, 0.50);
+        assert_quantile_in_true_bucket(&samples, 0.90);
+        assert_quantile_in_true_bucket(&samples, 0.99);
+        assert_quantile_in_true_bucket(&samples, 0.999);
+    }
+
+    #[test]
+    fn quantiles_hold_even_past_the_tracked_range(
+        samples in prop::collection::vec(0u64..(1u64 << 26), 1..100)
+    ) {
+        // Values above MAX_VALUE_US clamp into the top bucket on both
+        // the histogram and the ground-truth side.
+        assert_quantile_in_true_bucket(&samples, 0.50);
+        assert_quantile_in_true_bucket(&samples, 0.99);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in prop::collection::vec(0u64..5_000_000, 0..150),
+        b in prop::collection::vec(0u64..5_000_000, 0..150),
+    ) {
+        let ha = record_all(&a);
+        let hb = record_all(&b);
+        ha.merge_from(&hb);
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let hc = record_all(&concat);
+
+        prop_assert_eq!(ha.snapshot(), hc.snapshot());
+        prop_assert_eq!(ha.count(), concat.len() as u64);
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_complete(
+        samples in prop::collection::vec(0u64..10_000_000, 1..120)
+    ) {
+        let snap = record_all(&samples).snapshot();
+        let mut prev = 0u64;
+        for exp in 0..=12u32 {
+            let bound = 4u64.pow(exp);
+            let c = snap.count_le(bound);
+            prop_assert!(c >= prev, "count_le must be monotone in the bound");
+            prev = c;
+        }
+        prop_assert_eq!(snap.count_le(MAX_VALUE_US), samples.len() as u64);
+    }
+}

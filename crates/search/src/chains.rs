@@ -54,6 +54,7 @@ impl fmt::Display for ExploitChain {
 /// ```
 #[must_use]
 pub fn exploit_chains(set: &MatchSet, corpus: &Corpus, limit: usize) -> Vec<ExploitChain> {
+    let mut span = cpssec_obs::span!("chain-build");
     let mut chains = Vec::new();
     for cve in set.vulnerability_ids() {
         for cwe in corpus.weaknesses_for_vulnerability(cve) {
@@ -69,6 +70,7 @@ pub fn exploit_chains(set: &MatchSet, corpus: &Corpus, limit: usize) -> Vec<Expl
     chains.sort_unstable();
     chains.dedup();
     chains.truncate(limit);
+    span.add_items(chains.len() as u64);
     chains
 }
 

@@ -331,19 +331,24 @@ impl SearchEngine {
     #[must_use]
     pub fn match_text_with(&self, text: &str, scratch: &mut QueryScratch) -> MatchSet {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let mut terms = tokenize(text);
-        terms.sort_unstable();
-        terms.dedup();
-        if self.config.expand_synonyms {
-            let expanded = expand_query(&terms);
-            // Keep only genuinely new terms as score-bonus terms.
-            let extras: Vec<String> = expanded
-                .into_iter()
-                .filter(|t| !terms.contains(t))
-                .collect();
-            return self.match_terms(&terms, &extras, scratch);
-        }
-        self.match_terms(&terms, &[], scratch)
+        let (terms, extras) = {
+            let mut span = cpssec_obs::span!("tokenize");
+            let mut terms = tokenize(text);
+            terms.sort_unstable();
+            terms.dedup();
+            let extras: Vec<String> = if self.config.expand_synonyms {
+                // Keep only genuinely new terms as score-bonus terms.
+                expand_query(&terms)
+                    .into_iter()
+                    .filter(|t| !terms.contains(t))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            span.add_items(terms.len() as u64);
+            (terms, extras)
+        };
+        self.match_terms(&terms, &extras, scratch)
     }
 
     fn match_terms(
@@ -352,7 +357,8 @@ impl SearchEngine {
         extras: &[String],
         scratch: &mut QueryScratch,
     ) -> MatchSet {
-        MatchSet {
+        let mut span = cpssec_obs::span!("score");
+        let set = MatchSet {
             patterns: run_family(
                 &self.patterns,
                 &self.pattern_ids,
@@ -380,7 +386,9 @@ impl SearchEngine {
                 scratch,
                 |id| AttackVectorId::Vulnerability(*id),
             ),
-        }
+        };
+        span.add_items(set.total() as u64);
+        set
     }
 
     /// Matches one component's searchable text at a fidelity level.

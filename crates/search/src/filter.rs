@@ -26,6 +26,18 @@ pub enum Filter {
     /// Keep only patterns at one of the given abstraction levels; other
     /// families are unaffected.
     AbstractionIn(Vec<Abstraction>),
+    /// Keep vulnerabilities whose CVSS base score lies in the inclusive
+    /// `[min, max]` band; vulnerabilities without a CVSS vector are
+    /// dropped. Other families are unaffected (they carry no CVSS).
+    CvssRange {
+        /// Inclusive lower bound on the base score.
+        min: f64,
+        /// Inclusive upper bound on the base score.
+        max: f64,
+    },
+    /// Keep only hits whose id is in the given set — the analyst's
+    /// "pin these records" selection. Applies across all families.
+    IdIn(Vec<AttackVectorId>),
     /// Drop the vulnerability family entirely (the paper's suggestion to
     /// "abstract away vulnerabilities at the earlier stages").
     DropVulnerabilities,
@@ -68,6 +80,21 @@ impl Filter {
                         .is_some_and(|p| levels.contains(&p.abstraction())),
                     _ => false,
                 });
+            }
+            Filter::CvssRange { min, max } => {
+                set.vulnerabilities.retain(|h| match h.id {
+                    AttackVectorId::Vulnerability(id) => corpus
+                        .vulnerability(id)
+                        .and_then(|v| v.cvss())
+                        .is_some_and(|c| {
+                            let score = c.base_score();
+                            score >= *min && score <= *max
+                        }),
+                    _ => false,
+                });
+            }
+            Filter::IdIn(ids) => {
+                retain_all(set, |h| ids.contains(&h.id));
             }
             Filter::DropVulnerabilities => set.vulnerabilities.clear(),
         }
@@ -130,10 +157,12 @@ impl FilterPipeline {
     /// Applies every filter in order and returns the filtered set.
     #[must_use]
     pub fn apply(&self, set: &MatchSet, corpus: &Corpus) -> MatchSet {
+        let mut span = cpssec_obs::span!("filter");
         let mut out = set.clone();
         for filter in &self.filters {
             filter.apply(&mut out, corpus);
         }
+        span.add_items(out.total() as u64);
         out
     }
 }

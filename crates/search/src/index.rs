@@ -259,6 +259,8 @@ impl InvertedIndex {
         shards: usize,
     ) -> InvertedIndex {
         assert!(shards > 0, "at least one shard");
+        let mut span = cpssec_obs::span!("index-build");
+        span.add_items(docs.len() as u64);
         if shards == 1 || docs.len() < 2 {
             let mut index = InvertedIndex::new();
             for doc in docs {

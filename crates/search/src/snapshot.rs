@@ -104,6 +104,7 @@ impl SnapshotInfo {
 /// than `u32::MAX` records — unreachable for any corpus that fits memory.
 #[must_use]
 pub fn encode(corpus: &Corpus, engine: &SearchEngine) -> Vec<u8> {
+    let _span = cpssec_obs::span!("snapshot-encode");
     let ((p_index, p_ids), (w_index, w_ids), (v_index, v_ids)) = engine.parts();
 
     let mut corpus_payload = Vec::new();
@@ -271,6 +272,7 @@ pub fn decode_with_config(
     bytes: &[u8],
     config: MatchConfig,
 ) -> Result<(Corpus, SearchEngine), SnapshotError> {
+    let _span = cpssec_obs::span!("snapshot-decode");
     let sections = checked_sections(bytes)?;
 
     let corpus_section = find_section(&sections, SEC_CORPUS)?;

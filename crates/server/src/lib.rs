@@ -67,8 +67,23 @@ pub struct AppState {
     pub priors: Cache<Arc<AssociationMap>>,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// Ring of requests that crossed the slow-query threshold, served at
+    /// `GET /debug/slow`.
+    pub slow: cpssec_obs::SlowLog,
     /// Index-load timing and snapshot hit/miss, fixed at construction.
     pub startup: StartupStats,
+}
+
+/// Retained slow-query entries.
+const SLOW_LOG_CAPACITY: usize = 64;
+/// Default slow-query threshold (µs); `CPSSEC_SLOW_US` overrides it.
+const SLOW_THRESHOLD_US: u64 = 100_000;
+
+fn slow_threshold_us() -> u64 {
+    std::env::var("CPSSEC_SLOW_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SLOW_THRESHOLD_US)
 }
 
 impl AppState {
@@ -94,7 +109,38 @@ impl AppState {
             snapshot_hits: 0,
             snapshot_misses: 1,
         };
-        Self::assemble(corpus, engine_tfidf, engine_bm25, startup)
+        Self::assemble(corpus, engine_tfidf, engine_bm25, startup, 256, 64)
+    }
+
+    /// [`AppState::new`] with explicit cache capacities — lets tests
+    /// exercise eviction without thousands of fill requests.
+    #[must_use]
+    pub fn with_capacities(corpus: Corpus, responses: usize, priors: usize) -> Arc<AppState> {
+        let started = Instant::now();
+        let engine_of = |scoring| {
+            Arc::new(SearchEngine::with_config(
+                &corpus,
+                MatchConfig {
+                    scoring,
+                    ..MatchConfig::default()
+                },
+            ))
+        };
+        let engine_tfidf = engine_of(ScoringModel::TfIdf);
+        let engine_bm25 = engine_of(ScoringModel::Bm25);
+        let startup = StartupStats {
+            index_load_us: elapsed_us(started),
+            snapshot_hits: 0,
+            snapshot_misses: 1,
+        };
+        Self::assemble(
+            corpus,
+            engine_tfidf,
+            engine_bm25,
+            startup,
+            responses,
+            priors,
+        )
     }
 
     /// Thaws the shared state from a `.cpsnap` image: one decode restores
@@ -118,6 +164,8 @@ impl AppState {
             Arc::new(engine_tfidf),
             Arc::new(engine_bm25),
             startup,
+            256,
+            64,
         ))
     }
 
@@ -126,15 +174,18 @@ impl AppState {
         engine_tfidf: Arc<SearchEngine>,
         engine_bm25: Arc<SearchEngine>,
         startup: StartupStats,
+        responses: usize,
+        priors: usize,
     ) -> Arc<AppState> {
         Arc::new(AppState {
             engine_tfidf,
             engine_bm25,
             corpus: Arc::new(corpus),
             sessions: SessionStore::new(),
-            responses: Cache::new(256),
-            priors: Cache::new(64),
+            responses: Cache::new(responses),
+            priors: Cache::new(priors),
             metrics: Metrics::new(),
+            slow: cpssec_obs::SlowLog::new(SLOW_LOG_CAPACITY, slow_threshold_us()),
             startup,
         })
     }
@@ -218,6 +269,9 @@ impl Server {
     /// Propagates fatal listener errors (per-connection I/O errors are
     /// absorbed).
     pub fn run(self) -> io::Result<()> {
+        // Spans are cheap (atomics only) and feed the slow-query stage
+        // breakdown and /metrics histograms, so serving enables them.
+        cpssec_obs::recorder().enable_spans();
         self.listener.set_nonblocking(true)?;
         let pool = pool::WorkerPool::new(self.workers);
         while !self.shutdown.load(Ordering::Relaxed) {
@@ -275,10 +329,26 @@ fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool)
         };
 
         let started = Instant::now();
-        let (route, response) = router::dispatch(state, &request);
-        state
-            .metrics
-            .record(route, response.status, started.elapsed());
+        let capture = cpssec_obs::Capture::begin();
+        let (route, response) = {
+            let _span = cpssec_obs::span!("serve-request");
+            router::dispatch(state, &request)
+        };
+        let stages = capture.finish(cpssec_obs::recorder());
+        let elapsed = started.elapsed();
+        state.metrics.record(route, response.status, elapsed);
+        let note = cpssec_obs::take_note();
+        let total_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        if total_us >= state.slow.threshold_us() {
+            state.slow.observe(cpssec_obs::SlowEntry {
+                route: route.to_owned(),
+                status: response.status,
+                total_us,
+                model_hash: note.as_ref().map(|(hash, _)| *hash),
+                fidelity: note.map(|(_, fidelity)| fidelity),
+                stages,
+            });
+        }
 
         // Close after this response if the client asked, or if the server
         // is draining (keeps shutdown prompt under keep-alive load).

@@ -1,19 +1,46 @@
-//! Request counters and latency histograms, rendered as plain text.
+//! Request counters and latency histograms, rendered as Prometheus-style
+//! plain text.
+//!
+//! Latencies go into a per-route log-linear [`cpssec_obs::Histogram`]
+//! (1 µs .. ~16.7 s, ≤6.25% relative error), so `/metrics` can report
+//! both cumulative `le` buckets and p50/p90/p99/p999 extractions. The
+//! hot path takes a read lock on the route table plus a handful of
+//! relaxed atomic increments; the write lock is only taken the first
+//! time a route is seen.
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-/// Histogram bucket upper bounds in microseconds (the last bucket is
-/// unbounded).
-const BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+use cpssec_obs::Histogram;
 
-#[derive(Default)]
+/// Rendered histogram bucket bounds (µs): powers of four spanning the
+/// whole tracked range. These align with the underlying octave
+/// boundaries, so cumulative counts carry at most one sub-bucket
+/// (6.25%) of edge fuzz.
+const RENDER_LE_US: [u64; 13] = [
+    1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// Reported latency quantiles.
+const QUANTILES: [(&str, f64); 4] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
 struct RouteStats {
-    count: u64,
-    errors: u64,
-    total_us: u64,
-    buckets: [u64; BUCKETS_US.len()],
+    count: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+impl RouteStats {
+    fn new() -> RouteStats {
+        RouteStats {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Histogram::new(),
+        }
+    }
 }
 
 /// Startup facts recorded once when the shared state is built: how long
@@ -29,10 +56,32 @@ pub struct StartupStats {
     pub snapshot_misses: u64,
 }
 
-/// Per-route request counters plus cumulative latency histograms.
+/// Per-route request counters plus latency histograms.
 #[derive(Default)]
 pub struct Metrics {
-    routes: Mutex<BTreeMap<String, RouteStats>>,
+    routes: RwLock<HashMap<String, Arc<RouteStats>>>,
+}
+
+/// Collapses raw model ids in a route label to the `:id` pattern, so the
+/// label set stays bounded no matter how many sessions exist. `dispatch`
+/// already reports patterns, but `record` is public — normalizing here
+/// keeps a caller passing a concrete path (`GET /models/a1b2/associate`)
+/// from minting one label per model hash.
+fn normalize_route(route: &str) -> Cow<'_, str> {
+    const MARK: &str = "/models/";
+    let Some(pos) = route.find(MARK) else {
+        return Cow::Borrowed(route);
+    };
+    let id_start = pos + MARK.len();
+    let rest = &route[id_start..];
+    if rest.is_empty() {
+        return Cow::Borrowed(route);
+    }
+    let id_end = rest.find('/').map_or(route.len(), |i| id_start + i);
+    if &route[id_start..id_end] == ":id" {
+        return Cow::Borrowed(route);
+    }
+    Cow::Owned(format!("{}:id{}", &route[..id_start], &route[id_end..]))
 }
 
 impl Metrics {
@@ -42,28 +91,38 @@ impl Metrics {
         Metrics::default()
     }
 
+    fn route_stats(&self, route: &str) -> Arc<RouteStats> {
+        if let Some(stats) = self.routes.read().expect("metrics poisoned").get(route) {
+            return Arc::clone(stats);
+        }
+        let mut routes = self.routes.write().expect("metrics poisoned");
+        Arc::clone(
+            routes
+                .entry(route.to_owned())
+                .or_insert_with(|| Arc::new(RouteStats::new())),
+        )
+    }
+
     /// Records one request against `route` (the matched pattern, e.g.
-    /// `GET /models/:id/associate`).
+    /// `GET /models/:id/associate`; raw model ids are normalized to the
+    /// pattern first).
     pub fn record(&self, route: &str, status: u16, elapsed: Duration) {
         let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let mut routes = self.routes.lock().expect("metrics poisoned");
-        let stats = routes.entry(route.to_owned()).or_default();
-        stats.count += 1;
+        let stats = self.route_stats(normalize_route(route).as_ref());
+        stats.count.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
-            stats.errors += 1;
+            stats.errors.fetch_add(1, Ordering::Relaxed);
         }
-        stats.total_us = stats.total_us.saturating_add(elapsed_us);
-        let bucket = BUCKETS_US
-            .iter()
-            .position(|&le| elapsed_us <= le)
-            .unwrap_or(BUCKETS_US.len() - 1);
-        stats.buckets[bucket] += 1;
+        stats.latency.record(elapsed_us);
     }
 
     /// Total requests recorded across all routes.
     pub fn total_requests(&self) -> u64 {
-        let routes = self.routes.lock().expect("metrics poisoned");
-        routes.values().map(|s| s.count).sum()
+        let routes = self.routes.read().expect("metrics poisoned");
+        routes
+            .values()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Renders the registry in a flat `name{labels} value` text format.
@@ -72,30 +131,47 @@ impl Metrics {
     pub fn render(&self, caches: &[(&str, u64, u64)], startup: &StartupStats) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let routes = self.routes.lock().expect("metrics poisoned");
-        for (route, stats) in routes.iter() {
-            let _ = writeln!(out, "requests_total{{route=\"{route}\"}} {}", stats.count);
-            let _ = writeln!(out, "errors_total{{route=\"{route}\"}} {}", stats.errors);
+        let mut routes: Vec<(String, Arc<RouteStats>)> = {
+            let map = self.routes.read().expect("metrics poisoned");
+            map.iter()
+                .map(|(route, stats)| (route.clone(), Arc::clone(stats)))
+                .collect()
+        };
+        routes.sort_by(|a, b| a.0.cmp(&b.0));
+        for (route, stats) in &routes {
+            let snap = stats.latency.snapshot();
             let _ = writeln!(
                 out,
-                "latency_us_sum{{route=\"{route}\"}} {}",
-                stats.total_us
+                "requests_total{{route=\"{route}\"}} {}",
+                stats.count.load(Ordering::Relaxed)
             );
-            let mut cumulative = 0;
-            for (i, &le) in BUCKETS_US.iter().enumerate() {
-                cumulative += stats.buckets[i];
-                let le = if le == u64::MAX {
-                    "+Inf".to_owned()
-                } else {
-                    le.to_string()
-                };
+            let _ = writeln!(
+                out,
+                "errors_total{{route=\"{route}\"}} {}",
+                stats.errors.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(out, "latency_us_sum{{route=\"{route}\"}} {}", snap.sum_us);
+            let _ = writeln!(out, "latency_us_count{{route=\"{route}\"}} {}", snap.count);
+            for le in RENDER_LE_US {
                 let _ = writeln!(
                     out,
-                    "latency_us_bucket{{route=\"{route}\",le=\"{le}\"}} {cumulative}"
+                    "latency_us_bucket{{route=\"{route}\",le=\"{le}\"}} {}",
+                    snap.count_le(le)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "latency_us_bucket{{route=\"{route}\",le=\"+Inf\"}} {}",
+                snap.count
+            );
+            for (name, q) in QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "latency_us{{route=\"{route}\",quantile=\"{name}\"}} {}",
+                    snap.quantile_us(q)
                 );
             }
         }
-        drop(routes);
         for &(name, hits, misses) in caches {
             let _ = writeln!(out, "cache_hits_total{{cache=\"{name}\"}} {hits}");
             let _ = writeln!(out, "cache_misses_total{{cache=\"{name}\"}} {misses}");
@@ -148,9 +224,14 @@ mod tests {
         let text = metrics.render(&[("responses", 3, 1)], &startup);
         assert!(text.contains("requests_total{route=\"GET /healthz\"} 3"));
         assert!(text.contains("errors_total{route=\"GET /healthz\"} 1"));
-        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"100\"} 1"));
-        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"1000\"} 2"));
+        assert!(text.contains("latency_us_count{route=\"GET /healthz\"} 3"));
+        // 50 µs lands by le=64, 150 µs by le=256, 5 ms by le=16384.
+        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"64\"} 1"));
+        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"256\"} 2"));
+        assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"16384\"} 3"));
         assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_us{route=\"GET /healthz\",quantile=\"p50\"}"));
+        assert!(text.contains("latency_us{route=\"GET /healthz\",quantile=\"p99\"}"));
         assert!(text.contains("cache_hits_total{cache=\"responses\"} 3"));
         assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.7500"));
         assert!(text.contains("index_load_us 1234"));
@@ -164,5 +245,53 @@ mod tests {
         let metrics = Metrics::new();
         let text = metrics.render(&[("responses", 0, 0)], &StartupStats::default());
         assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.0000"));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let metrics = Metrics::new();
+        for us in [100u64, 200, 300, 400, 50_000] {
+            metrics.record("GET /x", 200, Duration::from_micros(us));
+        }
+        let text = metrics.render(&[], &StartupStats::default());
+        let value = |needle: &str| -> u64 {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(needle))
+                .unwrap_or_else(|| panic!("missing {needle}"));
+            line.rsplit(' ').next().unwrap().parse().unwrap()
+        };
+        let p50 = value("latency_us{route=\"GET /x\",quantile=\"p50\"}");
+        let p99 = value("latency_us{route=\"GET /x\",quantile=\"p99\"}");
+        // p50 sits in 300's bucket, p99 in 50000's — within 6.25%.
+        assert!((282..=320).contains(&p50), "p50 {p50}");
+        assert!((46_875..=53_125).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn raw_model_ids_collapse_to_the_pattern() {
+        let metrics = Metrics::new();
+        // A buggy or external caller reporting concrete ids must not
+        // mint one label per model hash.
+        metrics.record(
+            "GET /models/16c0d3aa91f2b7e4/associate",
+            200,
+            Duration::from_micros(10),
+        );
+        metrics.record(
+            "GET /models/deadbeefdeadbeef/associate",
+            200,
+            Duration::from_micros(20),
+        );
+        metrics.record("POST /models/abc123/whatif", 200, Duration::from_micros(5));
+        metrics.record("GET /models/:id/associate", 200, Duration::from_micros(30));
+        let text = metrics.render(&[], &StartupStats::default());
+        assert!(text.contains("requests_total{route=\"GET /models/:id/associate\"} 3"));
+        assert!(text.contains("requests_total{route=\"POST /models/:id/whatif\"} 1"));
+        assert!(!text.contains("deadbeef"), "raw id leaked into labels");
+        // Routes without an id segment pass through untouched.
+        metrics.record("POST /models", 200, Duration::from_micros(1));
+        let text = metrics.render(&[], &StartupStats::default());
+        assert!(text.contains("requests_total{route=\"POST /models\"} 1"));
     }
 }

@@ -236,6 +236,9 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ("GET /healthz", Response::text(200, "ok\n")),
         ("GET", ["metrics"]) => ("GET /metrics", metrics(state)),
+        ("GET", ["debug", "slow"]) => {
+            ("GET /debug/slow", Response::json(200, state.slow.to_json()))
+        }
         ("GET", ["table1"]) => ("GET /table1", table1(state, req)),
         ("POST", ["models"]) => ("POST /models", upload_model(state, req)),
         ("GET", ["models", id, "associate"]) => {
@@ -245,6 +248,7 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             ("POST /models/:id/whatif", whatif_route(state, req, id))
         }
         (_, ["healthz" | "metrics" | "table1"])
+        | (_, ["debug", "slow"])
         | (_, ["models"])
         | (_, ["models", _, "associate" | "whatif"]) => (
             "method-not-allowed",
@@ -326,6 +330,7 @@ fn associate(state: &AppState, req: &Request, id: &str) -> Response {
     let Some(stored) = state.sessions.get(id) else {
         return Response::error(404, &format!("unknown model '{id}'"));
     };
+    cpssec_obs::note_model(stored.hash, spec.fidelity.as_str());
     let component = req.query_param("component");
     let key = format!(
         "assoc/{}/{}",
@@ -371,6 +376,7 @@ fn whatif_route(state: &AppState, req: &Request, id: &str) -> Response {
     let Some(stored) = state.sessions.get(id) else {
         return Response::error(404, &format!("unknown model '{id}'"));
     };
+    cpssec_obs::note_model(stored.hash, spec.fidelity.as_str());
     let key = format!(
         "whatif/{}/{:016x}",
         spec.key_prefix(stored.hash),
@@ -410,6 +416,7 @@ fn table1(state: &AppState, req: &Request) -> Response {
     let Some(stored) = state.sessions.get(model_id) else {
         return Response::error(404, &format!("unknown model '{model_id}'"));
     };
+    cpssec_obs::note_model(stored.hash, spec.fidelity.as_str());
     let key = format!("table1/{}", spec.key_prefix(stored.hash));
     if let Some(body) = state.responses.get(&key) {
         return Response::text(200, body.as_str());

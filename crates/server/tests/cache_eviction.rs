@@ -1,0 +1,161 @@
+//! Eviction behavior of the sharded LRU result caches under a real
+//! request mix, driven through `router::dispatch` directly (no sockets)
+//! so cache state can be inspected between requests.
+//!
+//! Uses [`AppState::with_capacities`] to shrink both caches to one entry
+//! per shard; a dozen distinct request specs then guarantee evictions
+//! without thousands of fill requests.
+
+use std::io::BufReader;
+
+use cpssec_attackdb::seed::seed_corpus;
+use cpssec_server::http::{read_request, Request, Response};
+use cpssec_server::{router, AppState};
+
+fn request(method: &str, target: &str, body: &str) -> Request {
+    let raw = if body.is_empty() {
+        format!("{method} {target} HTTP/1.1\r\n\r\n")
+    } else {
+        format!(
+            "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    read_request(&mut BufReader::new(raw.as_bytes()))
+        .expect("well-formed request")
+        .expect("one request")
+}
+
+fn get(state: &AppState, target: &str) -> Response {
+    let (_route, response) = router::dispatch(state, &request("GET", target, ""));
+    response
+}
+
+fn post(state: &AppState, target: &str, body: &str) -> Response {
+    let (_route, response) = router::dispatch(state, &request("POST", target, body));
+    response
+}
+
+/// Twelve distinct associate specs — twelve distinct cache keys.
+fn fill_targets() -> Vec<String> {
+    (1..=12)
+        .map(|k| format!("/models/scada/associate?topK={k}"))
+        .collect()
+}
+
+/// Reads `name{cache="..."} value` out of the rendered /metrics text.
+fn metric(text: &str, name: &str, cache: &str) -> u64 {
+    let needle = format!("{name}{{cache=\"{cache}\"}} ");
+    text.lines()
+        .find_map(|line| line.strip_prefix(&needle))
+        .unwrap_or_else(|| panic!("missing {needle} in:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable value for {needle}"))
+}
+
+#[test]
+fn filling_past_capacity_evicts_but_keeps_the_newest_entry() {
+    // One entry per shard (8 shards) — 12 distinct keys must overflow.
+    let state = AppState::with_capacities(seed_corpus(), 1, 1);
+    let targets = fill_targets();
+    for target in &targets {
+        assert_eq!(get(&state, target).status, 200);
+    }
+    // Every fill was a miss, and the cache cannot hold all twelve.
+    assert_eq!(state.responses.stats(), (0, 12));
+    assert!(
+        state.responses.len() < targets.len(),
+        "expected evictions: {} entries retained",
+        state.responses.len()
+    );
+
+    // LRU order: the newest entry is never the eviction victim, so the
+    // last-filled spec must hit; with fewer slots than keys, at least one
+    // older spec must miss.
+    let body_of = |target: &str| get(&state, target).body;
+    let last = targets.last().unwrap();
+    let warm = body_of(last);
+    let (hits, _) = state.responses.stats();
+    assert_eq!(hits, 1, "most recently inserted entry was evicted");
+
+    let (_, misses_before) = state.responses.stats();
+    let mut evicted = 0;
+    for target in &targets[..targets.len() - 1] {
+        body_of(target);
+    }
+    let (_, misses_after) = state.responses.stats();
+    evicted += misses_after - misses_before;
+    assert!(evicted > 0, "no older entry was evicted");
+
+    // Cached and recomputed responses are byte-identical.
+    assert_eq!(warm, body_of(last));
+}
+
+#[test]
+fn metrics_report_the_hit_and_miss_deltas() {
+    let state = AppState::with_capacities(seed_corpus(), 1, 1);
+    let target = "/models/scada/associate";
+
+    let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+    let hits0 = metric(&text, "cache_hits_total", "responses");
+    let misses0 = metric(&text, "cache_misses_total", "responses");
+    assert_eq!((hits0, misses0), (0, 0));
+
+    // Miss, then hit, on the same spec.
+    assert_eq!(get(&state, target).status, 200);
+    assert_eq!(get(&state, target).status, 200);
+    let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+    assert_eq!(metric(&text, "cache_hits_total", "responses"), hits0 + 1);
+    assert_eq!(
+        metric(&text, "cache_misses_total", "responses"),
+        misses0 + 1
+    );
+
+    // Flood with distinct specs, then re-request: the extra misses from
+    // evicted entries show up in the counters, and hits never decrease.
+    for t in fill_targets() {
+        get(&state, &t);
+    }
+    get(&state, target);
+    let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+    let hits = metric(&text, "cache_hits_total", "responses");
+    let misses = metric(&text, "cache_misses_total", "responses");
+    assert!(hits >= hits0 + 1);
+    assert!(misses >= misses0 + 13, "flood misses uncounted: {misses}");
+    // The priors cache is reported independently.
+    assert!(metric(&text, "cache_misses_total", "priors") >= 1);
+}
+
+const WHATIF_BODY: &str = r#"{"changes":[{"op":"replace","component":"Programming WS","key":"os","kind":"os","value":"hardened thin client image","atFidelity":"implementation"}]}"#;
+
+#[test]
+fn whatif_after_eviction_recomputes_identical_bytes() {
+    let state = AppState::with_capacities(seed_corpus(), 1, 1);
+    let whatif_target = "/models/scada/whatif";
+
+    let first = post(&state, whatif_target, WHATIF_BODY);
+    assert_eq!(first.status, 200);
+
+    // Flood both caches: each distinct associate spec inserts a response
+    // *and* a prior, so the what-if's cached response and its prior both
+    // face eviction pressure.
+    for t in fill_targets() {
+        assert_eq!(get(&state, &t).status, 200);
+    }
+    let (_, prior_misses) = state.priors.stats();
+    assert!(prior_misses >= 13, "priors cache saw no pressure");
+    assert!(state.priors.len() < 13, "priors cache never evicted");
+
+    // Whether the second what-if is served from cache, recomputed from a
+    // surviving prior, or rebuilt from scratch, the bytes must match.
+    let second = post(&state, whatif_target, WHATIF_BODY);
+    assert_eq!(second.status, 200);
+    assert_eq!(first.body, second.body);
+
+    // And a third time after touching the baseline again, for the
+    // prior-was-refreshed path.
+    assert_eq!(get(&state, "/models/scada/associate").status, 200);
+    let third = post(&state, whatif_target, WHATIF_BODY);
+    assert_eq!(third.body, first.body);
+}
