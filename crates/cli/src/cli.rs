@@ -26,13 +26,16 @@ const USAGE: &str = "usage:
   cpssec snapshot inspect <FILE.cpsnap>
   cpssec snapshot verify <FILE.cpsnap>
   cpssec serve [--addr HOST:PORT] [--workers N] [--scale S] [--corpus FILE.jsonl]
-               [--snapshot FILE.cpsnap]
+               [--snapshot FILE.cpsnap] [--slo FILE.toml] [--tick-ms N]
   cpssec load [--addr HOST:PORT] [--clients N] [--requests M]
   cpssec help
 
 the corpus defaults to the built-in seed + synthetic corpus at --scale;
 --corpus loads a JSON Lines corpus (see cpssec_attackdb::jsonl) instead;
 --snapshot warm-starts `serve` from a binary snapshot (see `snapshot build`);
+--slo loads latency/error objectives for `serve` (the CPSSEC_SLO env var
+holds the same syntax with `;` for newlines); --tick-ms sets the telemetry
+tick interval (default 1000);
 --trace FILE.json (any command) writes a Chrome trace of the pipeline
 stages, viewable in Perfetto or chrome://tracing;
 `associate scada` uses the built-in SCADA testbed model.";
@@ -54,6 +57,10 @@ pub struct Options {
     pub corpus_path: Option<String>,
     /// Path to a `.cpsnap` snapshot for `serve` warm start.
     pub snapshot_path: Option<String>,
+    /// Path to an SLO config for `serve` (overrides `CPSSEC_SLO`).
+    pub slo_path: Option<String>,
+    /// Telemetry tick interval for `serve`, in milliseconds.
+    pub tick_ms: Option<u64>,
     /// Path to write a Chrome-trace JSON of the run's pipeline spans.
     pub trace_path: Option<String>,
     /// Bind/connect address for `serve` and `load`.
@@ -78,6 +85,8 @@ impl Default for Options {
             ticks: 12_000,
             corpus_path: None,
             snapshot_path: None,
+            slo_path: None,
+            tick_ms: None,
             trace_path: None,
             addr: "127.0.0.1:7878".into(),
             workers: 4,
@@ -131,6 +140,20 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--snapshot" => {
                 let value = iter.next().ok_or("--snapshot needs a path")?;
                 options.snapshot_path = Some(value.clone());
+            }
+            "--slo" => {
+                let value = iter.next().ok_or("--slo needs a path")?;
+                options.slo_path = Some(value.clone());
+            }
+            "--tick-ms" => {
+                let value = iter.next().ok_or("--tick-ms needs a value")?;
+                options.tick_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid tick-ms `{value}`"))?,
+                );
             }
             "--trace" => {
                 let value = iter.next().ok_or("--trace needs a path")?;
@@ -203,6 +226,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         let recorder = cpssec_obs::recorder();
         recorder.enable_spans();
         recorder.enable_trace();
+        // A root trace id for the whole batch run, so every span in the
+        // exported Chrome trace groups under one id (the server mints
+        // per-request ids instead).
+        cpssec_obs::set_trace_id(cpssec_obs::mint_trace_id());
     }
     let result = match command.as_str() {
         "table1" => cmd_table1(&options, out),
@@ -307,16 +334,52 @@ fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), String> {
         }
         None => cpssec_server::AppState::new(load_corpus(options)?),
     };
-    let server = cpssec_server::Server::bind(&options.addr, options.workers, state)
+    // SLO config: --slo file wins over the CPSSEC_SLO env var.
+    let slo_text = match &options.slo_path {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?)
+        }
+        None => std::env::var("CPSSEC_SLO").ok(),
+    };
+    let slo_routes = match slo_text {
+        Some(text) => {
+            let config = cpssec_obs::SloConfig::parse(&text)
+                .map_err(|e| format!("invalid SLO config: {e}"))?;
+            let routes = config.slos.len();
+            state.telemetry.install_slo(config);
+            routes
+        }
+        None => 0,
+    };
+    let mut server = cpssec_server::Server::bind(&options.addr, options.workers, state)
         .map_err(|e| format!("cannot bind `{}`: {e}", options.addr))?;
+    if let Some(tick_ms) = options.tick_ms {
+        server.set_tick_ms(tick_ms);
+    }
     let addr = server
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
     cpssec_server::signal::install(&server.shutdown_flag());
-    writeln!(out, "listening on {addr} ({} workers)", options.workers)
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "listening on {addr} ({} workers, {} SLOs)",
+        options.workers, slo_routes
+    )
+    .map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
+    let state = server.state();
     server.run().map_err(|e| format!("server error: {e}"))?;
+    // Final telemetry snapshot after the drain — the trace ring flush
+    // (--trace) happens in `run` once this command returns.
+    let (cache_hits, cache_misses) = state.responses.stats();
+    writeln!(
+        out,
+        "final snapshot: {} ticks, {} requests, {} slow, cache {cache_hits} hits / {cache_misses} misses",
+        state.telemetry.ticks(),
+        state.requests.recorded(),
+        state.slow.observed(),
+    )
+    .map_err(|e| e.to_string())?;
     writeln!(out, "shutdown complete").map_err(|e| e.to_string())
 }
 

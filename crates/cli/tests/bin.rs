@@ -117,7 +117,12 @@ fn help_exits_zero_with_usage() {
 #[test]
 #[cfg(unix)]
 fn serve_survives_load_and_sigterm_shuts_down_cleanly() {
-    // Ephemeral port, tiny corpus for fast startup.
+    let dir = std::env::temp_dir().join("cpssec-bin-test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let trace_path = dir.join("serve.trace.json");
+    let _ = std::fs::remove_file(&trace_path);
+    // Ephemeral port, tiny corpus for fast startup. --trace proves the
+    // SIGTERM drain also flushes the span ring to disk.
     let mut serve = cpssec()
         .args([
             "serve",
@@ -127,6 +132,8 @@ fn serve_survives_load_and_sigterm_shuts_down_cleanly() {
             "2",
             "--scale",
             "0.01",
+            "--trace",
+            trace_path.to_str().expect("utf8 path"),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -166,6 +173,38 @@ fn serve_survives_load_and_sigterm_shuts_down_cleanly() {
     let mut rest = String::new();
     std::io::Read::read_to_string(&mut reader, &mut rest).expect("drain stdout");
     assert!(rest.contains("shutdown complete"), "{rest:?}");
+
+    // Final telemetry snapshot is printed before the shutdown banner.
+    let snapshot_line = rest
+        .lines()
+        .find(|l| l.starts_with("final snapshot: "))
+        .unwrap_or_else(|| panic!("missing final snapshot line: {rest:?}"));
+    assert!(snapshot_line.contains("requests"), "{snapshot_line}");
+    assert!(snapshot_line.contains("cache"), "{snapshot_line}");
+
+    // The drained trace ring made it to disk, and served spans carry
+    // per-request trace ids for Perfetto grouping.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written on drain");
+    let value = cpssec_attackdb::json::parse(&text).expect("trace is valid json");
+    let events = value
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array");
+    let served: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("serve-request"))
+        .collect();
+    assert!(!served.is_empty(), "no serve-request spans in trace");
+    for event in &served {
+        let trace_id = event
+            .get("args")
+            .and_then(|a| a.get("trace_id"))
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("serve-request span missing trace_id: {event:?}"));
+        assert_eq!(trace_id.len(), 32, "{trace_id}");
+        assert_ne!(trace_id, "0".repeat(32));
+    }
 }
 
 /// Builds a snapshot of the tiny corpus into a fresh temp dir and returns

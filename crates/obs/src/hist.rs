@@ -84,7 +84,7 @@ impl Histogram {
 
     /// Bucket-wise add of `other` into `self`. Equivalent to having
     /// recorded the concatenation of both sample streams.
-    pub fn merge_from(&self, other: &Histogram) {
+    pub fn merge(&self, other: &Histogram) {
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
             let v = src.load(Ordering::Relaxed);
             if v != 0 {
@@ -145,6 +145,36 @@ impl Snapshot {
             }
         }
         MAX_VALUE_US
+    }
+
+    /// Bucket-wise `self - earlier` for two snapshots of the *same*
+    /// cumulative histogram, yielding the samples recorded in between.
+    /// Subtraction saturates per bucket so a torn read (writer racing
+    /// the snapshot) degrades to dropping a sample, never underflowing.
+    #[must_use]
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(earlier.counts.iter())
+            .map(|(&now, &then)| now.saturating_sub(then))
+            .collect();
+        let count = counts.iter().sum();
+        Snapshot {
+            counts,
+            count,
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+        }
+    }
+
+    /// Bucket-wise add of `other` into `self` — the snapshot analogue of
+    /// [`Histogram::merge`], used by the downsampler to widen windows.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
     }
 
     /// Cumulative count of buckets that start at or below `bound` —
@@ -223,6 +253,33 @@ mod tests {
         let (low, high) = bucket_bounds(index_of(99));
         let p99 = snap.quantile_us(0.99);
         assert!(p99 >= low && p99 <= high);
+    }
+
+    #[test]
+    fn snapshot_diff_recovers_the_window() {
+        let h = Histogram::new();
+        for v in [10u64, 500, 9_000] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [20u64, 700_000] {
+            h.record(v);
+        }
+        let delta = h.snapshot().diff(&earlier);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_us, 20 + 700_000);
+        let expected = {
+            let w = Histogram::new();
+            w.record(20);
+            w.record(700_000);
+            w.snapshot()
+        };
+        assert_eq!(delta, expected);
+        // Merging the delta back onto the earlier snapshot restores the
+        // later one.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, h.snapshot());
     }
 
     #[test]

@@ -18,11 +18,15 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod slo;
 pub mod slow;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::Histogram;
+pub use slo::{AlertState, RouteSlo, SloConfig, SloMonitor};
 pub use slow::{SlowEntry, SlowLog};
+pub use timeseries::{Agg, Resolution, TimeSeriesStore, RESOLUTIONS};
 pub use trace::{chrome_trace_json, TraceEvent, TraceRing};
 
 use std::cell::{Cell, RefCell};
@@ -98,6 +102,12 @@ thread_local! {
     static CAPTURE: RefCell<Option<Vec<(StageId, u64)>>> = const { RefCell::new(None) };
     /// Model identity noted by route handlers for the slow-query log.
     static NOTE: RefCell<Option<(u64, String)>> = const { RefCell::new(None) };
+    /// Trace id of the request currently being served on this thread
+    /// (0 = none). Stamped onto every trace-ring event.
+    static CURRENT_TRACE: Cell<u128> = const { Cell::new(0) };
+    /// Free-form key/value annotations attached to the current request
+    /// (e.g. cache hit/miss), drained once per request.
+    static ANNOTATIONS: RefCell<Vec<(String, String)>> = const { RefCell::new(Vec::new()) };
 }
 
 fn thread_ordinal() -> u32 {
@@ -304,6 +314,7 @@ impl Drop for Span<'_> {
                     inner.ts_us,
                     dur_us,
                     inner.items,
+                    current_trace_id(),
                 );
             }
         }
@@ -377,6 +388,58 @@ pub fn note_model(hash: u64, fidelity: &str) {
 /// Take (and clear) the model note for the current request.
 pub fn take_note() -> Option<(u64, String)> {
     NOTE.with(|n| n.borrow_mut().take())
+}
+
+/// Set the trace id for the request being served on this thread.
+/// Pass 0 to clear between requests (a worker that skips the clear
+/// would stamp the next request's spans with a stale id).
+pub fn set_trace_id(id: u128) {
+    CURRENT_TRACE.with(|t| t.set(id));
+}
+
+/// Trace id of the request currently active on this thread (0 = none).
+pub fn current_trace_id() -> u128 {
+    CURRENT_TRACE.with(|t| t.get())
+}
+
+/// Attach a key/value annotation to the current request (e.g.
+/// `annotate("cache", "hit")`); drained by [`take_annotations`].
+pub fn annotate(key: &str, value: &str) {
+    ANNOTATIONS.with(|a| a.borrow_mut().push((key.to_string(), value.to_string())));
+}
+
+/// Take (and clear) the annotations for the current request.
+pub fn take_annotations() -> Vec<(String, String)> {
+    ANNOTATIONS.with(|a| std::mem::take(&mut *a.borrow_mut()))
+}
+
+static MINT_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mint a fresh nonzero 16-byte trace id. Not cryptographic — the ids
+/// only need to be unique within a process's recent history; wall
+/// clock + a process counter + thread ordinal keep collisions out of
+/// any realistic request window.
+pub fn mint_trace_id() -> u128 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let n = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let hi = splitmix64(nanos ^ n.rotate_left(32));
+    let lo = splitmix64(hi ^ thread_ordinal() as u64);
+    let id = ((hi as u128) << 64) | lo as u128;
+    if id == 0 {
+        1
+    } else {
+        id
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +525,46 @@ mod tests {
         let stages = outer_cap.finish(rec);
         let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["t-cap-outer", "t-cap-outer"]);
+    }
+
+    #[test]
+    fn spans_carry_the_active_trace_id() {
+        let rec = Recorder::new();
+        rec.enable_trace();
+        let id = rec.register("t-traceid");
+        let trace = mint_trace_id();
+        set_trace_id(trace);
+        drop(rec.span(id));
+        set_trace_id(0);
+        drop(rec.span(id));
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.trace == trace));
+        assert!(events.iter().any(|e| e.trace == 0));
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn annotations_drain_once() {
+        annotate("cache", "hit");
+        annotate("k", "v");
+        let got = take_annotations();
+        assert_eq!(
+            got,
+            vec![
+                ("cache".to_string(), "hit".to_string()),
+                ("k".to_string(), "v".to_string())
+            ]
+        );
+        assert!(take_annotations().is_empty());
     }
 
     #[test]

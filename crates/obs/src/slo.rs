@@ -1,0 +1,515 @@
+//! Per-route latency/error SLOs with multi-window error-budget
+//! burn-rate alerting.
+//!
+//! Each configured route declares: a latency target (`target_us`), the
+//! fraction of requests that must meet it (`objective`, e.g. 0.99),
+//! two evaluation windows measured in telemetry ticks (`short_ticks`,
+//! `long_ticks`), and a `burn_threshold`. Every tick the monitor is
+//! fed the route's (good, bad) request counts for that tick; a request
+//! is bad when it missed the latency target or returned an error. The
+//! burn rate over a window is
+//!
+//! ```text
+//! burn = bad_fraction / (1 - objective)
+//! ```
+//!
+//! i.e. how many times faster than "exactly on budget" the error
+//! budget is being spent (burn 1.0 = spending the whole budget over
+//! the objective period, burn 2.0 = twice that). An alert fires when
+//! BOTH windows burn at or above the threshold — the long window keeps
+//! one-tick blips from paging, the short window makes the alert reset
+//! quickly once the regression stops — and resolves as soon as the
+//! short window drops back below it.
+//!
+//! Config comes from a `slo.toml` file or the `CPSSEC_SLO` env var
+//! (same syntax, `;` accepted as a line separator). Only the tiny
+//! TOML subset below is parsed — `[[slo]]` tables of scalar keys:
+//!
+//! ```toml
+//! [[slo]]
+//! route = "GET /models/:id/associate"
+//! target_us = 50000
+//! objective = 0.99
+//! short_ticks = 60     # optional, default 60
+//! long_ticks = 300     # optional, default 300
+//! burn_threshold = 2.0 # optional, default 2.0
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::trace::escape_json;
+
+/// Default short evaluation window, in ticks.
+pub const DEFAULT_SHORT_TICKS: usize = 60;
+/// Default long evaluation window, in ticks.
+pub const DEFAULT_LONG_TICKS: usize = 300;
+/// Default burn-rate threshold.
+pub const DEFAULT_BURN_THRESHOLD: f64 = 2.0;
+
+/// One route's objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSlo {
+    /// Route label as reported to metrics (e.g. `GET /models/:id/associate`).
+    pub route: String,
+    /// Latency target in µs; a request over this is "bad".
+    pub target_us: u64,
+    /// Fraction of requests that must be good (0 < objective < 1).
+    pub objective: f64,
+    /// Short burn window, in telemetry ticks.
+    pub short_ticks: usize,
+    /// Long burn window, in telemetry ticks.
+    pub long_ticks: usize,
+    /// Fire when both windows burn at or above this rate.
+    pub burn_threshold: f64,
+}
+
+/// Parsed SLO configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloConfig {
+    pub slos: Vec<RouteSlo>,
+}
+
+fn parse_scalar(raw: &str) -> &str {
+    let raw = raw.trim();
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .unwrap_or(raw)
+}
+
+impl SloConfig {
+    /// Parse the `[[slo]]` TOML subset. `;` is accepted as a line
+    /// separator so the same syntax fits in the `CPSSEC_SLO` env var.
+    pub fn parse(text: &str) -> Result<SloConfig, String> {
+        #[derive(Default)]
+        struct Partial {
+            route: Option<String>,
+            target_us: Option<u64>,
+            objective: Option<f64>,
+            short_ticks: Option<usize>,
+            long_ticks: Option<usize>,
+            burn_threshold: Option<f64>,
+        }
+        fn close(p: Partial, out: &mut Vec<RouteSlo>) -> Result<(), String> {
+            let route = p.route.ok_or("slo entry missing `route`")?;
+            let target_us = p
+                .target_us
+                .ok_or_else(|| format!("slo for {route:?} missing `target_us`"))?;
+            let objective = p
+                .objective
+                .ok_or_else(|| format!("slo for {route:?} missing `objective`"))?;
+            if !(objective > 0.0 && objective < 1.0) {
+                return Err(format!(
+                    "slo for {route:?}: objective must be in (0,1), got {objective}"
+                ));
+            }
+            let short_ticks = p.short_ticks.unwrap_or(DEFAULT_SHORT_TICKS).max(1);
+            let long_ticks = p.long_ticks.unwrap_or(DEFAULT_LONG_TICKS).max(short_ticks);
+            let burn_threshold = p.burn_threshold.unwrap_or(DEFAULT_BURN_THRESHOLD);
+            if burn_threshold <= 0.0 {
+                return Err(format!(
+                    "slo for {route:?}: burn_threshold must be positive"
+                ));
+            }
+            out.push(RouteSlo {
+                route,
+                target_us,
+                objective,
+                short_ticks,
+                long_ticks,
+                burn_threshold,
+            });
+            Ok(())
+        }
+
+        let mut slos = Vec::new();
+        let mut open: Option<Partial> = None;
+        for raw_line in text.split(['\n', ';']) {
+            let line = match raw_line.find('#') {
+                // Only strip comments outside quotes; route values are
+                // the one quoted field and never contain `#` in
+                // practice, but keep quoted text intact regardless.
+                Some(pos)
+                    if !raw_line[..pos].contains('"')
+                        || raw_line[..pos].matches('"').count() % 2 == 0 =>
+                {
+                    &raw_line[..pos]
+                }
+                _ => raw_line,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[slo]]" {
+                if let Some(p) = open.take() {
+                    close(p, &mut slos)?;
+                }
+                open = Some(Partial::default());
+                continue;
+            }
+            let Some(p) = open.as_mut() else {
+                return Err(format!("key outside [[slo]] table: {line:?}"));
+            };
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected key = value, got {line:?}"))?;
+            let value = parse_scalar(value);
+            match key.trim() {
+                "route" => p.route = Some(value.to_string()),
+                "target_us" => {
+                    p.target_us = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad target_us {value:?}"))?,
+                    )
+                }
+                "objective" => {
+                    p.objective = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad objective {value:?}"))?,
+                    )
+                }
+                "short_ticks" => {
+                    p.short_ticks = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad short_ticks {value:?}"))?,
+                    )
+                }
+                "long_ticks" => {
+                    p.long_ticks = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad long_ticks {value:?}"))?,
+                    )
+                }
+                "burn_threshold" => {
+                    p.burn_threshold = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad burn_threshold {value:?}"))?,
+                    )
+                }
+                other => return Err(format!("unknown slo key {other:?}")),
+            }
+        }
+        if let Some(p) = open.take() {
+            close(p, &mut slos)?;
+        }
+        Ok(SloConfig { slos })
+    }
+}
+
+/// Alert state of one route's SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    Ok,
+    Firing,
+}
+
+impl AlertState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// A state transition produced by one tick, for logging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    pub route: String,
+    pub state: AlertState,
+    pub burn_short: f64,
+    pub burn_long: f64,
+}
+
+#[derive(Debug)]
+struct RouteMonitor {
+    cfg: RouteSlo,
+    /// Per-tick (good, bad) counts, newest last; bounded by long_ticks.
+    window: VecDeque<(u64, u64)>,
+    state: AlertState,
+    since_tick: u64,
+    transitions: u64,
+    burn_short: f64,
+    burn_long: f64,
+}
+
+impl RouteMonitor {
+    fn burn_over(&self, ticks: usize) -> f64 {
+        let mut good = 0u64;
+        let mut bad = 0u64;
+        for &(g, b) in self.window.iter().rev().take(ticks) {
+            good += g;
+            bad += b;
+        }
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_frac = bad as f64 / total as f64;
+        bad_frac / (1.0 - self.cfg.objective)
+    }
+}
+
+/// Evaluates every configured route's burn rate once per telemetry
+/// tick. Single-threaded by design — the server wraps it in a mutex
+/// owned by the tick thread.
+#[derive(Debug, Default)]
+pub struct SloMonitor {
+    tick: u64,
+    routes: Vec<RouteMonitor>,
+}
+
+impl SloMonitor {
+    #[must_use]
+    pub fn new(config: SloConfig) -> SloMonitor {
+        SloMonitor {
+            tick: 0,
+            routes: config
+                .slos
+                .into_iter()
+                .map(|cfg| RouteMonitor {
+                    cfg,
+                    window: VecDeque::new(),
+                    state: AlertState::Ok,
+                    since_tick: 0,
+                    transitions: 0,
+                    burn_short: 0.0,
+                    burn_long: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Routes the monitor watches.
+    pub fn configured_routes(&self) -> Vec<&RouteSlo> {
+        self.routes.iter().map(|r| &r.cfg).collect()
+    }
+
+    /// Advance one tick. `counts` maps a route to its (good, bad)
+    /// request counts for this tick. Returns any state transitions.
+    pub fn tick(&mut self, counts: impl Fn(&RouteSlo) -> (u64, u64)) -> Vec<Transition> {
+        self.tick += 1;
+        let mut out = Vec::new();
+        for route in &mut self.routes {
+            let (good, bad) = counts(&route.cfg);
+            route.window.push_back((good, bad));
+            while route.window.len() > route.cfg.long_ticks {
+                route.window.pop_front();
+            }
+            route.burn_short = route.burn_over(route.cfg.short_ticks);
+            route.burn_long = route.burn_over(route.cfg.long_ticks);
+            let next = match route.state {
+                AlertState::Ok
+                    if route.burn_short >= route.cfg.burn_threshold
+                        && route.burn_long >= route.cfg.burn_threshold =>
+                {
+                    AlertState::Firing
+                }
+                AlertState::Firing if route.burn_short < route.cfg.burn_threshold => AlertState::Ok,
+                same => same,
+            };
+            if next != route.state {
+                route.state = next;
+                route.since_tick = self.tick;
+                route.transitions += 1;
+                out.push(Transition {
+                    route: route.cfg.route.clone(),
+                    state: next,
+                    burn_short: route.burn_short,
+                    burn_long: route.burn_long,
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of routes currently firing.
+    pub fn firing(&self) -> usize {
+        self.routes
+            .iter()
+            .filter(|r| r.state == AlertState::Firing)
+            .count()
+    }
+
+    /// JSON document for `GET /alerts`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.routes.len() * 192);
+        out.push_str(&format!(
+            "{{\"tick\":{},\"firing\":{},\"alerts\":[",
+            self.tick,
+            self.firing(),
+        ));
+        for (i, r) in self.routes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"route\":\"{}\",\"state\":\"{}\",\"burn_short\":{:.4},\"burn_long\":{:.4},\
+                 \"target_us\":{},\"objective\":{},\"burn_threshold\":{},\
+                 \"short_ticks\":{},\"long_ticks\":{},\"since_tick\":{},\"transitions\":{}}}",
+                escape_json(&r.cfg.route),
+                r.state.as_str(),
+                r.burn_short,
+                r.burn_long,
+                r.cfg.target_us,
+                r.cfg.objective,
+                r.cfg.burn_threshold,
+                r.cfg.short_ticks,
+                r.cfg.long_ticks,
+                r.since_tick,
+                r.transitions,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: &str = r#"
+        [[slo]]
+        route = "GET /models/:id/associate"
+        target_us = 50000
+        objective = 0.99
+
+        [[slo]]
+        route = "GET /table1"
+        target_us = 250000
+        objective = 0.9
+        short_ticks = 3
+        long_ticks = 6
+        burn_threshold = 1.5
+    "#;
+
+    #[test]
+    fn parses_the_toml_subset() {
+        let cfg = SloConfig::parse(CFG).unwrap();
+        assert_eq!(cfg.slos.len(), 2);
+        assert_eq!(cfg.slos[0].route, "GET /models/:id/associate");
+        assert_eq!(cfg.slos[0].target_us, 50_000);
+        assert_eq!(cfg.slos[0].short_ticks, DEFAULT_SHORT_TICKS);
+        assert_eq!(cfg.slos[0].long_ticks, DEFAULT_LONG_TICKS);
+        assert_eq!(cfg.slos[1].short_ticks, 3);
+        assert_eq!(cfg.slos[1].long_ticks, 6);
+        assert!((cfg.slos[1].burn_threshold - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_style_semicolon_separators_parse() {
+        let cfg = SloConfig::parse(
+            "[[slo]]; route = \"GET /healthz\"; target_us = 1000; objective = 0.999",
+        )
+        .unwrap();
+        assert_eq!(cfg.slos.len(), 1);
+        assert_eq!(cfg.slos[0].route, "GET /healthz");
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(
+            SloConfig::parse("route = \"x\"").is_err(),
+            "key before table"
+        );
+        assert!(
+            SloConfig::parse("[[slo]]\nroute = \"x\"").is_err(),
+            "missing target"
+        );
+        assert!(
+            SloConfig::parse("[[slo]]\nroute=\"x\"\ntarget_us=1\nobjective=1.5").is_err(),
+            "objective out of range"
+        );
+        assert!(
+            SloConfig::parse("[[slo]]\nroute=\"x\"\ntarget_us=1\nobjective=0.9\nnope=1").is_err(),
+            "unknown key"
+        );
+    }
+
+    fn monitor(short: usize, long: usize, objective: f64) -> SloMonitor {
+        SloMonitor::new(SloConfig {
+            slos: vec![RouteSlo {
+                route: "GET /x".to_string(),
+                target_us: 1_000,
+                objective,
+                short_ticks: short,
+                long_ticks: long,
+                burn_threshold: 2.0,
+            }],
+        })
+    }
+
+    #[test]
+    fn fires_within_two_long_windows_and_recovers() {
+        let mut m = monitor(2, 4, 0.9);
+        // Healthy traffic: 100 good per tick.
+        for _ in 0..4 {
+            assert!(m.tick(|_| (100, 0)).is_empty());
+        }
+        // Regression: everything bad. bad_frac must climb past
+        // 2.0 * (1 - 0.9) = 20% in both windows.
+        let mut fired_at = None;
+        for i in 0..8 {
+            let t = m.tick(|_| (0, 100));
+            if let Some(tr) = t.first() {
+                assert_eq!(tr.state, AlertState::Firing);
+                assert!(tr.burn_short >= 2.0 && tr.burn_long >= 2.0);
+                fired_at = Some(i);
+                break;
+            }
+        }
+        // Short window (2 ticks) saturates immediately; the long
+        // window needs 20% of 4 ticks bad — fires by the 2nd bad tick,
+        // comfortably inside two long windows.
+        assert!(fired_at.unwrap() <= 1, "fired at {fired_at:?}");
+        assert_eq!(m.firing(), 1);
+        // Recovery: short window must flush its bad ticks.
+        let mut resolved_at = None;
+        for i in 0..8 {
+            let t = m.tick(|_| (100, 0));
+            if let Some(tr) = t.first() {
+                assert_eq!(tr.state, AlertState::Ok);
+                resolved_at = Some(i);
+                break;
+            }
+        }
+        assert!(resolved_at.unwrap() <= 2, "resolved at {resolved_at:?}");
+        assert_eq!(m.firing(), 0);
+        let json = m.to_json();
+        assert!(json.contains("\"route\":\"GET /x\""));
+        assert!(json.contains("\"state\":\"ok\""));
+        assert!(json.contains("\"transitions\":2"));
+    }
+
+    #[test]
+    fn one_tick_blip_does_not_fire() {
+        let mut m = monitor(2, 10, 0.99);
+        for _ in 0..10 {
+            m.tick(|_| (100, 0));
+        }
+        // A small blip: 3 bad of 100. The short window's bad fraction
+        // is 3/200 = 1.5%, burn 1.5 < 2 — below threshold, no page.
+        let t = m.tick(|_| (97, 3));
+        assert!(t.is_empty(), "blip fired: {t:?}");
+        assert_eq!(m.firing(), 0);
+    }
+
+    #[test]
+    fn idle_ticks_burn_nothing() {
+        let mut m = monitor(2, 4, 0.99);
+        for _ in 0..20 {
+            assert!(m.tick(|_| (0, 0)).is_empty());
+        }
+        assert_eq!(m.firing(), 0);
+    }
+}

@@ -17,6 +17,9 @@ pub struct SlowEntry {
     pub route: String,
     pub status: u16,
     pub total_us: u64,
+    /// Request trace id (0 = none was active), correlating this entry
+    /// with `/debug/requests/:id` and `--trace` output.
+    pub trace_id: u128,
     pub model_hash: Option<u64>,
     pub fidelity: Option<String>,
     pub stages: Vec<(String, u64)>,
@@ -92,6 +95,10 @@ impl SlowLog {
                 e.status,
                 e.total_us,
             ));
+            match e.trace_id {
+                0 => out.push_str(",\"trace_id\":null"),
+                id => out.push_str(&format!(",\"trace_id\":\"{id:032x}\"")),
+            }
             match e.model_hash {
                 Some(h) => out.push_str(&format!(",\"model_hash\":\"{h:016x}\"")),
                 None => out.push_str(",\"model_hash\":null"),
@@ -126,6 +133,7 @@ mod tests {
             route: route.to_string(),
             status: 200,
             total_us,
+            trace_id: 0xdead_beef,
             model_hash: Some(0xabc),
             fidelity: Some("implementation".to_string()),
             stages: vec![("tokenize".to_string(), 10), ("score".to_string(), 40)],
@@ -164,5 +172,6 @@ mod tests {
         assert!(json.contains("\"model_hash\":\"0000000000000abc\""));
         assert!(json.contains("\"fidelity\":\"implementation\""));
         assert!(json.contains("{\"stage\":\"tokenize\",\"us\":10}"));
+        assert!(json.contains("\"trace_id\":\"000000000000000000000000deadbeef\""));
     }
 }

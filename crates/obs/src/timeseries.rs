@@ -1,0 +1,325 @@
+//! Fixed-capacity multi-resolution time-series rings for the telemetry
+//! tick.
+//!
+//! Every tick the server snapshots its counters/histograms and records
+//! scalar points here. Each series keeps three rings — 1 s slots for
+//! the last 10 minutes, 10 s slots for the last hour, 1 min slots for
+//! the last 12 hours — so `/metrics/history` can answer any window the
+//! dashboard asks for from a bounded amount of memory (~1,680 points
+//! per series, ever).
+//!
+//! "Lock-light": the store is a `RwLock` map of series, each series its
+//! own `Mutex`. The tick thread is the only writer in practice, and
+//! history queries touch exactly one series lock each — readers never
+//! contend with unrelated series.
+//!
+//! Scalar samples landing in the same slot collapse per the series'
+//! [`Agg`] policy. Latency quantiles must NOT be downsampled that way
+//! (the mean of two p99s is not a p99) — the tick pipeline instead
+//! merges window histograms ([`crate::hist::Snapshot::merge`]) and
+//! pushes the coarse quantile via [`TimeSeriesStore::push_at`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One retention tier: slot width and ring capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Name used in `/metrics/history?res=`.
+    pub name: &'static str,
+    /// Slot width in milliseconds.
+    pub slot_ms: u64,
+    /// Ring capacity in slots.
+    pub capacity: usize,
+}
+
+/// The three retention tiers: 1 s × 10 min, 10 s × 1 h, 1 min × 12 h.
+pub const RESOLUTIONS: [Resolution; 3] = [
+    Resolution {
+        name: "1s",
+        slot_ms: 1_000,
+        capacity: 600,
+    },
+    Resolution {
+        name: "10s",
+        slot_ms: 10_000,
+        capacity: 360,
+    },
+    Resolution {
+        name: "1m",
+        slot_ms: 60_000,
+        capacity: 720,
+    },
+];
+
+/// Index into [`RESOLUTIONS`] for a resolution name.
+pub fn resolution_index(name: &str) -> Option<usize> {
+    RESOLUTIONS.iter().position(|r| r.name == name)
+}
+
+/// How multiple samples landing in one slot collapse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Arithmetic mean — gauges (utilization, hit rate).
+    Mean,
+    /// Maximum — peaks worth keeping (queue depth).
+    Max,
+    /// Sum — per-tick deltas (request counts, errors).
+    Sum,
+    /// Last value wins — pre-aggregated points.
+    Last,
+}
+
+/// Open accumulator for the slot currently being filled.
+#[derive(Debug, Clone, Copy)]
+struct SlotAcc {
+    slot_ts: u64,
+    sum: f64,
+    count: u64,
+    max: f64,
+    last: f64,
+}
+
+impl SlotAcc {
+    fn new(slot_ts: u64, value: f64) -> SlotAcc {
+        SlotAcc {
+            slot_ts,
+            sum: value,
+            count: 1,
+            max: value,
+            last: value,
+        }
+    }
+
+    fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        if value > self.max {
+            self.max = value;
+        }
+        self.last = value;
+    }
+
+    fn value(&self, agg: Agg) -> f64 {
+        match agg {
+            Agg::Mean => self.sum / self.count.max(1) as f64,
+            Agg::Max => self.max,
+            Agg::Sum => self.sum,
+            Agg::Last => self.last,
+        }
+    }
+}
+
+/// One retention tier of one series: finalized points plus the open
+/// accumulator for the in-progress slot.
+#[derive(Debug, Default)]
+struct ResRing {
+    ring: VecDeque<(u64, f64)>,
+    acc: Option<SlotAcc>,
+}
+
+impl ResRing {
+    fn finalize_into_ring(&mut self, agg: Agg, capacity: usize) {
+        if let Some(acc) = self.acc.take() {
+            self.ring.push_back((acc.slot_ts, acc.value(agg)));
+            while self.ring.len() > capacity {
+                self.ring.pop_front();
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SeriesData {
+    agg: Agg,
+    rings: [ResRing; 3],
+}
+
+/// Named series of (unix-ms, value) points at three resolutions.
+#[derive(Debug, Default)]
+pub struct TimeSeriesStore {
+    series: RwLock<BTreeMap<String, Arc<Mutex<SeriesData>>>>,
+}
+
+impl TimeSeriesStore {
+    #[must_use]
+    pub fn new() -> TimeSeriesStore {
+        TimeSeriesStore::default()
+    }
+
+    fn series(&self, name: &str, agg: Agg) -> Arc<Mutex<SeriesData>> {
+        if let Some(s) = self.series.read().expect("timeseries poisoned").get(name) {
+            return Arc::clone(s);
+        }
+        let mut map = self.series.write().expect("timeseries poisoned");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Mutex::new(SeriesData {
+                agg,
+                rings: [ResRing::default(), ResRing::default(), ResRing::default()],
+            }))
+        }))
+    }
+
+    /// Record one scalar sample at `ts_ms` into all three resolutions.
+    /// Samples in the same slot collapse per `agg` (fixed at series
+    /// creation; later values are ignored). Out-of-order samples older
+    /// than the open slot are dropped.
+    pub fn record(&self, name: &str, agg: Agg, ts_ms: u64, value: f64) {
+        let series = self.series(name, agg);
+        let mut data = series.lock().expect("series poisoned");
+        let agg = data.agg;
+        for (i, res) in RESOLUTIONS.iter().enumerate() {
+            let slot_ts = ts_ms - ts_ms % res.slot_ms;
+            let ring = &mut data.rings[i];
+            match &mut ring.acc {
+                Some(acc) if acc.slot_ts == slot_ts => acc.add(value),
+                Some(acc) if acc.slot_ts > slot_ts => {} // stale sample
+                _ => {
+                    ring.finalize_into_ring(agg, res.capacity);
+                    ring.acc = Some(SlotAcc::new(slot_ts, value));
+                }
+            }
+        }
+    }
+
+    /// Append a pre-aggregated point to one resolution ring, replacing
+    /// any existing point in the same slot. For producers that compute
+    /// the coarse value themselves (merged-histogram quantiles).
+    pub fn push_at(&self, name: &str, res: usize, ts_ms: u64, value: f64) {
+        debug_assert!(res < RESOLUTIONS.len());
+        let resolution = RESOLUTIONS[res];
+        let slot_ts = ts_ms - ts_ms % resolution.slot_ms;
+        let series = self.series(name, Agg::Last);
+        let mut data = series.lock().expect("series poisoned");
+        let ring = &mut data.rings[res].ring;
+        match ring.back_mut() {
+            Some(back) if back.0 == slot_ts => back.1 = value,
+            Some(back) if back.0 > slot_ts => {} // stale sample
+            _ => {
+                ring.push_back((slot_ts, value));
+                while ring.len() > resolution.capacity {
+                    ring.pop_front();
+                }
+            }
+        }
+    }
+
+    /// All points retained for `name` at resolution index `res`,
+    /// oldest first, including the open (partial) slot so fresh series
+    /// are visible before their first coarse slot closes.
+    pub fn query(&self, name: &str, res: usize) -> Vec<(u64, f64)> {
+        debug_assert!(res < RESOLUTIONS.len());
+        let Some(series) = self
+            .series
+            .read()
+            .expect("timeseries poisoned")
+            .get(name)
+            .cloned()
+        else {
+            return Vec::new();
+        };
+        let data = series.lock().expect("series poisoned");
+        let ring = &data.rings[res];
+        let mut out: Vec<(u64, f64)> = ring.ring.iter().copied().collect();
+        if let Some(acc) = &ring.acc {
+            out.push((acc.slot_ts, acc.value(data.agg)));
+        }
+        out
+    }
+
+    /// Sorted names of every series the store has seen.
+    pub fn names(&self) -> Vec<String> {
+        self.series
+            .read()
+            .expect("timeseries poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_lookup() {
+        assert_eq!(resolution_index("1s"), Some(0));
+        assert_eq!(resolution_index("10s"), Some(1));
+        assert_eq!(resolution_index("1m"), Some(2));
+        assert_eq!(resolution_index("5s"), None);
+    }
+
+    #[test]
+    fn same_slot_samples_collapse_per_agg() {
+        let store = TimeSeriesStore::new();
+        store.record("mean", Agg::Mean, 1_000, 2.0);
+        store.record("mean", Agg::Mean, 1_500, 4.0);
+        store.record("sum", Agg::Sum, 1_000, 2.0);
+        store.record("sum", Agg::Sum, 1_500, 4.0);
+        store.record("max", Agg::Max, 1_000, 2.0);
+        store.record("max", Agg::Max, 1_500, 4.0);
+        // Still the open slot — query exposes the partial value.
+        assert_eq!(store.query("mean", 0), vec![(1_000, 3.0)]);
+        assert_eq!(store.query("sum", 0), vec![(1_000, 6.0)]);
+        assert_eq!(store.query("max", 0), vec![(1_000, 4.0)]);
+    }
+
+    #[test]
+    fn slot_advance_finalizes_and_caps() {
+        let store = TimeSeriesStore::new();
+        // 700 one-second slots: 1s ring holds the last 600 finalized +
+        // the open slot; the 1m ring sees ~12 minute slots.
+        for i in 0..700u64 {
+            store.record("s", Agg::Last, i * 1_000, i as f64);
+        }
+        let fine = store.query("s", 0);
+        assert_eq!(fine.len(), 601);
+        assert_eq!(fine.first().copied(), Some((99_000, 99.0)));
+        assert_eq!(fine.last().copied(), Some((699_000, 699.0)));
+        let coarse = store.query("s", 2);
+        assert_eq!(coarse.len(), 12);
+        // Timestamps strictly increase at every resolution.
+        for pts in [&fine, &coarse] {
+            for w in pts.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn push_at_replaces_same_slot_and_keeps_capacity() {
+        let store = TimeSeriesStore::new();
+        store.push_at("p99", 2, 60_000, 10.0);
+        store.push_at("p99", 2, 90_000, 20.0); // same 1m slot: replace
+        assert_eq!(store.query("p99", 2), vec![(60_000, 20.0)]);
+        for i in 0..800u64 {
+            store.push_at("p99", 2, i * 60_000, i as f64);
+        }
+        let pts = store.query("p99", 2);
+        assert_eq!(pts.len(), 720);
+        assert_eq!(pts.last().copied(), Some((799 * 60_000, 799.0)));
+        // Other resolutions were never fed.
+        assert!(store.query("p99", 0).is_empty());
+    }
+
+    #[test]
+    fn stale_samples_are_dropped() {
+        let store = TimeSeriesStore::new();
+        store.record("s", Agg::Sum, 10_000, 1.0);
+        store.record("s", Agg::Sum, 9_000, 5.0); // older slot: dropped
+        assert_eq!(store.query("s", 0), vec![(10_000, 1.0)]);
+        store.push_at("q", 0, 10_000, 1.0);
+        store.push_at("q", 0, 9_000, 5.0);
+        assert_eq!(store.query("q", 0), vec![(10_000, 1.0)]);
+    }
+
+    #[test]
+    fn names_are_sorted_and_unknown_series_empty() {
+        let store = TimeSeriesStore::new();
+        store.record("b", Agg::Last, 0, 1.0);
+        store.record("a", Agg::Last, 0, 1.0);
+        assert_eq!(store.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(store.query("zzz", 0).is_empty());
+    }
+}

@@ -20,6 +20,9 @@ struct Slot {
     ts_us: AtomicU64,
     dur_us: AtomicU64,
     items: AtomicU64,
+    /// 16-byte request trace id, split across two words (0 = none).
+    trace_hi: AtomicU64,
+    trace_lo: AtomicU64,
 }
 
 pub struct TraceRing {
@@ -36,6 +39,8 @@ pub struct TraceEvent {
     pub ts_us: u64,
     pub dur_us: u64,
     pub items: u64,
+    /// Request trace id the span belonged to (0 when none was active).
+    pub trace: u128,
 }
 
 impl TraceRing {
@@ -47,6 +52,8 @@ impl TraceRing {
                 ts_us: AtomicU64::new(0),
                 dur_us: AtomicU64::new(0),
                 items: AtomicU64::new(0),
+                trace_hi: AtomicU64::new(0),
+                trace_lo: AtomicU64::new(0),
             })
             .collect();
         TraceRing {
@@ -57,7 +64,17 @@ impl TraceRing {
 
     /// Record one completed span. Wait-free for the writer; on wrap the
     /// oldest events are overwritten.
-    pub fn push(&self, stage: u16, depth: u16, tid: u32, ts_us: u64, dur_us: u64, items: u64) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &self,
+        stage: u16,
+        depth: u16,
+        tid: u32,
+        ts_us: u64,
+        dur_us: u64,
+        items: u64,
+        trace: u128,
+    ) {
         let n = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
         let slot = &self.slots[n];
         slot.seq.fetch_add(1, Ordering::AcqRel); // even -> odd: write in progress
@@ -66,6 +83,8 @@ impl TraceRing {
         slot.ts_us.store(ts_us, Ordering::Relaxed);
         slot.dur_us.store(dur_us, Ordering::Relaxed);
         slot.items.store(items, Ordering::Relaxed);
+        slot.trace_hi.store((trace >> 64) as u64, Ordering::Relaxed);
+        slot.trace_lo.store(trace as u64, Ordering::Relaxed);
         slot.seq.fetch_add(1, Ordering::Release); // odd -> even: stable
     }
 
@@ -87,6 +106,8 @@ impl TraceRing {
             let ts_us = slot.ts_us.load(Ordering::Relaxed);
             let dur_us = slot.dur_us.load(Ordering::Relaxed);
             let items = slot.items.load(Ordering::Relaxed);
+            let trace_hi = slot.trace_hi.load(Ordering::Relaxed);
+            let trace_lo = slot.trace_lo.load(Ordering::Relaxed);
             if slot.seq.load(Ordering::Acquire) != seq1 {
                 continue; // overwritten while reading
             }
@@ -97,6 +118,7 @@ impl TraceRing {
                 ts_us,
                 dur_us,
                 items,
+                trace: ((trace_hi as u128) << 64) | trace_lo as u128,
             });
         }
         out.sort_by_key(|e| (e.ts_us, std::cmp::Reverse(e.dur_us)));
@@ -132,15 +154,21 @@ pub fn chrome_trace_json(events: &[TraceEvent], stage_name: impl Fn(u16) -> Stri
         if i > 0 {
             out.push(',');
         }
+        let trace_arg = if e.trace == 0 {
+            String::new()
+        } else {
+            format!(",\"trace_id\":\"{:032x}\"", e.trace)
+        };
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"cat\":\"cpssec\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
-             \"ts\":{},\"dur\":{},\"args\":{{\"items\":{},\"depth\":{}}}}}",
+             \"ts\":{},\"dur\":{},\"args\":{{\"items\":{},\"depth\":{}{}}}}}",
             escape_json(&stage_name(e.stage)),
             e.tid,
             e.ts_us,
             e.dur_us,
             e.items,
             e.depth,
+            trace_arg,
         ));
     }
     out.push_str("]}");
@@ -154,8 +182,8 @@ mod tests {
     #[test]
     fn push_and_decode() {
         let ring = TraceRing::new(8);
-        ring.push(3, 1, 7, 100, 25, 4);
-        ring.push(1, 0, 7, 90, 50, 0);
+        ring.push(3, 1, 7, 100, 25, 4, 0);
+        ring.push(1, 0, 7, 90, 50, 0, 0);
         let events = ring.events();
         assert_eq!(events.len(), 2);
         // Sorted by start time.
@@ -170,7 +198,7 @@ mod tests {
     fn wraps_keeping_latest() {
         let ring = TraceRing::new(4);
         for i in 0..10u64 {
-            ring.push(i as u16, 0, 1, i * 10, 1, 0);
+            ring.push(i as u16, 0, 1, i * 10, 1, 0, 0);
         }
         let events = ring.events();
         assert_eq!(events.len(), 4);
@@ -179,9 +207,24 @@ mod tests {
     }
 
     #[test]
+    fn trace_id_round_trips_through_the_ring() {
+        let ring = TraceRing::new(4);
+        let id: u128 = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210;
+        ring.push(2, 0, 1, 10, 5, 0, id);
+        ring.push(2, 0, 1, 20, 5, 0, 0);
+        let events = ring.events();
+        assert_eq!(events[0].trace, id);
+        assert_eq!(events[1].trace, 0);
+        let json = chrome_trace_json(&events, |_| "serve".to_string());
+        assert!(json.contains("\"trace_id\":\"0123456789abcdeffedcba9876543210\""));
+        // Events with no active trace omit the key entirely.
+        assert_eq!(json.matches("trace_id").count(), 1);
+    }
+
+    #[test]
     fn chrome_json_shape() {
         let ring = TraceRing::new(4);
-        ring.push(0, 0, 1, 5, 17, 2);
+        ring.push(0, 0, 1, 5, 17, 2, 0);
         let json = chrome_trace_json(&ring.events(), |_| "associate".to_string());
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ts\":5"));

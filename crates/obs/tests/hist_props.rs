@@ -69,13 +69,35 @@ proptest! {
     ) {
         let ha = record_all(&a);
         let hb = record_all(&b);
-        ha.merge_from(&hb);
+        ha.merge(&hb);
 
         let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
         let hc = record_all(&concat);
 
         prop_assert_eq!(ha.snapshot(), hc.snapshot());
         prop_assert_eq!(ha.count(), concat.len() as u64);
+    }
+
+    #[test]
+    fn snapshot_diff_then_merge_round_trips(
+        before in prop::collection::vec(0u64..5_000_000, 0..150),
+        window in prop::collection::vec(0u64..5_000_000, 0..150),
+    ) {
+        // diff of two snapshots of one cumulative histogram recovers
+        // exactly the samples recorded in between, and merging the
+        // delta back restores the later snapshot.
+        let h = record_all(&before);
+        let earlier = h.snapshot();
+        for &v in &window {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        let delta = later.diff(&earlier);
+
+        prop_assert_eq!(&delta, &record_all(&window).snapshot());
+        let mut rebuilt = earlier;
+        rebuilt.merge(&delta);
+        prop_assert_eq!(rebuilt, later);
     }
 
     #[test]

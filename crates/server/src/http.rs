@@ -270,29 +270,40 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value) beyond the fixed set.
+    pub extra_headers: Vec<(String, String)>,
     /// The body.
     pub body: Vec<u8>,
 }
 
 impl Response {
+    /// A response with an explicit `Content-Type` (HTML pages, the
+    /// Prometheus exposition format).
+    #[must_use]
+    pub fn with_type(status: u16, content_type: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type,
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
     /// A `text/plain` response.
     #[must_use]
     pub fn text(status: u16, body: impl Into<String>) -> Response {
-        Response {
-            status,
-            content_type: "text/plain; charset=utf-8",
-            body: body.into().into_bytes(),
-        }
+        Response::with_type(status, "text/plain; charset=utf-8", body)
     }
 
     /// An `application/json` response.
     #[must_use]
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            body: body.into().into_bytes(),
-        }
+        Response::with_type(status, "application/json", body)
+    }
+
+    /// Adds one extra response header.
+    pub fn add_header(&mut self, name: &str, value: impl Into<String>) {
+        self.extra_headers.push((name.to_string(), value.into()));
     }
 
     /// A JSON error envelope: `{"error": "..."}`.
@@ -312,13 +323,17 @@ impl Response {
     pub fn write_to(&self, writer: &mut impl Write, close: bool) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" },
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -409,6 +424,17 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut resp = Response::json(200, "{}");
+        resp.add_header("X-Trace-Id", "00ff");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Trace-Id: 00ff\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 

@@ -27,17 +27,20 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod dashboard;
 pub mod http;
 pub mod load;
 pub mod metrics;
 pub mod pool;
+pub mod requests;
 pub mod router;
 pub mod session;
 pub mod signal;
+pub mod telemetry;
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -72,6 +75,16 @@ pub struct AppState {
     pub slow: cpssec_obs::SlowLog,
     /// Index-load timing and snapshot hit/miss, fixed at construction.
     pub startup: StartupStats,
+    /// Time-series store + SLO monitor, fed by the telemetry tick.
+    pub telemetry: telemetry::Telemetry,
+    /// Ring of recently served requests, keyed by trace id
+    /// (`GET /debug/requests/:id`).
+    pub requests: requests::RequestLog,
+    /// Worker-pool saturation gauges, sampled each tick.
+    pub pool_stats: Arc<pool::PoolStats>,
+    /// Artificial per-request delay in µs (`POST /debug/delay?us=N`) —
+    /// a test hook for inducing latency regressions against the SLOs.
+    pub test_delay: AtomicU64,
 }
 
 /// Retained slow-query entries.
@@ -187,6 +200,10 @@ impl AppState {
             metrics: Metrics::new(),
             slow: cpssec_obs::SlowLog::new(SLOW_LOG_CAPACITY, slow_threshold_us()),
             startup,
+            telemetry: telemetry::Telemetry::new(),
+            requests: requests::RequestLog::new(requests::DEFAULT_REQUEST_LOG_CAPACITY),
+            pool_stats: Arc::new(pool::PoolStats::new()),
+            test_delay: AtomicU64::new(0),
         })
     }
 
@@ -196,6 +213,45 @@ impl AppState {
         match scoring {
             ScoringModel::TfIdf => &self.engine_tfidf,
             ScoringModel::Bm25 => &self.engine_bm25,
+        }
+    }
+
+    /// Runs one telemetry tick at wall time `ts_ms`: diffs counters and
+    /// histograms, feeds the time-series store, evaluates SLO burn
+    /// rates, and logs one stderr line per alert transition.
+    pub fn telemetry_tick(&self, ts_ms: u64) {
+        let (resp_hits, resp_misses) = self.responses.stats();
+        let (prior_hits, prior_misses) = self.priors.stats();
+        let transitions = self.telemetry.tick(
+            ts_ms,
+            &self.metrics,
+            &[
+                ("responses", resp_hits, resp_misses),
+                ("priors", prior_hits, prior_misses),
+            ],
+            &self.pool_stats,
+            &self.slow,
+        );
+        for t in transitions {
+            eprintln!(
+                "slo {}: {} (burn short {:.2}, long {:.2})",
+                t.route,
+                t.state.as_str(),
+                t.burn_short,
+                t.burn_long
+            );
+        }
+    }
+
+    /// Sleeps for the configured test delay (if any) inside a
+    /// `test-delay` span. Handlers call this *before* their cache
+    /// lookup so even cache hits slow down — that is what lets the SLO
+    /// integration test induce a latency regression under load.
+    pub fn apply_test_delay(&self) {
+        let us = self.test_delay.load(Ordering::Relaxed);
+        if us > 0 {
+            let _span = cpssec_obs::span!("test-delay");
+            std::thread::sleep(Duration::from_micros(us));
         }
     }
 }
@@ -218,6 +274,7 @@ pub struct Server {
     state: Arc<AppState>,
     workers: usize,
     shutdown: Arc<AtomicBool>,
+    tick_ms: u64,
 }
 
 impl Server {
@@ -234,7 +291,14 @@ impl Server {
             state,
             workers,
             shutdown: Arc::new(AtomicBool::new(false)),
+            tick_ms: telemetry::DEFAULT_TICK_MS,
         })
+    }
+
+    /// Overrides the telemetry tick interval (default 1000 ms). Tests
+    /// shrink it so burn-rate windows elapse in milliseconds.
+    pub fn set_tick_ms(&mut self, tick_ms: u64) {
+        self.tick_ms = tick_ms.max(1);
     }
 
     /// The bound address (useful after binding port 0).
@@ -273,7 +337,26 @@ impl Server {
         // breakdown and /metrics histograms, so serving enables them.
         cpssec_obs::recorder().enable_spans();
         self.listener.set_nonblocking(true)?;
-        let pool = pool::WorkerPool::new(self.workers);
+        let pool = pool::WorkerPool::with_stats(self.workers, Arc::clone(&self.state.pool_stats));
+
+        // Telemetry tick thread: sleeps in short slices so shutdown is
+        // prompt even with multi-second tick intervals.
+        let tick_state = Arc::clone(&self.state);
+        let tick_shutdown = Arc::clone(&self.shutdown);
+        let tick_ms = self.tick_ms;
+        let ticker = std::thread::Builder::new()
+            .name("cpssec-tick".to_owned())
+            .spawn(move || {
+                while !tick_shutdown.load(Ordering::Relaxed) {
+                    let next = Instant::now() + Duration::from_millis(tick_ms);
+                    while Instant::now() < next && !tick_shutdown.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(tick_ms.min(20)));
+                    }
+                    tick_state.telemetry_tick(telemetry::now_ms());
+                }
+            })
+            .expect("spawn tick thread");
+
         while !self.shutdown.load(Ordering::Relaxed) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -289,6 +372,10 @@ impl Server {
             }
         }
         drop(pool); // Drain the queue, join the workers.
+        let _ = ticker.join();
+        // Final tick after the drain so the last partial second of
+        // traffic is in the time-series store before we exit.
+        self.state.telemetry_tick(telemetry::now_ms());
         Ok(())
     }
 }
@@ -328,13 +415,27 @@ fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool)
             }
         };
 
+        // Honor an inbound W3C `traceparent`, else mint a fresh trace
+        // id. The id rides the thread-local through every span this
+        // request opens, so `--trace` output, the slow-query log, and
+        // `/debug/requests/:id` all correlate on it.
+        let remote_parent = request
+            .header("traceparent")
+            .and_then(requests::parse_traceparent);
+        let trace_id = remote_parent.unwrap_or_else(cpssec_obs::mint_trace_id);
+        cpssec_obs::set_trace_id(trace_id);
+
         let started = Instant::now();
         let capture = cpssec_obs::Capture::begin();
-        let (route, response) = {
+        let (route, mut response) = {
             let _span = cpssec_obs::span!("serve-request");
             router::dispatch(state, &request)
         };
         let stages = capture.finish(cpssec_obs::recorder());
+        // Clear before any pooled-thread reuse: the next request on
+        // this thread must not inherit this id.
+        cpssec_obs::set_trace_id(0);
+        let annotations = cpssec_obs::take_annotations();
         let elapsed = started.elapsed();
         state.metrics.record(route, response.status, elapsed);
         let note = cpssec_obs::take_note();
@@ -344,11 +445,25 @@ fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool)
                 route: route.to_owned(),
                 status: response.status,
                 total_us,
+                trace_id,
                 model_hash: note.as_ref().map(|(hash, _)| *hash),
-                fidelity: note.map(|(_, fidelity)| fidelity),
-                stages,
+                fidelity: note.clone().map(|(_, fidelity)| fidelity),
+                stages: stages.clone(),
             });
         }
+        state.requests.record(requests::RequestEntry {
+            trace_id,
+            route: route.to_owned(),
+            status: response.status,
+            ts_ms: telemetry::now_ms(),
+            total_us,
+            remote_parent: remote_parent.is_some(),
+            stages,
+            annotations,
+            model_hash: note.as_ref().map(|(hash, _)| *hash),
+            fidelity: note.map(|(_, fidelity)| fidelity),
+        });
+        response.add_header("X-Trace-Id", format!("{trace_id:032x}"));
 
         // Close after this response if the client asked, or if the server
         // is draining (keeps shutdown prompt under keep-alive load).

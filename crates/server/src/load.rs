@@ -74,13 +74,27 @@ impl LoadReport {
     }
 }
 
-/// A parsed HTTP response (status + body) from the wire.
+/// A parsed HTTP response (status + headers + body) from the wire.
 #[derive(Debug)]
 pub struct WireResponse {
     /// Status code.
     pub status: u16,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
+}
+
+impl WireResponse {
+    /// A header value by (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads one HTTP/1.1 response with a `Content-Length` body.
@@ -102,6 +116,7 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<WireResponse> {
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -110,16 +125,23 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<WireResponse> {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                 })?;
             }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     io::Read::read_exact(reader, &mut body)?;
-    Ok(WireResponse { status, body })
+    Ok(WireResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// The what-if body every fourth request posts (a risky-OS edit on the
@@ -205,6 +227,7 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nok\n";
         let response = read_response(&mut BufReader::new(&raw[..])).unwrap();
         assert_eq!(response.status, 200);
+        assert_eq!(response.header("Content-Type"), Some("text/plain"));
         assert_eq!(response.body, b"ok\n");
     }
 

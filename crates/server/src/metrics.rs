@@ -14,7 +14,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+use cpssec_obs::hist::Snapshot;
 use cpssec_obs::Histogram;
+
+/// `Content-Type` of the exposition format this module renders.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Rendered histogram bucket bounds (µs): powers of four spanning the
 /// whole tracked range. These align with the underlying octave
@@ -60,6 +64,38 @@ pub struct StartupStats {
 #[derive(Default)]
 pub struct Metrics {
     routes: RwLock<HashMap<String, Arc<RouteStats>>>,
+}
+
+/// Point-in-time copy of one route's counters, as returned by
+/// [`Metrics::snapshot_all`]; the telemetry tick diffs consecutive
+/// copies to get per-tick windows.
+#[derive(Debug, Clone)]
+pub struct RouteObservation {
+    /// Cumulative request count.
+    pub count: u64,
+    /// Cumulative error (status >= 400) count.
+    pub errors: u64,
+    /// Cumulative latency histogram.
+    pub latency: Snapshot,
+}
+
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n` (the exposition format's full escape set for label values).
+#[must_use]
+pub fn escape_label(value: &str) -> Cow<'_, str> {
+    if !value.contains(['\\', '"', '\n']) {
+        return Cow::Borrowed(value);
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
 }
 
 /// Collapses raw model ids in a route label to the `:id` pattern, so the
@@ -125,65 +161,178 @@ impl Metrics {
             .sum()
     }
 
-    /// Renders the registry in a flat `name{labels} value` text format.
-    /// `caches` supplies `(name, hits, misses)` triples from the result
-    /// caches; `startup` supplies the one-time index-load facts.
-    pub fn render(&self, caches: &[(&str, u64, u64)], startup: &StartupStats) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let mut routes: Vec<(String, Arc<RouteStats>)> = {
+    /// Point-in-time copies of every route's counters, sorted by route.
+    pub fn snapshot_all(&self) -> Vec<(String, RouteObservation)> {
+        let routes: Vec<(String, Arc<RouteStats>)> = {
             let map = self.routes.read().expect("metrics poisoned");
             map.iter()
                 .map(|(route, stats)| (route.clone(), Arc::clone(stats)))
                 .collect()
         };
-        routes.sort_by(|a, b| a.0.cmp(&b.0));
-        for (route, stats) in &routes {
-            let snap = stats.latency.snapshot();
+        let mut out: Vec<(String, RouteObservation)> = routes
+            .into_iter()
+            .map(|(route, stats)| {
+                (
+                    route,
+                    RouteObservation {
+                        count: stats.count.load(Ordering::Relaxed),
+                        errors: stats.errors.load(Ordering::Relaxed),
+                        latency: stats.latency.snapshot(),
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# HELP`/`# TYPE` pair per metric family,
+    /// family-major sample ordering, escaped label values. `caches`
+    /// supplies `(name, hits, misses)` triples from the result caches;
+    /// `startup` supplies the one-time index-load facts.
+    pub fn render(&self, caches: &[(&str, u64, u64)], startup: &StartupStats) -> String {
+        use std::fmt::Write as _;
+        fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+        let mut out = String::new();
+        let routes = self.snapshot_all();
+
+        family(
+            &mut out,
+            "requests_total",
+            "counter",
+            "Requests served, by route.",
+        );
+        for (route, obs) in &routes {
             let _ = writeln!(
                 out,
-                "requests_total{{route=\"{route}\"}} {}",
-                stats.count.load(Ordering::Relaxed)
+                "requests_total{{route=\"{}\"}} {}",
+                escape_label(route),
+                obs.count
             );
+        }
+        family(
+            &mut out,
+            "errors_total",
+            "counter",
+            "Requests answered with status >= 400, by route.",
+        );
+        for (route, obs) in &routes {
             let _ = writeln!(
                 out,
-                "errors_total{{route=\"{route}\"}} {}",
-                stats.errors.load(Ordering::Relaxed)
+                "errors_total{{route=\"{}\"}} {}",
+                escape_label(route),
+                obs.errors
             );
-            let _ = writeln!(out, "latency_us_sum{{route=\"{route}\"}} {}", snap.sum_us);
-            let _ = writeln!(out, "latency_us_count{{route=\"{route}\"}} {}", snap.count);
+        }
+        family(
+            &mut out,
+            "latency_us",
+            "histogram",
+            "Request latency in microseconds, by route.",
+        );
+        for (route, obs) in &routes {
+            let route = escape_label(route);
             for le in RENDER_LE_US {
                 let _ = writeln!(
                     out,
                     "latency_us_bucket{{route=\"{route}\",le=\"{le}\"}} {}",
-                    snap.count_le(le)
+                    obs.latency.count_le(le)
                 );
             }
             let _ = writeln!(
                 out,
                 "latency_us_bucket{{route=\"{route}\",le=\"+Inf\"}} {}",
-                snap.count
+                obs.latency.count
             );
+            let _ = writeln!(
+                out,
+                "latency_us_sum{{route=\"{route}\"}} {}",
+                obs.latency.sum_us
+            );
+            let _ = writeln!(
+                out,
+                "latency_us_count{{route=\"{route}\"}} {}",
+                obs.latency.count
+            );
+        }
+        family(
+            &mut out,
+            "latency_us_quantile",
+            "gauge",
+            "Latency quantile extractions (<=6.25% bucket error), by route.",
+        );
+        for (route, obs) in &routes {
             for (name, q) in QUANTILES {
                 let _ = writeln!(
                     out,
-                    "latency_us{{route=\"{route}\",quantile=\"{name}\"}} {}",
-                    snap.quantile_us(q)
+                    "latency_us_quantile{{route=\"{}\",quantile=\"{name}\"}} {}",
+                    escape_label(route),
+                    obs.latency.quantile_us(q)
                 );
             }
         }
+        family(
+            &mut out,
+            "cache_hits_total",
+            "counter",
+            "Result-cache hits.",
+        );
+        for &(name, hits, _) in caches {
+            let _ = writeln!(
+                out,
+                "cache_hits_total{{cache=\"{}\"}} {hits}",
+                escape_label(name)
+            );
+        }
+        family(
+            &mut out,
+            "cache_misses_total",
+            "counter",
+            "Result-cache misses.",
+        );
+        for &(name, _, misses) in caches {
+            let _ = writeln!(
+                out,
+                "cache_misses_total{{cache=\"{}\"}} {misses}",
+                escape_label(name)
+            );
+        }
+        family(
+            &mut out,
+            "cache_hit_ratio",
+            "gauge",
+            "Lifetime cache hit ratio (0 when unused).",
+        );
         for &(name, hits, misses) in caches {
-            let _ = writeln!(out, "cache_hits_total{{cache=\"{name}\"}} {hits}");
-            let _ = writeln!(out, "cache_misses_total{{cache=\"{name}\"}} {misses}");
             let total = hits + misses;
             let ratio = if total == 0 {
                 0.0
             } else {
                 hits as f64 / total as f64
             };
-            let _ = writeln!(out, "cache_hit_ratio{{cache=\"{name}\"}} {ratio:.4}");
+            let _ = writeln!(
+                out,
+                "cache_hit_ratio{{cache=\"{}\"}} {ratio:.4}",
+                escape_label(name)
+            );
         }
+        family(
+            &mut out,
+            "index_load_us",
+            "gauge",
+            "Wall time to produce query-ready engines at startup.",
+        );
         let _ = writeln!(out, "index_load_us {}", startup.index_load_us);
+        family(
+            &mut out,
+            "snapshot_loads_total",
+            "counter",
+            "Engine startups by source: snapshot hit or corpus build.",
+        );
         let _ = writeln!(
             out,
             "snapshot_loads_total{{result=\"hit\"}} {}",
@@ -230,8 +379,8 @@ mod tests {
         assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"256\"} 2"));
         assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"16384\"} 3"));
         assert!(text.contains("latency_us_bucket{route=\"GET /healthz\",le=\"+Inf\"} 3"));
-        assert!(text.contains("latency_us{route=\"GET /healthz\",quantile=\"p50\"}"));
-        assert!(text.contains("latency_us{route=\"GET /healthz\",quantile=\"p99\"}"));
+        assert!(text.contains("latency_us_quantile{route=\"GET /healthz\",quantile=\"p50\"}"));
+        assert!(text.contains("latency_us_quantile{route=\"GET /healthz\",quantile=\"p99\"}"));
         assert!(text.contains("cache_hits_total{cache=\"responses\"} 3"));
         assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.7500"));
         assert!(text.contains("index_load_us 1234"));
@@ -261,11 +410,65 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing {needle}"));
             line.rsplit(' ').next().unwrap().parse().unwrap()
         };
-        let p50 = value("latency_us{route=\"GET /x\",quantile=\"p50\"}");
-        let p99 = value("latency_us{route=\"GET /x\",quantile=\"p99\"}");
+        let p50 = value("latency_us_quantile{route=\"GET /x\",quantile=\"p50\"}");
+        let p99 = value("latency_us_quantile{route=\"GET /x\",quantile=\"p99\"}");
         // p50 sits in 300's bucket, p99 in 50000's — within 6.25%.
         assert!((282..=320).contains(&p50), "p50 {p50}");
         assert!((46_875..=53_125).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        let metrics = Metrics::new();
+        metrics.record("GET /weird\"\\\nroute", 200, Duration::from_micros(10));
+        let text = metrics.render(&[], &StartupStats::default());
+        assert!(
+            text.contains("requests_total{route=\"GET /weird\\\"\\\\\\nroute\"} 1"),
+            "{text}"
+        );
+        // No raw newline may survive inside any sample line's label.
+        assert!(text.lines().all(|l| !l.contains("weird\"")));
+    }
+
+    #[test]
+    fn every_family_is_declared_before_its_samples() {
+        let metrics = Metrics::new();
+        metrics.record("GET /healthz", 200, Duration::from_micros(50));
+        let text = metrics.render(&[("responses", 1, 1)], &StartupStats::default());
+        for fam in [
+            "requests_total",
+            "errors_total",
+            "latency_us",
+            "latency_us_quantile",
+            "cache_hits_total",
+            "cache_misses_total",
+            "cache_hit_ratio",
+            "index_load_us",
+            "snapshot_loads_total",
+        ] {
+            let type_pos = text
+                .find(&format!("# TYPE {fam} "))
+                .unwrap_or_else(|| panic!("missing TYPE for {fam}"));
+            assert!(
+                text.contains(&format!("# HELP {fam} ")),
+                "missing HELP {fam}"
+            );
+            let sample_pos = text
+                .lines()
+                .scan(0, |acc, l| {
+                    let start = *acc;
+                    *acc += l.len() + 1;
+                    Some((start, l))
+                })
+                .find(|(_, l)| l.starts_with(fam) && !l.starts_with('#'))
+                .map(|(pos, _)| pos)
+                .unwrap_or_else(|| panic!("no samples for {fam}"));
+            assert!(type_pos < sample_pos, "{fam} declared after its samples");
+        }
     }
 
     #[test]

@@ -7,38 +7,97 @@
 //! reporting disconnection), and the drop then joins all workers — so
 //! in-flight requests complete before the listener exits.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Live saturation gauges for a pool: thread count, jobs currently
+/// executing, jobs waiting in the queue. Shared with the telemetry
+/// tick, which samples them once a second.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    size: AtomicU64,
+    busy: AtomicU64,
+    queued: AtomicU64,
+}
+
+impl PoolStats {
+    /// Fresh gauges (all zero); sized when a pool adopts them.
+    #[must_use]
+    pub fn new() -> PoolStats {
+        PoolStats::default()
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> u64 {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently executing.
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Busy workers as a fraction of the pool (0.0 when unsized).
+    pub fn utilization(&self) -> f64 {
+        let size = self.size();
+        if size == 0 {
+            return 0.0;
+        }
+        self.busy() as f64 / size as f64
+    }
+}
+
 /// The pool. Dropping it drains the queue and joins every worker.
 pub struct WorkerPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
 }
 
 impl WorkerPool {
     /// Spawns `size` workers (at least one).
     #[must_use]
     pub fn new(size: usize) -> WorkerPool {
+        Self::with_stats(size, Arc::new(PoolStats::new()))
+    }
+
+    /// Spawns `size` workers reporting saturation into `stats`.
+    #[must_use]
+    pub fn with_stats(size: usize, stats: Arc<PoolStats>) -> WorkerPool {
         let size = size.max(1);
+        stats.size.store(size as u64, Ordering::Relaxed);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..size)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("cpssec-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(&receiver, &stats))
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
             sender: Some(sender),
             workers,
+            stats,
         }
+    }
+
+    /// The pool's saturation gauges.
+    #[must_use]
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Number of worker threads.
@@ -50,6 +109,7 @@ impl WorkerPool {
     /// Queues a job for the next free worker.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         if let Some(sender) = &self.sender {
+            self.stats.queued.fetch_add(1, Ordering::Relaxed);
             // Send fails only if every worker has died; jobs are
             // infallible closures, so treat that as unreachable in
             // practice but don't panic the accept loop.
@@ -58,7 +118,7 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, stats: &PoolStats) {
     loop {
         // Hold the lock only while receiving, never while running a job.
         let job = match receiver.lock() {
@@ -66,7 +126,12 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                stats.queued.fetch_sub(1, Ordering::Relaxed);
+                stats.busy.fetch_add(1, Ordering::Relaxed);
+                job();
+                stats.busy.fetch_sub(1, Ordering::Relaxed);
+            }
             Err(_) => return, // Sender dropped and queue fully drained.
         }
     }
@@ -115,6 +180,31 @@ mod tests {
         }
         drop(pool);
         assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn stats_track_busy_and_drain_to_idle() {
+        let stats = Arc::new(PoolStats::new());
+        let pool = WorkerPool::with_stats(2, Arc::clone(&stats));
+        assert_eq!(stats.size(), 2);
+        let gate = Arc::new(std::sync::Barrier::new(3));
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                gate.wait();
+            });
+        }
+        // Both workers are parked on the barrier: busy == size.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while stats.busy() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(stats.busy(), 2);
+        assert!((stats.utilization() - 1.0).abs() < 1e-12);
+        gate.wait();
+        drop(pool);
+        assert_eq!(stats.busy(), 0);
+        assert_eq!(stats.queued(), 0);
     }
 
     #[test]

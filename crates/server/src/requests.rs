@@ -1,0 +1,224 @@
+//! Ring buffer of recently served requests, indexed by trace id.
+//!
+//! Every request the server finishes — fast or slow — lands here with
+//! its trace id, stage breakdown, and annotations, so
+//! `GET /debug/requests/:id` can reconstruct exactly where one request
+//! spent its time. The ring is bounded; an evicted id answers 404
+//! (history endpoints are for the recent past, `--trace` files for
+//! archaeology).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cpssec_attackdb::json::write_escaped;
+
+/// Retained requests. At the bench's ~400 req/s this covers the last
+/// second or two — enough for "why was *that* curl slow?".
+pub const DEFAULT_REQUEST_LOG_CAPACITY: usize = 512;
+
+/// One served request.
+#[derive(Debug, Clone)]
+pub struct RequestEntry {
+    /// The request's trace id (never 0 — the server mints one when the
+    /// caller didn't send `traceparent`).
+    pub trace_id: u128,
+    /// Matched route pattern.
+    pub route: String,
+    /// Response status.
+    pub status: u16,
+    /// Unix milliseconds when the request finished.
+    pub ts_ms: u64,
+    /// Total wall time in microseconds.
+    pub total_us: u64,
+    /// Whether the trace id came from an inbound `traceparent` header.
+    pub remote_parent: bool,
+    /// Stage breakdown in span completion order (children first).
+    pub stages: Vec<(String, u64)>,
+    /// Key/value annotations (e.g. `cache=hit`).
+    pub annotations: Vec<(String, String)>,
+    /// Model content hash, when the route touched a model.
+    pub model_hash: Option<u64>,
+    /// Fidelity the request ran at, when the route touched a model.
+    pub fidelity: Option<String>,
+}
+
+impl RequestEntry {
+    /// JSON object for one entry.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192 + self.stages.len() * 40);
+        out.push_str(&format!(
+            "{{\"trace_id\":\"{:032x}\",\"route\":",
+            self.trace_id
+        ));
+        write_escaped(&mut out, &self.route);
+        out.push_str(&format!(
+            ",\"status\":{},\"ts_ms\":{},\"total_us\":{},\"remote_parent\":{}",
+            self.status, self.ts_ms, self.total_us, self.remote_parent
+        ));
+        match self.model_hash {
+            Some(h) => out.push_str(&format!(",\"model_hash\":\"{h:016x}\"")),
+            None => out.push_str(",\"model_hash\":null"),
+        }
+        match &self.fidelity {
+            Some(f) => {
+                out.push_str(",\"fidelity\":");
+                write_escaped(&mut out, f);
+            }
+            None => out.push_str(",\"fidelity\":null"),
+        }
+        out.push_str(",\"stages\":[");
+        for (i, (stage, us)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"stage\":");
+            write_escaped(&mut out, stage);
+            out.push_str(&format!(",\"us\":{us}}}"));
+        }
+        out.push_str("],\"annotations\":{");
+        for (i, (k, v)) in self.annotations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, k);
+            out.push(':');
+            write_escaped(&mut out, v);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Bounded ring of [`RequestEntry`], looked up by trace id.
+#[derive(Debug)]
+pub struct RequestLog {
+    capacity: usize,
+    recorded: AtomicU64,
+    ring: Mutex<VecDeque<Arc<RequestEntry>>>,
+}
+
+impl RequestLog {
+    /// An empty log retaining at most `capacity` entries (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RequestLog {
+        RequestLog {
+            capacity: capacity.max(1),
+            recorded: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Total requests ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Append one finished request.
+    pub fn record(&self, entry: RequestEntry) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("request log poisoned");
+        ring.push_back(Arc::new(entry));
+        while ring.len() > self.capacity {
+            ring.pop_front();
+        }
+    }
+
+    /// Look up a request by trace id (newest match wins, in case a
+    /// caller reused a `traceparent`).
+    pub fn find(&self, trace_id: u128) -> Option<Arc<RequestEntry>> {
+        let ring = self.ring.lock().expect("request log poisoned");
+        ring.iter().rev().find(|e| e.trace_id == trace_id).cloned()
+    }
+}
+
+/// Parses a W3C `traceparent` header value
+/// (`00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>`) into its
+/// trace id. Returns `None` for anything malformed or the all-zero id,
+/// per the spec's instruction to ignore invalid headers.
+#[must_use]
+pub fn parse_traceparent(value: &str) -> Option<u128> {
+    let mut parts = value.trim().split('-');
+    let version = parts.next()?;
+    if version.len() != 2 || version.chars().any(|c| !c.is_ascii_hexdigit()) || version == "ff" {
+        return None;
+    }
+    let trace = parts.next()?;
+    if trace.len() != 32 || trace.chars().any(|c| !c.is_ascii_hexdigit()) {
+        return None;
+    }
+    let parent = parts.next()?;
+    if parent.len() != 16 || parent.chars().any(|c| !c.is_ascii_hexdigit()) {
+        return None;
+    }
+    let flags = parts.next()?;
+    if flags.len() != 2 || flags.chars().any(|c| !c.is_ascii_hexdigit()) {
+        return None;
+    }
+    let id = u128::from_str_radix(trace, 16).ok()?;
+    if id == 0 {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_id: u128, route: &str) -> RequestEntry {
+        RequestEntry {
+            trace_id,
+            route: route.to_string(),
+            status: 200,
+            ts_ms: 1_000,
+            total_us: 42,
+            remote_parent: false,
+            stages: vec![("serve-request".to_string(), 40)],
+            annotations: vec![("cache".to_string(), "miss".to_string())],
+            model_hash: Some(0xfeed),
+            fidelity: Some("implementation".to_string()),
+        }
+    }
+
+    #[test]
+    fn find_returns_newest_match_and_evicts_oldest() {
+        let log = RequestLog::new(2);
+        log.record(entry(1, "GET /a"));
+        log.record(entry(2, "GET /b"));
+        log.record(entry(2, "GET /c")); // reused id: newest wins
+        assert!(log.find(1).is_none(), "capacity 2 must evict id 1");
+        assert_eq!(log.find(2).unwrap().route, "GET /c");
+        assert_eq!(log.recorded(), 3);
+    }
+
+    #[test]
+    fn entry_json_shape() {
+        let json = entry(0xab, "GET /models/:id/associate").to_json();
+        assert!(json.contains("\"trace_id\":\"000000000000000000000000000000ab\""));
+        assert!(json.contains("\"route\":\"GET /models/:id/associate\""));
+        assert!(json.contains("{\"stage\":\"serve-request\",\"us\":40}"));
+        assert!(json.contains("\"annotations\":{\"cache\":\"miss\"}"));
+        assert!(json.contains("\"model_hash\":\"000000000000feed\""));
+    }
+
+    #[test]
+    fn traceparent_accepts_valid_and_rejects_junk() {
+        let id = parse_traceparent("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01");
+        assert_eq!(id, Some(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef));
+        for bad in [
+            "",
+            "00",
+            "00-short-00f067aa0ba902b7-01",
+            "00-0123456789abcdef0123456789abcdeZ-00f067aa0ba902b7-01",
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+            "ff-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",
+            "00-0123456789abcdef0123456789abcdef-badparent-01",
+            "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-zz",
+        ] {
+            assert_eq!(parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+}

@@ -236,9 +236,24 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ("GET /healthz", Response::text(200, "ok\n")),
         ("GET", ["metrics"]) => ("GET /metrics", metrics(state)),
+        ("GET", ["metrics", "history"]) => ("GET /metrics/history", history(state, req)),
+        ("GET", ["alerts"]) => (
+            "GET /alerts",
+            Response::json(200, state.telemetry.alerts_json()),
+        ),
+        ("GET", ["dashboard"]) => (
+            "GET /dashboard",
+            Response::with_type(
+                200,
+                "text/html; charset=utf-8",
+                crate::dashboard::DASHBOARD_HTML,
+            ),
+        ),
         ("GET", ["debug", "slow"]) => {
             ("GET /debug/slow", Response::json(200, state.slow.to_json()))
         }
+        ("GET", ["debug", "requests", id]) => ("GET /debug/requests/:id", debug_request(state, id)),
+        ("POST", ["debug", "delay"]) => ("POST /debug/delay", set_delay(state, req)),
         ("GET", ["table1"]) => ("GET /table1", table1(state, req)),
         ("POST", ["models"]) => ("POST /models", upload_model(state, req)),
         ("GET", ["models", id, "associate"]) => {
@@ -247,8 +262,10 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
         ("POST", ["models", id, "whatif"]) => {
             ("POST /models/:id/whatif", whatif_route(state, req, id))
         }
-        (_, ["healthz" | "metrics" | "table1"])
-        | (_, ["debug", "slow"])
+        (_, ["healthz" | "metrics" | "table1" | "alerts" | "dashboard"])
+        | (_, ["metrics", "history"])
+        | (_, ["debug", "slow" | "delay"])
+        | (_, ["debug", "requests", _])
         | (_, ["models"])
         | (_, ["models", _, "associate" | "whatif"]) => (
             "method-not-allowed",
@@ -261,16 +278,63 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
 fn metrics(state: &AppState) -> Response {
     let (resp_hits, resp_misses) = state.responses.stats();
     let (prior_hits, prior_misses) = state.priors.stats();
-    Response::text(
-        200,
-        state.metrics.render(
-            &[
-                ("responses", resp_hits, resp_misses),
-                ("priors", prior_hits, prior_misses),
-            ],
-            &state.startup,
+    let mut body = state.metrics.render(
+        &[
+            ("responses", resp_hits, resp_misses),
+            ("priors", prior_hits, prior_misses),
+        ],
+        &state.startup,
+    );
+    body.push_str(&state.telemetry.render_prom());
+    Response::with_type(200, crate::metrics::EXPOSITION_CONTENT_TYPE, body)
+}
+
+/// `GET /metrics/history?series=a,b&res=1s`. Without `series`, lists
+/// every known series name.
+fn history(state: &AppState, req: &Request) -> Response {
+    let res_name = req.query_param("res").unwrap_or("1s");
+    let Some(res) = cpssec_obs::timeseries::resolution_index(res_name) else {
+        return Response::error(
+            400,
+            &format!("unknown resolution '{res_name}' (1s, 10s, 1m)"),
+        );
+    };
+    match req.query_param("series") {
+        None => Response::json(200, state.telemetry.series_names_json()),
+        Some(list) => {
+            let names: Vec<&str> = list.split(',').filter(|s| !s.is_empty()).collect();
+            Response::json(200, state.telemetry.history_json(&names, res))
+        }
+    }
+}
+
+/// `GET /debug/requests/:id` — one request's full stage breakdown by
+/// (hex) trace id.
+fn debug_request(state: &AppState, id: &str) -> Response {
+    let Ok(trace_id) = u128::from_str_radix(id, 16) else {
+        return Response::error(400, "trace id must be hex");
+    };
+    match state.requests.find(trace_id) {
+        Some(entry) => Response::json(200, entry.to_json()),
+        None => Response::error(
+            404,
+            &format!("no recorded request with trace id '{id}' (evicted or never served)"),
         ),
-    )
+    }
+}
+
+/// `POST /debug/delay?us=N` — the latency-regression test hook.
+fn set_delay(state: &AppState, req: &Request) -> Response {
+    let Some(raw) = req.query_param("us") else {
+        return Response::error(400, "missing ?us=<microseconds> query parameter");
+    };
+    let Ok(us) = raw.parse::<u64>() else {
+        return Response::error(400, &format!("bad us '{raw}'"));
+    };
+    state
+        .test_delay
+        .store(us, std::sync::atomic::Ordering::Relaxed);
+    Response::json(200, format!("{{\"delay_us\":{us}}}"))
 }
 
 fn upload_model(state: &AppState, req: &Request) -> Response {
@@ -331,6 +395,7 @@ fn associate(state: &AppState, req: &Request, id: &str) -> Response {
         return Response::error(404, &format!("unknown model '{id}'"));
     };
     cpssec_obs::note_model(stored.hash, spec.fidelity.as_str());
+    state.apply_test_delay();
     let component = req.query_param("component");
     let key = format!(
         "assoc/{}/{}",
@@ -338,8 +403,10 @@ fn associate(state: &AppState, req: &Request, id: &str) -> Response {
         component.unwrap_or("-")
     );
     if let Some(body) = state.responses.get(&key) {
+        cpssec_obs::annotate("cache", "hit");
         return Response::json(200, body.as_str());
     }
+    cpssec_obs::annotate("cache", "miss");
 
     let map = prior_map(state, &stored, &spec);
     let posture = SystemPosture::compute(&stored.model, &state.corpus, &map);
@@ -377,14 +444,17 @@ fn whatif_route(state: &AppState, req: &Request, id: &str) -> Response {
         return Response::error(404, &format!("unknown model '{id}'"));
     };
     cpssec_obs::note_model(stored.hash, spec.fidelity.as_str());
+    state.apply_test_delay();
     let key = format!(
         "whatif/{}/{:016x}",
         spec.key_prefix(stored.hash),
         fnv1a_64(&req.body)
     );
     if let Some(body) = state.responses.get(&key) {
+        cpssec_obs::annotate("cache", "hit");
         return Response::json(200, body.as_str());
     }
+    cpssec_obs::annotate("cache", "miss");
 
     let changes = match parse_changes(&req.body) {
         Ok(changes) => changes,
@@ -417,10 +487,13 @@ fn table1(state: &AppState, req: &Request) -> Response {
         return Response::error(404, &format!("unknown model '{model_id}'"));
     };
     cpssec_obs::note_model(stored.hash, spec.fidelity.as_str());
+    state.apply_test_delay();
     let key = format!("table1/{}", spec.key_prefix(stored.hash));
     if let Some(body) = state.responses.get(&key) {
+        cpssec_obs::annotate("cache", "hit");
         return Response::text(200, body.as_str());
     }
+    cpssec_obs::annotate("cache", "miss");
 
     let rows = attribute_rows(
         &stored.model,

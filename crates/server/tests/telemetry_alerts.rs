@@ -1,0 +1,159 @@
+//! SLO burn-rate alerting end to end: an induced latency regression
+//! (the `/debug/delay` test hook) must flip `/alerts` to firing within
+//! two burn-rate windows of traffic, and clear again after recovery.
+//! Also checks `/metrics/history` monotonicity across resolutions and
+//! the `/dashboard` page under the same live server.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpssec_attackdb::json::{parse as parse_json, JsonValue};
+use cpssec_obs::SloConfig;
+use cpssec_server::load::{read_response, WireResponse};
+use cpssec_server::{AppState, Server};
+
+/// Tick fast so the burn-rate windows (3 and 6 ticks) elapse in well
+/// under a second of wall clock.
+const TICK_MS: u64 = 25;
+
+fn start_server() -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let state = AppState::new(cpssec_attackdb::seed::seed_corpus());
+    state.telemetry.install_slo(
+        SloConfig::parse(
+            "[[slo]]\nroute = \"GET /table1\"\ntarget_us = 2000\nobjective = 0.9\n\
+             short_ticks = 3\nlong_ticks = 6\nburn_threshold = 2.0",
+        )
+        .unwrap(),
+    );
+    let mut server = Server::bind("127.0.0.1:0", 2, state).unwrap();
+    server.set_tick_ms(TICK_MS);
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, flag, handle)
+}
+
+fn send(addr: SocketAddr, method: &str, target: &str) -> WireResponse {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let request = format!("{method} {target} HTTP/1.1\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).unwrap();
+    read_response(&mut BufReader::new(stream)).unwrap()
+}
+
+fn alerts(addr: SocketAddr) -> JsonValue {
+    let response = send(addr, "GET", "/alerts");
+    assert_eq!(response.status, 200);
+    parse_json(std::str::from_utf8(&response.body).unwrap()).unwrap()
+}
+
+fn table1_state(addr: SocketAddr) -> String {
+    alerts(addr)
+        .get("alerts")
+        .and_then(JsonValue::as_array)
+        .unwrap()
+        .iter()
+        .find(|a| a.get("route").and_then(JsonValue::as_str) == Some("GET /table1"))
+        .and_then(|a| a.get("state"))
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_owned()
+}
+
+/// Sends table1 traffic until `want` is the alert state or `deadline`
+/// passes; returns whether the state was reached.
+fn drive_until(addr: SocketAddr, want: &str, deadline: Duration) -> bool {
+    let started = Instant::now();
+    while started.elapsed() < deadline {
+        assert_eq!(send(addr, "GET", "/table1").status, 200);
+        if table1_state(addr) == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn induced_latency_regression_fires_and_recovery_clears() {
+    let (addr, flag, handle) = start_server();
+
+    // Baseline: objective configured, nothing firing.
+    assert_eq!(table1_state(addr), "ok");
+
+    // Induce the regression: 20 ms per request against a 2 ms target —
+    // every request is bad, burn rate 1/(1-0.9) = 10 ≫ threshold 2.
+    assert_eq!(send(addr, "POST", "/debug/delay?us=20000").status, 200);
+    // Two burn-rate windows at 3+6 ticks × 25 ms ≈ 450 ms of traffic;
+    // allow a generous deadline for loaded CI machines.
+    assert!(
+        drive_until(addr, "firing", Duration::from_secs(20)),
+        "alert never fired: {}",
+        alerts(addr).get("alerts").is_some()
+    );
+    let firing = alerts(addr);
+    assert_eq!(firing.get("firing"), Some(&JsonValue::Number(1.0)));
+
+    // Recovery: drop the delay; cached table1 responses are fast again,
+    // the short window drains, and the alert resolves.
+    assert_eq!(send(addr, "POST", "/debug/delay?us=0").status, 200);
+    assert!(
+        drive_until(addr, "ok", Duration::from_secs(20)),
+        "alert never cleared"
+    );
+
+    // With traffic recorded, the time-series store answers at multiple
+    // resolutions with strictly increasing timestamps.
+    for res in ["1s", "10s"] {
+        let response = send(
+            addr,
+            "GET",
+            &format!("/metrics/history?series=route:GET%20/table1:rate&res={res}"),
+        );
+        assert_eq!(response.status, 200);
+        let history = parse_json(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(
+            history.get("res").and_then(JsonValue::as_str),
+            Some(res),
+            "{history:?}"
+        );
+        let points = history
+            .get("series")
+            .and_then(|s| s.get("route:GET /table1:rate"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(!points.is_empty(), "no {res} points");
+        let timestamps: Vec<f64> = points
+            .iter()
+            .map(|p| match p.as_array().unwrap()[0] {
+                JsonValue::Number(n) => n,
+                ref other => panic!("non-numeric timestamp: {other:?}"),
+            })
+            .collect();
+        assert!(
+            timestamps.windows(2).all(|w| w[0] < w[1]),
+            "{res} timestamps not monotone: {timestamps:?}"
+        );
+    }
+
+    // Unknown series answer empty, unknown resolutions 400, and the
+    // bare endpoint lists known names.
+    let listing = send(addr, "GET", "/metrics/history");
+    assert!(std::str::from_utf8(&listing.body)
+        .unwrap()
+        .contains("pool:utilization"));
+    assert_eq!(send(addr, "GET", "/metrics/history?res=5s").status, 400);
+
+    // The dashboard serves under the same state.
+    let page = send(addr, "GET", "/dashboard");
+    assert_eq!(page.status, 200);
+    assert!(page.header("content-type").unwrap().contains("text/html"));
+    assert!(std::str::from_utf8(&page.body)
+        .unwrap()
+        .contains("cpssec ops"));
+
+    flag.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+}
