@@ -26,6 +26,7 @@
 mod associate;
 pub mod consequence;
 mod dashboard;
+pub mod fleet;
 mod posture;
 pub mod recommend;
 pub mod render;
@@ -36,5 +37,9 @@ pub mod whatif;
 
 pub use associate::{attribute_rows, AssociationMap, AttributeRow};
 pub use dashboard::Dashboard;
+pub use fleet::{
+    aggregate, aggregate_hash, aggregate_json, aggregate_table, records_csv, ClassStats,
+    FleetAggregate,
+};
 pub use posture::{ComponentPosture, SystemPosture};
 pub use whatif::{ModelChange, WhatIfReport};

@@ -1,0 +1,79 @@
+//! E15 — Fleet engine throughput and thread scaling.
+//!
+//! Runs the same Monte-Carlo campaign at 1 worker thread and at one
+//! thread per core, asserting (a) the aggregate hash is identical — the
+//! thread count must never change the statistics — and (b) on a
+//! multi-core machine, scenarios/sec actually scales up with the extra
+//! workers. Then times a single standalone scenario replay.
+//!
+//! `CPSSEC_BENCH_FAST=1` (CI test mode) shrinks the campaign so the
+//! bench completes in seconds while still exercising both assertions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpssec_analysis::aggregate_hash;
+use cpssec_scada::{run_campaign, run_scenario, CampaignSpec};
+
+fn fast_mode() -> bool {
+    std::env::var("CPSSEC_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let fast = fast_mode();
+    let scenarios: u64 = if fast { 24 } else { 240 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut spec = CampaignSpec::new(scenarios, 0xF1EE7);
+    spec.max_ticks = 3000;
+
+    let run_at = |threads: usize| {
+        let spec = CampaignSpec {
+            threads,
+            ..spec.clone()
+        };
+        let started = Instant::now();
+        let records = run_campaign(&spec);
+        let elapsed = started.elapsed().as_secs_f64();
+        (
+            aggregate_hash(&records),
+            scenarios as f64 / elapsed.max(1e-9),
+        )
+    };
+    let (hash_one, rate_one) = run_at(1);
+    let (hash_many, rate_many) = run_at(cores);
+
+    println!(
+        "\nE15 — fleet throughput ({scenarios} scenarios x {} ticks):",
+        spec.max_ticks
+    );
+    println!("  1 thread       : {rate_one:>8.1} scenarios/s");
+    println!("  {cores} thread(s)    : {rate_many:>8.1} scenarios/s");
+    println!("  aggregate hash : {hash_one:016x}");
+    assert_eq!(
+        hash_one, hash_many,
+        "thread count must never change the campaign statistics"
+    );
+    // The scaling assertion needs real parallel hardware; a 1-core
+    // runner can only verify determinism.
+    if cores >= 2 {
+        assert!(
+            rate_many > rate_one * 1.15,
+            "fleet must scale with cores: {rate_one:.1}/s at 1 thread vs {rate_many:.1}/s at {cores}"
+        );
+    }
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function("scenario_replay", |b| {
+        let mut index = 0;
+        b.iter(|| {
+            index = (index + 1) % scenarios;
+            black_box(run_scenario(&spec, index))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -9,7 +9,10 @@ use cpssec_attackdb::seed::seed_corpus;
 use cpssec_attackdb::synth::{generate, SynthSpec};
 use cpssec_attackdb::Corpus;
 use cpssec_model::{Fidelity, SystemModel};
-use cpssec_scada::{attacks, faults, BatchReport, ScadaConfig, ScadaHarness};
+use cpssec_scada::{
+    attacks, faults, run_campaign, AttackClass, BatchReport, CampaignSpec, ScadaConfig,
+    ScadaHarness,
+};
 use cpssec_search::{FilterPipeline, SearchEngine};
 const USAGE: &str = "usage:
   cpssec table1 [--scale S] [--corpus FILE.jsonl]
@@ -18,6 +21,8 @@ const USAGE: &str = "usage:
   cpssec figure [--scale S] [--corpus FILE.jsonl]
   cpssec report [--scale S] [--corpus FILE.jsonl] [--simulate]
   cpssec simulate <scenario|nominal> [--ticks N]
+  cpssec fleet [--scenarios N] [--seed S] [--threads N] [--ticks N]
+               [--classes a,b,c] [--json]
   cpssec scenarios
   cpssec export-model [--fidelity LEVEL]
   cpssec export-corpus [--scale S]
@@ -38,7 +43,10 @@ holds the same syntax with `;` for newlines); --tick-ms sets the telemetry
 tick interval (default 1000);
 --trace FILE.json (any command) writes a Chrome trace of the pipeline
 stages, viewable in Perfetto or chrome://tracing;
-`associate scada` uses the built-in SCADA testbed model.";
+`associate scada` uses the built-in SCADA testbed model;
+`fleet` runs a Monte-Carlo attack campaign on the centrifuge testbed —
+deterministic per --seed at any --threads count; --classes restricts the
+sampled attack classes (see `cpssec fleet --classes nope` for names).";
 
 /// Parsed global options.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +61,16 @@ pub struct Options {
     pub simulate: bool,
     /// Tick budget for `simulate`.
     pub ticks: u64,
+    /// Scenario count for `fleet`.
+    pub scenarios: u64,
+    /// Campaign seed for `fleet`.
+    pub seed: u64,
+    /// Worker threads for `fleet` (defaults to the core count).
+    pub threads: Option<usize>,
+    /// Comma-separated attack classes for `fleet`.
+    pub classes: Option<String>,
+    /// Emit the JSON artifact instead of the text table (`fleet`).
+    pub json: bool,
     /// Path to a JSON Lines corpus replacing the built-in one.
     pub corpus_path: Option<String>,
     /// Path to a `.cpsnap` snapshot for `serve` warm start.
@@ -83,6 +101,11 @@ impl Default for Options {
             top: None,
             simulate: false,
             ticks: 12_000,
+            scenarios: 200,
+            seed: 42,
+            threads: None,
+            classes: None,
+            json: false,
             corpus_path: None,
             snapshot_path: None,
             slo_path: None,
@@ -133,6 +156,35 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("invalid ticks `{value}`"))?;
             }
             "--simulate" => options.simulate = true,
+            "--scenarios" => {
+                let value = iter.next().ok_or("--scenarios needs a value")?;
+                options.scenarios = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid scenarios `{value}`"))?;
+            }
+            "--seed" => {
+                let value = iter.next().ok_or("--seed needs a value")?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed `{value}`"))?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.threads = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid threads `{value}`"))?,
+                );
+            }
+            "--classes" => {
+                let value = iter.next().ok_or("--classes needs a value")?;
+                options.classes = Some(value.clone());
+            }
+            "--json" => options.json = true,
             "--corpus" => {
                 let value = iter.next().ok_or("--corpus needs a path")?;
                 options.corpus_path = Some(value.clone());
@@ -237,6 +289,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "figure" => cmd_figure(&options, out),
         "report" => cmd_report(&options, out),
         "simulate" => cmd_simulate(&options, out),
+        "fleet" => cmd_fleet(&options, out),
         "scenarios" => cmd_scenarios(out),
         "export-model" => cmd_export_model(&options, out),
         "export-corpus" => cmd_export_corpus(&options, out),
@@ -575,6 +628,54 @@ fn cmd_simulate(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     print_batch(&report, out)
 }
 
+/// `cpssec fleet`: a Monte-Carlo attack campaign over the centrifuge.
+///
+/// Records (and therefore the aggregate hash) are a pure function of
+/// `(--seed, --scenarios, --ticks, --classes)` — `--threads` only changes
+/// the wall clock, never the statistics.
+fn cmd_fleet(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let mut spec = CampaignSpec::new(options.scenarios, options.seed);
+    spec.max_ticks = options.ticks;
+    if let Some(threads) = options.threads {
+        spec.threads = threads;
+    }
+    if let Some(raw) = &options.classes {
+        let mut classes = Vec::new();
+        for name in raw.split(',').filter(|s| !s.is_empty()) {
+            classes.push(
+                AttackClass::parse(name).ok_or_else(|| format!("unknown attack class `{name}`"))?,
+            );
+        }
+        if classes.is_empty() {
+            return Err("--classes needs at least one class name".into());
+        }
+        spec.classes = classes;
+    }
+
+    let started = std::time::Instant::now();
+    let records = run_campaign(&spec);
+    let elapsed = started.elapsed().as_secs_f64();
+    let aggregate = cpssec_analysis::aggregate(&records);
+    if options.json {
+        return writeln!(
+            out,
+            "{}",
+            cpssec_analysis::aggregate_json(&aggregate).to_text()
+        )
+        .map_err(|e| e.to_string());
+    }
+    write!(out, "{}", cpssec_analysis::aggregate_table(&aggregate)).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "{} scenarios in {elapsed:.2}s ({:.1}/s, {} threads)",
+        spec.scenarios,
+        spec.scenarios as f64 / elapsed.max(1e-9),
+        spec.threads
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "aggregate hash: {:016x}", aggregate.records_hash).map_err(|e| e.to_string())
+}
+
 fn cmd_scenarios(out: &mut dyn Write) -> Result<(), String> {
     writeln!(out, "attack scenarios:").map_err(|e| e.to_string())?;
     for scenario in attacks::all_scenarios() {
@@ -729,6 +830,104 @@ mod tests {
         assert!(run_capture(&["simulate", "ghost"])
             .unwrap_err()
             .contains("unknown scenario"));
+    }
+
+    #[test]
+    fn parse_fleet_flags() {
+        let options = parse_options(
+            &[
+                "--scenarios",
+                "50",
+                "--seed",
+                "9",
+                "--threads",
+                "3",
+                "--classes",
+                "nominal",
+                "--json",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(options.scenarios, 50);
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.threads, Some(3));
+        assert_eq!(options.classes.as_deref(), Some("nominal"));
+        assert!(options.json);
+        assert!(parse_options(&["--scenarios".into(), "0".into()]).is_err());
+        assert!(parse_options(&["--threads".into(), "0".into()]).is_err());
+        assert!(parse_options(&["--seed".into(), "x".into()]).is_err());
+    }
+
+    fn hash_line(output: &str) -> String {
+        output
+            .lines()
+            .find(|l| l.starts_with("aggregate hash: "))
+            .expect("hash line present")
+            .to_owned()
+    }
+
+    #[test]
+    fn fleet_hash_is_thread_count_independent() {
+        let args = |threads: &'static str| {
+            vec![
+                "fleet",
+                "--scenarios",
+                "6",
+                "--seed",
+                "9",
+                "--ticks",
+                "1500",
+                "--threads",
+                threads,
+            ]
+        };
+        let two = run_capture(&args("2")).unwrap();
+        assert!(two.contains("P(hazard)"), "{two}");
+        assert!(two.contains("6 scenarios in"), "{two}");
+        let one = run_capture(&args("1")).unwrap();
+        assert_eq!(hash_line(&two), hash_line(&one));
+    }
+
+    #[test]
+    fn fleet_json_emits_the_aggregate_artifact() {
+        let output = run_capture(&[
+            "fleet",
+            "--scenarios",
+            "4",
+            "--seed",
+            "3",
+            "--ticks",
+            "1500",
+            "--json",
+        ])
+        .unwrap();
+        let value = cpssec_attackdb::json::parse(output.trim()).expect("valid json");
+        assert!(value.get("recordsHash").is_some());
+        assert_eq!(
+            value.get("scenarios"),
+            Some(&cpssec_attackdb::json::JsonValue::Number(4.0))
+        );
+    }
+
+    #[test]
+    fn fleet_restricts_classes_and_rejects_unknown_ones() {
+        let output = run_capture(&[
+            "fleet",
+            "--scenarios",
+            "3",
+            "--ticks",
+            "1200",
+            "--classes",
+            "nominal",
+        ])
+        .unwrap();
+        assert!(output.contains("nominal"), "{output}");
+        assert!(!output.contains("command-injection"), "{output}");
+        let err = run_capture(&["fleet", "--classes", "quantum"]).unwrap_err();
+        assert!(err.contains("quantum"));
+        let err = run_capture(&["fleet", "--classes", ","]).unwrap_err();
+        assert!(err.contains("at least one class"));
     }
 
     #[test]

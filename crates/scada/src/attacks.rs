@@ -148,6 +148,13 @@ pub(crate) fn apply_effects(
 /// demonstrates product loss, not a hazard.
 #[must_use]
 pub fn command_injection_bpcs(from: Tick) -> AttackScenario {
+    command_injection_bpcs_with(from, 10_500)
+}
+
+/// [`command_injection_bpcs`] with an explicit forced set point —
+/// the magnitude axis of Monte-Carlo sweeps.
+#[must_use]
+pub fn command_injection_bpcs_with(from: Tick, overspeed_rpm: u16) -> AttackScenario {
     AttackScenario {
         name: "bpcs-command-injection".into(),
         description: "injected OS command on the BPCS forces centrifuge set point writes \
@@ -159,7 +166,7 @@ pub fn command_injection_bpcs(from: Tick) -> AttackScenario {
         effects: vec![AttackEffect::ForceRegister {
             dst: addresses::CENTRIFUGE,
             address: centrifuge::SETPOINT_RPM,
-            value: 10_500,
+            value: overspeed_rpm,
             from,
         }],
     }
@@ -172,6 +179,17 @@ pub fn command_injection_bpcs(from: Tick) -> AttackScenario {
 /// the overspeed proceeds unchecked: rotor destruction.
 #[must_use]
 pub fn command_injection_with_sis_disabled(disable_at: Tick, inject_from: Tick) -> AttackScenario {
+    command_injection_with_sis_disabled_with(disable_at, inject_from, 10_500)
+}
+
+/// [`command_injection_with_sis_disabled`] with an explicit forced set
+/// point — the magnitude axis of Monte-Carlo sweeps.
+#[must_use]
+pub fn command_injection_with_sis_disabled_with(
+    disable_at: Tick,
+    inject_from: Tick,
+    overspeed_rpm: u16,
+) -> AttackScenario {
     AttackScenario {
         name: "sis-disable-command-injection".into(),
         description: "compromised workstation disables the SIS through its engineering \
@@ -191,7 +209,7 @@ pub fn command_injection_with_sis_disabled(disable_at: Tick, inject_from: Tick) 
             AttackEffect::ForceRegister {
                 dst: addresses::CENTRIFUGE,
                 address: centrifuge::SETPOINT_RPM,
-                value: 10_500,
+                value: overspeed_rpm,
                 from: inject_from,
             },
         ],
@@ -233,6 +251,13 @@ pub fn sis_disable_overtemp(disable_at: Tick, suppress_from: Tick) -> AttackScen
 /// real temperature runs away.
 #[must_use]
 pub fn sensor_spoof(from: Tick) -> AttackScenario {
+    sensor_spoof_with(from, 350)
+}
+
+/// [`sensor_spoof`] with an explicit forged reading (tenths of °C) —
+/// the magnitude axis of Monte-Carlo sweeps.
+#[must_use]
+pub fn sensor_spoof_with(from: Tick, value_x10: u16) -> AttackScenario {
     AttackScenario {
         name: "temperature-sensor-spoof".into(),
         description: "adversary-in-the-middle forges the temperature probe readings at a \
@@ -245,7 +270,7 @@ pub fn sensor_spoof(from: Tick) -> AttackScenario {
         effects: vec![AttackEffect::SpoofResponse {
             dst: addresses::TEMP_SENSOR,
             address: temp_sensor::TEMPERATURE_X10,
-            value: 350,
+            value: value_x10,
             from,
         }],
     }
@@ -255,6 +280,13 @@ pub fn sensor_spoof(from: Tick) -> AttackScenario {
 /// product tolerance: no hazard, but the batch is quietly ruined.
 #[must_use]
 pub fn setpoint_tamper(from: Tick) -> AttackScenario {
+    setpoint_tamper_with(from, 8050)
+}
+
+/// [`setpoint_tamper`] with an explicit tampered set point — the
+/// magnitude axis of Monte-Carlo sweeps.
+#[must_use]
+pub fn setpoint_tamper_with(from: Tick, setpoint_rpm: u16) -> AttackScenario {
     AttackScenario {
         name: "setpoint-tamper".into(),
         description: "operator set point writes are rewritten +50 rpm — inside every \
@@ -266,7 +298,7 @@ pub fn setpoint_tamper(from: Tick) -> AttackScenario {
         effects: vec![AttackEffect::ForceRegister {
             dst: addresses::BPCS,
             address: crate::addresses::bpcs::OPERATOR_SETPOINT_RPM,
-            value: 8050,
+            value: setpoint_rpm,
             from,
         }],
     }
@@ -295,6 +327,13 @@ pub fn cooling_dos(from: Tick) -> AttackScenario {
 /// reaches the separation window and the product comes out viscous.
 #[must_use]
 pub fn chiller_tamper(from: Tick) -> AttackScenario {
+    chiller_tamper_with(from, 1000)
+}
+
+/// [`chiller_tamper`] with an explicit forced chiller command (per
+/// mille) — the magnitude axis of Monte-Carlo sweeps.
+#[must_use]
+pub fn chiller_tamper_with(from: Tick, command_permille: u16) -> AttackScenario {
     AttackScenario {
         name: "chiller-tamper".into(),
         description: "chiller commands are forced to full capacity; the solution stays \
@@ -306,7 +345,7 @@ pub fn chiller_tamper(from: Tick) -> AttackScenario {
         effects: vec![AttackEffect::ForceRegister {
             dst: addresses::COOLING,
             address: cooling::COMMAND_PERMILLE,
-            value: 1000,
+            value: command_permille,
             from,
         }],
     }

@@ -36,6 +36,7 @@
 pub mod addresses;
 pub mod attacks;
 mod bpcs;
+pub mod campaign;
 mod devices;
 pub mod faults;
 pub mod model;
@@ -46,6 +47,10 @@ mod workstation;
 
 pub use attacks::{AttackEffect, AttackScenario};
 pub use bpcs::Bpcs;
+pub use campaign::{
+    run_campaign, run_campaign_with_progress, run_scenario, AttackClass, CampaignSpec,
+    ScenarioRecord,
+};
 pub use devices::{CentrifugeDrive, CoolingUnit, TemperatureSensor};
 pub use faults::{FaultMode, FaultScenario};
 pub use physics::CentrifugePlant;

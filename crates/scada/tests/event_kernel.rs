@@ -1,0 +1,90 @@
+//! Equivalence proof for the event-driven kernel on the full testbed.
+//!
+//! The min-heap event queue must reproduce the legacy fixed-tick
+//! reference loop *byte for byte* — same trace CSV, same bus log, same
+//! hazards, same batch report — across the centrifuge's nominal batch
+//! and every built-in attack scenario. Fixed-tick semantics are the
+//! special case of every-tick events; this is the proof.
+
+use cpssec_scada::{attacks, ScadaConfig, ScadaHarness};
+use cpssec_sim::KernelEngine;
+
+/// Everything observable after a batch under one engine.
+struct Fingerprint {
+    trace_csv: String,
+    bus_log: Vec<String>,
+    hazards: Vec<String>,
+    report: String,
+}
+
+fn fingerprint(engine: KernelEngine, attack: Option<&str>, ticks: u64) -> Fingerprint {
+    let config = ScadaConfig::default();
+    let mut harness = match attack {
+        Some(name) => {
+            let scenario = attacks::all_scenarios()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no scenario named {name}"));
+            ScadaHarness::with_attack(config, &scenario)
+        }
+        None => ScadaHarness::new(config),
+    };
+    harness.sim_mut().set_engine(engine);
+    let report = harness.run_batch_for(ticks);
+    let sim = harness.sim();
+    Fingerprint {
+        trace_csv: sim.trace().to_csv(),
+        bus_log: sim
+            .bus()
+            .log()
+            .iter()
+            .map(|e| format!("{} {:?} {:?}", e.tick, e.request, e.outcome))
+            .collect(),
+        hazards: sim
+            .hazards()
+            .iter()
+            .map(|h| format!("{}@{}", h.hazard, h.at))
+            .collect(),
+        report: format!("{report:?}"),
+    }
+}
+
+fn assert_equivalent(attack: Option<&str>, ticks: u64) {
+    let label = attack.unwrap_or("nominal");
+    let event = fingerprint(KernelEngine::EventQueue, attack, ticks);
+    let reference = fingerprint(KernelEngine::ReferenceLoop, attack, ticks);
+    assert_eq!(
+        event.trace_csv, reference.trace_csv,
+        "{label}: trace CSV must be byte-identical"
+    );
+    assert_eq!(
+        event.bus_log, reference.bus_log,
+        "{label}: bus logs must match entry-for-entry"
+    );
+    assert_eq!(
+        event.hazards, reference.hazards,
+        "{label}: hazards must match"
+    );
+    assert_eq!(
+        event.report, reference.report,
+        "{label}: batch reports must match"
+    );
+}
+
+#[test]
+fn nominal_batch_is_byte_identical_across_engines() {
+    assert_equivalent(None, 4000);
+}
+
+#[test]
+fn every_attack_scenario_is_byte_identical_across_engines() {
+    for scenario in attacks::all_scenarios() {
+        assert_equivalent(Some(&scenario.name), 4000);
+    }
+}
+
+#[test]
+fn the_default_engine_is_the_event_queue() {
+    let harness = ScadaHarness::new(ScadaConfig::default());
+    assert_eq!(harness.sim().engine(), KernelEngine::EventQueue);
+}

@@ -130,13 +130,18 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         return Ok(None);
     };
     let mut parts = request_line.split(' ');
+    // Methods and targets are token/URI material: visible ASCII only.
+    // Splitting on ' ' alone would otherwise accept a tab or other
+    // control bytes as a "non-empty" method.
+    let is_graphic = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_graphic());
     let method = parts
         .next()
-        .filter(|m| !m.is_empty())
+        .filter(|m| is_graphic(m))
         .ok_or_else(|| HttpError::Malformed("missing method".into()))?
         .to_owned();
     let target = parts
         .next()
+        .filter(|t| is_graphic(t))
         .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
     let version = parts
         .next()
@@ -166,7 +171,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     }
 
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let line =
             read_line(reader)?.ok_or_else(|| HttpError::Malformed("truncated headers".into()))?;
@@ -180,15 +185,28 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed("header without colon".into()))?;
         let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(HttpError::Malformed("header with empty name".into()));
+        }
         let value = value.trim().to_owned();
         if name == "content-length" {
-            content_length = value
+            let parsed = value
                 .parse()
                 .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            // RFC 7230 §3.3.2: duplicate Content-Length headers are only
+            // acceptable when they agree; a last-wins (or first-wins)
+            // policy here is the classic request-smuggling desync.
+            if content_length.is_some_and(|previous| previous != parsed) {
+                return Err(HttpError::Malformed(
+                    "conflicting content-length headers".into(),
+                ));
+            }
+            content_length = Some(parsed);
         }
         headers.push((name, value));
     }
 
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge);
     }
@@ -404,6 +422,53 @@ mod tests {
     fn garbage_is_malformed() {
         let err = read_request(&mut BufReader::new(&b"not http\r\n\r\n"[..])).unwrap_err();
         assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        // Two differing values is the request-smuggling shape: a front
+        // proxy honoring the first and us honoring the second would
+        // desync on where this request ends.
+        let raw = "POST /m HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nabcdefghijk";
+        let err = read_request(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert!(
+            matches!(&err, HttpError::Malformed(m) if m.contains("conflicting content-length")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn agreeing_duplicate_content_lengths_are_accepted() {
+        let raw = "POST /m HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        let req = parse(raw);
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn empty_header_name_is_rejected() {
+        for raw in [
+            "GET /m HTTP/1.1\r\n  : value\r\n\r\n",
+            "GET /m HTTP/1.1\r\n: value\r\n\r\n",
+        ] {
+            let err = read_request(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+            assert!(
+                matches!(&err, HttpError::Malformed(m) if m.contains("empty name")),
+                "{raw:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_method_or_target_is_rejected() {
+        for raw in [
+            "\t /m HTTP/1.1\r\n\r\n",     // tab "method"
+            "GET \t HTTP/1.1\r\n\r\n",    // tab "target"
+            "G\x01T /m HTTP/1.1\r\n\r\n", // control byte in method
+            "GET /\x7f HTTP/1.1\r\n\r\n", // DEL in target
+        ] {
+            let err = read_request(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{raw:?}");
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod pool;
 pub mod requests;
 pub mod router;
+pub mod scenarios;
 pub mod session;
 pub mod signal;
 pub mod telemetry;
@@ -85,6 +86,8 @@ pub struct AppState {
     /// Artificial per-request delay in µs (`POST /debug/delay?us=N`) —
     /// a test hook for inducing latency regressions against the SLOs.
     pub test_delay: AtomicU64,
+    /// Fleet campaign jobs (`POST /scenarios/batch` + progress polls).
+    pub fleet: scenarios::FleetJobs,
 }
 
 /// Retained slow-query entries.
@@ -204,6 +207,7 @@ impl AppState {
             requests: requests::RequestLog::new(requests::DEFAULT_REQUEST_LOG_CAPACITY),
             pool_stats: Arc::new(pool::PoolStats::new()),
             test_delay: AtomicU64::new(0),
+            fleet: scenarios::FleetJobs::new(),
         })
     }
 

@@ -255,6 +255,13 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
         ("GET", ["debug", "requests", id]) => ("GET /debug/requests/:id", debug_request(state, id)),
         ("POST", ["debug", "delay"]) => ("POST /debug/delay", set_delay(state, req)),
         ("GET", ["table1"]) => ("GET /table1", table1(state, req)),
+        ("POST", ["scenarios", "batch"]) => {
+            ("POST /scenarios/batch", crate::scenarios::batch(state, req))
+        }
+        ("GET", ["scenarios", "batch", id]) => (
+            "GET /scenarios/batch/:id",
+            crate::scenarios::status(state, id),
+        ),
         ("POST", ["models"]) => ("POST /models", upload_model(state, req)),
         ("GET", ["models", id, "associate"]) => {
             ("GET /models/:id/associate", associate(state, req, id))
@@ -267,7 +274,9 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
         | (_, ["debug", "slow" | "delay"])
         | (_, ["debug", "requests", _])
         | (_, ["models"])
-        | (_, ["models", _, "associate" | "whatif"]) => (
+        | (_, ["models", _, "associate" | "whatif"])
+        | (_, ["scenarios", "batch"])
+        | (_, ["scenarios", "batch", _]) => (
             "method-not-allowed",
             Response::error(405, "method not allowed"),
         ),

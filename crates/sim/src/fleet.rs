@@ -1,0 +1,230 @@
+//! Deterministic parallel scenario fleets.
+//!
+//! A fleet is N independent scenario runs driven by one **campaign
+//! seed**. Each scenario's private seed is derived with a SplitMix64
+//! mix of the campaign seed and the scenario index, so:
+//!
+//! * scenario *i* can be re-run standalone, bit-for-bit, given only
+//!   `(campaign_seed, i)` — no need to replay scenarios `0..i`;
+//! * results are a pure function of `(index, seed)` and are merged back
+//!   in index order, so the output is identical at any thread count.
+//!
+//! Work is distributed over [`std::thread::scope`] with an atomic
+//! work-stealing index: threads race for indices, but every result is
+//! tagged with its index and the merge sorts them back, so scheduling
+//! nondeterminism never leaks into the output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+/// Golden-ratio increment used by SplitMix64 (`2^64 / φ`, odd).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A tiny, fast, well-mixed PRNG (SplitMix64). One instance per
+/// scenario, seeded by [`derive_seed`]; good enough for Monte Carlo
+/// parameter draws and cheap enough to build per scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `[lo, hi)` via the widening-multiply range reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        let wide = u128::from(self.next_u64()) * u128::from(span);
+        lo + (wide >> 64) as u64
+    }
+
+    /// A draw in `[0.0, 1.0)` with 53 random bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives scenario `index`'s private seed from the campaign seed.
+///
+/// This is the SplitMix64 output function applied at an offset of
+/// `index + 1` gammas — equivalent to jumping a SplitMix64 stream
+/// directly to its `index`-th draw, which is what makes per-scenario
+/// replay O(1) instead of O(index).
+#[must_use]
+pub fn derive_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed.wrapping_add(GOLDEN_GAMMA.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `count` scenarios across `threads` OS threads and returns the
+/// results in index order.
+///
+/// `scenario` is called as `scenario(index, seed)` with the seed from
+/// [`derive_seed`]; it must be a pure function of those two arguments
+/// for the determinism guarantee to hold. `progress`, when given, is
+/// incremented once per completed scenario (for live polling from
+/// another thread).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a worker thread panics.
+pub fn run_fleet<R, F>(
+    count: u64,
+    campaign_seed: u64,
+    threads: usize,
+    progress: Option<&AtomicU64>,
+    scenario: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64, u64) -> R + Sync,
+{
+    assert!(threads >= 1, "fleet needs at least one thread");
+    let next = AtomicU64::new(0);
+    let mut results: Vec<(u64, R)> = Vec::with_capacity(count as usize);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let scenario = &scenario;
+            handles.push(scope.spawn(move || {
+                let mut mine: Vec<(u64, R)> = Vec::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    let seed = derive_seed(campaign_seed, index);
+                    mine.push((index, scenario(index, seed)));
+                    if let Some(p) = progress {
+                        p.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            results.extend(handle.join().expect("fleet worker panicked"));
+        }
+    });
+    results.sort_by_key(|&(index, _)| index);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let draws: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(draws, (0..8).map(|_| b.next_u64()).collect::<Vec<_>>());
+        // Adjacent seeds decorrelate.
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(100, 3000);
+            assert!((100..3000).contains(&v));
+        }
+        let mut hits = [false; 5];
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..200 {
+            hits[rng.gen_range(0, 5) as usize] = true;
+        }
+        assert!(hits.iter().all(|&h| h), "all buckets reachable");
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SplitMix64::new(0).gen_range(5, 5);
+    }
+
+    #[test]
+    fn derived_seeds_are_order_free_and_distinct() {
+        let forward: Vec<u64> = (0..64).map(|i| derive_seed(99, i)).collect();
+        let backward: Vec<u64> = (0..64).rev().map(|i| derive_seed(99, i)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "seed i depends only on (campaign, i)"
+        );
+        let mut sorted = forward.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), forward.len(), "no collisions in 64 seeds");
+    }
+
+    #[test]
+    fn fleet_results_are_identical_at_any_thread_count() {
+        let run = |threads| {
+            run_fleet(200, 1234, threads, None, |index, seed| {
+                let mut rng = SplitMix64::new(seed);
+                (index, rng.gen_range(0, 1_000_000))
+            })
+        };
+        let single = run(1);
+        assert_eq!(single, run(2));
+        assert_eq!(single, run(7));
+        // Results come back in index order.
+        assert!(single.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+    }
+
+    #[test]
+    fn standalone_replay_matches_in_fleet_result() {
+        let fleet = run_fleet(50, 777, 4, None, |_, seed| {
+            SplitMix64::new(seed).gen_range(0, 1_000)
+        });
+        let replay_17 = SplitMix64::new(derive_seed(777, 17)).gen_range(0, 1_000);
+        assert_eq!(fleet[17], replay_17);
+    }
+
+    #[test]
+    fn progress_counts_every_scenario() {
+        let progress = AtomicU64::new(0);
+        let results = run_fleet(30, 5, 3, Some(&progress), |i, _| i);
+        assert_eq!(progress.load(Ordering::Relaxed), 30);
+        assert_eq!(results.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let _ = run_fleet(1, 0, 0, None, |i, _| i);
+    }
+}

@@ -1,10 +1,10 @@
-//! The fixed-step simulation kernel.
+//! The event-scheduled simulation kernel.
 
 use core::fmt;
 
 use crate::{
-    BusLogEntry, BusOutcome, BusRequest, Device, Fieldbus, Firewall, FirewallAction, HazardEvent,
-    HazardMonitor, Injector, Outbox, Tick, TraceRecorder, UnitId, Verdict,
+    BusLogEntry, BusOutcome, BusRequest, Device, EventQueue, Fieldbus, Firewall, FirewallAction,
+    HazardEvent, HazardMonitor, Injector, Outbox, Tick, TraceRecorder, UnitId, Verdict,
 };
 
 /// A physical process integrated once per tick.
@@ -13,31 +13,95 @@ pub trait Plant {
     fn integrate(&mut self, dt: f64);
 }
 
+/// Which stepping engine drives the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelEngine {
+    /// The min-heap event queue (the default): every phase is a scheduled
+    /// event popped in `(tick, class, FIFO)` order, so device poll
+    /// periods, injector arming, and future event kinds compose freely.
+    #[default]
+    EventQueue,
+    /// The original hand-rolled six-phase loop, kept as the oracle for
+    /// equivalence testing. Period/arming features are event-queue-only;
+    /// under this engine every device polls every tick and injectors
+    /// registered with [`Simulation::add_injector_at`] never arm.
+    ReferenceLoop,
+}
+
+/// Event phase classes: within one tick, lower classes run first. The
+/// ranks mirror the reference loop's phase order exactly, which is what
+/// makes "every event at period 1" reproduce it byte-for-byte.
+const CLASS_INTEGRATE: u8 = 0;
+const CLASS_ARM: u8 = 1;
+const CLASS_POLL: u8 = 2;
+const CLASS_FLUSH: u8 = 3;
+const CLASS_BOOKKEEP: u8 = 4;
+const CLASS_MONITOR: u8 = 5;
+const CLASS_RECORD: u8 = 6;
+
+/// The kernel's own event vocabulary. Recurring events reschedule
+/// themselves after executing; one-shot events (arming) do not.
+enum KernelEvent {
+    /// Advance the plant by `dt`.
+    Integrate,
+    /// Activate a not-yet-armed injector.
+    ArmInjector { index: usize },
+    /// Let one device do physical I/O and queue bus requests.
+    Poll { device: usize },
+    /// Route every request queued by this tick's polls.
+    FlushBus,
+    /// One device's end-of-tick bookkeeping.
+    Bookkeep { device: usize },
+    /// Check all hazard monitors.
+    Monitor,
+    /// Sample the trace probes.
+    Record,
+}
+
+/// An injector plus its armed state; unarmed injectors are skipped on
+/// the bus until their arming event fires.
+struct ArmedInjector {
+    injector: Box<dyn Injector + Send>,
+    armed: bool,
+}
+
 /// The simulation: one plant, any number of devices, a bus, injectors,
 /// monitors, and a trace.
 ///
-/// Per tick the kernel runs six deterministic phases:
+/// Work is ordered by a [`Tick`]-keyed min-heap of events. Within one
+/// tick, events run by phase class — the same six phases the original
+/// fixed-step kernel hardcoded:
 ///
 /// 1. **integrate** — the plant advances by `dt`;
 /// 2. **poll** — devices do physical I/O and queue bus requests, in
-///    registration order;
+///    registration order (plus injector arming just before);
 /// 3. **route** — each queued request passes the firewall, then every
-///    injector (which may rewrite or drop it), then reaches the target
-///    device; the response passes the injectors again and returns to the
-///    requester, all logged;
+///    armed injector (which may rewrite or drop it), then reaches the
+///    target device; the response passes the injectors again and returns
+///    to the requester, all logged;
 /// 4. **bookkeeping** — every device's [`Device::after_tick`] runs;
 /// 5. **monitor** — hazard monitors check the plant state;
 /// 6. **record** — the trace recorder samples its probes.
+///
+/// Exact ties within a class pop FIFO, so registration order is
+/// preserved. With every event at period 1 this is exactly the fixed
+/// schedule; [`Simulation::set_poll_period`] stretches a device's poll
+/// interval without disturbing anything else.
 pub struct Simulation<P> {
     plant: P,
     dt: f64,
     now: Tick,
     bus: Fieldbus,
     devices: Vec<Box<dyn Device<P> + Send>>,
-    injectors: Vec<Box<dyn Injector + Send>>,
+    poll_periods: Vec<u64>,
+    injectors: Vec<ArmedInjector>,
     monitors: Vec<HazardMonitor<P>>,
     hazards: Vec<HazardEvent>,
     trace: TraceRecorder<P>,
+    engine: KernelEngine,
+    queue: EventQueue<KernelEvent>,
+    pending: Vec<BusRequest>,
+    primed: bool,
 }
 
 impl<P: Plant> Simulation<P> {
@@ -55,14 +119,32 @@ impl<P: Plant> Simulation<P> {
             now: Tick::ZERO,
             bus: Fieldbus::new(),
             devices: Vec::new(),
+            poll_periods: Vec::new(),
             injectors: Vec::new(),
             monitors: Vec::new(),
             hazards: Vec::new(),
             trace: TraceRecorder::new(),
+            engine: KernelEngine::default(),
+            queue: EventQueue::new(),
+            pending: Vec::new(),
+            primed: false,
         }
     }
 
-    /// Registers a device.
+    /// Selects the stepping engine. Choose before the first step; the
+    /// reference loop ignores the event queue entirely.
+    pub fn set_engine(&mut self, engine: KernelEngine) {
+        self.engine = engine;
+    }
+
+    /// The active stepping engine.
+    #[must_use]
+    pub fn engine(&self) -> KernelEngine {
+        self.engine
+    }
+
+    /// Registers a device (polled every tick until
+    /// [`Simulation::set_poll_period`] says otherwise).
     ///
     /// # Panics
     ///
@@ -75,6 +157,35 @@ impl<P: Plant> Simulation<P> {
             device.unit_id()
         );
         self.devices.push(Box::new(device));
+        self.poll_periods.push(1);
+        if self.primed {
+            // The running schedule was seeded without this device; give it
+            // events from the next tick on. FIFO tie-breaking puts them
+            // after every earlier registration, as the loop would.
+            let index = self.devices.len() - 1;
+            let at = self.now.next();
+            self.queue
+                .schedule(at, CLASS_POLL, KernelEvent::Poll { device: index });
+            self.queue
+                .schedule(at, CLASS_BOOKKEEP, KernelEvent::Bookkeep { device: index });
+        }
+    }
+
+    /// Sets how many ticks elapse between polls of `unit` (default 1).
+    /// Takes effect when the device's next already-scheduled poll fires.
+    /// Event-queue engine only; the reference loop polls every tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or no device uses `unit`.
+    pub fn set_poll_period(&mut self, unit: UnitId, period: u64) {
+        assert!(period >= 1, "poll period must be at least 1 tick");
+        let index = self
+            .devices
+            .iter()
+            .position(|d| d.unit_id() == unit)
+            .unwrap_or_else(|| panic!("no device with unit id {unit}"));
+        self.poll_periods[index] = period;
     }
 
     /// Installs the bus firewall.
@@ -82,9 +193,27 @@ impl<P: Plant> Simulation<P> {
         self.bus.set_firewall(firewall);
     }
 
-    /// Registers an attack injector; injectors run in registration order.
+    /// Registers an attack injector, armed immediately; injectors run in
+    /// registration order.
     pub fn add_injector(&mut self, injector: impl Injector + Send + 'static) {
-        self.injectors.push(Box::new(injector));
+        self.injectors.push(ArmedInjector {
+            injector: Box::new(injector),
+            armed: true,
+        });
+    }
+
+    /// Registers an injector that stays dormant until its arming event
+    /// fires at `arm_at` — the event-queue form of a staged intrusion.
+    /// (The injector's own [`crate::TickWindow`] still applies on top.)
+    /// Event-queue engine only.
+    pub fn add_injector_at(&mut self, injector: impl Injector + Send + 'static, arm_at: Tick) {
+        let index = self.injectors.len();
+        self.injectors.push(ArmedInjector {
+            injector: Box::new(injector),
+            armed: false,
+        });
+        self.queue
+            .schedule(arm_at, CLASS_ARM, KernelEvent::ArmInjector { index });
     }
 
     /// Registers a hazard monitor.
@@ -97,9 +226,108 @@ impl<P: Plant> Simulation<P> {
         self.trace.probe(name, probe);
     }
 
+    /// Enables or disables trace sampling (fleet campaigns disable it to
+    /// run thousands of scenarios without accumulating columns).
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
     /// Advances one tick.
     pub fn step(&mut self) {
         self.now = self.now.next();
+        match self.engine {
+            KernelEngine::EventQueue => self.step_events(),
+            KernelEngine::ReferenceLoop => self.step_reference(),
+        }
+    }
+
+    /// Pops and executes every event due at (or overdue by) the current
+    /// tick. Recurring events reschedule themselves, so the queue always
+    /// holds the next tick's schedule when this returns.
+    fn step_events(&mut self) {
+        if !self.primed {
+            self.prime();
+        }
+        while let Some((_, _, event)) = self.queue.pop_due(self.now) {
+            self.execute(event);
+        }
+    }
+
+    /// Seeds the recurring schedule at the first stepped tick. Lazy so
+    /// that devices and monitors registered between construction and the
+    /// first step are all covered without special cases.
+    fn prime(&mut self) {
+        self.primed = true;
+        let t = self.now;
+        self.queue
+            .schedule(t, CLASS_INTEGRATE, KernelEvent::Integrate);
+        for index in 0..self.devices.len() {
+            self.queue
+                .schedule(t, CLASS_POLL, KernelEvent::Poll { device: index });
+        }
+        self.queue.schedule(t, CLASS_FLUSH, KernelEvent::FlushBus);
+        for index in 0..self.devices.len() {
+            self.queue
+                .schedule(t, CLASS_BOOKKEEP, KernelEvent::Bookkeep { device: index });
+        }
+        self.queue.schedule(t, CLASS_MONITOR, KernelEvent::Monitor);
+        self.queue.schedule(t, CLASS_RECORD, KernelEvent::Record);
+    }
+
+    fn execute(&mut self, event: KernelEvent) {
+        match event {
+            KernelEvent::Integrate => {
+                self.plant.integrate(self.dt);
+                self.queue
+                    .schedule(self.now.next(), CLASS_INTEGRATE, KernelEvent::Integrate);
+            }
+            KernelEvent::ArmInjector { index } => {
+                self.injectors[index].armed = true;
+            }
+            KernelEvent::Poll { device } => {
+                let mut outbox = Outbox::default();
+                self.devices[device].poll(&mut self.plant, &mut outbox);
+                self.pending.extend(outbox.requests);
+                let period = self.poll_periods[device];
+                self.queue
+                    .schedule(self.now + period, CLASS_POLL, KernelEvent::Poll { device });
+            }
+            KernelEvent::FlushBus => {
+                let queued = std::mem::take(&mut self.pending);
+                for original in queued {
+                    self.route(original);
+                }
+                self.queue
+                    .schedule(self.now.next(), CLASS_FLUSH, KernelEvent::FlushBus);
+            }
+            KernelEvent::Bookkeep { device } => {
+                self.devices[device].after_tick(&mut self.plant, self.now);
+                self.queue.schedule(
+                    self.now.next(),
+                    CLASS_BOOKKEEP,
+                    KernelEvent::Bookkeep { device },
+                );
+            }
+            KernelEvent::Monitor => {
+                for monitor in &mut self.monitors {
+                    if let Some(event) = monitor.check(self.now, &self.plant) {
+                        self.hazards.push(event);
+                    }
+                }
+                self.queue
+                    .schedule(self.now.next(), CLASS_MONITOR, KernelEvent::Monitor);
+            }
+            KernelEvent::Record => {
+                self.trace.sample(&self.plant);
+                self.queue
+                    .schedule(self.now.next(), CLASS_RECORD, KernelEvent::Record);
+            }
+        }
+    }
+
+    /// The original six-phase loop, preserved verbatim as the oracle the
+    /// event engine is tested against.
+    fn step_reference(&mut self) {
         self.plant.integrate(self.dt);
 
         // Poll phase.
@@ -142,9 +370,9 @@ impl<P: Plant> Simulation<P> {
             return;
         }
         let mut request = original.clone();
-        for injector in &mut self.injectors {
-            if injector.intercept_request(self.now, &mut request) == Verdict::Drop {
-                let by = injector.name().to_owned();
+        for armed in self.injectors.iter_mut().filter(|a| a.armed) {
+            if armed.injector.intercept_request(self.now, &mut request) == Verdict::Drop {
+                let by = armed.injector.name().to_owned();
                 self.bus.record(BusLogEntry {
                     tick: self.now,
                     request,
@@ -182,8 +410,10 @@ impl<P: Plant> Simulation<P> {
             return;
         };
         let mut response = self.devices[dst_index].handle(&mut self.plant, &request);
-        for injector in &mut self.injectors {
-            injector.intercept_response(self.now, &request, &mut response);
+        for armed in self.injectors.iter_mut().filter(|a| a.armed) {
+            armed
+                .injector
+                .intercept_response(self.now, &request, &mut response);
         }
         if let Some(src_index) = self.devices.iter().position(|d| d.unit_id() == request.src) {
             self.devices[src_index].on_response(&mut self.plant, &request, &response);
@@ -268,6 +498,13 @@ impl<P: Plant> Simulation<P> {
         &self.trace
     }
 
+    /// Number of events currently waiting in the kernel's queue (zero
+    /// until the first event-engine step primes the schedule).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Number of registered devices.
     #[must_use]
     pub fn device_count(&self) -> usize {
@@ -297,9 +534,11 @@ impl<P: fmt::Debug> fmt::Debug for Simulation<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
+            .field("engine", &self.engine)
             .field("dt", &self.dt)
             .field("devices", &self.devices.len())
             .field("injectors", &self.injectors.len())
+            .field("pending_events", &self.queue.len())
             .field("hazards", &self.hazards.len())
             .field("plant", &self.plant)
             .finish()
@@ -672,5 +911,152 @@ mod tests {
             },
             0.0,
         );
+    }
+
+    /// Runs the closed loop under one engine and fingerprints everything
+    /// observable: trace CSV bytes, bus log shape, hazards, plant bits.
+    fn fingerprint(engine: KernelEngine, ticks: u64) -> (String, Vec<String>, Vec<String>, u64) {
+        let mut sim = closed_loop();
+        sim.set_engine(engine);
+        sim.probe("level", |t: &Tank| t.level);
+        sim.probe("inflow", |t: &Tank| t.inflow);
+        sim.add_monitor(HazardMonitor::new("half-full", |t: &Tank| t.level > 2.5));
+        sim.add_injector(ResponseOverride::new(
+            "nudge",
+            TickWindow::between(Tick::new(40), Tick::new(60)),
+            SENSOR,
+            0,
+            0,
+        ));
+        sim.run(ticks);
+        let log: Vec<String> = sim
+            .bus()
+            .log()
+            .iter()
+            .map(|e| format!("{} {:?} {:?}", e.tick, e.request, e.outcome))
+            .collect();
+        let hazards: Vec<String> = sim
+            .hazards()
+            .iter()
+            .map(|h| format!("{}@{}", h.hazard, h.at))
+            .collect();
+        (
+            sim.trace().to_csv(),
+            log,
+            hazards,
+            sim.plant().level.to_bits(),
+        )
+    }
+
+    #[test]
+    fn event_engine_matches_reference_loop_byte_for_byte() {
+        let event = fingerprint(KernelEngine::EventQueue, 300);
+        let reference = fingerprint(KernelEngine::ReferenceLoop, 300);
+        assert_eq!(event.0, reference.0, "trace CSV must be byte-identical");
+        assert_eq!(event.1, reference.1, "bus logs must match entry-for-entry");
+        assert_eq!(event.2, reference.2, "hazards must match");
+        assert_eq!(event.3, reference.3, "plant state must be bit-identical");
+    }
+
+    #[test]
+    fn poll_period_halves_a_devices_traffic() {
+        let mut sim = closed_loop();
+        sim.run(100);
+        let every_tick = sim.bus().message_count();
+
+        let mut slow = closed_loop();
+        slow.set_poll_period(CONTROLLER, 2);
+        slow.run(100);
+        // The controller is the only requester, so its traffic halves.
+        assert_eq!(slow.bus().message_count(), every_tick / 2);
+        // The loop still regulates — just with a slower control rate.
+        slow.run(3000);
+        assert!((slow.plant().level - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "poll period must be at least 1 tick")]
+    fn zero_poll_period_is_rejected() {
+        let mut sim = closed_loop();
+        sim.set_poll_period(CONTROLLER, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no device with unit id")]
+    fn poll_period_for_unknown_unit_panics() {
+        let mut sim = closed_loop();
+        sim.set_poll_period(UnitId::new(200), 1);
+    }
+
+    #[test]
+    fn devices_added_mid_run_join_the_schedule() {
+        struct Chatter {
+            polls: u64,
+        }
+        impl Device<Tank> for Chatter {
+            fn unit_id(&self) -> UnitId {
+                UnitId::new(66)
+            }
+            fn name(&self) -> &str {
+                "chatter"
+            }
+            fn poll(&mut self, _plant: &mut Tank, outbox: &mut Outbox) {
+                self.polls += 1;
+                outbox.send(BusRequest::read(UnitId::new(66), SENSOR, 0, 1));
+            }
+            fn handle(&mut self, _plant: &mut Tank, _req: &BusRequest) -> BusResponse {
+                BusResponse::exception(ExceptionCode::IllegalFunction)
+            }
+        }
+        let mut sim = closed_loop();
+        sim.run(10);
+        let before = sim.bus().message_count();
+        sim.add_device(Chatter { polls: 0 });
+        sim.run(10);
+        // 2 controller requests + 1 chatter request per tick.
+        assert_eq!(sim.bus().message_count(), before + 30);
+    }
+
+    #[test]
+    fn injector_armed_by_event_stays_dormant_until_its_tick() {
+        let mut sim = closed_loop();
+        // Window is "always", but arming happens at tick 50: before that
+        // the spoof must not bite.
+        sim.add_injector_at(
+            ResponseOverride::new("late-spoof", TickWindow::always(), SENSOR, 0, 0),
+            Tick::new(50),
+        );
+        sim.run(49);
+        assert!(!sim.bus().log().iter().any(|e| e.tampered));
+        let level_at_49 = sim.plant().level;
+        sim.run(2951);
+        // Once armed, the controller is blind and overfills past setpoint.
+        assert!(
+            sim.plant().level > level_at_49.max(7.0),
+            "level {}",
+            sim.plant().level
+        );
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut sim = closed_loop();
+        sim.probe("level", |t: &Tank| t.level);
+        sim.set_trace_enabled(false);
+        sim.run(50);
+        assert_eq!(sim.trace().sample_count(), 0);
+        sim.set_trace_enabled(true);
+        sim.run(10);
+        assert_eq!(sim.trace().sample_count(), 10);
+    }
+
+    #[test]
+    fn queue_stays_bounded_across_a_long_run() {
+        let mut sim = closed_loop();
+        sim.run(1);
+        let after_one = sim.pending_events();
+        sim.run(999);
+        // Recurring events replace themselves 1:1 — no growth.
+        assert_eq!(sim.pending_events(), after_one);
     }
 }

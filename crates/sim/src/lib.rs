@@ -1,15 +1,19 @@
-//! Deterministic discrete-time simulation kernel for cyber-physical systems.
+//! Deterministic discrete-event simulation kernel for cyber-physical systems.
 //!
 //! The paper's thesis is that security tooling must connect attacks to
 //! *physical consequences*. This crate is the substrate that makes the
-//! connection executable: a fixed-step kernel ([`Simulation`]) coupling a
-//! physical [`Plant`] to digital [`Device`]s over a MODBUS-flavoured
-//! [`Fieldbus`] with a [`Firewall`], plus message-level attack
-//! [`Injector`]s, latching [`HazardMonitor`]s, and a [`TraceRecorder`].
+//! connection executable: an event-scheduled kernel ([`Simulation`]
+//! driven by a min-heap [`EventQueue`]) coupling a physical [`Plant`] to
+//! digital [`Device`]s over a MODBUS-flavoured [`Fieldbus`] with a
+//! [`Firewall`], plus message-level attack [`Injector`]s, latching
+//! [`HazardMonitor`]s, and a [`TraceRecorder`]. The fleet module scales
+//! single scenarios into seeded Monte-Carlo campaigns ([`run_fleet`],
+//! [`derive_seed`]) whose results are independent of thread count.
 //!
-//! Everything is deterministic: devices are stepped in registration order,
-//! requests are routed in issue order, and all randomness (e.g. sensor
-//! noise in downstream crates) is seeded explicitly.
+//! Everything is deterministic: events pop in `(tick, phase, FIFO)`
+//! order, devices are polled in registration order, requests are routed
+//! in issue order, and all randomness (e.g. sensor noise in downstream
+//! crates) is seeded explicitly.
 //!
 //! # Examples
 //!
@@ -49,9 +53,11 @@
 mod bus;
 mod control;
 mod device;
+mod fleet;
 mod inject;
 mod kernel;
 mod monitor;
+mod scheduler;
 mod time;
 mod trace;
 
@@ -61,8 +67,10 @@ pub use bus::{
 };
 pub use control::Pid;
 pub use device::{Device, Outbox};
+pub use fleet::{derive_seed, run_fleet, SplitMix64};
 pub use inject::{DropMatching, Injector, RegisterOverride, ResponseOverride, TickWindow, Verdict};
-pub use kernel::{Plant, Simulation};
+pub use kernel::{KernelEngine, Plant, Simulation};
 pub use monitor::{HazardEvent, HazardMonitor};
+pub use scheduler::EventQueue;
 pub use time::Tick;
 pub use trace::{SeriesSummary, TraceRecorder};

@@ -1,0 +1,241 @@
+//! The min-heap event queue at the core of the kernel.
+//!
+//! Discrete-event simulation orders work by *time*, not by a fixed outer
+//! loop: every piece of work is a scheduled event in a priority queue,
+//! and the kernel repeatedly pops the earliest one. [`EventQueue`] is
+//! that queue — a [`BinaryHeap`] of [`Tick`]-stamped entries with two
+//! refinements the kernel's determinism contract needs:
+//!
+//! * an explicit **class** (a `u8` phase rank) orders events that share
+//!   a tick — plant integration before device polls before bus routing
+//!   before bookkeeping before monitors before trace recording;
+//! * a monotone **sequence number** breaks the remaining ties FIFO, so
+//!   two events scheduled at the same `(tick, class)` pop in the order
+//!   they were pushed. Registration order in, registration order out —
+//!   the property the fixed-tick kernel got for free from its `for`
+//!   loops, preserved here by construction.
+//!
+//! With every recurring event scheduled at period 1, draining the queue
+//! tick by tick replays the fixed-step kernel exactly; longer periods
+//! skip work without perturbing the order of what remains.
+
+use core::fmt;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Tick;
+
+/// One queued event: its due tick, phase class, FIFO sequence, payload.
+struct Scheduled<E> {
+    at: Tick,
+    class: u8,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on every key: the `BinaryHeap` is a max-heap, so
+        // "smaller (at, class, seq) wins" must read as "greater".
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of [`Tick`]-scheduled events.
+///
+/// Pop order is `(tick, class, push order)` — earliest tick first, then
+/// lowest class, then first-in-first-out among exact ties.
+///
+/// # Examples
+///
+/// ```
+/// use cpssec_sim::{EventQueue, Tick};
+/// let mut q = EventQueue::new();
+/// q.schedule(Tick::new(5), 0, "late");
+/// q.schedule(Tick::new(2), 1, "early-b");
+/// q.schedule(Tick::new(2), 0, "early-a");
+/// assert_eq!(q.pop().unwrap().2, "early-a");
+/// assert_eq!(q.pop().unwrap().2, "early-b");
+/// assert_eq!(q.pop().unwrap().2, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `(at, class)`, behind any event already
+    /// scheduled at the same tick and class.
+    pub fn schedule(&mut self, at: Tick, class: u8, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            class,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event as `(tick, class, event)`.
+    pub fn pop(&mut self) -> Option<(Tick, u8, E)> {
+        self.heap.pop().map(|s| (s.at, s.class, s.event))
+    }
+
+    /// The due tick of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Tick) -> Option<(Tick, u8, E)> {
+        if self.peek_tick()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (the FIFO sequence high-water mark).
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next", &self.peek_tick())
+            .field("scheduled_total", &self.seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_order() {
+        let mut q = EventQueue::new();
+        for t in [9u64, 3, 7, 1, 5] {
+            q.schedule(Tick::new(t), 0, t);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, [1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn class_orders_within_a_tick() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::new(4), 3, "monitor");
+        q.schedule(Tick::new(4), 0, "integrate");
+        q.schedule(Tick::new(4), 1, "poll");
+        q.schedule(Tick::new(4), 2, "route");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, ["integrate", "poll", "route", "monitor"]);
+    }
+
+    #[test]
+    fn exact_ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for name in ["a", "b", "c", "d", "e"] {
+            q.schedule(Tick::new(2), 1, name);
+        }
+        // Interleave an earlier event to stir the heap.
+        q.schedule(Tick::new(1), 1, "first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, ["first", "a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn fifo_survives_heavy_interleaving() {
+        // Push tied events in several rounds with pops in between; the
+        // relative order of the survivors must stay push order.
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(Tick::new(u64::from(i % 5)), (i % 3) as u8, i);
+        }
+        let mut popped: Vec<(Tick, u8, u32)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|&(at, class, i)| (at, class, i));
+        assert_eq!(popped, sorted, "push index must break all ties FIFO");
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::new(3), 0, "later");
+        q.schedule(Tick::new(1), 0, "now");
+        assert_eq!(q.pop_due(Tick::new(1)).unwrap().2, "now");
+        assert_eq!(q.pop_due(Tick::new(1)), None);
+        assert_eq!(q.peek_tick(), Some(Tick::new(3)));
+        assert_eq!(q.pop_due(Tick::new(5)).unwrap().2, "later");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_scheduling() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Tick::ZERO, 0, ());
+        q.schedule(Tick::ZERO, 0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -39,23 +39,48 @@ impl Tick {
     }
 
     /// The next tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step count would overflow `u64`. Long-running fleet
+    /// campaigns step simulations billions of times in release builds,
+    /// where plain `+` wraps silently back to `Tick::ZERO` and corrupts
+    /// every downstream window comparison — overflow is always a bug
+    /// here, so it fails loudly instead.
     #[must_use]
     pub fn next(self) -> Tick {
-        Tick(self.0 + 1)
+        Tick(
+            self.0
+                .checked_add(1)
+                .expect("tick overflow: simulation exceeded 2^64-1 steps"),
+        )
     }
 }
 
 impl Add<u64> for Tick {
     type Output = Tick;
 
+    /// # Panics
+    ///
+    /// Panics on overflow — see [`Tick::next`].
     fn add(self, rhs: u64) -> Tick {
-        Tick(self.0 + rhs)
+        Tick(
+            self.0
+                .checked_add(rhs)
+                .expect("tick overflow: tick + offset exceeds 2^64-1 steps"),
+        )
     }
 }
 
 impl AddAssign<u64> for Tick {
+    /// # Panics
+    ///
+    /// Panics on overflow — see [`Tick::next`].
     fn add_assign(&mut self, rhs: u64) {
-        self.0 += rhs;
+        self.0 = self
+            .0
+            .checked_add(rhs)
+            .expect("tick overflow: tick + offset exceeds 2^64-1 steps");
     }
 }
 
@@ -97,6 +122,31 @@ mod tests {
     #[should_panic(expected = "subtracting a later tick")]
     fn negative_elapsed_panics() {
         let _ = Tick::new(1) - Tick::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick overflow")]
+    fn next_at_u64_max_panics_instead_of_wrapping() {
+        let _ = Tick::new(u64::MAX).next();
+    }
+
+    #[test]
+    #[should_panic(expected = "tick overflow")]
+    fn add_overflow_panics_instead_of_wrapping() {
+        let _ = Tick::new(u64::MAX - 1) + 2;
+    }
+
+    #[test]
+    #[should_panic(expected = "tick overflow")]
+    fn add_assign_overflow_panics_instead_of_wrapping() {
+        let mut t = Tick::new(u64::MAX);
+        t += 1;
+    }
+
+    #[test]
+    fn add_at_the_boundary_still_works() {
+        assert_eq!(Tick::new(u64::MAX - 1).next(), Tick::new(u64::MAX));
+        assert_eq!(Tick::new(u64::MAX - 5) + 5, Tick::new(u64::MAX));
     }
 
     #[test]

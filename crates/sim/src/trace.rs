@@ -28,6 +28,7 @@ pub struct TraceRecorder<P> {
     names: Vec<String>,
     probes: Vec<Probe<P>>,
     columns: Vec<Vec<f64>>,
+    enabled: bool,
 }
 
 impl<P> Default for TraceRecorder<P> {
@@ -36,6 +37,7 @@ impl<P> Default for TraceRecorder<P> {
             names: Vec::new(),
             probes: Vec::new(),
             columns: Vec::new(),
+            enabled: true,
         }
     }
 }
@@ -65,11 +67,27 @@ impl<P> TraceRecorder<P> {
         self.columns.push(Vec::new());
     }
 
-    /// Samples every probe once.
+    /// Samples every probe once (a no-op while disabled).
     pub fn sample(&mut self, plant: &P) {
+        if !self.enabled {
+            return;
+        }
         for (probe, column) in self.probes.iter().zip(self.columns.iter_mut()) {
             column.push(probe(plant));
         }
+    }
+
+    /// Turns sampling on or off. Fleet campaigns run thousands of
+    /// scenarios and only need hazard outcomes, so they switch recording
+    /// off rather than paying for columns nobody reads.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether sampling is currently on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     /// The recorded series for a probe name.
@@ -193,6 +211,25 @@ mod tests {
         t.probe("rpm", |p| p.rpm);
         assert_eq!(t.summary("rpm"), None);
         assert_eq!(t.sample_count(), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_skips_samples() {
+        let mut t: TraceRecorder<Plant> = TraceRecorder::new();
+        t.probe("rpm", |p| p.rpm);
+        assert!(t.is_enabled());
+        t.set_enabled(false);
+        t.sample(&Plant {
+            rpm: 1.0,
+            temp: 1.0,
+        });
+        assert_eq!(t.sample_count(), 0);
+        t.set_enabled(true);
+        t.sample(&Plant {
+            rpm: 2.0,
+            temp: 2.0,
+        });
+        assert_eq!(t.series("rpm").unwrap(), &[2.0]);
     }
 
     #[test]
