@@ -33,6 +33,7 @@ pub mod render;
 pub mod report;
 pub mod stpa;
 pub mod surface;
+pub mod verdict;
 pub mod whatif;
 
 pub use associate::{attribute_rows, AssociationMap, AttributeRow};
@@ -42,4 +43,8 @@ pub use fleet::{
     FleetAggregate,
 };
 pub use posture::{ComponentPosture, SystemPosture};
+pub use verdict::{
+    campaign_aggregate, campaign_csv, campaign_json, campaign_table, CampaignAggregate,
+    ComponentVerdicts,
+};
 pub use whatif::{ModelChange, WhatIfReport};

@@ -1,0 +1,242 @@
+//! Table-1-style verdict reports over campaign records.
+//!
+//! A campaign ([`cpssec_campaign::run_campaign`]) scores every matched
+//! exploit chain by physical consequence; this module folds the records
+//! into the report the paper's Table 1 cannot express: per component,
+//! how many of the textually-matched chains actually *reach a hazard*,
+//! how many are *contained* by a barrier, and how many remain
+//! *textual-only* associations. The canonical [`ChainRecord`] lines are
+//! re-exposed as CSV, and the aggregate carries the campaign's FNV-1a
+//! records hash so two runs can prove identity with one number.
+
+use cpssec_campaign::{records_hash, CampaignVerdict, ChainRecord};
+
+use crate::render::Json;
+
+/// Verdict counts for one model component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentVerdicts {
+    /// The component the chains attached to.
+    pub component: String,
+    /// Chains mined from this component's match set.
+    pub chains: u64,
+    /// Chains whose staged campaign reached a hazard.
+    pub reached: u64,
+    /// Chains stopped by a firewall, a safety system, or the process
+    /// envelope.
+    pub contained: u64,
+    /// Chains with no executable plan.
+    pub textual: u64,
+    /// Fastest hazard among this component's chains, ticks from
+    /// actuation.
+    pub min_time_to_hazard: Option<u64>,
+}
+
+/// The full verdict report over one campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignAggregate {
+    /// The testbed the campaign ran on ("scada", "water").
+    pub testbed: String,
+    /// Total chains executed or classified.
+    pub chains: u64,
+    /// Chains that reached a hazard.
+    pub reached: u64,
+    /// Chains contained short of a hazard.
+    pub contained: u64,
+    /// Textual-only chains.
+    pub textual: u64,
+    /// Per-component breakdown, in record (component) order.
+    pub per_component: Vec<ComponentVerdicts>,
+    /// Canonical hash of the underlying records
+    /// ([`cpssec_campaign::records_hash`]).
+    pub records_hash: u64,
+}
+
+/// Folds campaign records into the verdict report.
+#[must_use]
+pub fn campaign_aggregate(testbed: &str, records: &[ChainRecord]) -> CampaignAggregate {
+    let mut per_component: Vec<ComponentVerdicts> = Vec::new();
+    let (mut reached, mut contained, mut textual) = (0, 0, 0);
+    for record in records {
+        if per_component
+            .last()
+            .map_or(true, |c| c.component != record.component)
+        {
+            per_component.push(ComponentVerdicts {
+                component: record.component.clone(),
+                chains: 0,
+                reached: 0,
+                contained: 0,
+                textual: 0,
+                min_time_to_hazard: None,
+            });
+        }
+        let stats = per_component.last_mut().expect("pushed above");
+        stats.chains += 1;
+        match &record.verdict {
+            CampaignVerdict::ReachedHazard { time_to_hazard, .. } => {
+                reached += 1;
+                stats.reached += 1;
+                stats.min_time_to_hazard = Some(
+                    stats
+                        .min_time_to_hazard
+                        .map_or(*time_to_hazard, |t| t.min(*time_to_hazard)),
+                );
+            }
+            CampaignVerdict::Contained { .. } => {
+                contained += 1;
+                stats.contained += 1;
+            }
+            CampaignVerdict::TextualOnly => {
+                textual += 1;
+                stats.textual += 1;
+            }
+        }
+    }
+    CampaignAggregate {
+        testbed: testbed.to_owned(),
+        chains: records.len() as u64,
+        reached,
+        contained,
+        textual,
+        per_component,
+        records_hash: records_hash(records),
+    }
+}
+
+/// Renders the records as CSV with a header row (chain order).
+#[must_use]
+pub fn campaign_csv(records: &[ChainRecord]) -> String {
+    let mut out = String::from("index,seed,chain,component,scenario,stages,verdict\n");
+    for record in records {
+        out.push_str(&record.record_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the report as a JSON artifact (the `POST
+/// /models/:id/campaigns` response body and the `cpssec campaign
+/// --json` output share this shape).
+#[must_use]
+pub fn campaign_json(aggregate: &CampaignAggregate) -> Json {
+    let components = aggregate
+        .per_component
+        .iter()
+        .map(|stats| {
+            let mut fields = vec![
+                ("component".into(), stats.component.as_str().into()),
+                ("chains".into(), (stats.chains as usize).into()),
+                ("reachedHazard".into(), (stats.reached as usize).into()),
+                ("contained".into(), (stats.contained as usize).into()),
+                ("textualOnly".into(), (stats.textual as usize).into()),
+            ];
+            if let Some(ticks) = stats.min_time_to_hazard {
+                fields.push(("minTicksToHazard".into(), (ticks as usize).into()));
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    Json::Object(vec![
+        ("testbed".into(), aggregate.testbed.as_str().into()),
+        ("chains".into(), (aggregate.chains as usize).into()),
+        ("reachedHazard".into(), (aggregate.reached as usize).into()),
+        ("contained".into(), (aggregate.contained as usize).into()),
+        ("textualOnly".into(), (aggregate.textual as usize).into()),
+        ("components".into(), Json::Array(components)),
+        (
+            "recordsHash".into(),
+            format!("{:016x}", aggregate.records_hash).as_str().into(),
+        ),
+    ])
+}
+
+/// Renders the report as an aligned text table for the CLI.
+#[must_use]
+pub fn campaign_table(aggregate: &CampaignAggregate) -> String {
+    let rows: Vec<Vec<String>> = aggregate
+        .per_component
+        .iter()
+        .map(|stats| {
+            vec![
+                stats.component.clone(),
+                stats.chains.to_string(),
+                stats.reached.to_string(),
+                stats.contained.to_string(),
+                stats.textual.to_string(),
+                stats
+                    .min_time_to_hazard
+                    .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+            ]
+        })
+        .collect();
+    crate::render::text_table(
+        &[
+            "component",
+            "chains",
+            "reached-hazard",
+            "contained",
+            "textual-only",
+            "min ticks-to-hazard",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpssec_campaign::{run_campaign, CampaignRun, Testbed};
+
+    fn records() -> Vec<ChainRecord> {
+        let mut run = CampaignRun::new(Testbed::Centrifuge, 0xFEED);
+        run.threads = 2;
+        run.chain_limit = 8;
+        run_campaign(&run)
+    }
+
+    #[test]
+    fn aggregate_counts_are_consistent() {
+        let records = records();
+        let agg = campaign_aggregate("scada", &records);
+        assert_eq!(agg.chains, records.len() as u64);
+        assert_eq!(agg.reached + agg.contained + agg.textual, agg.chains);
+        let by_component: u64 = agg.per_component.iter().map(|c| c.chains).sum();
+        assert_eq!(by_component, agg.chains);
+        for stats in &agg.per_component {
+            assert_eq!(
+                stats.reached + stats.contained + stats.textual,
+                stats.chains
+            );
+            assert_eq!(stats.min_time_to_hazard.is_some(), stats.reached > 0);
+        }
+        assert_eq!(agg.records_hash, records_hash(&records));
+    }
+
+    #[test]
+    fn json_artifact_parses_and_carries_the_hash() {
+        let agg = campaign_aggregate("scada", &records());
+        let text = campaign_json(&agg).to_text();
+        cpssec_attackdb::json::parse(&text).expect("artifact parses");
+        assert!(text.contains(&format!("\"recordsHash\":\"{:016x}\"", agg.records_hash)));
+        assert!(text.contains("\"reachedHazard\""));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_record() {
+        let records = records();
+        let csv = campaign_csv(&records);
+        assert_eq!(csv.lines().count(), records.len() + 1);
+        assert!(csv.starts_with("index,seed,chain,"));
+    }
+
+    #[test]
+    fn table_renders_every_component() {
+        let agg = campaign_aggregate("scada", &records());
+        let table = campaign_table(&agg);
+        for stats in &agg.per_component {
+            assert!(table.contains(&stats.component), "{table}");
+        }
+        assert!(table.contains("reached-hazard"));
+    }
+}

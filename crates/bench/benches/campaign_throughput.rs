@@ -1,0 +1,77 @@
+//! E16 — Exploit-chain campaign throughput and thread scaling.
+//!
+//! Compiles the matched exploit chains of both built-in testbeds into
+//! staged attack campaigns, executes them at 1 worker thread and at one
+//! thread per core, and asserts the records hash is identical — the
+//! thread count must never change the verdict partition. Prints the
+//! reached-hazard / contained / textual-only split per testbed, then
+//! times chain compilation and a single-testbed campaign run.
+//!
+//! `CPSSEC_BENCH_FAST=1` (CI test mode) shrinks the chain budget so the
+//! bench completes in seconds while still exercising both assertions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpssec_campaign::{
+    compile_chains, records_hash, run_campaign, verdict_counts, CampaignRun, Testbed,
+};
+
+fn fast_mode() -> bool {
+    std::env::var("CPSSEC_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let fast = fast_mode();
+    let chain_limit = if fast { 12 } else { 64 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("\nE16 — campaign throughput (chain budget {chain_limit}):");
+    for testbed in Testbed::ALL {
+        let run_at = |threads: usize| {
+            let mut run = CampaignRun::new(testbed, 42);
+            run.threads = threads;
+            run.chain_limit = chain_limit;
+            let started = Instant::now();
+            let records = run_campaign(&run);
+            let elapsed = started.elapsed().as_secs_f64();
+            let rate = records.len() as f64 / elapsed.max(1e-9);
+            (records, rate)
+        };
+        let (records_one, rate_one) = run_at(1);
+        let (records_many, rate_many) = run_at(cores);
+        assert_eq!(
+            records_hash(&records_one),
+            records_hash(&records_many),
+            "thread count must never change the {} verdicts",
+            testbed.as_str()
+        );
+        let (reached, contained, textual) = verdict_counts(&records_one);
+        println!(
+            "  {:<6}: {} chains ({reached} reached, {contained} contained, {textual} textual), \
+             {rate_one:.1}/s at 1 thread, {rate_many:.1}/s at {cores}, hash {:016x}",
+            testbed.as_str(),
+            records_one.len(),
+            records_hash(&records_one),
+        );
+    }
+
+    let corpus = cpssec_attackdb::seed::seed_corpus();
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("compile_chains", |b| {
+        let model = Testbed::Water.model();
+        let library = Testbed::Water.scenario_library();
+        b.iter(|| black_box(compile_chains(&model, &corpus, &library, chain_limit)));
+    });
+    group.bench_function("water_campaign", |b| {
+        let mut run = CampaignRun::new(Testbed::Water, 42);
+        run.chain_limit = if fast { 6 } else { 16 };
+        b.iter(|| black_box(run_campaign(&run)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Campaign determinism and Table-1-style verdict partitions.
+//!
+//! The pinned hashes here are the campaign identities CI re-checks at
+//! multiple thread counts; if a deliberate change to the testbeds or
+//! the compiler moves them, re-pin from `cpssec campaign <testbed>`.
+
+use cpssec_attackdb::seed::seed_corpus;
+use cpssec_campaign::{
+    compile_chains_with, records_hash, run_campaign, verdict_counts, CampaignRun, ChainPlan,
+    Testbed,
+};
+use proptest::prelude::*;
+
+fn full_run(testbed: Testbed, threads: usize) -> CampaignRun {
+    CampaignRun {
+        threads,
+        ..CampaignRun::new(testbed, 42)
+    }
+}
+
+#[test]
+fn centrifuge_verdict_partition_is_pinned() {
+    let records = run_campaign(&full_run(Testbed::Centrifuge, 1));
+    assert_eq!(records.len(), 47);
+    assert_eq!(verdict_counts(&records), (5, 2, 40));
+    assert_eq!(
+        format!("{:016x}", records_hash(&records)),
+        "a56a84ca63b8d320"
+    );
+}
+
+#[test]
+fn water_verdict_partition_is_pinned() {
+    let records = run_campaign(&full_run(Testbed::Water, 1));
+    assert_eq!(records.len(), 42);
+    assert_eq!(verdict_counts(&records), (5, 4, 33));
+    assert_eq!(
+        format!("{:016x}", records_hash(&records)),
+        "16c6925f7d6602de"
+    );
+}
+
+#[test]
+fn water_campaign_is_thread_count_invariant() {
+    let one = run_campaign(&full_run(Testbed::Water, 1));
+    let four = run_campaign(&full_run(Testbed::Water, 4));
+    assert_eq!(one, four);
+}
+
+proptest! {
+    /// Stage plans are byte-identical across repeated runs and across the
+    /// serial/parallel match paths, at any per-component chain cap.
+    #[test]
+    fn compile_is_deterministic(limit in 1usize..40, parallel in any::<bool>()) {
+        let corpus = seed_corpus();
+        for testbed in Testbed::ALL {
+            let model = testbed.model();
+            let library = testbed.scenario_library();
+            let lines = |par: bool| -> Vec<String> {
+                compile_chains_with(&model, &corpus, &library, limit, par)
+                    .iter()
+                    .map(ChainPlan::canonical_line)
+                    .collect()
+            };
+            let first = lines(parallel);
+            prop_assert_eq!(&first, &lines(parallel), "repeat run diverged");
+            prop_assert_eq!(&first, &lines(!parallel), "parallel path diverged");
+        }
+    }
+}

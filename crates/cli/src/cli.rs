@@ -23,6 +23,7 @@ const USAGE: &str = "usage:
   cpssec simulate <scenario|nominal> [--ticks N]
   cpssec fleet [--scenarios N] [--seed S] [--threads N] [--ticks N]
                [--classes a,b,c] [--json]
+  cpssec campaign <scada|water> [--seed S] [--threads N] [--json] [--csv]
   cpssec scenarios
   cpssec export-model [--fidelity LEVEL]
   cpssec export-corpus [--scale S]
@@ -46,7 +47,11 @@ stages, viewable in Perfetto or chrome://tracing;
 `associate scada` uses the built-in SCADA testbed model;
 `fleet` runs a Monte-Carlo attack campaign on the centrifuge testbed —
 deterministic per --seed at any --threads count; --classes restricts the
-sampled attack classes (see `cpssec fleet --classes nope` for names).";
+sampled attack classes (see `cpssec fleet --classes nope` for names);
+`campaign` compiles the exploit chains matched against a testbed model
+into multi-stage attack campaigns on the simulator and scores every
+chain as reached-hazard, contained, or textual-only — deterministic per
+--seed at any --threads count; --csv dumps the per-chain records.";
 
 /// Parsed global options.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,8 +74,11 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Comma-separated attack classes for `fleet`.
     pub classes: Option<String>,
-    /// Emit the JSON artifact instead of the text table (`fleet`).
+    /// Emit the JSON artifact instead of the text table (`fleet`,
+    /// `campaign`).
     pub json: bool,
+    /// Emit the per-chain CSV records instead of the table (`campaign`).
+    pub csv: bool,
     /// Path to a JSON Lines corpus replacing the built-in one.
     pub corpus_path: Option<String>,
     /// Path to a `.cpsnap` snapshot for `serve` warm start.
@@ -106,6 +114,7 @@ impl Default for Options {
             threads: None,
             classes: None,
             json: false,
+            csv: false,
             corpus_path: None,
             snapshot_path: None,
             slo_path: None,
@@ -185,6 +194,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.classes = Some(value.clone());
             }
             "--json" => options.json = true,
+            "--csv" => options.csv = true,
             "--corpus" => {
                 let value = iter.next().ok_or("--corpus needs a path")?;
                 options.corpus_path = Some(value.clone());
@@ -290,6 +300,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "report" => cmd_report(&options, out),
         "simulate" => cmd_simulate(&options, out),
         "fleet" => cmd_fleet(&options, out),
+        "campaign" => cmd_campaign(&options, out),
         "scenarios" => cmd_scenarios(out),
         "export-model" => cmd_export_model(&options, out),
         "export-corpus" => cmd_export_corpus(&options, out),
@@ -676,6 +687,50 @@ fn cmd_fleet(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     writeln!(out, "aggregate hash: {:016x}", aggregate.records_hash).map_err(|e| e.to_string())
 }
 
+/// `cpssec campaign`: executes every exploit chain matched against a
+/// testbed model as a multi-stage attack campaign and reports the
+/// per-chain verdicts.
+///
+/// Records (and therefore the records hash) are a pure function of
+/// `(testbed, --seed)` — `--threads` only changes the wall clock.
+fn cmd_campaign(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let name = options
+        .positional
+        .first()
+        .ok_or("campaign needs a testbed: scada or water")?;
+    let testbed = cpssec_campaign::Testbed::parse(name)
+        .ok_or_else(|| format!("unknown testbed `{name}` (expected scada or water)"))?;
+    let mut run = cpssec_campaign::CampaignRun::new(testbed, options.seed);
+    if let Some(threads) = options.threads {
+        run.threads = threads;
+    }
+
+    let started = std::time::Instant::now();
+    let records = cpssec_campaign::run_campaign(&run);
+    let elapsed = started.elapsed().as_secs_f64();
+    if options.csv {
+        return write!(out, "{}", cpssec_analysis::campaign_csv(&records))
+            .map_err(|e| e.to_string());
+    }
+    let aggregate = cpssec_analysis::campaign_aggregate(testbed.as_str(), &records);
+    if options.json {
+        return writeln!(
+            out,
+            "{}",
+            cpssec_analysis::campaign_json(&aggregate).to_text()
+        )
+        .map_err(|e| e.to_string());
+    }
+    write!(out, "{}", cpssec_analysis::campaign_table(&aggregate)).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "{} chains in {elapsed:.2}s ({} reached hazard, {} contained, {} textual-only, {} threads)",
+        aggregate.chains, aggregate.reached, aggregate.contained, aggregate.textual, run.threads
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "records hash: {:016x}", aggregate.records_hash).map_err(|e| e.to_string())
+}
+
 fn cmd_scenarios(out: &mut dyn Write) -> Result<(), String> {
     writeln!(out, "attack scenarios:").map_err(|e| e.to_string())?;
     for scenario in attacks::all_scenarios() {
@@ -862,9 +917,47 @@ mod tests {
     fn hash_line(output: &str) -> String {
         output
             .lines()
-            .find(|l| l.starts_with("aggregate hash: "))
+            .find(|l| l.starts_with("aggregate hash: ") || l.starts_with("records hash: "))
             .expect("hash line present")
             .to_owned()
+    }
+
+    #[test]
+    fn campaign_hash_is_thread_count_independent() {
+        let args = |threads: &'static str| vec!["campaign", "water", "--threads", threads];
+        let two = run_capture(&args("2")).unwrap();
+        assert!(two.contains("reached-hazard"), "{two}");
+        assert!(two.contains("dosing interlock"), "{two}");
+        let one = run_capture(&args("1")).unwrap();
+        assert_eq!(hash_line(&two), hash_line(&one));
+    }
+
+    #[test]
+    fn campaign_json_emits_the_verdict_artifact() {
+        let output = run_capture(&["campaign", "scada", "--json"]).unwrap();
+        let value = cpssec_attackdb::json::parse(output.trim()).expect("valid json");
+        assert!(value.get("recordsHash").is_some());
+        assert_eq!(
+            value.get("testbed").and_then(JsonValue::as_str),
+            Some("scada")
+        );
+        assert!(value.get("reachedHazard").is_some());
+    }
+
+    #[test]
+    fn campaign_csv_lists_every_chain() {
+        let output = run_capture(&["campaign", "scada", "--csv"]).unwrap();
+        assert!(output.starts_with("index,seed,chain,"));
+        assert!(output.contains("sis-disable-command-injection"));
+        assert!(output.contains("textual-only"));
+    }
+
+    #[test]
+    fn campaign_rejects_unknown_testbeds() {
+        let err = run_capture(&["campaign", "gasworks"]).unwrap_err();
+        assert!(err.contains("unknown testbed"));
+        let err = run_capture(&["campaign"]).unwrap_err();
+        assert!(err.contains("needs a testbed"));
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub mod scada {
     pub use cpssec_scada::*;
 }
 
+/// The exploit-chain campaign engine (re-export of [`cpssec_campaign`]).
+pub mod campaign {
+    pub use cpssec_campaign::*;
+}
+
 /// The dashboard engine (re-export of [`cpssec_analysis`]).
 pub mod analysis {
     pub use cpssec_analysis::*;

@@ -42,7 +42,9 @@ pub mod faults;
 pub mod model;
 mod physics;
 mod sis;
+pub mod staged;
 mod system;
+pub mod water;
 mod workstation;
 
 pub use attacks::{AttackEffect, AttackScenario};
@@ -55,5 +57,10 @@ pub use devices::{CentrifugeDrive, CoolingUnit, TemperatureSensor};
 pub use faults::{FaultMode, FaultScenario};
 pub use physics::CentrifugePlant;
 pub use sis::Sis;
+pub use staged::{run_staged_centrifuge, run_staged_water, StagedOutcome, StagedSpec};
 pub use system::{BatchReport, ProductQuality, ScadaConfig, ScadaHarness};
+pub use water::{
+    all_water_scenarios, water_model, WaterConfig, WaterHarness, WaterPlant, WaterQuality,
+    WaterReport,
+};
 pub use workstation::Workstation;

@@ -171,4 +171,109 @@ mod tests {
         let set = MatchSet::default();
         assert!(exploit_chains(&set, &corpus, 10).is_empty());
     }
+
+    /// A match set containing exactly one vulnerability hit.
+    fn set_with_vulnerability(cve: CveId) -> MatchSet {
+        MatchSet {
+            vulnerabilities: vec![crate::Hit {
+                id: cve.into(),
+                score: 1.0,
+                matched_terms: 1,
+            }],
+            ..MatchSet::default()
+        }
+    }
+
+    #[test]
+    fn one_cve_under_two_cwes_chains_through_both() {
+        // NVD maps some CVEs to several CWEs; each mapping is its own
+        // attacker story and none of them may be duplicated.
+        use cpssec_attackdb::{Abstraction, AttackPattern, Corpus, Vulnerability, Weakness};
+        let cve = CveId::new(2099, 1);
+        let mut corpus = Corpus::new();
+        corpus
+            .add_weakness(Weakness::new(CweId::new(1), "first", "first weakness"))
+            .unwrap();
+        corpus
+            .add_weakness(Weakness::new(CweId::new(2), "second", "second weakness"))
+            .unwrap();
+        corpus
+            .add_pattern(
+                AttackPattern::new(
+                    CapecId::new(10),
+                    "shared",
+                    "exploits both",
+                    Abstraction::Meta,
+                )
+                .with_weakness(CweId::new(1))
+                .with_weakness(CweId::new(2)),
+            )
+            .unwrap();
+        corpus
+            .add_pattern(
+                AttackPattern::new(
+                    CapecId::new(20),
+                    "narrow",
+                    "first only",
+                    Abstraction::Detailed,
+                )
+                .with_weakness(CweId::new(1)),
+            )
+            .unwrap();
+        corpus
+            .add_vulnerability(
+                Vulnerability::new(cve, "double-classified bug")
+                    .with_weakness(CweId::new(1))
+                    .with_weakness(CweId::new(2)),
+            )
+            .unwrap();
+
+        let chains = exploit_chains(&set_with_vulnerability(cve), &corpus, 1000);
+        // CWE-1 reaches CAPEC-10 and CAPEC-20, CWE-2 reaches CAPEC-10:
+        // three distinct stories, and the shared pattern appears once per
+        // weakness, never per duplicate cross-reference row.
+        assert_eq!(chains.len(), 3);
+        let mut deduped = chains.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), chains.len());
+        for cwe in [CweId::new(1), CweId::new(2)] {
+            assert!(chains.iter().any(|c| c.weakness == cwe));
+        }
+        assert_eq!(
+            chains
+                .iter()
+                .filter(|c| c.pattern == CapecId::new(10))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_cross_reference_tables_yield_no_chains() {
+        // Records exist but nothing links them: an unmapped CVE and a
+        // pattern with no related weaknesses leave every cross-reference
+        // table empty, so chain mining finds nothing in either direction.
+        use cpssec_attackdb::{Abstraction, AttackPattern, Corpus, Vulnerability, Weakness};
+        let cve = CveId::new(2099, 2);
+        let mut corpus = Corpus::new();
+        corpus
+            .add_weakness(Weakness::new(CweId::new(3), "orphan", "linked to nothing"))
+            .unwrap();
+        corpus
+            .add_pattern(AttackPattern::new(
+                CapecId::new(30),
+                "floating",
+                "no weakness mapping",
+                Abstraction::Standard,
+            ))
+            .unwrap();
+        corpus
+            .add_vulnerability(Vulnerability::new(cve, "never classified"))
+            .unwrap();
+
+        assert!(exploit_chains(&set_with_vulnerability(cve), &corpus, 1000).is_empty());
+        assert!(chains_for_weakness(&corpus, CweId::new(3), 1000).is_empty());
+        assert!(corpus.weaknesses_for_vulnerability(cve).is_empty());
+        assert!(corpus.patterns_for_weakness(CweId::new(3)).is_empty());
+    }
 }

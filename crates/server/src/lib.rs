@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod campaigns;
 pub mod dashboard;
 pub mod http;
 pub mod load;
@@ -88,6 +89,8 @@ pub struct AppState {
     pub test_delay: AtomicU64,
     /// Fleet campaign jobs (`POST /scenarios/batch` + progress polls).
     pub fleet: scenarios::FleetJobs,
+    /// Exploit-chain campaign jobs (`POST /models/:id/campaigns`).
+    pub campaigns: scenarios::FleetJobs,
 }
 
 /// Retained slow-query entries.
@@ -208,6 +211,7 @@ impl AppState {
             pool_stats: Arc::new(pool::PoolStats::new()),
             test_delay: AtomicU64::new(0),
             fleet: scenarios::FleetJobs::new(),
+            campaigns: scenarios::FleetJobs::new(),
         })
     }
 
@@ -224,6 +228,10 @@ impl AppState {
     /// histograms, feeds the time-series store, evaluates SLO burn
     /// rates, and logs one stderr line per alert transition.
     pub fn telemetry_tick(&self, ts_ms: u64) {
+        // Age out finished background jobs so long-lived servers do not
+        // accumulate result bodies (in-flight jobs are never evicted).
+        self.fleet.evict_finished(ts_ms, scenarios::JOB_TTL_MS);
+        self.campaigns.evict_finished(ts_ms, scenarios::JOB_TTL_MS);
         let (resp_hits, resp_misses) = self.responses.stats();
         let (prior_hits, prior_misses) = self.priors.stats();
         let transitions = self.telemetry.tick(

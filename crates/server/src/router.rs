@@ -269,12 +269,21 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
         ("POST", ["models", id, "whatif"]) => {
             ("POST /models/:id/whatif", whatif_route(state, req, id))
         }
+        ("POST", ["models", id, "campaigns"]) => (
+            "POST /models/:id/campaigns",
+            crate::campaigns::start(state, req, id),
+        ),
+        ("GET", ["models", _, "campaigns", job]) => (
+            "GET /models/:id/campaigns/:job",
+            crate::campaigns::status(state, job),
+        ),
         (_, ["healthz" | "metrics" | "table1" | "alerts" | "dashboard"])
         | (_, ["metrics", "history"])
         | (_, ["debug", "slow" | "delay"])
         | (_, ["debug", "requests", _])
         | (_, ["models"])
-        | (_, ["models", _, "associate" | "whatif"])
+        | (_, ["models", _, "associate" | "whatif" | "campaigns"])
+        | (_, ["models", _, "campaigns", _])
         | (_, ["scenarios", "batch"])
         | (_, ["scenarios", "batch", _]) => (
             "method-not-allowed",

@@ -29,6 +29,11 @@ use crate::AppState;
 pub const MAX_SCENARIOS: u64 = 100_000;
 /// Finished/in-flight jobs retained for polling; the oldest is evicted.
 const JOB_CAPACITY: usize = 32;
+/// Completed jobs older than this are evicted by the telemetry tick.
+pub const JOB_TTL_MS: u64 = 10 * 60 * 1000;
+/// Completed jobs retained at most, regardless of age — the TTL bounds
+/// staleness, this bounds memory under burst load.
+pub const MAX_FINISHED_JOBS: usize = 16;
 
 /// One fleet campaign, in flight or finished.
 #[derive(Debug)]
@@ -41,19 +46,32 @@ pub struct FleetJob {
     pub progress: AtomicU64,
     /// Set (release) after `result` is populated.
     done: AtomicBool,
+    /// Wall time (ms) at which the job finished; 0 while in flight.
+    /// Read by the TTL eviction sweep.
+    finished_at_ms: AtomicU64,
     /// The aggregate JSON artifact, once done.
     result: Mutex<Option<Arc<String>>>,
 }
 
 impl FleetJob {
-    fn new(id: u128, total: u64) -> FleetJob {
+    pub(crate) fn new(id: u128, total: u64) -> FleetJob {
         FleetJob {
             id,
             total,
             progress: AtomicU64::new(0),
             done: AtomicBool::new(false),
+            finished_at_ms: AtomicU64::new(0),
             result: Mutex::new(None),
         }
+    }
+
+    /// Publishes the finished artifact; after this the job reads as done
+    /// and becomes eligible for TTL eviction.
+    pub(crate) fn publish(&self, body: String) {
+        *self.result.lock().expect("fleet job lock") = Some(Arc::new(body));
+        self.finished_at_ms
+            .store(crate::telemetry::now_ms().max(1), Ordering::Relaxed);
+        self.done.store(true, Ordering::Release);
     }
 
     /// Whether the campaign has finished and the result is readable.
@@ -95,12 +113,51 @@ impl FleetJobs {
         FleetJobs::default()
     }
 
-    fn register(&self, job: Arc<FleetJob>) {
+    pub(crate) fn register(&self, job: Arc<FleetJob>) {
         let mut jobs = self.jobs.lock().expect("fleet registry lock");
         if jobs.len() >= JOB_CAPACITY {
             jobs.pop_front();
         }
         jobs.push_back(job);
+    }
+
+    /// Evicts completed jobs: any finished more than `ttl_ms` before
+    /// `now_ms`, plus the oldest finished beyond [`MAX_FINISHED_JOBS`].
+    /// In-flight jobs are never evicted — a poller must always be able
+    /// to find a job it started. Returns the number evicted.
+    pub fn evict_finished(&self, now_ms: u64, ttl_ms: u64) -> usize {
+        let mut jobs = self.jobs.lock().expect("fleet registry lock");
+        let before = jobs.len();
+        jobs.retain(|job| {
+            let finished = job.finished_at_ms.load(Ordering::Relaxed);
+            finished == 0 || now_ms.saturating_sub(finished) <= ttl_ms
+        });
+        let mut finished: usize = jobs.iter().filter(|j| j.is_done()).count();
+        if finished > MAX_FINISHED_JOBS {
+            // The deque is registration-ordered, so the front holds the
+            // oldest finished jobs.
+            jobs.retain(|job| {
+                if finished > MAX_FINISHED_JOBS && job.is_done() {
+                    finished -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        before - jobs.len()
+    }
+
+    /// Jobs currently retained (any state).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.lock().expect("fleet registry lock").len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Looks up a job by id.
@@ -179,9 +236,7 @@ fn parse_campaign(body: &[u8]) -> Result<CampaignSpec, String> {
 /// Runs the campaign and publishes the aggregate into the job.
 fn execute(job: &FleetJob, spec: &CampaignSpec) {
     let records = run_campaign_with_progress(spec, Some(&job.progress));
-    let body = aggregate_json(&aggregate(&records)).to_text();
-    *job.result.lock().expect("fleet job lock") = Some(Arc::new(body));
-    job.done.store(true, Ordering::Release);
+    job.publish(aggregate_json(&aggregate(&records)).to_text());
 }
 
 /// `POST /scenarios/batch[?wait=true]`.
@@ -402,5 +457,49 @@ mod tests {
         }
         assert!(jobs.find(0).is_none(), "oldest evicted");
         assert!(jobs.find(JOB_CAPACITY as u128 + 2).is_some());
+    }
+
+    fn finished_at(id: u128, finished_ms: u64) -> Arc<FleetJob> {
+        let job = Arc::new(FleetJob::new(id, 1));
+        job.publish("{}".to_owned());
+        job.finished_at_ms.store(finished_ms, Ordering::Relaxed);
+        job
+    }
+
+    #[test]
+    fn eviction_expires_completed_jobs_after_the_ttl() {
+        let jobs = FleetJobs::new();
+        let now = 2 * JOB_TTL_MS;
+        jobs.register(finished_at(1, now - JOB_TTL_MS - 1)); // stale
+        jobs.register(finished_at(2, now - 10)); // fresh
+        jobs.register(Arc::new(FleetJob::new(3, 1))); // in flight
+        assert_eq!(jobs.evict_finished(now, JOB_TTL_MS), 1);
+        assert!(jobs.find(1).is_none(), "stale completed job evicted");
+        assert!(jobs.find(2).is_some(), "fresh completed job retained");
+        assert!(jobs.find(3).is_some(), "in-flight job retained");
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn eviction_caps_completed_jobs_but_never_touches_in_flight_ones() {
+        let jobs = FleetJobs::new();
+        let now = JOB_TTL_MS;
+        // More fresh-but-finished jobs than the cap, plus live ones.
+        for id in 0..(MAX_FINISHED_JOBS as u128 + 4) {
+            jobs.register(finished_at(id, now));
+        }
+        for id in 100..103 {
+            jobs.register(Arc::new(FleetJob::new(id, 1)));
+        }
+        let evicted = jobs.evict_finished(now, JOB_TTL_MS);
+        assert_eq!(evicted, 4, "only the overflow beyond the cap goes");
+        assert!(jobs.find(0).is_none(), "oldest finished evicted first");
+        assert!(jobs.find(3).is_none());
+        assert!(jobs.find(4).is_some(), "newest finished retained");
+        for id in 100..103 {
+            assert!(jobs.find(id).is_some(), "in-flight job {id} retained");
+        }
+        // Idempotent once within bounds.
+        assert_eq!(jobs.evict_finished(now, JOB_TTL_MS), 0);
     }
 }

@@ -34,14 +34,19 @@ pub struct SessionStore {
 }
 
 impl SessionStore {
-    /// A store preloaded with the built-in SCADA demonstration model under
-    /// the id `scada`.
+    /// A store preloaded with the built-in testbed models: the SCADA
+    /// centrifuge under the id `scada` and the water-treatment plant
+    /// under `water`.
     #[must_use]
     pub fn new() -> SessionStore {
         let mut models = BTreeMap::new();
         models.insert(
             "scada".to_owned(),
             StoredModel::new(cpssec_scada::model::scada_model()),
+        );
+        models.insert(
+            "water".to_owned(),
+            StoredModel::new(cpssec_scada::water::water_model()),
         );
         SessionStore {
             models: RwLock::new(models),
@@ -90,12 +95,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scada_is_preloaded() {
+    fn testbeds_are_preloaded() {
         let store = SessionStore::new();
         let stored = store.get("scada").expect("preloaded");
         assert_eq!(stored.model.name(), "particle-separation-centrifuge");
         assert_eq!(stored.hash, stored.model.content_hash());
-        assert_eq!(store.ids(), ["scada"]);
+        let water = store.get("water").expect("preloaded");
+        assert_eq!(water.model.name(), "water-treatment");
+        assert_eq!(store.ids(), ["scada", "water"]);
     }
 
     #[test]
@@ -107,7 +114,7 @@ mod tests {
             .unwrap();
         let hash = store.insert("tiny", model.clone());
         assert_eq!(hash, model.content_hash());
-        assert_eq!(store.ids(), ["scada", "tiny"]);
+        assert_eq!(store.ids(), ["scada", "tiny", "water"]);
         assert_eq!(store.get("tiny").unwrap().model, model);
         assert!(store.get("missing").is_none());
     }

@@ -6,6 +6,9 @@
 //! active only inside its [`TickWindow`], so scenarios can stage intrusion,
 //! persistence, and effect phases.
 
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
 use crate::{BusRequest, BusResponse, Tick, UnitId};
 
 /// What an injector decided for a request.
@@ -224,6 +227,237 @@ impl Injector for ResponseOverride {
     }
 }
 
+/// When a campaign stage becomes *eligible* to activate. Eligibility is
+/// necessary but not sufficient: the previous stage must already be active
+/// and any [`Stage::require_delivery_to`] gate must be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageTrigger {
+    /// Eligible from an absolute tick on.
+    AtTick(Tick),
+    /// Eligible `dwell` ticks after the previous stage activated (or after
+    /// tick zero for the first stage) — models attacker dwell time.
+    AfterPrevious {
+        /// Ticks to wait after the previous stage's activation.
+        dwell: u64,
+    },
+}
+
+/// One stage of a multi-stage attack campaign: a named step that arms a
+/// set of injector effects once its trigger and preconditions hold.
+pub struct Stage {
+    name: String,
+    trigger: StageTrigger,
+    effects: Vec<Box<dyn Injector + Send>>,
+    require_src: Option<UnitId>,
+    require_dst: Option<UnitId>,
+}
+
+impl Stage {
+    /// A stage with no effects and no delivery precondition — a pure
+    /// dwell/pivot gate until effects or gates are added.
+    #[must_use]
+    pub fn new(name: impl Into<String>, trigger: StageTrigger) -> Self {
+        Stage {
+            name: name.into(),
+            trigger,
+            effects: Vec::new(),
+            require_src: None,
+            require_dst: None,
+        }
+    }
+
+    /// Adds an injector effect armed while this stage is active.
+    #[must_use]
+    pub fn with_effect(mut self, effect: Box<dyn Injector + Send>) -> Self {
+        self.effects.push(effect);
+        self
+    }
+
+    /// Requires that an *answered* request to `dst` has been observed on
+    /// the bus before this stage may activate. Because the firewall is
+    /// consulted before injectors and dropped requests never produce a
+    /// response, an observed answer proves the path to `dst` is open —
+    /// this is the runtime reachability precondition.
+    #[must_use]
+    pub fn require_delivery_to(mut self, dst: UnitId) -> Self {
+        self.require_dst = Some(dst);
+        self
+    }
+
+    /// Narrows the delivery gate to answered requests *from* `src`
+    /// (e.g. "the compromised workstation itself must reach the target").
+    #[must_use]
+    pub fn require_delivery_from(mut self, src: UnitId) -> Self {
+        self.require_src = Some(src);
+        self
+    }
+
+    /// The stage name used in logs and verdict reports.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Shared, read-side view of a [`StagedInjection`]'s progress: which
+/// stages activated and when. The scorer reads this after the run.
+#[derive(Debug)]
+pub struct StageLog {
+    names: Vec<String>,
+    activations: Mutex<Vec<Option<u64>>>,
+}
+
+impl StageLog {
+    fn new(names: Vec<String>) -> Self {
+        let activations = Mutex::new(vec![None; names.len()]);
+        StageLog { names, activations }
+    }
+
+    fn record(&self, index: usize, at: Tick) {
+        self.activations.lock().expect("stage log poisoned")[index] = Some(at.count());
+    }
+
+    /// Number of stages in the plan.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name of stage `index` (panics out of range).
+    #[must_use]
+    pub fn stage_name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Activation tick per stage, `None` for stages that never activated.
+    #[must_use]
+    pub fn activation_ticks(&self) -> Vec<Option<u64>> {
+        self.activations.lock().expect("stage log poisoned").clone()
+    }
+
+    /// Count of stages that activated (stages activate strictly in order,
+    /// so this is the length of the activated prefix).
+    #[must_use]
+    pub fn activated_count(&self) -> usize {
+        self.activations
+            .lock()
+            .expect("stage log poisoned")
+            .iter()
+            .take_while(|a| a.is_some())
+            .count()
+    }
+
+    /// Index of the first stage that never activated, or `None` when the
+    /// whole plan ran.
+    #[must_use]
+    pub fn first_blocked(&self) -> Option<usize> {
+        let count = self.activated_count();
+        (count < self.names.len()).then_some(count)
+    }
+}
+
+/// Executes an ordered stage plan as one composite [`Injector`]: stages
+/// activate strictly in order when their [`StageTrigger`] fires and their
+/// delivery precondition is met, and once active their effects stay armed
+/// for the rest of the run. Progress is observable through the shared
+/// [`StageLog`] (clone it via [`StagedInjection::log`] before handing the
+/// injection to the simulation).
+pub struct StagedInjection {
+    name: String,
+    stages: Vec<Stage>,
+    log: Arc<StageLog>,
+    activated: Vec<u64>,
+    delivered: HashSet<(UnitId, UnitId)>,
+}
+
+impl StagedInjection {
+    /// Builds the composite injector over `stages`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        let names = stages.iter().map(|s| s.name.clone()).collect();
+        StagedInjection {
+            name: name.into(),
+            stages,
+            log: Arc::new(StageLog::new(names)),
+            activated: Vec::new(),
+            delivered: HashSet::new(),
+        }
+    }
+
+    /// A handle to the progress log, shared with the running injection.
+    #[must_use]
+    pub fn log(&self) -> Arc<StageLog> {
+        Arc::clone(&self.log)
+    }
+
+    fn gate_open(&self, stage: &Stage) -> bool {
+        match stage.require_dst {
+            None => true,
+            Some(dst) => self
+                .delivered
+                .iter()
+                .any(|(src, d)| *d == dst && stage.require_src.map_or(true, |want| *src == want)),
+        }
+    }
+
+    /// Activates every stage whose turn has come — called on each bus
+    /// observation so progress advances with traffic, never faster.
+    fn advance(&mut self, now: Tick) {
+        while self.activated.len() < self.stages.len() {
+            let index = self.activated.len();
+            let stage = &self.stages[index];
+            let eligible = match stage.trigger {
+                StageTrigger::AtTick(at) => now >= at,
+                StageTrigger::AfterPrevious { dwell } => {
+                    let since = if index == 0 {
+                        0
+                    } else {
+                        self.activated[index - 1]
+                    };
+                    now.count() >= since.saturating_add(dwell)
+                }
+            };
+            if !eligible || !self.gate_open(stage) {
+                break;
+            }
+            self.activated.push(now.count());
+            self.log.record(index, now);
+        }
+    }
+}
+
+impl Injector for StagedInjection {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn intercept_request(&mut self, now: Tick, request: &mut BusRequest) -> Verdict {
+        self.advance(now);
+        let active = self.activated.len();
+        for stage in &mut self.stages[..active] {
+            for effect in &mut stage.effects {
+                if effect.intercept_request(now, request) == Verdict::Drop {
+                    return Verdict::Drop;
+                }
+            }
+        }
+        Verdict::Deliver
+    }
+
+    fn intercept_response(&mut self, now: Tick, request: &BusRequest, response: &mut BusResponse) {
+        // An answered request proves the firewall passed this (src, dst)
+        // path — record it, then let that evidence unlock pending stages.
+        self.delivered.insert((request.src, request.dst));
+        self.advance(now);
+        let active = self.activated.len();
+        for stage in &mut self.stages[..active] {
+            for effect in &mut stage.effects {
+                effect.intercept_response(now, request, response);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +539,104 @@ mod tests {
         let mut exc = BusResponse::exception(crate::ExceptionCode::DeviceFailure);
         inj.intercept_response(Tick::ZERO, &read, &mut exc);
         assert!(!exc.is_ok());
+    }
+
+    #[test]
+    fn stages_activate_in_order_with_dwell() {
+        let mut staged = StagedInjection::new(
+            "campaign",
+            vec![
+                Stage::new("initial-access", StageTrigger::AtTick(Tick::new(2))),
+                Stage::new("pivot", StageTrigger::AfterPrevious { dwell: 5 }),
+            ],
+        );
+        let log = staged.log();
+        let mut r = req();
+        staged.intercept_request(Tick::new(1), &mut r);
+        assert_eq!(log.activated_count(), 0);
+        staged.intercept_request(Tick::new(3), &mut r);
+        assert_eq!(log.activation_ticks(), vec![Some(3), None]);
+        // Dwell counts from the *activation* tick (3), not the trigger tick.
+        staged.intercept_request(Tick::new(7), &mut r);
+        assert_eq!(log.activated_count(), 1);
+        staged.intercept_request(Tick::new(8), &mut r);
+        assert_eq!(log.activation_ticks(), vec![Some(3), Some(8)]);
+        assert_eq!(log.first_blocked(), None);
+    }
+
+    #[test]
+    fn delivery_gate_holds_until_an_answer_is_observed() {
+        let mut staged = StagedInjection::new(
+            "campaign",
+            vec![Stage::new("actuate", StageTrigger::AtTick(Tick::ZERO))
+                .require_delivery_to(UnitId::new(9))
+                .require_delivery_from(UnitId::new(1))],
+        );
+        let log = staged.log();
+        let mut r = req();
+        staged.intercept_request(Tick::new(4), &mut r);
+        assert_eq!(log.first_blocked(), Some(0), "no delivery seen yet");
+        // An answer for a different destination does not open the gate.
+        let other = BusRequest::read(UnitId::new(1), UnitId::new(2), 0, 1);
+        let mut resp = BusResponse::ok(vec![1]);
+        staged.intercept_response(Tick::new(5), &other, &mut resp);
+        assert_eq!(log.activated_count(), 0);
+        // An answer from the wrong source does not either.
+        let wrong_src = BusRequest::read(UnitId::new(3), UnitId::new(9), 0, 1);
+        staged.intercept_response(Tick::new(6), &wrong_src, &mut resp);
+        assert_eq!(log.activated_count(), 0);
+        let proof = BusRequest::read(UnitId::new(1), UnitId::new(9), 0, 1);
+        staged.intercept_response(Tick::new(7), &proof, &mut resp);
+        assert_eq!(log.activation_ticks(), vec![Some(7)]);
+    }
+
+    #[test]
+    fn effects_arm_only_after_activation_and_drop_wins() {
+        let mut staged = StagedInjection::new(
+            "campaign",
+            vec![
+                Stage::new("tamper", StageTrigger::AtTick(Tick::new(5))).with_effect(Box::new(
+                    RegisterOverride::new("force", TickWindow::always(), UnitId::new(2), 40, 9999),
+                )),
+                Stage::new("dos", StageTrigger::AtTick(Tick::new(10))).with_effect(Box::new(
+                    DropMatching::new("drop", TickWindow::always(), Some(UnitId::new(2))),
+                )),
+            ],
+        );
+        let mut early = req();
+        assert_eq!(
+            staged.intercept_request(Tick::new(1), &mut early),
+            Verdict::Deliver
+        );
+        assert_eq!(early.values, vec![100], "inactive stage must not rewrite");
+        let mut mid = req();
+        assert_eq!(
+            staged.intercept_request(Tick::new(6), &mut mid),
+            Verdict::Deliver
+        );
+        assert_eq!(mid.values, vec![9999], "active stage rewrites");
+        let mut late = req();
+        assert_eq!(
+            staged.intercept_request(Tick::new(11), &mut late),
+            Verdict::Drop,
+            "any active effect's drop wins"
+        );
+    }
+
+    #[test]
+    fn later_stage_cannot_overtake_a_gated_earlier_stage() {
+        let mut staged = StagedInjection::new(
+            "campaign",
+            vec![
+                Stage::new("blocked", StageTrigger::AtTick(Tick::ZERO))
+                    .require_delivery_to(UnitId::new(77)),
+                Stage::new("ready", StageTrigger::AtTick(Tick::ZERO)),
+            ],
+        );
+        let log = staged.log();
+        let mut r = req();
+        staged.intercept_request(Tick::new(100), &mut r);
+        assert_eq!(log.activation_ticks(), vec![None, None]);
+        assert_eq!(log.first_blocked(), Some(0));
     }
 }

@@ -68,7 +68,10 @@ pub use bus::{
 pub use control::Pid;
 pub use device::{Device, Outbox};
 pub use fleet::{derive_seed, run_fleet, SplitMix64};
-pub use inject::{DropMatching, Injector, RegisterOverride, ResponseOverride, TickWindow, Verdict};
+pub use inject::{
+    DropMatching, Injector, RegisterOverride, ResponseOverride, Stage, StageLog, StageTrigger,
+    StagedInjection, TickWindow, Verdict,
+};
 pub use kernel::{KernelEngine, Plant, Simulation};
 pub use monitor::{HazardEvent, HazardMonitor};
 pub use scheduler::EventQueue;

@@ -1,9 +1,11 @@
-//! A second domain: a small water treatment plant, modeled from scratch.
+//! A second domain: the water-treatment testbed, now first-class.
 //!
 //! The centrifuge is the paper's demonstration; this example shows the
 //! toolchain on a different system to make the point that nothing is
-//! centrifuge-specific: build the model, associate, filter, rank, and
-//! enumerate attack paths — the §2 workflow on your own architecture.
+//! centrifuge-specific. The model and the running simulation behind it
+//! were promoted into `cpssec_scada::water` — this wrapper just drives
+//! the §2 workflow (associate, rank, enumerate attack paths) over the
+//! promoted model and runs one nominal batch of the physics.
 //!
 //! Run with `cargo run --example water_treatment`.
 
@@ -11,55 +13,10 @@ use cpssec::analysis::render::text_table;
 use cpssec::analysis::surface::attack_surface;
 use cpssec::attackdb::seed::seed_corpus;
 use cpssec::prelude::*;
-
-fn water_treatment_model() -> Result<SystemModel, cpssec::model::ModelError> {
-    SystemModelBuilder::new("water-treatment")
-        .component_with("business network", ComponentKind::Network, |c| {
-            c.with_entry_point(true)
-        })
-        .component_with("scada server", ComponentKind::Server, |c| {
-            c.with_criticality(Criticality::High)
-                .with_attribute(Attribute::new(AttributeKind::OperatingSystem, "Windows 7"))
-                .with_attribute(
-                    Attribute::new(AttributeKind::Software, "historian database")
-                        .at_fidelity(Fidelity::Architectural),
-                )
-        })
-        .component_with("perimeter firewall", ComponentKind::Firewall, |c| {
-            c.with_attribute(
-                Attribute::new(AttributeKind::Product, "Cisco ASA")
-                    .at_fidelity(Fidelity::Implementation),
-            )
-        })
-        .component_with("dosing plc", ComponentKind::Controller, |c| {
-            c.with_criticality(Criticality::SafetyCritical)
-                .with_attribute(Attribute::new(
-                    AttributeKind::Function,
-                    "chlorine dosing control",
-                ))
-                .with_attribute(
-                    Attribute::new(AttributeKind::OperatingSystem, "NI RT Linux OS")
-                        .at_fidelity(Fidelity::Implementation),
-                )
-        })
-        .component_with("chlorine pump", ComponentKind::Actuator, |c| {
-            c.with_criticality(Criticality::SafetyCritical)
-        })
-        .component("turbidity sensor", ComponentKind::Sensor)
-        .channel(
-            "business network",
-            "perimeter firewall",
-            ChannelKind::Ethernet,
-        )
-        .channel("perimeter firewall", "scada server", ChannelKind::Ethernet)
-        .channel("scada server", "dosing plc", ChannelKind::Ethernet)
-        .channel("dosing plc", "chlorine pump", ChannelKind::Analog)
-        .channel("dosing plc", "turbidity sensor", ChannelKind::Analog)
-        .build()
-}
+use cpssec::scada::water::{water_model, WaterConfig, WaterHarness};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = water_treatment_model()?;
+    let model = water_model();
     let mut dashboard = Dashboard::new(seed_corpus(), model);
 
     println!("== Association ==");
@@ -99,26 +56,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // The workflow question: is it worth segmenting the dosing PLC behind
-    // its own firewall? Topology changes are model edits too — compare
-    // exposure before/after.
-    let mut segmented = dashboard.model().clone();
-    let fw = segmented.add_component(cpssec::model::Component::new(
-        "cell firewall",
-        ComponentKind::Firewall,
-    ))?;
-    let scada = segmented.component_id("scada server").expect("exists");
-    let plc = segmented.component_id("dosing plc").expect("exists");
-    segmented.add_channel(scada, fw, ChannelKind::Ethernet)?;
-    segmented.add_channel(fw, plc, ChannelKind::Ethernet)?;
-    // (In a real edit the old direct channel would be removed; SystemModel
-    // keeps channels immutable, so rebuild without it.)
-    let before = attack_surface(dashboard.model(), Criticality::SafetyCritical, 6);
+    // The promoted testbed is executable, not just a diagram: run one
+    // nominal batch and report the residual-chlorine outcome.
+    println!("\n== Nominal batch (simulated) ==");
+    let mut harness = WaterHarness::new(WaterConfig::default());
+    let report = harness.run_batch();
     println!(
-        "\nsegmentation what-if: shortest path to the PLC today is {} hops; adding a\n\
-         dedicated cell firewall lengthens every new path and shrinks exposure ({:.2}).",
-        before.paths.first().map_or(0, |p| p.hops),
-        before.exposure
+        "quality: {}  residual window: [{:.2}, {:.2}] mg/L  hazards: {}",
+        report.quality,
+        report.window_min_mg_l,
+        report.window_max_mg_l,
+        report.hazards.len()
     );
     Ok(())
 }

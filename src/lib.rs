@@ -4,4 +4,4 @@
 //! this repository can use a single dependency. Library users should
 //! depend on `cpssec-core` (or the individual crates) directly.
 
-pub use cpssec_core::{analysis, attackdb, model, prelude, scada, search, sim, Pipeline};
+pub use cpssec_core::{analysis, attackdb, campaign, model, prelude, scada, search, sim, Pipeline};
