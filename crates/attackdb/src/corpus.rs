@@ -246,6 +246,27 @@ impl Corpus {
         out
     }
 
+    /// The highest pattern id present, if any — the append-only floor a
+    /// delta batch must clear for incremental indexing to stay equivalent
+    /// to a rebuild (both walk records in id order).
+    #[must_use]
+    pub fn last_pattern_id(&self) -> Option<CapecId> {
+        self.patterns.keys().next_back().copied()
+    }
+
+    /// The highest weakness id present, if any (see [`Self::last_pattern_id`]).
+    #[must_use]
+    pub fn last_weakness_id(&self) -> Option<CweId> {
+        self.weaknesses.keys().next_back().copied()
+    }
+
+    /// The highest vulnerability id present, if any (see
+    /// [`Self::last_pattern_id`]).
+    #[must_use]
+    pub fn last_vulnerability_id(&self) -> Option<CveId> {
+        self.vulnerabilities.keys().next_back().copied()
+    }
+
     /// Merges another corpus into this one.
     ///
     /// # Errors

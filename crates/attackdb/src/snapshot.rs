@@ -350,7 +350,9 @@ fn decode_cvss(r: &mut Reader<'_>) -> Result<CvssVector, SnapshotError> {
     })
 }
 
-fn encode_pattern(out: &mut Vec<u8>, p: &AttackPattern) {
+/// Encodes one attack pattern record — the per-record unit the sectioned
+/// corpus layout and `.cpsdelta` batches are built from.
+pub fn encode_pattern(out: &mut Vec<u8>, p: &AttackPattern) {
     put_u32(out, p.id().number());
     put_str(out, p.name());
     put_str(out, p.description());
@@ -374,7 +376,13 @@ fn encode_pattern(out: &mut Vec<u8>, p: &AttackPattern) {
     }
 }
 
-fn decode_pattern(r: &mut Reader<'_>) -> Result<AttackPattern, SnapshotError> {
+/// Decodes one attack pattern record written by [`encode_pattern`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] or [`SnapshotError::Corrupt`] on malformed
+/// bytes.
+pub fn decode_pattern(r: &mut Reader<'_>) -> Result<AttackPattern, SnapshotError> {
     let id = CapecId::new(r.u32()?);
     let name = r.str()?;
     let description = r.str()?;
@@ -409,7 +417,9 @@ fn decode_pattern(r: &mut Reader<'_>) -> Result<AttackPattern, SnapshotError> {
     Ok(pattern)
 }
 
-fn encode_weakness(out: &mut Vec<u8>, w: &Weakness) {
+/// Encodes one weakness record — the per-record unit the sectioned corpus
+/// layout and `.cpsdelta` batches are built from.
+pub fn encode_weakness(out: &mut Vec<u8>, w: &Weakness) {
     put_u32(out, w.id().number());
     put_str(out, w.name());
     put_str(out, w.description());
@@ -421,7 +431,13 @@ fn encode_weakness(out: &mut Vec<u8>, w: &Weakness) {
     }
 }
 
-fn decode_weakness(r: &mut Reader<'_>) -> Result<Weakness, SnapshotError> {
+/// Decodes one weakness record written by [`encode_weakness`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] or [`SnapshotError::Corrupt`] on malformed
+/// bytes.
+pub fn decode_weakness(r: &mut Reader<'_>) -> Result<Weakness, SnapshotError> {
     let id = CweId::new(r.u32()?);
     let name = r.str()?;
     let description = r.str()?;
@@ -441,7 +457,9 @@ fn decode_weakness(r: &mut Reader<'_>) -> Result<Weakness, SnapshotError> {
     Ok(weakness)
 }
 
-fn encode_vulnerability(out: &mut Vec<u8>, v: &Vulnerability) {
+/// Encodes one vulnerability record — the per-record unit the sectioned
+/// corpus layout and `.cpsdelta` batches are built from.
+pub fn encode_vulnerability(out: &mut Vec<u8>, v: &Vulnerability) {
     put_u16(out, v.id().year());
     put_u32(out, v.id().number());
     put_str(out, v.description());
@@ -470,7 +488,13 @@ fn encode_vulnerability(out: &mut Vec<u8>, v: &Vulnerability) {
     }
 }
 
-fn decode_vulnerability(r: &mut Reader<'_>) -> Result<Vulnerability, SnapshotError> {
+/// Decodes one vulnerability record written by [`encode_vulnerability`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] or [`SnapshotError::Corrupt`] on malformed
+/// bytes.
+pub fn decode_vulnerability(r: &mut Reader<'_>) -> Result<Vulnerability, SnapshotError> {
     let id = CveId::new(r.u16()?, r.u32()?);
     let description = r.str()?;
     let mut vuln = Vulnerability::new(id, description);

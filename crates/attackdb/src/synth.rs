@@ -382,6 +382,11 @@ fn random_cvss(rng: &mut StdRng) -> CvssVector {
 
 /// Generates a corpus from a spec. Deterministic in the spec.
 ///
+/// A thin wrapper over [`stream_into`] starting from an empty corpus —
+/// use `stream_into` directly when growing an existing corpus (e.g. the
+/// curated seed) to avoid materializing a second full corpus just to
+/// merge it.
+///
 /// # Examples
 ///
 /// ```
@@ -393,8 +398,25 @@ fn random_cvss(rng: &mut StdRng) -> CvssVector {
 /// ```
 #[must_use]
 pub fn generate(spec: &SynthSpec) -> Corpus {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut corpus = Corpus::new();
+    stream_into(&mut corpus, spec).expect("generated ids are unique in an empty corpus");
+    corpus
+}
+
+/// Streams generated records straight into an existing corpus, one record
+/// at a time — bounded intermediate memory at any scale (no second corpus
+/// or JSONL buffer is built to be merged). Byte-identical to
+/// [`generate`] + [`Corpus::merge`]: record construction and the single
+/// RNG's call order are exactly the same, only the destination differs.
+///
+/// # Errors
+///
+/// [`crate::AttackDbError`] if a generated id collides with a record
+/// already in `corpus` (generated ids start at CWE-10000 / CAPEC-10000 /
+/// CVE-\*-20000, clear of the curated seed corpus). On error the corpus
+/// keeps the records added so far.
+pub fn stream_into(corpus: &mut Corpus, spec: &SynthSpec) -> Result<(), crate::AttackDbError> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
 
     // Weaknesses first so patterns and vulnerabilities can link to them.
     let mut next_cwe = 10_000u32;
@@ -403,7 +425,8 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
                         rng: &mut StdRng,
                         all_cwes: &mut Vec<CweId>,
                         next_cwe: &mut u32,
-                        mention: Option<&str>| {
+                        mention: Option<&str>|
+     -> Result<(), crate::AttackDbError> {
         let id = CweId::new(*next_cwe);
         *next_cwe += 1;
         let mode = WEAKNESS_MODES.choose(rng).expect("non-empty pool");
@@ -417,21 +440,22 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
         if let Some(m) = mention {
             w = w.with_platform(format!("{m} platforms"));
         }
-        corpus.add_weakness(w).expect("generated ids unique");
+        corpus.add_weakness(w)?;
         all_cwes.push(id);
+        Ok(())
     };
     for _ in 0..spec.background_weaknesses {
-        add_weakness(&mut corpus, &mut rng, &mut all_cwes, &mut next_cwe, None);
+        add_weakness(corpus, &mut rng, &mut all_cwes, &mut next_cwe, None)?;
     }
     for profile in &spec.profiles {
         for _ in 0..profile.weaknesses {
             add_weakness(
-                &mut corpus,
+                corpus,
                 &mut rng,
                 &mut all_cwes,
                 &mut next_cwe,
                 Some(profile.platform()),
-            );
+            )?;
         }
     }
 
@@ -442,43 +466,42 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
         Abstraction::Standard,
         Abstraction::Detailed,
     ];
-    let add_pattern =
-        |corpus: &mut Corpus, rng: &mut StdRng, next_capec: &mut u32, mention: Option<&str>| {
-            let id = CapecId::new(*next_capec);
-            *next_capec += 1;
-            let verb = PATTERN_VERBS.choose(rng).expect("non-empty pool");
-            let object = PATTERN_OBJECTS.choose(rng).expect("non-empty pool");
-            let description = match mention {
-                Some(m) => format!(
-                    "An adversary targets services running on {m} platforms. {}",
-                    sentence(rng, None)
-                ),
-                None => sentence(rng, None),
-            };
-            let mut p = AttackPattern::new(
-                id,
-                format!("{verb} {object}"),
-                description,
-                *abstractions.choose(rng).expect("non-empty pool"),
-            );
-            for _ in 0..rng.gen_range(1..=3usize) {
-                if let Some(cwe) = all_cwes.choose(rng) {
-                    p = p.with_weakness(*cwe);
-                }
-            }
-            corpus.add_pattern(p).expect("generated ids unique");
+    let add_pattern = |corpus: &mut Corpus,
+                       rng: &mut StdRng,
+                       next_capec: &mut u32,
+                       mention: Option<&str>|
+     -> Result<(), crate::AttackDbError> {
+        let id = CapecId::new(*next_capec);
+        *next_capec += 1;
+        let verb = PATTERN_VERBS.choose(rng).expect("non-empty pool");
+        let object = PATTERN_OBJECTS.choose(rng).expect("non-empty pool");
+        let description = match mention {
+            Some(m) => format!(
+                "An adversary targets services running on {m} platforms. {}",
+                sentence(rng, None)
+            ),
+            None => sentence(rng, None),
         };
+        let mut p = AttackPattern::new(
+            id,
+            format!("{verb} {object}"),
+            description,
+            *abstractions.choose(rng).expect("non-empty pool"),
+        );
+        for _ in 0..rng.gen_range(1..=3usize) {
+            if let Some(cwe) = all_cwes.choose(rng) {
+                p = p.with_weakness(*cwe);
+            }
+        }
+        corpus.add_pattern(p)?;
+        Ok(())
+    };
     for _ in 0..spec.background_patterns {
-        add_pattern(&mut corpus, &mut rng, &mut next_capec, None);
+        add_pattern(corpus, &mut rng, &mut next_capec, None)?;
     }
     for profile in &spec.profiles {
         for _ in 0..profile.patterns {
-            add_pattern(
-                &mut corpus,
-                &mut rng,
-                &mut next_capec,
-                Some(profile.platform()),
-            );
+            add_pattern(corpus, &mut rng, &mut next_capec, Some(profile.platform()))?;
         }
     }
 
@@ -488,7 +511,8 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
     let add_vuln = |corpus: &mut Corpus,
                     rng: &mut StdRng,
                     next_cve: &mut u32,
-                    profile: Option<&ProductProfile>| {
+                    profile: Option<&ProductProfile>|
+     -> Result<(), crate::AttackDbError> {
         let year = 2002 + (*next_cve % 19) as u16;
         let id = CveId::new(year, *next_cve);
         *next_cve += 1;
@@ -509,18 +533,88 @@ pub fn generate(spec: &SynthSpec) -> Corpus {
                 v = v.with_affected(CpeName::new(*vendor, *product));
             }
         }
-        corpus.add_vulnerability(v).expect("generated ids unique");
+        corpus.add_vulnerability(v)?;
+        Ok(())
     };
     for _ in 0..spec.background_vulnerabilities {
-        add_vuln(&mut corpus, &mut rng, &mut next_cve, None);
+        add_vuln(corpus, &mut rng, &mut next_cve, None)?;
     }
     for profile in &spec.profiles {
         for _ in 0..profile.vulnerabilities {
-            add_vuln(&mut corpus, &mut rng, &mut next_cve, Some(profile));
+            add_vuln(corpus, &mut rng, &mut next_cve, Some(profile))?;
         }
     }
 
-    corpus
+    Ok(())
+}
+
+/// A fictional product line that exists in **no** other generation pool:
+/// the token `quantumworks` never appears in seed or [`generate`] output,
+/// so a query for it cleanly separates delta-applied records from the
+/// base corpus (CI asserts exactly this after `POST /corpus/delta`).
+pub const DELTA_MENTION: &str = "Quantumworks FlowNet gateway";
+
+/// Generates a deterministic batch of *new* records for a `.cpsdelta`,
+/// with ids far above anything [`generate`] or the curated seed produce
+/// (CWE/CAPEC from `500_000 + serial·10_000`, CVEs in year 2030 from
+/// `serial·1_000_000`) so consecutive serials chain append-only: every id
+/// in batch `serial + 1` exceeds every id in batch `serial`.
+///
+/// The composition is vulnerability-heavy like a real feed increment
+/// (1/20 patterns, 1/10 weaknesses, the rest vulnerabilities), and every
+/// record mentions the [`DELTA_MENTION`] product so its arrival is
+/// observable through a search query.
+///
+/// # Panics
+///
+/// Panics if `records` exceeds the per-serial id range (10 000).
+#[must_use]
+pub fn delta_batch(seed: u64, records: usize, serial: u32) -> Corpus {
+    assert!(
+        records <= 10_000,
+        "delta batch exceeds the per-serial id range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(serial) << 32));
+    let mut batch = Corpus::new();
+    let patterns = records / 20;
+    let weaknesses = records / 10;
+    let vulnerabilities = records - patterns - weaknesses;
+    let base = 500_000 + serial * 10_000;
+    for i in 0..weaknesses as u32 {
+        let mode = WEAKNESS_MODES.choose(&mut rng).expect("non-empty pool");
+        let subject = WEAKNESS_SUBJECTS.choose(&mut rng).expect("non-empty pool");
+        let w = Weakness::new(
+            CweId::new(base + i),
+            format!("{mode} of {subject} in {DELTA_MENTION} firmware"),
+            sentence(&mut rng, Some(DELTA_MENTION)),
+        )
+        .with_platform(format!("{DELTA_MENTION} platforms"));
+        batch.add_weakness(w).expect("delta ids unique");
+    }
+    for i in 0..patterns as u32 {
+        let verb = PATTERN_VERBS.choose(&mut rng).expect("non-empty pool");
+        let object = PATTERN_OBJECTS.choose(&mut rng).expect("non-empty pool");
+        let p = AttackPattern::new(
+            CapecId::new(base + i),
+            format!("{verb} {object}"),
+            format!(
+                "An adversary targets services running on {DELTA_MENTION} platforms. {}",
+                sentence(&mut rng, None)
+            ),
+            Abstraction::Standard,
+        );
+        batch.add_pattern(p).expect("delta ids unique");
+    }
+    for i in 0..vulnerabilities as u32 {
+        let v = Vulnerability::new(
+            CveId::new(2030, serial * 1_000_000 + i),
+            sentence(&mut rng, Some(DELTA_MENTION)),
+        )
+        .with_cvss(random_cvss(&mut rng))
+        .with_affected(CpeName::new("quantumworks", "flownet gateway"));
+        batch.add_vulnerability(v).expect("delta ids unique");
+    }
+    batch
 }
 
 #[cfg(test)]
@@ -631,5 +725,88 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_is_rejected() {
         let _ = SynthSpec::paper2020(1, 0.0);
+    }
+
+    #[test]
+    fn stream_into_equals_generate_plus_merge() {
+        let spec = SynthSpec::paper2020(7, 0.02);
+        let mut merged = crate::seed::seed_corpus();
+        merged.merge(generate(&spec)).unwrap();
+        let mut streamed = crate::seed::seed_corpus();
+        stream_into(&mut streamed, &spec).unwrap();
+        assert_eq!(merged, streamed);
+    }
+
+    #[test]
+    fn stream_into_rejects_id_collisions() {
+        let mut corpus = generate(&tiny());
+        assert!(stream_into(&mut corpus, &tiny()).is_err());
+    }
+
+    #[test]
+    fn legacy_scale_counts_are_pinned() {
+        // Regression pin: the scale → record-count mapping at the two
+        // legacy CI scales must never drift (downstream campaign hashes
+        // and Table 1 shape tests depend on it).
+        let s = generate(&SynthSpec::paper2020(7, 0.02)).stats();
+        assert_eq!((s.patterns, s.weaknesses), (597, 849));
+        assert_eq!(s.vulnerabilities, 639);
+        let s = generate(&SynthSpec::paper2020(11, 0.05)).stats();
+        assert_eq!((s.patterns, s.weaknesses), (597, 849));
+        assert_eq!(s.vulnerabilities, 1601);
+    }
+
+    #[test]
+    fn scale_maps_linearly_to_corpus_size() {
+        // ~32k records per unit of scale: scale 3.0 ≈ 100k records is the
+        // CI snapshot-scale fixture; ~31 ≈ 1M is the E17 upper point.
+        let spec = SynthSpec::paper2020(7, 3.0);
+        let expected: usize = spec.background_vulnerabilities
+            + spec
+                .profiles
+                .iter()
+                .map(|p| p.vulnerabilities)
+                .sum::<usize>();
+        assert!((96_000..=100_000).contains(&expected), "{expected}");
+    }
+
+    #[test]
+    fn delta_batch_is_deterministic_and_append_only_across_serials() {
+        let a = delta_batch(9, 200, 1);
+        assert_eq!(a, delta_batch(9, 200, 1));
+        assert_ne!(a, delta_batch(10, 200, 1));
+        let s = a.stats();
+        assert_eq!(s.patterns + s.weaknesses + s.vulnerabilities, 200);
+        assert!(s.vulnerabilities > s.weaknesses);
+        // Serial 2's smallest ids exceed serial 1's largest.
+        let b = delta_batch(9, 200, 2);
+        let max_cve_a = a.vulnerabilities().last().unwrap().id();
+        let min_cve_b = b.vulnerabilities().next().unwrap().id();
+        assert!(min_cve_b > max_cve_a);
+        let max_cwe_a = a.weaknesses().last().unwrap().id();
+        let min_cwe_b = b.weaknesses().next().unwrap().id();
+        assert!(min_cwe_b > max_cwe_a);
+    }
+
+    #[test]
+    fn delta_batch_mentions_are_absent_from_generated_corpora() {
+        // `quantumworks` must be distinctive: no seed or synth record may
+        // contain it, so a post-delta query separates old from new.
+        let batch = delta_batch(9, 50, 1);
+        assert!(batch
+            .vulnerabilities()
+            .all(|v| v.description().contains("Quantumworks")));
+        let mut base = crate::seed::seed_corpus();
+        base.merge(generate(&SynthSpec::paper2020(7, 0.02)))
+            .unwrap();
+        assert!(!base
+            .vulnerabilities()
+            .any(|v| v.description().to_lowercase().contains("quantumworks")));
+        assert!(!base
+            .patterns()
+            .any(|p| p.description().to_lowercase().contains("quantumworks")));
+        // And batch ids clear the merged corpus's id ceiling.
+        let floor = base.last_vulnerability_id().unwrap();
+        assert!(batch.vulnerabilities().next().unwrap().id() > floor);
     }
 }

@@ -161,8 +161,7 @@ pub fn compile_chains_with(
                 .iter()
                 .find(|s| {
                     s.target_component == component
-                        && (s.weakness_ids.contains(&weakness)
-                            || s.pattern_ids.contains(&pattern))
+                        && (s.weakness_ids.contains(&weakness) || s.pattern_ids.contains(&pattern))
                 })
                 .map(|s| s.name.clone());
             let path = match (entry, model.component_id(&component)) {

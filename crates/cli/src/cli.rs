@@ -6,13 +6,14 @@ use cpssec_analysis::consequence::standard_analysis;
 use cpssec_analysis::render::text_table;
 use cpssec_analysis::{attribute_rows, render, report, AssociationMap, SystemPosture};
 use cpssec_attackdb::seed::seed_corpus;
-use cpssec_attackdb::synth::{generate, SynthSpec};
+use cpssec_attackdb::synth::{delta_batch, stream_into, SynthSpec};
 use cpssec_attackdb::Corpus;
 use cpssec_model::{Fidelity, SystemModel};
 use cpssec_scada::{
     attacks, faults, run_campaign, AttackClass, BatchReport, CampaignSpec, ScadaConfig,
     ScadaHarness,
 };
+use cpssec_search::{apply_delta, build_delta, compact_verified, inspect_delta};
 use cpssec_search::{FilterPipeline, SearchEngine};
 const USAGE: &str = "usage:
   cpssec table1 [--scale S] [--corpus FILE.jsonl]
@@ -29,8 +30,13 @@ const USAGE: &str = "usage:
   cpssec export-corpus [--scale S]
   cpssec json [--scale S] [--corpus FILE.jsonl] [--fidelity LEVEL]
   cpssec snapshot build <FILE.cpsnap> [--scale S] [--corpus FILE.jsonl]
-  cpssec snapshot inspect <FILE.cpsnap>
+  cpssec snapshot inspect <FILE.cpsnap> [--json]
   cpssec snapshot verify <FILE.cpsnap>
+  cpssec delta build <PARENT.cpsnap|.cpsdelta> <OUT.cpsdelta>
+                     [--records N] [--serial K] [--seed S]
+  cpssec delta inspect <FILE.cpsdelta> [--json]
+  cpssec delta apply <BASE.cpsnap> <FILE.cpsdelta>... [--out FILE.cpsnap]
+  cpssec delta compact <BASE.cpsnap> <FILE.cpsdelta>... [--out FILE.cpsnap]
   cpssec serve [--addr HOST:PORT] [--workers N] [--scale S] [--corpus FILE.jsonl]
                [--snapshot FILE.cpsnap] [--slo FILE.toml] [--tick-ms N]
   cpssec load [--addr HOST:PORT] [--clients N] [--requests M]
@@ -51,7 +57,12 @@ sampled attack classes (see `cpssec fleet --classes nope` for names);
 `campaign` compiles the exploit chains matched against a testbed model
 into multi-stage attack campaigns on the simulator and scores every
 chain as reached-hazard, contained, or textual-only — deterministic per
---seed at any --threads count; --csv dumps the per-chain records.";
+--seed at any --threads count; --csv dumps the per-chain records;
+`delta build` emits a synthetic `.cpsdelta` batch (deterministic per
+--seed/--serial) chained onto the parent snapshot or delta; `delta apply`
+grows a snapshot in place without an index rebuild, `delta compact`
+additionally proves the grown snapshot byte-identical to a
+rebuild-from-scratch before writing it.";
 
 /// Parsed global options.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +108,13 @@ pub struct Options {
     pub clients: usize,
     /// Requests per client for `load`.
     pub requests: usize,
+    /// Record count for `delta build`.
+    pub records: usize,
+    /// Batch serial for `delta build` (its append-only id block).
+    pub serial: u32,
+    /// Output path for `delta apply`/`delta compact` (defaults to the
+    /// base snapshot, growing it in place).
+    pub out_path: Option<String>,
     /// Positional arguments.
     pub positional: Vec<String>,
 }
@@ -124,6 +142,9 @@ impl Default for Options {
             workers: 4,
             clients: 4,
             requests: 16,
+            records: 1_000,
+            serial: 0,
+            out_path: None,
             positional: Vec::new(),
         }
     }
@@ -249,6 +270,24 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| format!("invalid requests `{value}`"))?;
             }
+            "--records" => {
+                let value = iter.next().ok_or("--records needs a value")?;
+                options.records = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0 && n <= 10_000)
+                    .ok_or_else(|| format!("invalid records `{value}` (expected 1..=10000)"))?;
+            }
+            "--serial" => {
+                let value = iter.next().ok_or("--serial needs a value")?;
+                options.serial = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("invalid serial `{value}`"))?;
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out needs a path")?;
+                options.out_path = Some(value.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -260,8 +299,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn corpus_at(scale: f64) -> Result<Corpus, String> {
     let mut corpus = seed_corpus();
-    corpus
-        .merge(generate(&SynthSpec::paper2020(2020, scale)))
+    // Streaming generation: byte-identical to generate-then-merge but
+    // never builds a second corpus, so `snapshot build --scale 30` stays
+    // in bounded memory at the ~1M-record mark.
+    stream_into(&mut corpus, &SynthSpec::paper2020(2020, scale))
         .map_err(|e| format!("cannot merge synthetic corpus: {e}"))?;
     Ok(corpus)
 }
@@ -306,6 +347,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "export-corpus" => cmd_export_corpus(&options, out),
         "json" => cmd_json(&options, out),
         "snapshot" => cmd_snapshot(&options, out),
+        "delta" => cmd_delta(&options, out),
         "serve" => cmd_serve(&options, out),
         "load" => cmd_load(&options, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
@@ -357,12 +399,45 @@ fn cmd_snapshot(options: &Options, out: &mut dyn Write) -> Result<(), String> {
             let bytes = read_snapshot(path)?;
             let info = cpssec_search::snapshot::inspect(&bytes)
                 .map_err(|e| format!("invalid snapshot `{path}`: {e}"))?;
-            writeln!(out, "{path}: format version {}", info.version).map_err(|e| e.to_string())?;
+            if options.json {
+                let sections: Vec<render::Json> = info
+                    .sections
+                    .iter()
+                    .map(|section| {
+                        render::Json::Object(vec![
+                            ("name".into(), section.name.into()),
+                            ("offset".into(), (section.offset as f64).into()),
+                            ("bytes".into(), (section.len as f64).into()),
+                            (
+                                "checksum".into(),
+                                format!("{:016x}", section.checksum).as_str().into(),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let artifact = render::Json::Object(vec![
+                    ("path".into(), path.as_str().into()),
+                    ("formatVersion".into(), f64::from(info.version).into()),
+                    (
+                        "snapshotId".into(),
+                        format!("{:016x}", info.snapshot_id).as_str().into(),
+                    ),
+                    ("payloadBytes".into(), (info.payload_len() as f64).into()),
+                    ("sections".into(), render::Json::Array(sections)),
+                ]);
+                return writeln!(out, "{}", artifact.to_text()).map_err(|e| e.to_string());
+            }
+            writeln!(
+                out,
+                "{path}: format version {}, snapshot id {:016x}",
+                info.version, info.snapshot_id
+            )
+            .map_err(|e| e.to_string())?;
             for section in &info.sections {
                 writeln!(
                     out,
-                    "  {:<16} {:>12} bytes  checksum {:016x}",
-                    section.name, section.len, section.checksum
+                    "  {:<16} offset {:>12}  {:>12} bytes  checksum {:016x}",
+                    section.name, section.offset, section.len, section.checksum
                 )
                 .map_err(|e| e.to_string())?;
             }
@@ -389,11 +464,158 @@ fn cmd_snapshot(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+/// Resolves the state id a new delta should chain onto: the snapshot id
+/// of a `.cpsnap`, or the child id of a `.cpsdelta` (so delta files can
+/// chain on each other without re-reading the growing base).
+fn parent_state_id(path: &str) -> Result<u64, String> {
+    let bytes = read_snapshot(path)?;
+    if let Ok(info) = cpssec_search::snapshot::inspect(&bytes) {
+        return Ok(info.snapshot_id);
+    }
+    inspect_delta(&bytes)
+        .map(|info| info.child_id)
+        .map_err(|e| format!("`{path}` is neither a valid .cpsnap nor .cpsdelta: {e}"))
+}
+
+fn cmd_delta(options: &Options, out: &mut dyn Write) -> Result<(), String> {
+    let action = options
+        .positional
+        .first()
+        .ok_or("delta needs an action: build, inspect, apply, or compact")?;
+    match action.as_str() {
+        "build" => {
+            let parent_path = options
+                .positional
+                .get(1)
+                .ok_or("delta build needs a parent .cpsnap or .cpsdelta path")?;
+            let out_path = options
+                .positional
+                .get(2)
+                .ok_or("delta build needs an output .cpsdelta path")?;
+            let parent = parent_state_id(parent_path)?;
+            let batch = delta_batch(options.seed, options.records, options.serial);
+            let bytes = build_delta(parent, &batch);
+            let info = inspect_delta(&bytes).map_err(|e| format!("encode bug: {e}"))?;
+            std::fs::write(out_path, &bytes)
+                .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+            writeln!(
+                out,
+                "wrote {out_path}: {} bytes, {} records, parent {:016x} -> child {:016x}",
+                bytes.len(),
+                info.records(),
+                info.parent_id,
+                info.child_id
+            )
+            .map_err(|e| e.to_string())
+        }
+        "inspect" => {
+            let path = options
+                .positional
+                .get(1)
+                .ok_or("delta inspect needs a .cpsdelta file path")?;
+            let bytes = read_snapshot(path)?;
+            let info = inspect_delta(&bytes).map_err(|e| format!("invalid delta `{path}`: {e}"))?;
+            if options.json {
+                let artifact = render::Json::Object(vec![
+                    ("path".into(), path.as_str().into()),
+                    ("formatVersion".into(), f64::from(info.version).into()),
+                    (
+                        "parentId".into(),
+                        format!("{:016x}", info.parent_id).as_str().into(),
+                    ),
+                    (
+                        "childId".into(),
+                        format!("{:016x}", info.child_id).as_str().into(),
+                    ),
+                    ("records".into(), info.records().into()),
+                    ("patterns".into(), info.patterns.into()),
+                    ("weaknesses".into(), info.weaknesses.into()),
+                    ("vulnerabilities".into(), info.vulnerabilities.into()),
+                    ("payloadBytes".into(), info.payload_len.into()),
+                ]);
+                return writeln!(out, "{}", artifact.to_text()).map_err(|e| e.to_string());
+            }
+            writeln!(
+                out,
+                "{path}: format version {}, parent {:016x} -> child {:016x}",
+                info.version, info.parent_id, info.child_id
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "  {} records ({} patterns, {} weaknesses, {} vulnerabilities), {} payload bytes",
+                info.records(),
+                info.patterns,
+                info.weaknesses,
+                info.vulnerabilities,
+                info.payload_len
+            )
+            .map_err(|e| e.to_string())
+        }
+        "apply" | "compact" => {
+            let base_path = options
+                .positional
+                .get(1)
+                .ok_or_else(|| format!("delta {action} needs a base .cpsnap path"))?;
+            let delta_paths = &options.positional[2..];
+            if delta_paths.is_empty() {
+                return Err(format!(
+                    "delta {action} needs at least one .cpsdelta file after the base"
+                ));
+            }
+            let base_bytes = read_snapshot(base_path)?;
+            let mut state = cpssec_search::snapshot::inspect(&base_bytes)
+                .map_err(|e| format!("invalid snapshot `{base_path}`: {e}"))?
+                .snapshot_id;
+            let (mut corpus, mut engine) = cpssec_search::snapshot::decode(&base_bytes)
+                .map_err(|e| format!("invalid snapshot `{base_path}`: {e}"))?;
+            let mut applied = 0usize;
+            for path in delta_paths {
+                let delta_bytes = read_snapshot(path)?;
+                let info = apply_delta(&mut corpus, &mut engine, &delta_bytes, state)
+                    .map_err(|e| format!("cannot apply `{path}`: {e}"))?;
+                state = info.child_id;
+                applied += info.records();
+            }
+            // `compact` rebases the chain: the written snapshot is proven
+            // byte-identical to a rebuild-from-scratch of the grown
+            // corpus, and its snapshot id becomes the new chain anchor.
+            let encoded = if action == "compact" {
+                compact_verified(&corpus, &engine).map_err(|e| e.to_string())?
+            } else {
+                cpssec_search::snapshot::encode(&corpus, &engine)
+            };
+            let out_path = options.out_path.as_deref().unwrap_or(base_path);
+            std::fs::write(out_path, &encoded)
+                .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+            let stats = corpus.stats();
+            let snapshot_id = cpssec_search::snapshot::inspect(&encoded)
+                .map_err(|e| format!("encode bug: {e}"))?
+                .snapshot_id;
+            writeln!(
+                out,
+                "wrote {out_path}: {} bytes, {} records after {} delta(s) (+{applied}), snapshot id {snapshot_id:016x}",
+                encoded.len(),
+                stats.total(),
+                delta_paths.len()
+            )
+            .map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown delta action `{other}` (expected build, inspect, apply, or compact)"
+        )),
+    }
+}
+
 fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), String> {
     let state = match &options.snapshot_path {
         Some(path) => {
-            let bytes = read_snapshot(path)?;
-            cpssec_server::AppState::from_snapshot(&bytes)
+            // Zero-copy boot: the file becomes one shared buffer that is
+            // validated in place, the server starts listening right away,
+            // and the owned decode thaws on a background thread (corpus
+            // endpoints block until it lands).
+            let bytes: std::sync::Arc<[u8]> = read_snapshot(path)?.into();
+            cpssec_server::AppState::from_snapshot_mapped(bytes)
                 .map_err(|e| format!("invalid snapshot `{path}`: {e}"))?
         }
         None => cpssec_server::AppState::new(load_corpus(options)?),
@@ -1134,5 +1356,123 @@ mod tests {
     fn corpus_flag_with_missing_file_fails() {
         let err = run_capture(&["table1", "--corpus", "/nonexistent/corpus.jsonl"]).unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn parse_delta_flags() {
+        let options = parse_options(
+            &["--records", "500", "--serial", "2", "--out", "x.cpsnap"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(options.records, 500);
+        assert_eq!(options.serial, 2);
+        assert_eq!(options.out_path.as_deref(), Some("x.cpsnap"));
+        assert!(parse_options(&["--records".into(), "0".into()]).is_err());
+        assert!(parse_options(&["--records".into(), "10001".into()]).is_err());
+        assert!(parse_options(&["--serial".into(), "-1".into()]).is_err());
+        assert!(parse_options(&["--out".into()]).is_err());
+    }
+
+    #[test]
+    fn delta_usage_errors_are_one_line() {
+        for (args, needle) in [
+            (vec!["delta"], "needs an action"),
+            (vec!["delta", "refry", "x"], "unknown delta action"),
+            (vec!["delta", "build"], "needs a parent"),
+            (vec!["delta", "apply", "base.cpsnap"], "at least one"),
+            (vec!["delta", "inspect"], "needs a .cpsdelta"),
+        ] {
+            let err = run_capture(&args).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+            assert_eq!(err.lines().count(), 1, "{args:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_inspect_emits_offsets_and_json() {
+        let dir = std::env::temp_dir().join("cpssec-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inspect.cpsnap");
+        let path = path.to_str().unwrap().to_owned();
+        run_capture(&["snapshot", "build", &path, "--scale", "0.01"]).unwrap();
+
+        let text = run_capture(&["snapshot", "inspect", &path]).unwrap();
+        assert!(text.contains("snapshot id"), "{text}");
+        assert!(text.contains("offset"), "{text}");
+
+        let json = run_capture(&["snapshot", "inspect", &path, "--json"]).unwrap();
+        let value = cpssec_attackdb::json::parse(json.trim()).expect("valid json");
+        assert_eq!(value.get("formatVersion"), Some(&JsonValue::Number(2.0)));
+        let sections = value.get("sections").unwrap().as_array().unwrap();
+        assert_eq!(sections.len(), 4);
+        for section in sections {
+            assert!(section.get("offset").is_some(), "{section:?}");
+            assert!(section.get("checksum").is_some(), "{section:?}");
+        }
+        // The text and JSON outputs agree on the snapshot id.
+        let id = value.get("snapshotId").and_then(JsonValue::as_str).unwrap();
+        assert!(text.contains(id), "{id} not in {text}");
+    }
+
+    #[test]
+    fn delta_build_apply_compact_round_trip() {
+        let dir = std::env::temp_dir().join("cpssec-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_of = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+        let base = path_of("delta-base.cpsnap");
+        run_capture(&["snapshot", "build", &base, "--scale", "0.01"]).unwrap();
+
+        let d0 = path_of("chain-0.cpsdelta");
+        let out = run_capture(&[
+            "delta",
+            "build",
+            &base,
+            &d0,
+            "--records",
+            "40",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("40 records"), "{out}");
+
+        // A second delta chains onto the first delta *file* directly.
+        let d1 = path_of("chain-1.cpsdelta");
+        run_capture(&[
+            "delta",
+            "build",
+            &d0,
+            &d1,
+            "--records",
+            "40",
+            "--seed",
+            "5",
+            "--serial",
+            "1",
+        ])
+        .unwrap();
+        let json = run_capture(&["delta", "inspect", &d1, "--json"]).unwrap();
+        let value = cpssec_attackdb::json::parse(json.trim()).expect("valid json");
+        assert_eq!(value.get("records"), Some(&JsonValue::Number(40.0)));
+
+        // Apply both; the grown snapshot verifies clean.
+        let grown = path_of("delta-grown.cpsnap");
+        let out = run_capture(&["delta", "apply", &base, &d0, &d1, "--out", &grown]).unwrap();
+        assert!(out.contains("+80"), "{out}");
+        let check = run_capture(&["snapshot", "verify", &grown]).unwrap();
+        assert!(check.starts_with("ok: "), "{check}");
+
+        // Compaction is proven byte-identical to rebuild-from-scratch,
+        // and the canonical encoder makes apply's output match it too.
+        let compacted = path_of("delta-compacted.cpsnap");
+        run_capture(&["delta", "compact", &base, &d0, &d1, "--out", &compacted]).unwrap();
+        assert_eq!(
+            std::fs::read(&grown).unwrap(),
+            std::fs::read(&compacted).unwrap()
+        );
+
+        // Skipping a link in the chain is a parent mismatch.
+        let err = run_capture(&["delta", "apply", &base, &d1, "--out", &grown]).unwrap_err();
+        assert!(err.contains("parent"), "{err}");
     }
 }

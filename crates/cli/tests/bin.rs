@@ -228,7 +228,8 @@ fn snapshot_build_inspect_verify_round_trip() {
 
     let (success, stdout, _) = run(&["snapshot", "inspect", &path]);
     assert!(success);
-    assert!(stdout.contains("format version 1"), "{stdout}");
+    assert!(stdout.contains("format version 2"), "{stdout}");
+    assert!(stdout.contains("snapshot id"), "{stdout}");
     for section in ["corpus", "patterns", "weaknesses", "vulnerabilities"] {
         assert!(stdout.contains(section), "missing {section}: {stdout}");
     }
@@ -303,7 +304,80 @@ fn corrupted_snapshots_fail_verify_with_one_line_errors() {
     assert_one_line_failure(&["serve", "--snapshot", &bad_sum_path], "checksum");
     let (success, stdout, _) = run(&["snapshot", "inspect", &bad_sum_path]);
     assert!(success, "inspect reads headers only");
-    assert!(stdout.contains("format version 1"), "{stdout}");
+    assert!(stdout.contains("format version 2"), "{stdout}");
+
+    // Byte-flip sweep over every section: a flip in the middle of each
+    // payload is caught by that section's own checksum, both by `verify`
+    // and by the zero-copy `serve --snapshot` boot path.
+    let (success, json, _) = run(&["snapshot", "inspect", &path, "--json"]);
+    assert!(success);
+    let info = cpssec_attackdb::json::parse(json.trim()).expect("inspect --json is valid json");
+    let sections = info.get("sections").unwrap().as_array().unwrap();
+    assert_eq!(sections.len(), 4, "{json}");
+    let as_usize = |value: &cpssec_attackdb::json::JsonValue| match value {
+        cpssec_attackdb::json::JsonValue::Number(n) => *n as usize,
+        other => panic!("expected a number, got {other:?}"),
+    };
+    for section in sections {
+        let name = section.get("name").and_then(|v| v.as_str()).unwrap();
+        let offset = as_usize(section.get("offset").unwrap());
+        let len = as_usize(section.get("bytes").unwrap());
+        let mut bytes = pristine.clone();
+        bytes[offset + len / 2] ^= 0xFF;
+        let flipped = dir.join(format!("flip-{name}.cpsnap"));
+        let flipped_path = flipped.to_str().unwrap().to_owned();
+        std::fs::write(&flipped, &bytes).expect("write");
+        assert_one_line_failure(&["snapshot", "verify", &flipped_path], name);
+        assert_one_line_failure(&["snapshot", "verify", &flipped_path], "checksum");
+        assert_one_line_failure(&["serve", "--snapshot", &flipped_path], "checksum");
+    }
+}
+
+#[test]
+#[cfg(unix)]
+fn corrupted_deltas_fail_with_one_line_errors() {
+    let base = build_snapshot("delta-corrupt.cpsnap");
+    let dir = std::env::temp_dir().join("cpssec-bin-test");
+    let delta = dir.join("corrupt.cpsdelta");
+    let delta_path = delta.to_str().unwrap().to_owned();
+    let (success, stdout, stderr) = run(&["delta", "build", &base, &delta_path, "--records", "30"]);
+    assert!(success, "delta build failed: {stderr}");
+    assert!(stdout.contains("30 records"), "{stdout}");
+    let pristine = std::fs::read(&delta).expect("read delta");
+
+    let write_variant = |name: &str, bytes: &[u8]| {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).expect("write");
+        path.to_str().unwrap().to_owned()
+    };
+
+    let truncated = write_variant("truncated.cpsdelta", &pristine[..pristine.len() / 2]);
+    assert_one_line_failure(&["delta", "inspect", &truncated], "truncated");
+
+    let mut bytes = pristine.clone();
+    bytes[0] = b'Z';
+    let bad_magic = write_variant("bad-magic.cpsdelta", &bytes);
+    assert_one_line_failure(&["delta", "inspect", &bad_magic], "magic");
+
+    let mut bytes = pristine.clone();
+    bytes[6] = 0xFE;
+    let bad_version = write_variant("bad-version.cpsdelta", &bytes);
+    assert_one_line_failure(&["delta", "inspect", &bad_version], "version");
+
+    // A payload flip fails the delta's own checksum before any record is
+    // parsed, on inspect and on apply alike.
+    let mut bytes = pristine.clone();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    let bad_sum = write_variant("bad-checksum.cpsdelta", &bytes);
+    assert_one_line_failure(&["delta", "inspect", &bad_sum], "checksum");
+    assert_one_line_failure(&["delta", "apply", &base, &bad_sum], "checksum");
+
+    // Replaying the same delta twice breaks the parent chain.
+    assert_one_line_failure(
+        &["delta", "apply", &base, &delta_path, &delta_path],
+        "parent",
+    );
 }
 
 #[test]

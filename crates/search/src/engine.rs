@@ -7,7 +7,7 @@ use std::sync::Arc;
 use cpssec_attackdb::{AttackVectorId, CapecId, Corpus, CveId, CweId};
 use cpssec_model::{Channel, ChannelId, Component, Fidelity, SystemModel};
 
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, TermLookup};
 use crate::score::{expand_query, ScoringModel};
 use crate::text::tokenize;
 
@@ -295,6 +295,23 @@ impl SearchEngine {
         )
     }
 
+    /// Mutable access to the three family indices and id tables, for the
+    /// `.cpsdelta` apply path (append documents + ids in lockstep).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (
+        (&mut InvertedIndex, &mut Vec<CapecId>),
+        (&mut InvertedIndex, &mut Vec<CweId>),
+        (&mut InvertedIndex, &mut Vec<CveId>),
+    ) {
+        (
+            (&mut self.patterns, &mut self.pattern_ids),
+            (&mut self.weaknesses, &mut self.weakness_ids),
+            (&mut self.vulnerabilities, &mut self.vulnerability_ids),
+        )
+    }
+
     /// A copy of this engine under a different scoring model. Both models'
     /// weights are precomputed in every frozen index, so no text is
     /// re-processed — this is how a server derives its BM25 engine from
@@ -331,23 +348,7 @@ impl SearchEngine {
     #[must_use]
     pub fn match_text_with(&self, text: &str, scratch: &mut QueryScratch) -> MatchSet {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let (terms, extras) = {
-            let mut span = cpssec_obs::span!("tokenize");
-            let mut terms = tokenize(text);
-            terms.sort_unstable();
-            terms.dedup();
-            let extras: Vec<String> = if self.config.expand_synonyms {
-                // Keep only genuinely new terms as score-bonus terms.
-                expand_query(&terms)
-                    .into_iter()
-                    .filter(|t| !terms.contains(t))
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            span.add_items(terms.len() as u64);
-            (terms, extras)
-        };
+        let (terms, extras) = prepare_query(text, self.config.expand_synonyms);
         self.match_terms(&terms, &extras, scratch)
     }
 
@@ -359,32 +360,24 @@ impl SearchEngine {
     ) -> MatchSet {
         let mut span = cpssec_obs::span!("score");
         let set = MatchSet {
-            patterns: run_family(
-                &self.patterns,
-                &self.pattern_ids,
-                terms,
-                extras,
-                self.config,
-                scratch,
-                |id| AttackVectorId::Pattern(*id),
-            ),
+            patterns: run_family(&self.patterns, terms, extras, self.config, scratch, |doc| {
+                AttackVectorId::Pattern(self.pattern_ids[doc])
+            }),
             weaknesses: run_family(
                 &self.weaknesses,
-                &self.weakness_ids,
                 terms,
                 extras,
                 self.config,
                 scratch,
-                |id| AttackVectorId::Weakness(*id),
+                |doc| AttackVectorId::Weakness(self.weakness_ids[doc]),
             ),
             vulnerabilities: run_family(
                 &self.vulnerabilities,
-                &self.vulnerability_ids,
                 terms,
                 extras,
                 self.config,
                 scratch,
-                |id| AttackVectorId::Vulnerability(*id),
+                |doc| AttackVectorId::Vulnerability(self.vulnerability_ids[doc]),
             ),
         };
         span.add_items(set.total() as u64);
@@ -453,7 +446,7 @@ const PAR_FAN_OUT_MIN: usize = 32;
 /// per available core; each scoped thread fills a disjoint chunk of the
 /// output, preserving input order exactly. Inputs below [`PAR_FAN_OUT_MIN`]
 /// run on the calling thread — same results, no spawn overhead.
-fn par_fan_out<T: Sync, R: Send>(items: &[T], work: impl Fn(&T) -> R + Sync) -> Vec<R> {
+pub(crate) fn par_fan_out<T: Sync, R: Send>(items: &[T], work: impl Fn(&T) -> R + Sync) -> Vec<R> {
     if items.is_empty() {
         return Vec::new();
     }
@@ -546,41 +539,66 @@ fn top_k_hits(hits: impl Iterator<Item = Hit>, k: usize) -> Vec<Hit> {
     heap.into_sorted_vec().into_iter().map(|r| r.0).collect()
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_family<I: Copy>(
-    index: &InvertedIndex,
-    ids: &[I],
+/// Normalizes query text into sorted, deduplicated terms plus (when
+/// `expand` is set) the synonym-expansion extras that are genuinely new —
+/// shared by [`SearchEngine`] and the zero-copy
+/// [`ViewEngine`](crate::view::ViewEngine) so both prepare byte-identical
+/// term lists.
+pub(crate) fn prepare_query(text: &str, expand: bool) -> (Vec<String>, Vec<String>) {
+    let mut span = cpssec_obs::span!("tokenize");
+    let mut terms = tokenize(text);
+    terms.sort_unstable();
+    terms.dedup();
+    let extras: Vec<String> = if expand {
+        // Keep only genuinely new terms as score-bonus terms.
+        expand_query(&terms)
+            .into_iter()
+            .filter(|t| !terms.contains(t))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    span.add_items(terms.len() as u64);
+    (terms, extras)
+}
+
+/// Scores one family index — owned or zero-copy, via [`TermLookup`] — and
+/// returns the admitted hits. `wrap` maps a dense doc index to the record
+/// id (the caller owns the id table; the view decodes ids straight from
+/// snapshot bytes).
+pub(crate) fn run_family<L: TermLookup>(
+    index: &L,
     terms: &[String],
     extras: &[String],
     config: MatchConfig,
     scratch: &mut QueryScratch,
-    wrap: impl Fn(&I) -> AttackVectorId,
+    wrap: impl Fn(usize) -> AttackVectorId,
 ) -> Vec<Hit> {
-    scratch.ensure(index.len());
+    scratch.ensure(index.doc_count());
     let model = config.scoring;
     for term in terms {
-        let Some(tp) = index.term_postings(term) else {
+        let Some((idf, postings)) = index.lookup(term) else {
             continue;
         };
-        for p in tp.postings {
+        for p in postings {
             let slot = &mut scratch.accum[p.doc.index()];
             if slot.matched == 0 {
                 scratch.touched.push(p.doc.0);
             }
             slot.score += p.weight(model);
             slot.matched += 1;
-            if tp.idf > slot.max_idf {
-                slot.max_idf = tp.idf;
+            if idf > slot.max_idf {
+                slot.max_idf = idf;
             }
         }
     }
     // Synonym-expansion terms only refine the scores of documents that
     // already matched an original term — they never create hits.
     for term in extras {
-        let Some(tp) = index.term_postings(term) else {
+        let Some((_, postings)) = index.lookup(term) else {
             continue;
         };
-        for p in tp.postings {
+        for p in postings {
             let slot = &mut scratch.accum[p.doc.index()];
             if slot.matched > 0 {
                 slot.score += p.weight(model);
@@ -593,7 +611,7 @@ fn run_family<I: Copy>(
             || acc.matched as usize >= config.min_terms)
             && acc.score >= config.min_score;
         admitted.then(|| Hit {
-            id: wrap(&ids[doc as usize]),
+            id: wrap(doc as usize),
             score: acc.score,
             matched_terms: acc.matched as usize,
         })

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use cpssec_attackdb::snapshot::{put_f64_bits, put_str, put_u32, Reader, SnapshotError};
+use cpssec_attackdb::snapshot::{put_f64_bits, put_u32, Reader, SnapshotError};
 
 use crate::score::{ScoringModel, BM25_B, BM25_K1};
 use crate::text::tokenize;
@@ -384,10 +384,29 @@ impl InvertedIndex {
         })
     }
 
-    /// Serializes the index — term dictionary, raw postings, *and* the
-    /// frozen image with both models' precomputed weights as raw `f64`
-    /// bits — so [`Self::decode`] can restore it without re-tokenizing or
-    /// recomputing anything, bit-identical on every score.
+    /// Serializes the index in the columnar wire layout shared with the
+    /// zero-copy [`crate::view::IndexView`]:
+    ///
+    /// ```text
+    /// doc_count      u32
+    /// doc_lengths    doc_count × u32
+    /// term_count     u32
+    /// heap_len       u32
+    /// terms_heap     heap_len bytes (terms concatenated, lexicographic)
+    /// term_entries   term_count × { str_off u32, str_len u32, idf f64bits,
+    ///                               post_start u32, post_len u32 }
+    /// posting_total  u32
+    /// postings       posting_total × { doc u32, tf u32, tfidf f64bits,
+    ///                                  bm25 f64bits }
+    /// ```
+    ///
+    /// Terms are written in lexicographic order (so a borrowed view can
+    /// binary-search the entry table in place), each term's postings are
+    /// contiguous in the arena, and both models' frozen weights land as raw
+    /// `f64` bits — [`Self::decode`] restores without re-tokenizing or
+    /// recomputing anything, bit-identical on every score. Sorting also
+    /// makes the bytes independent of term-id numbering, so an engine grown
+    /// by delta appends encodes identically to one rebuilt from scratch.
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         self.freeze();
         let frozen = self.frozen.get().expect("frozen image just built");
@@ -395,18 +414,35 @@ impl InvertedIndex {
         for &len in &self.doc_lengths {
             put_u32(out, len);
         }
-        // Terms in term-id order, so decode re-interns to the same ids.
         let mut terms: Vec<&str> = vec![""; self.term_ids.len()];
         for (term, &tid) in &self.term_ids {
             terms[tid as usize] = term;
         }
+        let mut order: Vec<u32> = (0..terms.len() as u32).collect();
+        order.sort_unstable_by_key(|&tid| terms[tid as usize]);
         put_u32(out, terms.len() as u32);
-        for (tid, term) in terms.iter().enumerate() {
-            put_str(out, term);
-            let entry = frozen.entries[tid];
+        let heap_len: usize = terms.iter().map(|t| t.len()).sum();
+        put_u32(out, u32::try_from(heap_len).expect("term heap fits u32"));
+        for &tid in &order {
+            out.extend_from_slice(terms[tid as usize].as_bytes());
+        }
+        let mut str_off = 0u32;
+        let mut post_start = 0u32;
+        for &tid in &order {
+            let term = terms[tid as usize];
+            let entry = frozen.entries[tid as usize];
+            put_u32(out, str_off);
+            put_u32(out, term.len() as u32);
             put_f64_bits(out, entry.idf);
-            let postings = &self.raw[tid];
-            put_u32(out, postings.len() as u32);
+            put_u32(out, post_start);
+            put_u32(out, entry.len);
+            str_off += term.len() as u32;
+            post_start += entry.len;
+        }
+        put_u32(out, post_start);
+        for &tid in &order {
+            let entry = frozen.entries[tid as usize];
+            let postings = &self.raw[tid as usize];
             let start = entry.start as usize;
             let weights = &frozen.arena[start..start + entry.len as usize];
             for (p, w) in postings.iter().zip(weights) {
@@ -418,10 +454,12 @@ impl InvertedIndex {
         }
     }
 
-    /// Restores an index serialized by [`Self::encode_into`]. The frozen
-    /// image is installed directly from the stored weight bits — no
-    /// tokenization, no floating-point arithmetic — so a thawed index
-    /// scores bit-identically to the one that was encoded.
+    /// Restores an index serialized by [`Self::encode_into`], assigning
+    /// term ids in the (lexicographic) wire order. The frozen image is
+    /// installed directly from the stored weight bits — no tokenization,
+    /// no floating-point arithmetic — so a thawed index scores
+    /// bit-identically to the one that was encoded, and re-encoding it is
+    /// a byte-level fixpoint.
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<InvertedIndex, SnapshotError> {
         let doc_count = r.u32()?;
         let mut doc_lengths = Vec::with_capacity(r.capacity_for(doc_count, 4));
@@ -429,24 +467,66 @@ impl InvertedIndex {
             doc_lengths.push(r.u32()?);
         }
         let term_count = r.u32()?;
-        let capacity = r.capacity_for(term_count, 16);
+        let heap_len = r.u32()? as usize;
+        let heap = r.take(heap_len)?;
+        let capacity = r.capacity_for(term_count, 24);
         let mut term_ids = HashMap::with_capacity(capacity);
-        let mut raw = Vec::with_capacity(capacity);
-        let mut entries = Vec::with_capacity(capacity);
-        let mut arena = Vec::new();
+        // `(idf, post_len)` per term, in wire order.
+        let mut metas: Vec<(f64, u32)> = Vec::with_capacity(capacity);
+        let mut expected_str_off = 0u32;
+        let mut expected_post_start = 0u32;
+        let mut prev_term: Option<&str> = None;
         for tid in 0..term_count {
-            let term = r.str()?.to_owned();
-            if term_ids.insert(term, tid).is_some() {
+            let str_off = r.u32()?;
+            let str_len = r.u32()?;
+            let idf = r.f64_bits()?;
+            let post_start = r.u32()?;
+            let post_len = r.u32()?;
+            if str_off != expected_str_off || post_start != expected_post_start {
                 return Err(SnapshotError::Corrupt(format!(
-                    "term {tid} duplicates an earlier dictionary entry"
+                    "term {tid} entry is not contiguous with its predecessor"
                 )));
             }
-            let idf = r.f64_bits()?;
-            let len = r.u32()?;
-            let start = u32::try_from(arena.len())
-                .map_err(|_| SnapshotError::Corrupt("postings arena overflows u32".into()))?;
-            let mut postings = Vec::with_capacity(r.capacity_for(len, 24));
-            for _ in 0..len {
+            let end = (str_off as usize)
+                .checked_add(str_len as usize)
+                .filter(|&end| end <= heap.len())
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("term {tid} string overruns the heap"))
+                })?;
+            let term = core::str::from_utf8(&heap[str_off as usize..end])
+                .map_err(|_| SnapshotError::Corrupt(format!("term {tid} is not valid UTF-8")))?;
+            if prev_term.is_some_and(|prev| prev >= term) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "term dictionary is not strictly sorted at entry {tid}"
+                )));
+            }
+            prev_term = Some(term);
+            term_ids.insert(term.to_owned(), tid);
+            metas.push((idf, post_len));
+            expected_str_off += str_len;
+            expected_post_start = post_start
+                .checked_add(post_len)
+                .ok_or_else(|| SnapshotError::Corrupt("postings arena overflows u32".into()))?;
+        }
+        if expected_str_off as usize != heap.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "term heap holds {} byte(s) beyond the last term",
+                heap.len() - expected_str_off as usize
+            )));
+        }
+        let posting_total = r.u32()?;
+        if posting_total != expected_post_start {
+            return Err(SnapshotError::Corrupt(format!(
+                "posting arena declares {posting_total} entries but the terms span {expected_post_start}"
+            )));
+        }
+        let mut raw = Vec::with_capacity(metas.len());
+        let mut entries = Vec::with_capacity(metas.len());
+        let mut arena = Vec::with_capacity(r.capacity_for(posting_total, 24));
+        for (idf, post_len) in metas {
+            let start = arena.len() as u32;
+            let mut postings = Vec::with_capacity(r.capacity_for(post_len, 24));
+            for _ in 0..post_len {
                 let doc = r.u32()?;
                 if doc >= doc_count {
                     return Err(SnapshotError::Corrupt(format!(
@@ -466,7 +546,11 @@ impl InvertedIndex {
                     bm25,
                 });
             }
-            entries.push(TermEntry { start, len, idf });
+            entries.push(TermEntry {
+                start,
+                len: post_len,
+                idf,
+            });
             raw.push(postings);
         }
         let frozen = OnceLock::new();
@@ -477,6 +561,68 @@ impl InvertedIndex {
             doc_lengths,
             frozen,
         })
+    }
+
+    /// Appends one document from pre-tokenized `(term, frequency)` runs in
+    /// first-occurrence order — the `.cpsdelta` apply path. Equivalent to
+    /// [`Self::add_document`] on the original text when the runs were
+    /// produced by [`tokenize`]: terms are interned in run order, postings
+    /// are emitted in ascending term-id order, and the frozen image is
+    /// invalidated so weights (every idf changes with `N`) recompute on the
+    /// next freeze exactly as a from-scratch build would.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on a zero frequency, a duplicated term,
+    /// or a `token_count` that disagrees with the frequency sum. On error
+    /// the index may hold newly interned terms and must be discarded —
+    /// callers apply deltas to a scratch clone and swap on success.
+    pub(crate) fn append_document_runs(
+        &mut self,
+        token_count: u32,
+        runs: &[(&str, u32)],
+    ) -> Result<DocId, SnapshotError> {
+        let doc = DocId(
+            u32::try_from(self.doc_lengths.len())
+                .map_err(|_| SnapshotError::Corrupt("document count overflows u32".into()))?,
+        );
+        let mut sum = 0u64;
+        let mut tids: Vec<(u32, u32)> = Vec::with_capacity(runs.len());
+        for &(term, tf) in runs {
+            if tf == 0 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "term `{term}` has zero frequency in a delta run"
+                )));
+            }
+            sum += u64::from(tf);
+            let next = self.raw.len() as u32;
+            let tid = match self.term_ids.get(term) {
+                Some(&tid) => tid,
+                None => {
+                    self.term_ids.insert(term.to_owned(), next);
+                    self.raw.push(Vec::new());
+                    next
+                }
+            };
+            tids.push((tid, tf));
+        }
+        if sum != u64::from(token_count) {
+            return Err(SnapshotError::Corrupt(format!(
+                "document length {token_count} disagrees with run frequency sum {sum}"
+            )));
+        }
+        tids.sort_unstable_by_key(|&(tid, _)| tid);
+        if tids.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(SnapshotError::Corrupt(
+                "duplicate term in delta runs".into(),
+            ));
+        }
+        self.doc_lengths.push(token_count);
+        for (tid, tf) in tids {
+            self.raw[tid as usize].push(RawPosting { doc, tf });
+        }
+        self.frozen.take();
+        Ok(doc)
     }
 
     /// Zero-allocation lookup of one query term: a hash probe into the term
@@ -509,6 +655,38 @@ impl InvertedIndex {
                 idf: tp.idf,
             })
             .collect()
+    }
+}
+
+/// Abstraction over term-postings storage the query engine scores against:
+/// either an owned, thawed [`InvertedIndex`] or a zero-copy
+/// [`crate::view::IndexView`] reading a snapshot byte image in place. Both
+/// yield the same posting order and the same stored weight bits, which is
+/// what makes view queries byte-identical to owned queries.
+pub(crate) trait TermLookup {
+    /// Iterator over one term's postings, in stored (doc-ascending) order.
+    type PostingIter<'a>: Iterator<Item = PostingWeight>
+    where
+        Self: 'a;
+
+    /// Number of documents in the family (sizes the dense scratch table).
+    fn doc_count(&self) -> usize;
+
+    /// Resolves one query term to its shared `ln(N/df)` IDF and posting
+    /// iterator, or `None` for unknown terms.
+    fn lookup(&self, term: &str) -> Option<(f64, Self::PostingIter<'_>)>;
+}
+
+impl TermLookup for InvertedIndex {
+    type PostingIter<'a> = std::iter::Copied<std::slice::Iter<'a, PostingWeight>>;
+
+    fn doc_count(&self) -> usize {
+        self.len()
+    }
+
+    fn lookup(&self, term: &str) -> Option<(f64, Self::PostingIter<'_>)> {
+        let tp = self.term_postings(term)?;
+        Some((tp.idf, tp.postings.iter().copied()))
     }
 }
 
@@ -687,20 +865,78 @@ mod tests {
         let idx = sample();
         let mut bytes = Vec::new();
         idx.encode_into(&mut bytes);
-        // Corrupt the first posting's doc id (right after the doc-length
-        // table, term string, and idf of term 0).
+        // Corrupt the first posting's doc id: it sits right after the
+        // doc-length table, term heap, entry table, and posting_total word.
         let mut r = Reader::new(&bytes);
         let doc_count = r.u32().unwrap();
         for _ in 0..doc_count {
             r.u32().unwrap();
         }
-        r.u32().unwrap(); // term count
-        let term = r.str().unwrap();
-        let pos = bytes.len() - r.remaining() + 8 + 4; // skip idf + postings len
-        assert!(!term.is_empty());
+        let term_count = r.u32().unwrap();
+        let heap_len = r.u32().unwrap();
+        r.take(heap_len as usize).unwrap();
+        r.take(term_count as usize * 24).unwrap();
+        let posting_total = r.u32().unwrap();
+        assert!(posting_total > 0);
+        let pos = bytes.len() - r.remaining();
         bytes[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = InvertedIndex::decode(&mut Reader::new(&bytes)).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn encoded_terms_are_sorted_and_decode_is_a_fixpoint() {
+        let idx = sample();
+        let mut bytes = Vec::new();
+        idx.encode_into(&mut bytes);
+        let thawed = InvertedIndex::decode(&mut Reader::new(&bytes)).expect("decode");
+        let mut again = Vec::new();
+        thawed.encode_into(&mut again);
+        assert_eq!(bytes, again, "decode → encode must be the identity");
+    }
+
+    #[test]
+    fn append_document_runs_matches_add_document() {
+        let text = "kernel overflow kernel panic in routing daemon";
+        let mut grown = sample();
+        grown.add_document(text);
+        let mut appended = sample();
+        let tokens = tokenize(text);
+        let mut runs: Vec<(String, u32)> = Vec::new();
+        for token in &tokens {
+            match runs.iter_mut().find(|(t, _)| t == token) {
+                Some((_, tf)) => *tf += 1,
+                None => runs.push((token.clone(), 1)),
+            }
+        }
+        let refs: Vec<(&str, u32)> = runs.iter().map(|(t, tf)| (t.as_str(), *tf)).collect();
+        appended
+            .append_document_runs(tokens.len() as u32, &refs)
+            .expect("apply");
+        let mut a = Vec::new();
+        grown.encode_into(&mut a);
+        let mut b = Vec::new();
+        appended.encode_into(&mut b);
+        assert_eq!(a, b, "run-based append must be byte-identical");
+    }
+
+    #[test]
+    fn append_document_runs_rejects_malformed_runs() {
+        let mut idx = sample();
+        assert!(matches!(
+            idx.append_document_runs(1, &[("kernel", 0)]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let mut idx = sample();
+        assert!(matches!(
+            idx.append_document_runs(3, &[("kernel", 1), ("kernel", 2)]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let mut idx = sample();
+        assert!(matches!(
+            idx.append_document_runs(5, &[("kernel", 1)]),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -32,15 +32,19 @@
 #![warn(missing_docs)]
 
 mod chains;
+pub mod delta;
 mod engine;
 mod filter;
 mod index;
 mod score;
 pub mod snapshot;
 pub mod text;
+pub mod view;
 
 pub use chains::{chains_for_weakness, exploit_chains, ExploitChain};
+pub use delta::{apply_delta, build as build_delta, compact_verified, inspect_delta, DeltaInfo};
 pub use engine::{Hit, MatchConfig, MatchSet, QueryScratch, SearchEngine};
 pub use filter::{Filter, FilterPipeline};
 pub use index::{DocId, InvertedIndex};
 pub use score::{expand_query, ScoringModel, UnknownScoringModel};
+pub use view::{CorpusView, SnapshotView, ViewEngine};

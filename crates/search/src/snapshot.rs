@@ -6,24 +6,40 @@
 //! precomputed TF-IDF/BM25 weights as raw `f64` bits — land in one file
 //! behind a section table, and [`decode`] restores a [`SearchEngine`]
 //! whose scores are bit-identical to one built from the original corpus.
+//! Format version 2 goes further: every section is offset-based and
+//! self-describing, so [`crate::view::SnapshotView`] can serve queries
+//! straight from the mapped bytes after *O(header)* validation, without
+//! decoding anything into owned memory.
 //!
-//! # Layout (format version 1)
+//! # Layout (format version 2)
 //!
 //! ```text
-//! magic    "CPSNAP"                      6 bytes
-//! version  u16 LE                        2 bytes
-//! count    u32 LE                        4 bytes
-//! table    count × { id:u16, offset:u64, len:u64, checksum:u64 }
-//! payload  sections at their offsets
+//! magic        "CPSNAP"                      6 bytes
+//! version      u16 LE                        2 bytes
+//! count        u32 LE                        4 bytes
+//! snapshot_id  u64 LE                        8 bytes
+//! table        count × { id:u16, offset:u64, len:u64, checksum:u64 }
+//! payload      sections at their offsets, each 8-byte aligned
 //! ```
 //!
-//! Sections: `1` corpus records, `2`/`3`/`4` the pattern / weakness /
-//! vulnerability family (id table + inverted index). Offsets are absolute;
-//! each checksum is word-folded FNV ([`cpssec_model::fnv1a_64_wide`])
-//! over the section payload. Compatibility is
-//! strict: readers reject any version they were not built for — a snapshot
-//! is a cache artifact, regenerable from the corpus, never an archival
-//! format.
+//! Sections: `1` corpus records (per-family record directories: count,
+//! per-record byte offsets, concatenated records in id order), `2`/`3`/`4`
+//! the pattern / weakness / vulnerability family (id table + columnar
+//! inverted index, see [`InvertedIndex`] wire docs). Offsets are absolute
+//! and rounded up to 8-byte boundaries (zero padding between sections);
+//! each checksum is word-folded FNV ([`cpssec_model::fnv1a_64_wide`]) over
+//! the section payload. `snapshot_id` is the same FNV over the serialized
+//! section table: it fingerprints the entire content (each entry embeds
+//! its payload checksum), doubles as the header's own integrity check, and
+//! anchors the `.cpsdelta` parent chain ([`crate::delta`]).
+//!
+//! Two read paths share this layout. [`decode`] verifies every payload
+//! checksum and materializes owned types. [`crate::view::open`] validates
+//! the header and section geometry in *O(header)* and reads in place; the
+//! deep payload checksums move to [`crate::view::open_verified`] or stay
+//! with [`verify`]. Compatibility is strict: readers reject any version
+//! they were not built for — a snapshot is a cache artifact, regenerable
+//! from the corpus, never an archival format.
 
 use cpssec_attackdb::snapshot as record_wire;
 use cpssec_attackdb::snapshot::{put_u16, put_u32, put_u64, Reader};
@@ -40,12 +56,15 @@ use crate::SearchEngine;
 pub const MAGIC: [u8; 6] = *b"CPSNAP";
 
 /// The format version this build writes and reads.
-pub const FORMAT_VERSION: u16 = 1;
+pub const FORMAT_VERSION: u16 = 2;
 
-const SEC_CORPUS: u16 = 1;
-const SEC_PATTERNS: u16 = 2;
-const SEC_WEAKNESSES: u16 = 3;
-const SEC_VULNERABILITIES: u16 = 4;
+/// Bytes per section-table entry: id + offset + len + checksum.
+pub(crate) const TABLE_ENTRY_LEN: usize = 2 + 8 + 8 + 8;
+
+pub(crate) const SEC_CORPUS: u16 = 1;
+pub(crate) const SEC_PATTERNS: u16 = 2;
+pub(crate) const SEC_WEAKNESSES: u16 = 3;
+pub(crate) const SEC_VULNERABILITIES: u16 = 4;
 /// Section order in every written snapshot.
 const SECTION_IDS: [u16; 4] = [
     SEC_CORPUS,
@@ -64,11 +83,18 @@ fn section_name(id: u16) -> Option<&'static str> {
     }
 }
 
+/// Rounds `n` up to the next 8-byte boundary (section alignment rule).
+fn align8(n: u64) -> u64 {
+    n.next_multiple_of(8)
+}
+
 /// One section table entry, as [`inspect`] reports it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SectionInfo {
     /// Section name (`corpus`, `patterns`, `weaknesses`, `vulnerabilities`).
     pub name: &'static str,
+    /// Absolute byte offset of the payload (8-byte aligned).
+    pub offset: u64,
     /// Payload length in bytes.
     pub len: u64,
     /// Stored word-folded FNV checksum of the payload.
@@ -80,6 +106,9 @@ pub struct SectionInfo {
 pub struct SnapshotInfo {
     /// Format version from the header.
     pub version: u16,
+    /// Content fingerprint: FNV over the section table (which embeds every
+    /// payload checksum). Anchors the `.cpsdelta` parent chain.
+    pub snapshot_id: u64,
     /// The section table, in file order.
     pub sections: Vec<SectionInfo>,
 }
@@ -92,11 +121,129 @@ impl SnapshotInfo {
     }
 }
 
+/// Encodes one record family of the corpus section: count, per-record byte
+/// offsets into the blob, blob length, then the concatenated records in id
+/// order — random access for [`crate::view::CorpusView`] without decoding.
+fn encode_family_records<T>(
+    out: &mut Vec<u8>,
+    count: usize,
+    records: impl Iterator<Item = T>,
+    encode: impl Fn(&mut Vec<u8>, T),
+) {
+    put_u32(out, u32::try_from(count).expect("record count fits u32"));
+    let mut offsets: Vec<u32> = Vec::with_capacity(count);
+    let mut blob = Vec::new();
+    for record in records {
+        offsets.push(u32::try_from(blob.len()).expect("corpus blob fits u32"));
+        encode(&mut blob, record);
+    }
+    assert_eq!(offsets.len(), count, "stats and iterator must agree");
+    for off in offsets {
+        put_u32(out, off);
+    }
+    put_u32(
+        out,
+        u32::try_from(blob.len()).expect("corpus blob fits u32"),
+    );
+    out.extend_from_slice(&blob);
+}
+
+/// The corpus section payload: three family record directories in order
+/// (patterns, weaknesses, vulnerabilities).
+fn encode_corpus_section(corpus: &Corpus) -> Vec<u8> {
+    let stats = corpus.stats();
+    let mut out = Vec::new();
+    encode_family_records(&mut out, stats.patterns, corpus.patterns(), |b, p| {
+        record_wire::encode_pattern(b, p);
+    });
+    encode_family_records(&mut out, stats.weaknesses, corpus.weaknesses(), |b, w| {
+        record_wire::encode_weakness(b, w);
+    });
+    encode_family_records(
+        &mut out,
+        stats.vulnerabilities,
+        corpus.vulnerabilities(),
+        record_wire::encode_vulnerability,
+    );
+    out
+}
+
+/// Decodes one family record directory, feeding each record to `add`.
+fn decode_family_records<T>(
+    r: &mut Reader<'_>,
+    family: &'static str,
+    decode: impl Fn(&mut Reader<'_>) -> Result<T, SnapshotError>,
+    mut add: impl FnMut(T) -> Result<(), SnapshotError>,
+) -> Result<(), SnapshotError> {
+    let count = r.u32()?;
+    let mut offsets = Vec::with_capacity(r.capacity_for(count, 4));
+    for _ in 0..count {
+        offsets.push(r.u32()?);
+    }
+    let blob_len = r.u32()? as usize;
+    let blob = r.take(blob_len)?;
+    for i in 0..offsets.len() {
+        let start = offsets[i] as usize;
+        let end = offsets.get(i + 1).map_or(blob_len, |&o| o as usize);
+        if start > end || end > blob_len || (i == 0 && start != 0) {
+            return Err(SnapshotError::Corrupt(format!(
+                "`{family}` record {i} directory entry is out of bounds"
+            )));
+        }
+        let mut rr = Reader::new(&blob[start..end]);
+        let record = decode(&mut rr)?;
+        if !rr.finished() {
+            return Err(SnapshotError::Corrupt(format!(
+                "`{family}` record {i} has {} trailing byte(s)",
+                rr.remaining()
+            )));
+        }
+        add(record)?;
+    }
+    Ok(())
+}
+
+/// Decodes the corpus section payload back into an owned [`Corpus`].
+fn decode_corpus_section(payload: &[u8]) -> Result<Corpus, SnapshotError> {
+    let mut corpus = Corpus::new();
+    let mut r = Reader::new(payload);
+    decode_family_records(&mut r, "patterns", record_wire::decode_pattern, |p| {
+        corpus
+            .add_pattern(p)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    })?;
+    decode_family_records(&mut r, "weaknesses", record_wire::decode_weakness, |w| {
+        corpus
+            .add_weakness(w)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    })?;
+    decode_family_records(
+        &mut r,
+        "vulnerabilities",
+        record_wire::decode_vulnerability,
+        |v| {
+            corpus
+                .add_vulnerability(v)
+                .map_err(|e| SnapshotError::Corrupt(e.to_string()))
+        },
+    )?;
+    if !r.finished() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing byte(s) after the last record directory",
+            r.remaining()
+        )));
+    }
+    Ok(corpus)
+}
+
 /// Serializes `corpus` and `engine` into a `.cpsnap` byte image.
 ///
 /// The engine must have been built over `corpus` — the id tables are
 /// validated against the corpus on decode. Output is deterministic: the
-/// same inputs always produce the same bytes.
+/// same inputs always produce the same bytes, and (because the index wire
+/// format is independent of term-id numbering) an engine grown by
+/// [`crate::delta`] appends encodes identically to one rebuilt from
+/// scratch over the same corpus.
 ///
 /// # Panics
 ///
@@ -107,8 +254,7 @@ pub fn encode(corpus: &Corpus, engine: &SearchEngine) -> Vec<u8> {
     let _span = cpssec_obs::span!("snapshot-encode");
     let ((p_index, p_ids), (w_index, w_ids), (v_index, v_ids)) = engine.parts();
 
-    let mut corpus_payload = Vec::new();
-    record_wire::encode_corpus_into(corpus, &mut corpus_payload);
+    let corpus_payload = encode_corpus_section(corpus);
 
     let encode_family = |index: &InvertedIndex, put_ids: &dyn Fn(&mut Vec<u8>)| {
         let mut out = Vec::new();
@@ -142,36 +288,46 @@ pub fn encode(corpus: &Corpus, engine: &SearchEngine) -> Vec<u8> {
         weaknesses_payload,
         vulnerabilities_payload,
     ];
-    let header_len = MAGIC.len() + 2 + 4 + payloads.len() * (2 + 8 + 8 + 8);
-    let total: usize = header_len + payloads.iter().map(Vec::len).sum::<usize>();
-    let mut out = Vec::with_capacity(total);
+    let header_len = (MAGIC.len() + 2 + 4 + 8 + payloads.len() * TABLE_ENTRY_LEN) as u64;
+    let mut table = Vec::with_capacity(payloads.len() * TABLE_ENTRY_LEN);
+    let mut section_offsets = Vec::with_capacity(payloads.len());
+    let mut offset = align8(header_len);
+    for (id, payload) in SECTION_IDS.iter().zip(payloads.iter()) {
+        put_u16(&mut table, *id);
+        put_u64(&mut table, offset);
+        put_u64(&mut table, payload.len() as u64);
+        put_u64(&mut table, fnv1a_64_wide(payload));
+        section_offsets.push(offset as usize);
+        offset = align8(offset + payload.len() as u64);
+    }
+    let snapshot_id = fnv1a_64_wide(&table);
+    let mut out = Vec::with_capacity(offset as usize);
     out.extend_from_slice(&MAGIC);
     put_u16(&mut out, FORMAT_VERSION);
     put_u32(&mut out, u32::try_from(payloads.len()).expect("fits u32"));
-    let mut offset = header_len as u64;
-    for (id, payload) in SECTION_IDS.iter().zip(payloads.iter()) {
-        put_u16(&mut out, *id);
-        put_u64(&mut out, offset);
-        put_u64(&mut out, payload.len() as u64);
-        put_u64(&mut out, fnv1a_64_wide(payload));
-        offset += payload.len() as u64;
-    }
-    for payload in &payloads {
+    put_u64(&mut out, snapshot_id);
+    out.extend_from_slice(&table);
+    for (payload, &section_offset) in payloads.iter().zip(&section_offsets) {
+        out.resize(section_offset, 0); // alignment padding
         out.extend_from_slice(payload);
     }
     out
 }
 
 /// A parsed section: table entry plus its (not yet verified) payload.
-struct Section<'a> {
-    id: u16,
-    name: &'static str,
-    checksum: u64,
-    payload: &'a [u8],
+pub(crate) struct Section<'a> {
+    pub(crate) id: u16,
+    pub(crate) name: &'static str,
+    pub(crate) offset: u64,
+    pub(crate) checksum: u64,
+    pub(crate) payload: &'a [u8],
 }
 
-/// Parses the header and section table, bounds-checking every payload.
-fn split_sections(bytes: &[u8]) -> Result<(u16, Vec<Section<'_>>), SnapshotError> {
+/// Parses the header and section table in *O(header)*: magic, version,
+/// the `snapshot_id` integrity check over the table bytes, then
+/// bounds- and alignment-checks on every payload span. Payload checksums
+/// are NOT verified here — that is [`checked_sections`].
+pub(crate) fn split_sections(bytes: &[u8]) -> Result<(u16, u64, Vec<Section<'_>>), SnapshotError> {
     if bytes.len() < MAGIC.len() {
         return Err(SnapshotError::Truncated);
     }
@@ -184,15 +340,26 @@ fn split_sections(bytes: &[u8]) -> Result<(u16, Vec<Section<'_>>), SnapshotError
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let count = r.u32()?;
-    let mut sections = Vec::with_capacity(r.capacity_for(count, 26));
+    let snapshot_id = r.u64()?;
+    let table = r.take(count as usize * TABLE_ENTRY_LEN)?;
+    if fnv1a_64_wide(table) != snapshot_id {
+        return Err(SnapshotError::ChecksumMismatch("section table"));
+    }
+    let mut tr = Reader::new(table);
+    let mut sections = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let id = r.u16()?;
-        let offset = r.u64()?;
-        let len = r.u64()?;
-        let checksum = r.u64()?;
+        let id = tr.u16()?;
+        let offset = tr.u64()?;
+        let len = tr.u64()?;
+        let checksum = tr.u64()?;
         let name = section_name(id).ok_or_else(|| {
             SnapshotError::Corrupt(format!("unknown section id {id} in the section table"))
         })?;
+        if offset % 8 != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "`{name}` section offset {offset} is not 8-byte aligned"
+            )));
+        }
         let end = offset.checked_add(len).ok_or(SnapshotError::Truncated)?;
         if end > bytes.len() as u64 {
             return Err(SnapshotError::Truncated);
@@ -200,16 +367,17 @@ fn split_sections(bytes: &[u8]) -> Result<(u16, Vec<Section<'_>>), SnapshotError
         sections.push(Section {
             id,
             name,
+            offset,
             checksum,
             payload: &bytes[offset as usize..end as usize],
         });
     }
-    Ok((version, sections))
+    Ok((version, snapshot_id, sections))
 }
 
 /// Verifies every section checksum, then returns payloads keyed by id.
-fn checked_sections(bytes: &[u8]) -> Result<Vec<Section<'_>>, SnapshotError> {
-    let (_, sections) = split_sections(bytes)?;
+pub(crate) fn checked_sections(bytes: &[u8]) -> Result<Vec<Section<'_>>, SnapshotError> {
+    let (_, _, sections) = split_sections(bytes)?;
     for section in &sections {
         if fnv1a_64_wide(section.payload) != section.checksum {
             return Err(SnapshotError::ChecksumMismatch(section.name));
@@ -218,7 +386,7 @@ fn checked_sections(bytes: &[u8]) -> Result<Vec<Section<'_>>, SnapshotError> {
     Ok(sections)
 }
 
-fn find_section<'a>(
+pub(crate) fn find_section<'a>(
     sections: &'a [Section<'_>],
     id: u16,
 ) -> Result<&'a Section<'a>, SnapshotError> {
@@ -276,7 +444,7 @@ pub fn decode_with_config(
     let sections = checked_sections(bytes)?;
 
     let corpus_section = find_section(&sections, SEC_CORPUS)?;
-    let corpus = record_wire::decode_corpus(corpus_section.payload)?;
+    let corpus = decode_corpus_section(corpus_section.payload)?;
 
     let patterns = decode_family(find_section(&sections, SEC_PATTERNS)?, |r| {
         Ok(CapecId::new(r.u32()?))
@@ -319,20 +487,24 @@ pub fn decode(bytes: &[u8]) -> Result<(Corpus, SearchEngine), SnapshotError> {
 }
 
 /// Parses the header and section table without decoding payloads — the
-/// cheap `snapshot inspect` path. Bounds are validated; checksums are not
-/// (use [`verify`] for that).
+/// cheap `snapshot inspect` path. The table's own integrity is checked
+/// (via `snapshot_id`) and every span is bounds-checked; payload checksums
+/// are not verified (use [`verify`] for that).
 ///
 /// # Errors
 ///
-/// Truncation, bad magic, unsupported version, or an unknown section id.
+/// Truncation, bad magic, unsupported version, a corrupted section table,
+/// or an unknown section id.
 pub fn inspect(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
-    let (version, sections) = split_sections(bytes)?;
+    let (version, snapshot_id, sections) = split_sections(bytes)?;
     Ok(SnapshotInfo {
         version,
+        snapshot_id,
         sections: sections
             .iter()
             .map(|s| SectionInfo {
                 name: s.name,
+                offset: s.offset,
                 len: s.payload.len() as u64,
                 checksum: s.checksum,
             })
@@ -416,17 +588,47 @@ mod tests {
     }
 
     #[test]
-    fn inspect_reports_the_section_table() {
+    fn inspect_reports_the_aligned_section_table() {
         let (_, bytes) = snapshot();
         let info = inspect(&bytes).unwrap();
         assert_eq!(info.version, FORMAT_VERSION);
+        assert_ne!(info.snapshot_id, 0);
         let names: Vec<&str> = info.sections.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
             ["corpus", "patterns", "weaknesses", "vulnerabilities"]
         );
+        // Alignment rule: every section starts on an 8-byte boundary, in
+        // ascending file order, inside the file.
+        let mut prev_end = 0u64;
+        for s in &info.sections {
+            assert_eq!(s.offset % 8, 0, "{} misaligned", s.name);
+            assert!(s.offset >= prev_end, "{} overlaps", s.name);
+            prev_end = s.offset + s.len;
+        }
+        assert!(prev_end <= bytes.len() as u64);
         assert!(info.payload_len() > 0);
         assert!(info.payload_len() < bytes.len() as u64);
+    }
+
+    #[test]
+    fn snapshot_id_fingerprints_the_content() {
+        let (_, bytes) = snapshot();
+        let base = inspect(&bytes).unwrap().snapshot_id;
+        // A one-record change anywhere must produce a different id.
+        let mut bigger = seed_corpus();
+        bigger
+            .add_weakness(cpssec_attackdb::Weakness::new(
+                cpssec_attackdb::CweId::new(9999),
+                "extra",
+                "record",
+            ))
+            .unwrap();
+        let engine = SearchEngine::build(&bigger);
+        let other = inspect(&encode(&bigger, &engine)).unwrap().snapshot_id;
+        assert_ne!(base, other);
+        // And the id is stable across identical encodes.
+        assert_eq!(base, inspect(&snapshot().1).unwrap().snapshot_id);
     }
 
     #[test]
@@ -457,12 +659,21 @@ mod tests {
             decode(&payload).unwrap_err(),
             SnapshotError::ChecksumMismatch("vulnerabilities")
         );
+
+        // A flipped byte inside the section table trips the snapshot_id
+        // integrity check before any payload is read.
+        let mut table = bytes.clone();
+        table[20] ^= 0xFF;
+        assert_eq!(
+            decode(&table).unwrap_err(),
+            SnapshotError::ChecksumMismatch("section table")
+        );
     }
 
     #[test]
     fn every_header_truncation_point_fails_cleanly() {
         let (_, bytes) = snapshot();
-        let header = 6 + 2 + 4 + 4 * 26;
+        let header = 6 + 2 + 4 + 8 + 4 * TABLE_ENTRY_LEN;
         for len in 0..header {
             let err = decode(&bytes[..len]).unwrap_err();
             assert!(

@@ -103,6 +103,16 @@ impl<V: Clone> Cache<V> {
         }
     }
 
+    /// Drops every entry; the hit/miss counters survive. Called when the
+    /// corpus itself changes (a delta apply): keys encode the model hash
+    /// and request spec but *not* corpus content, so without this a grown
+    /// corpus would keep serving pre-delta bodies.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").entries.clear();
+        }
+    }
+
     /// `(hits, misses)` counters since construction.
     pub fn stats(&self) -> (u64, u64) {
         (
@@ -178,6 +188,19 @@ mod tests {
         cache.insert(same_shard[2].clone(), 2);
         assert_eq!(cache.get(&same_shard[2]), Some(2));
         assert!(cache.get(&same_shard[1]).is_none());
+    }
+
+    #[test]
+    fn clear_empties_every_shard_but_keeps_counters() {
+        let cache: Cache<u32> = Cache::new(64);
+        for i in 0..20 {
+            cache.insert(format!("k{i}"), i);
+        }
+        assert_eq!(cache.get("k3"), Some(3));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get("k3").is_none());
+        assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
   <section><h2>slow queries / tick</h2>
     <div class="stat" id="slowstat">–</div>
     <canvas id="slow"></canvas></section>
+  <section><h2>corpus (records · deltas · compactions)</h2>
+    <div class="stat" id="corpusstat">–</div>
+    <canvas id="corpus"></canvas></section>
   <section style="grid-column: 1 / -1"><h2>slow query feed</h2>
     <table id="slowfeed"><thead><tr><th>route</th><th class="num">total µs</th>
       <th>trace</th><th>stages</th></tr></thead><tbody></tbody></table></section>
@@ -132,6 +135,11 @@ async function refresh() {
   const slow = s["slow:observed"] || [];
   $("slowstat").textContent = fmt(last(slow));
   spark($("slow"), [{ points: slow, color: "#ff8a65" }]);
+  const recs = s["corpus:records"] || [], applies = s["corpus:delta_applies"] || [];
+  const compactions = s["corpus:compactions"] || [];
+  $("corpusstat").textContent = last(recs) === null ? "–"
+    : `${fmt(last(recs))} · ${fmt(last(applies))} · ${fmt(last(compactions))}`;
+  spark($("corpus"), [{ points: recs, color: "#fff176" }]);
 
   const alerts = await (await fetch("/alerts")).json();
   const el = $("alerts");

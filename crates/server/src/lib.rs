@@ -43,27 +43,71 @@ pub mod telemetry;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cpssec_analysis::AssociationMap;
 use cpssec_attackdb::Corpus;
 use cpssec_search::snapshot::SnapshotError;
-use cpssec_search::{snapshot, MatchConfig, ScoringModel, SearchEngine};
+use cpssec_search::{snapshot, view, DeltaInfo, MatchConfig, ScoringModel, SearchEngine};
 
 use cache::Cache;
-use metrics::{Metrics, StartupStats};
+use metrics::{CorpusGauges, Metrics, StartupStats};
 use session::SessionStore;
+
+/// One immutable generation of queryable corpus state. Delta applies and
+/// compactions build the *next* generation off-lock and swap it in;
+/// in-flight queries keep whatever `Arc` clones they already took, so a
+/// swap never invalidates a running request.
+#[derive(Debug, Clone)]
+struct CorpusStore {
+    corpus: Arc<Corpus>,
+    tfidf: Arc<SearchEngine>,
+    bm25: Arc<SearchEngine>,
+    /// Chain anchor: the snapshot id this state would encode to. Every
+    /// delta must name it as parent; each apply advances it to the
+    /// delta's `child_id`, and a compaction re-anchors it to the
+    /// compacted base snapshot's id.
+    state_id: u64,
+    /// Deltas applied since the last compaction (or boot).
+    deltas_since_compaction: u32,
+}
+
+/// The swappable slot holding the current [`CorpusStore`]. `None` while a
+/// mapped-snapshot boot is still thawing the owned state in the
+/// background; readers block on the condvar, so `/healthz` and
+/// `/metrics` (which never touch the slot) answer immediately while
+/// corpus-backed endpoints wait for the thaw.
+#[derive(Debug, Default)]
+struct StoreSlot {
+    slot: Mutex<Option<CorpusStore>>,
+    ready: Condvar,
+}
+
+impl StoreSlot {
+    /// Blocks until a store is installed, then returns a clone (four
+    /// `Arc` bumps) of the current generation.
+    fn wait(&self) -> CorpusStore {
+        let mut slot = self.slot.lock().expect("corpus store poisoned");
+        loop {
+            if let Some(store) = slot.as_ref() {
+                return store.clone();
+            }
+            slot = self.ready.wait(slot).expect("corpus store poisoned");
+        }
+    }
+
+    fn install(&self, store: CorpusStore) {
+        *self.slot.lock().expect("corpus store poisoned") = Some(store);
+        self.ready.notify_all();
+    }
+}
 
 /// Everything the workers share.
 #[derive(Debug)]
 pub struct AppState {
-    /// The attack vector corpus (immutable for the server's lifetime).
-    pub corpus: Arc<Corpus>,
-    /// Prebuilt engine per scoring model — one index per corpus, built at
-    /// startup, shared immutably by every worker.
-    engine_tfidf: Arc<SearchEngine>,
-    engine_bm25: Arc<SearchEngine>,
+    /// The current corpus + engines generation (swapped by delta applies).
+    store: StoreSlot,
     /// Named models.
     pub sessions: SessionStore,
     /// Rendered response bodies, content-addressed.
@@ -75,8 +119,13 @@ pub struct AppState {
     /// Ring of requests that crossed the slow-query threshold, served at
     /// `GET /debug/slow`.
     pub slow: cpssec_obs::SlowLog,
-    /// Index-load timing and snapshot hit/miss, fixed at construction.
-    pub startup: StartupStats,
+    /// Index-load timing and snapshot hit/miss. Behind a mutex because a
+    /// mapped boot fills `index_load_us` in once the background thaw
+    /// lands; read it through [`AppState::startup`].
+    startup: Mutex<StartupStats>,
+    /// Live corpus-state gauges (`corpus_records`, `delta_applies_total`,
+    /// `compactions_total`, `snapshot_mapped_bytes`).
+    pub gauges: CorpusGauges,
     /// Time-series store + SLO monitor, fed by the telemetry tick.
     pub telemetry: telemetry::Telemetry,
     /// Ring of recently served requests, keyed by trace id
@@ -105,30 +154,41 @@ fn slow_threshold_us() -> u64 {
         .unwrap_or(SLOW_THRESHOLD_US)
 }
 
+/// Deltas between compactions: every K-th `POST /corpus/delta` rebases
+/// the grown state into a fresh base snapshot (verified byte-identical
+/// to a rebuild-from-scratch) instead of letting the chain grow.
+pub const COMPACTION_EVERY: u32 = 4;
+
+/// What a successful delta apply reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Parsed header of the applied delta.
+    pub info: DeltaInfo,
+    /// Records the batch added across all families.
+    pub records: usize,
+    /// The new chain anchor — the next delta's required parent id.
+    pub state_id: u64,
+    /// Whether this apply crossed [`COMPACTION_EVERY`] and rebased.
+    pub compacted: bool,
+}
+
+/// The chain anchor for a corpus-built state: the id of the snapshot this
+/// state would encode to. One extra encode at boot buys corpus-built and
+/// snapshot-booted servers the same delta-chain semantics — encoding is
+/// deterministic, so a delta built against the equivalent `.cpsnap`
+/// applies cleanly to a server that built the same corpus from source.
+fn content_state_id(corpus: &Corpus, engine: &SearchEngine) -> u64 {
+    let bytes = snapshot::encode(corpus, engine);
+    snapshot::inspect(&bytes).map_or(0, |info| info.snapshot_id)
+}
+
 impl AppState {
     /// Builds the shared state: indexes the corpus once per scoring model
     /// and preloads the `scada` session. Counts as a snapshot *miss* in
     /// `/metrics` — the engines were built, not thawed.
     #[must_use]
     pub fn new(corpus: Corpus) -> Arc<AppState> {
-        let started = Instant::now();
-        let engine_of = |scoring| {
-            Arc::new(SearchEngine::with_config(
-                &corpus,
-                MatchConfig {
-                    scoring,
-                    ..MatchConfig::default()
-                },
-            ))
-        };
-        let engine_tfidf = engine_of(ScoringModel::TfIdf);
-        let engine_bm25 = engine_of(ScoringModel::Bm25);
-        let startup = StartupStats {
-            index_load_us: elapsed_us(started),
-            snapshot_hits: 0,
-            snapshot_misses: 1,
-        };
-        Self::assemble(corpus, engine_tfidf, engine_bm25, startup, 256, 64)
+        Self::with_capacities(corpus, 256, 64)
     }
 
     /// [`AppState::new`] with explicit cache capacities — lets tests
@@ -145,21 +205,23 @@ impl AppState {
                 },
             ))
         };
-        let engine_tfidf = engine_of(ScoringModel::TfIdf);
-        let engine_bm25 = engine_of(ScoringModel::Bm25);
+        let tfidf = engine_of(ScoringModel::TfIdf);
+        let bm25 = engine_of(ScoringModel::Bm25);
+        let state_id = content_state_id(&corpus, &tfidf);
         let startup = StartupStats {
             index_load_us: elapsed_us(started),
             snapshot_hits: 0,
             snapshot_misses: 1,
+            snapshot_load_us: 0,
         };
-        Self::assemble(
-            corpus,
-            engine_tfidf,
-            engine_bm25,
-            startup,
-            responses,
-            priors,
-        )
+        let store = CorpusStore {
+            corpus: Arc::new(corpus),
+            tfidf,
+            bm25,
+            state_id,
+            deltas_since_compaction: 0,
+        };
+        Self::assemble(Some(store), startup, responses, priors)
     }
 
     /// Thaws the shared state from a `.cpsnap` image: one decode restores
@@ -171,57 +233,212 @@ impl AppState {
     /// Any [`SnapshotError`] from [`snapshot::decode`].
     pub fn from_snapshot(bytes: &[u8]) -> Result<Arc<AppState>, SnapshotError> {
         let started = Instant::now();
+        let state_id = snapshot::inspect(bytes)?.snapshot_id;
         let (corpus, engine_tfidf) = snapshot::decode(bytes)?;
         let engine_bm25 = engine_tfidf.with_scoring(ScoringModel::Bm25);
+        let load_us = elapsed_us(started);
         let startup = StartupStats {
-            index_load_us: elapsed_us(started),
+            index_load_us: load_us,
             snapshot_hits: 1,
             snapshot_misses: 0,
+            snapshot_load_us: load_us,
         };
-        Ok(Self::assemble(
-            corpus,
-            Arc::new(engine_tfidf),
-            Arc::new(engine_bm25),
-            startup,
-            256,
-            64,
-        ))
+        let store = CorpusStore {
+            corpus: Arc::new(corpus),
+            tfidf: Arc::new(engine_tfidf),
+            bm25: Arc::new(engine_bm25),
+            state_id,
+            deltas_since_compaction: 0,
+        };
+        Ok(Self::assemble(Some(store), startup, 256, 64))
+    }
+
+    /// Boots from a mapped `.cpsnap` image without decoding it up front.
+    /// The zero-copy view is opened and checksum-verified synchronously —
+    /// corruption fails fast, and that open is what `snapshot_load_us`
+    /// measures — then the owned corpus + engines thaw on a background
+    /// thread and are swapped in. `/healthz` and `/metrics` serve
+    /// immediately; corpus-backed endpoints block until the thaw lands.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from [`view::open_verified`].
+    pub fn from_snapshot_mapped(bytes: Arc<[u8]>) -> Result<Arc<AppState>, SnapshotError> {
+        let started = Instant::now();
+        let mapped = view::open_verified(Arc::clone(&bytes))?;
+        let startup = StartupStats {
+            index_load_us: 0,
+            snapshot_hits: 1,
+            snapshot_misses: 0,
+            snapshot_load_us: elapsed_us(started),
+        };
+        let snapshot_id = mapped.snapshot_id();
+        let records = mapped.corpus().record_count();
+        let state = Self::assemble(None, startup, 256, 64);
+        state
+            .gauges
+            .snapshot_mapped_bytes
+            .store(bytes.len() as u64, Ordering::Relaxed);
+        state
+            .gauges
+            .corpus_records
+            .store(records as u64, Ordering::Relaxed);
+        let thaw_state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("cpssec-thaw".to_owned())
+            .spawn(move || {
+                let started = Instant::now();
+                // `open_verified` already proved every checksum, so a
+                // decode failure here is an invariant breach, not bad
+                // input — exiting beats blocking every query forever.
+                let (corpus, tfidf) = snapshot::decode(&bytes[..]).unwrap_or_else(|e| {
+                    eprintln!("fatal: snapshot thaw failed after verification: {e}");
+                    std::process::exit(1);
+                });
+                let bm25 = tfidf.with_scoring(ScoringModel::Bm25);
+                thaw_state.store.install(CorpusStore {
+                    corpus: Arc::new(corpus),
+                    tfidf: Arc::new(tfidf),
+                    bm25: Arc::new(bm25),
+                    state_id: snapshot_id,
+                    deltas_since_compaction: 0,
+                });
+                thaw_state
+                    .startup
+                    .lock()
+                    .expect("startup poisoned")
+                    .index_load_us = elapsed_us(started);
+            })
+            .expect("spawn thaw thread");
+        Ok(state)
     }
 
     fn assemble(
-        corpus: Corpus,
-        engine_tfidf: Arc<SearchEngine>,
-        engine_bm25: Arc<SearchEngine>,
+        store: Option<CorpusStore>,
         startup: StartupStats,
         responses: usize,
         priors: usize,
     ) -> Arc<AppState> {
-        Arc::new(AppState {
-            engine_tfidf,
-            engine_bm25,
-            corpus: Arc::new(corpus),
+        let records = store.as_ref().map(|s| s.corpus.stats().total());
+        let state = Arc::new(AppState {
+            store: StoreSlot {
+                slot: Mutex::new(store),
+                ready: Condvar::new(),
+            },
             sessions: SessionStore::new(),
             responses: Cache::new(responses),
             priors: Cache::new(priors),
             metrics: Metrics::new(),
             slow: cpssec_obs::SlowLog::new(SLOW_LOG_CAPACITY, slow_threshold_us()),
-            startup,
+            startup: Mutex::new(startup),
+            gauges: CorpusGauges::default(),
             telemetry: telemetry::Telemetry::new(),
             requests: requests::RequestLog::new(requests::DEFAULT_REQUEST_LOG_CAPACITY),
             pool_stats: Arc::new(pool::PoolStats::new()),
             test_delay: AtomicU64::new(0),
             fleet: scenarios::FleetJobs::new(),
             campaigns: scenarios::FleetJobs::new(),
-        })
+        });
+        if let Some(n) = records {
+            state
+                .gauges
+                .corpus_records
+                .store(n as u64, Ordering::Relaxed);
+        }
+        state
     }
 
-    /// The shared engine for a scoring model.
+    /// The shared corpus (current generation). Blocks during a mapped
+    /// boot until the background thaw installs the owned state.
     #[must_use]
-    pub fn engine(&self, scoring: ScoringModel) -> &SearchEngine {
+    pub fn corpus(&self) -> Arc<Corpus> {
+        self.store.wait().corpus
+    }
+
+    /// The shared engine for a scoring model (current generation);
+    /// blocks like [`AppState::corpus`].
+    #[must_use]
+    pub fn engine(&self, scoring: ScoringModel) -> Arc<SearchEngine> {
+        let store = self.store.wait();
         match scoring {
-            ScoringModel::TfIdf => &self.engine_tfidf,
-            ScoringModel::Bm25 => &self.engine_bm25,
+            ScoringModel::TfIdf => store.tfidf,
+            ScoringModel::Bm25 => store.bm25,
         }
+    }
+
+    /// The current chain anchor: the snapshot id the installed state
+    /// encodes to. A delta must name it as its parent to apply.
+    #[must_use]
+    pub fn state_id(&self) -> u64 {
+        self.store.wait().state_id
+    }
+
+    /// Point-in-time copy of the startup facts.
+    #[must_use]
+    pub fn startup(&self) -> StartupStats {
+        *self.startup.lock().expect("startup poisoned")
+    }
+
+    /// Applies a `.cpsdelta` batch to the current generation and swaps
+    /// the grown state in. The store lock is held for the whole apply so
+    /// concurrent deltas serialize; queries only clone `Arc`s under that
+    /// lock, so they stall briefly rather than observe a half-applied
+    /// state. Every [`COMPACTION_EVERY`]-th apply also rebases: the
+    /// grown state is proven byte-identical to a rebuild-from-scratch
+    /// before the new anchor is adopted. Both result caches are cleared
+    /// on success — their keys do not encode corpus content.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] for malformed bytes, a parent-id mismatch (the
+    /// router maps that one to 409), an append-only id violation, or a
+    /// compaction divergence. On error the installed state is untouched.
+    pub fn apply_corpus_delta(&self, bytes: &[u8]) -> Result<DeltaOutcome, SnapshotError> {
+        let mut slot = self.store.slot.lock().expect("corpus store poisoned");
+        while slot.is_none() {
+            slot = self.store.ready.wait(slot).expect("corpus store poisoned");
+        }
+        let current = slot.as_ref().expect("store installed").clone();
+        // Grow clones; the installed state stays valid if anything fails.
+        let mut corpus = (*current.corpus).clone();
+        let mut tfidf = (*current.tfidf).clone();
+        let info = cpssec_search::apply_delta(&mut corpus, &mut tfidf, bytes, current.state_id)?;
+        let bm25 = tfidf.with_scoring(ScoringModel::Bm25);
+        let mut next = CorpusStore {
+            corpus: Arc::new(corpus),
+            tfidf: Arc::new(tfidf),
+            bm25: Arc::new(bm25),
+            state_id: info.child_id,
+            deltas_since_compaction: current.deltas_since_compaction + 1,
+        };
+        let mut compacted = false;
+        if next.deltas_since_compaction >= COMPACTION_EVERY {
+            let base = cpssec_search::compact_verified(&next.corpus, &next.tfidf)?;
+            next.state_id = snapshot::inspect(&base)?.snapshot_id;
+            next.deltas_since_compaction = 0;
+            self.gauges
+                .compactions_total
+                .fetch_add(1, Ordering::Relaxed);
+            compacted = true;
+        }
+        let outcome = DeltaOutcome {
+            info,
+            records: info.records(),
+            state_id: next.state_id,
+            compacted,
+        };
+        self.gauges
+            .delta_applies_total
+            .fetch_add(1, Ordering::Relaxed);
+        self.gauges
+            .corpus_records
+            .store(next.corpus.stats().total() as u64, Ordering::Relaxed);
+        *slot = Some(next);
+        drop(slot);
+        // Cached bodies and priors predate the grown corpus — drop them.
+        self.responses.clear();
+        self.priors.clear();
+        Ok(outcome)
     }
 
     /// Runs one telemetry tick at wall time `ts_ms`: diffs counters and
@@ -243,6 +460,21 @@ impl AppState {
             ],
             &self.pool_stats,
             &self.slow,
+        );
+        let corpus = self.gauges.sample();
+        self.telemetry
+            .record_gauge(ts_ms, "corpus:records", corpus.corpus_records as f64);
+        self.telemetry.record_gauge(
+            ts_ms,
+            "corpus:delta_applies",
+            corpus.delta_applies_total as f64,
+        );
+        self.telemetry
+            .record_gauge(ts_ms, "corpus:compactions", corpus.compactions_total as f64);
+        self.telemetry.record_gauge(
+            ts_ms,
+            "corpus:mapped_bytes",
+            corpus.snapshot_mapped_bytes as f64,
         );
         for t in transitions {
             eprintln!(

@@ -53,11 +53,63 @@ impl RouteStats {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StartupStats {
     /// Wall time to produce the ready-to-query engines, in microseconds.
+    /// On a mapped-snapshot boot this is the background owned decode and
+    /// is filled in once that thaw completes.
     pub index_load_us: u64,
     /// Engines thawed from a `.cpsnap` snapshot.
     pub snapshot_hits: u64,
     /// Engines built from the corpus (no usable snapshot).
     pub snapshot_misses: u64,
+    /// Wall time from snapshot bytes to a query-ready state, in
+    /// microseconds. For a mapped boot this is the zero-copy view open
+    /// (checksum pass included) — the number the cold-start budget is
+    /// asserted against; 0 when no snapshot was involved.
+    pub snapshot_load_us: u64,
+}
+
+/// Live corpus-state gauges: owned by the app state, bumped on delta
+/// applies and compactions, sampled into both `/metrics` and the
+/// time-series store each telemetry tick.
+#[derive(Debug, Default)]
+pub struct CorpusGauges {
+    /// Records across all three families (patterns + weaknesses +
+    /// vulnerabilities) in the currently installed corpus generation.
+    pub corpus_records: AtomicU64,
+    /// `.cpsdelta` batches applied since boot.
+    pub delta_applies_total: AtomicU64,
+    /// Delta compactions (rebase into a fresh base snapshot) since boot.
+    pub compactions_total: AtomicU64,
+    /// Bytes of the mapped snapshot image backing the zero-copy view
+    /// (0 when the state was built from a corpus, not a snapshot).
+    pub snapshot_mapped_bytes: AtomicU64,
+}
+
+/// Point-in-time copy of [`CorpusGauges`], as consumed by
+/// [`Metrics::render`] and the telemetry tick.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSample {
+    /// See [`CorpusGauges::corpus_records`].
+    pub corpus_records: u64,
+    /// See [`CorpusGauges::delta_applies_total`].
+    pub delta_applies_total: u64,
+    /// See [`CorpusGauges::compactions_total`].
+    pub compactions_total: u64,
+    /// See [`CorpusGauges::snapshot_mapped_bytes`].
+    pub snapshot_mapped_bytes: u64,
+}
+
+impl CorpusGauges {
+    /// Reads every gauge once (relaxed; the gauges are monotonic or
+    /// last-write-wins, so a torn multi-gauge read is harmless).
+    #[must_use]
+    pub fn sample(&self) -> CorpusSample {
+        CorpusSample {
+            corpus_records: self.corpus_records.load(Ordering::Relaxed),
+            delta_applies_total: self.delta_applies_total.load(Ordering::Relaxed),
+            compactions_total: self.compactions_total.load(Ordering::Relaxed),
+            snapshot_mapped_bytes: self.snapshot_mapped_bytes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Per-route request counters plus latency histograms.
@@ -190,8 +242,14 @@ impl Metrics {
     /// (version 0.0.4): one `# HELP`/`# TYPE` pair per metric family,
     /// family-major sample ordering, escaped label values. `caches`
     /// supplies `(name, hits, misses)` triples from the result caches;
-    /// `startup` supplies the one-time index-load facts.
-    pub fn render(&self, caches: &[(&str, u64, u64)], startup: &StartupStats) -> String {
+    /// `startup` supplies the one-time index-load facts; `corpus` the
+    /// live corpus-state gauges.
+    pub fn render(
+        &self,
+        caches: &[(&str, u64, u64)],
+        startup: &StartupStats,
+        corpus: &CorpusSample,
+    ) -> String {
         use std::fmt::Write as _;
         fn family(out: &mut String, name: &str, kind: &str, help: &str) {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -343,6 +401,45 @@ impl Metrics {
             "snapshot_loads_total{{result=\"miss\"}} {}",
             startup.snapshot_misses
         );
+        family(
+            &mut out,
+            "snapshot_load_us",
+            "gauge",
+            "Wall time from snapshot bytes to a query-ready state (0 without a snapshot).",
+        );
+        let _ = writeln!(out, "snapshot_load_us {}", startup.snapshot_load_us);
+        family(
+            &mut out,
+            "corpus_records",
+            "gauge",
+            "Records in the installed corpus across all families.",
+        );
+        let _ = writeln!(out, "corpus_records {}", corpus.corpus_records);
+        family(
+            &mut out,
+            "delta_applies_total",
+            "counter",
+            "Incremental .cpsdelta batches applied since boot.",
+        );
+        let _ = writeln!(out, "delta_applies_total {}", corpus.delta_applies_total);
+        family(
+            &mut out,
+            "compactions_total",
+            "counter",
+            "Delta compactions (rebase into a fresh base snapshot) since boot.",
+        );
+        let _ = writeln!(out, "compactions_total {}", corpus.compactions_total);
+        family(
+            &mut out,
+            "snapshot_mapped_bytes",
+            "gauge",
+            "Bytes of the mapped snapshot backing the zero-copy view (0 when corpus-built).",
+        );
+        let _ = writeln!(
+            out,
+            "snapshot_mapped_bytes {}",
+            corpus.snapshot_mapped_bytes
+        );
         out
     }
 }
@@ -369,8 +466,15 @@ mod tests {
             index_load_us: 1234,
             snapshot_hits: 1,
             snapshot_misses: 0,
+            snapshot_load_us: 321,
         };
-        let text = metrics.render(&[("responses", 3, 1)], &startup);
+        let corpus = CorpusSample {
+            corpus_records: 42,
+            delta_applies_total: 5,
+            compactions_total: 1,
+            snapshot_mapped_bytes: 4096,
+        };
+        let text = metrics.render(&[("responses", 3, 1)], &startup, &corpus);
         assert!(text.contains("requests_total{route=\"GET /healthz\"} 3"));
         assert!(text.contains("errors_total{route=\"GET /healthz\"} 1"));
         assert!(text.contains("latency_us_count{route=\"GET /healthz\"} 3"));
@@ -386,13 +490,22 @@ mod tests {
         assert!(text.contains("index_load_us 1234"));
         assert!(text.contains("snapshot_loads_total{result=\"hit\"} 1"));
         assert!(text.contains("snapshot_loads_total{result=\"miss\"} 0"));
+        assert!(text.contains("snapshot_load_us 321"));
+        assert!(text.contains("corpus_records 42"));
+        assert!(text.contains("delta_applies_total 5"));
+        assert!(text.contains("compactions_total 1"));
+        assert!(text.contains("snapshot_mapped_bytes 4096"));
         assert_eq!(metrics.total_requests(), 3);
     }
 
     #[test]
     fn empty_cache_ratio_is_zero() {
         let metrics = Metrics::new();
-        let text = metrics.render(&[("responses", 0, 0)], &StartupStats::default());
+        let text = metrics.render(
+            &[("responses", 0, 0)],
+            &StartupStats::default(),
+            &CorpusSample::default(),
+        );
         assert!(text.contains("cache_hit_ratio{cache=\"responses\"} 0.0000"));
     }
 
@@ -402,7 +515,7 @@ mod tests {
         for us in [100u64, 200, 300, 400, 50_000] {
             metrics.record("GET /x", 200, Duration::from_micros(us));
         }
-        let text = metrics.render(&[], &StartupStats::default());
+        let text = metrics.render(&[], &StartupStats::default(), &CorpusSample::default());
         let value = |needle: &str| -> u64 {
             let line = text
                 .lines()
@@ -425,7 +538,7 @@ mod tests {
         assert_eq!(escape_label("a\nb"), "a\\nb");
         let metrics = Metrics::new();
         metrics.record("GET /weird\"\\\nroute", 200, Duration::from_micros(10));
-        let text = metrics.render(&[], &StartupStats::default());
+        let text = metrics.render(&[], &StartupStats::default(), &CorpusSample::default());
         assert!(
             text.contains("requests_total{route=\"GET /weird\\\"\\\\\\nroute\"} 1"),
             "{text}"
@@ -438,7 +551,11 @@ mod tests {
     fn every_family_is_declared_before_its_samples() {
         let metrics = Metrics::new();
         metrics.record("GET /healthz", 200, Duration::from_micros(50));
-        let text = metrics.render(&[("responses", 1, 1)], &StartupStats::default());
+        let text = metrics.render(
+            &[("responses", 1, 1)],
+            &StartupStats::default(),
+            &CorpusSample::default(),
+        );
         for fam in [
             "requests_total",
             "errors_total",
@@ -449,6 +566,11 @@ mod tests {
             "cache_hit_ratio",
             "index_load_us",
             "snapshot_loads_total",
+            "snapshot_load_us",
+            "snapshot_mapped_bytes",
+            "corpus_records",
+            "delta_applies_total",
+            "compactions_total",
         ] {
             let type_pos = text
                 .find(&format!("# TYPE {fam} "))
@@ -488,13 +610,13 @@ mod tests {
         );
         metrics.record("POST /models/abc123/whatif", 200, Duration::from_micros(5));
         metrics.record("GET /models/:id/associate", 200, Duration::from_micros(30));
-        let text = metrics.render(&[], &StartupStats::default());
+        let text = metrics.render(&[], &StartupStats::default(), &CorpusSample::default());
         assert!(text.contains("requests_total{route=\"GET /models/:id/associate\"} 3"));
         assert!(text.contains("requests_total{route=\"POST /models/:id/whatif\"} 1"));
         assert!(!text.contains("deadbeef"), "raw id leaked into labels");
         // Routes without an id segment pass through untouched.
         metrics.record("POST /models", 200, Duration::from_micros(1));
-        let text = metrics.render(&[], &StartupStats::default());
+        let text = metrics.render(&[], &StartupStats::default(), &CorpusSample::default());
         assert!(text.contains("requests_total{route=\"POST /models\"} 1"));
     }
 }

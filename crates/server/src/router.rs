@@ -262,6 +262,7 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             "GET /scenarios/batch/:id",
             crate::scenarios::status(state, id),
         ),
+        ("POST", ["corpus", "delta"]) => ("POST /corpus/delta", corpus_delta(state, req)),
         ("POST", ["models"]) => ("POST /models", upload_model(state, req)),
         ("GET", ["models", id, "associate"]) => {
             ("GET /models/:id/associate", associate(state, req, id))
@@ -278,6 +279,7 @@ pub fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             crate::campaigns::status(state, job),
         ),
         (_, ["healthz" | "metrics" | "table1" | "alerts" | "dashboard"])
+        | (_, ["corpus", "delta"])
         | (_, ["metrics", "history"])
         | (_, ["debug", "slow" | "delay"])
         | (_, ["debug", "requests", _])
@@ -301,7 +303,8 @@ fn metrics(state: &AppState) -> Response {
             ("responses", resp_hits, resp_misses),
             ("priors", prior_hits, prior_misses),
         ],
-        &state.startup,
+        &state.startup(),
+        &state.gauges.sample(),
     );
     body.push_str(&state.telemetry.render_prom());
     Response::with_type(200, crate::metrics::EXPOSITION_CONTENT_TYPE, body)
@@ -355,6 +358,36 @@ fn set_delay(state: &AppState, req: &Request) -> Response {
     Response::json(200, format!("{{\"delay_us\":{us}}}"))
 }
 
+/// `POST /corpus/delta` — applies a binary `.cpsdelta` body to the live
+/// corpus without a rebuild. A parent-id mismatch (stale or replayed
+/// delta) is `409 Conflict`: the client must re-fetch the current
+/// `stateId` and rebuild its delta against it; every other rejection is
+/// a 400. On success the response carries the new chain anchor.
+fn corpus_delta(state: &AppState, req: &Request) -> Response {
+    if req.body.is_empty() {
+        return Response::error(400, "missing .cpsdelta request body");
+    }
+    match state.apply_corpus_delta(&req.body) {
+        Ok(outcome) => {
+            let body = Json::Object(vec![
+                ("applied".into(), true.into()),
+                ("records".into(), outcome.records.into()),
+                (
+                    "stateId".into(),
+                    format!("{:016x}", outcome.state_id).as_str().into(),
+                ),
+                ("compacted".into(), outcome.compacted.into()),
+            ]);
+            Response::json(200, body.to_text())
+        }
+        Err(e) => {
+            let message = e.to_string();
+            let status = if message.contains("parent") { 409 } else { 400 };
+            Response::error(status, &format!("delta rejected: {message}"))
+        }
+    }
+}
+
 fn upload_model(state: &AppState, req: &Request) -> Response {
     let Some(id) = req.query_param("id").filter(|id| !id.is_empty()) else {
         return Response::error(400, "missing ?id=<name> query parameter");
@@ -395,8 +428,8 @@ fn prior_map(
     }
     let map = Arc::new(AssociationMap::build(
         &stored.model,
-        state.engine(spec.scoring),
-        &state.corpus,
+        &state.engine(spec.scoring),
+        &state.corpus(),
         spec.fidelity,
         &spec.filters,
     ));
@@ -427,7 +460,7 @@ fn associate(state: &AppState, req: &Request, id: &str) -> Response {
     cpssec_obs::annotate("cache", "miss");
 
     let map = prior_map(state, &stored, &spec);
-    let posture = SystemPosture::compute(&stored.model, &state.corpus, &map);
+    let posture = SystemPosture::compute(&stored.model, &state.corpus(), &map);
     let body = match component {
         None => render::association_json(&stored.model, &map, &posture).to_text(),
         Some(name) => {
@@ -483,8 +516,8 @@ fn whatif_route(state: &AppState, req: &Request, id: &str) -> Response {
         &stored.model,
         &changes,
         &prior,
-        state.engine(spec.scoring),
-        &state.corpus,
+        &state.engine(spec.scoring),
+        &state.corpus(),
         &spec.filters,
     ) {
         Ok(report) => report,
@@ -515,8 +548,8 @@ fn table1(state: &AppState, req: &Request) -> Response {
 
     let rows = attribute_rows(
         &stored.model,
-        state.engine(spec.scoring),
-        &state.corpus,
+        &state.engine(spec.scoring),
+        &state.corpus(),
         spec.fidelity,
         &spec.filters,
     );

@@ -243,6 +243,13 @@ impl Telemetry {
         transitions
     }
 
+    /// Records a point-in-time gauge sample into the series store (Max
+    /// aggregation: coarse slots keep the high-water mark). Used by the
+    /// tick for the corpus-state gauges, which have no per-route shape.
+    pub fn record_gauge(&self, ts_ms: u64, name: &str, value: f64) {
+        self.store.record(name, Agg::Max, ts_ms, value);
+    }
+
     /// Prometheus exposition lines for the tick itself, appended to
     /// `/metrics` by the router (own HELP/TYPE, conformance holds).
     pub fn render_prom(&self) -> String {
@@ -400,5 +407,9 @@ mod tests {
         assert!(json.contains("\"nope\":[]"));
         assert!(tel.series_names_json().contains("\"pool:busy\""));
         assert!(tel.render_prom().contains("telemetry_ticks_total 1"));
+        tel.record_gauge(5_000, "corpus:records", 42.0);
+        assert!(tel
+            .history_json(&["corpus:records"], 0)
+            .contains("\"corpus:records\":[[5000,42]]"));
     }
 }

@@ -121,7 +121,7 @@ fn metrics_report_the_hit_and_miss_deltas() {
     let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
     let hits = metric(&text, "cache_hits_total", "responses");
     let misses = metric(&text, "cache_misses_total", "responses");
-    assert!(hits >= hits0 + 1);
+    assert!(hits > hits0);
     assert!(misses >= misses0 + 13, "flood misses uncounted: {misses}");
     // The priors cache is reported independently.
     assert!(metric(&text, "cache_misses_total", "priors") >= 1);

@@ -1,0 +1,194 @@
+//! Live corpus growth over HTTP: a server booted from a mapped
+//! `.cpsnap` image answers immediately, accepts `.cpsdelta` batches on
+//! `POST /corpus/delta` without an index rebuild, rejects stale or
+//! replayed parents with 409, and compacts (verified byte-identical to
+//! a rebuild) every K-th apply.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cpssec_attackdb::seed::seed_corpus;
+use cpssec_attackdb::synth;
+use cpssec_search::{build_delta, ScoringModel, SearchEngine};
+use cpssec_server::load::read_response;
+use cpssec_server::{AppState, Server, COMPACTION_EVERY};
+
+struct TestServer {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(state: Arc<AppState>) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", 2, Arc::clone(&state)).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        TestServer {
+            addr,
+            state,
+            flag,
+            handle: Some(handle),
+        }
+    }
+
+    fn get(&self, target: &str) -> (u16, Vec<u8>) {
+        let head = format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n");
+        self.send(head.as_bytes(), &[])
+    }
+
+    fn post_bytes(&self, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let head = format!(
+            "POST {target} HTTP/1.1\r\nContent-Type: application/octet-stream\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        self.send(head.as_bytes(), body)
+    }
+
+    fn send(&self, head: &[u8], body: &[u8]) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        stream.write_all(head).expect("write head");
+        stream.write_all(body).expect("write body");
+        let response = read_response(&mut BufReader::new(stream)).expect("response");
+        (response.status, response.body)
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn snapshot_bytes() -> Vec<u8> {
+    let corpus = seed_corpus();
+    let engine = SearchEngine::build(&corpus);
+    cpssec_search::snapshot::encode(&corpus, &engine)
+}
+
+#[test]
+fn mapped_boot_applies_deltas_and_compacts() {
+    let bytes = snapshot_bytes();
+    let parent = cpssec_search::snapshot::inspect(&bytes)
+        .expect("inspect")
+        .snapshot_id;
+    let mapped: Arc<[u8]> = bytes.into();
+    let state = AppState::from_snapshot_mapped(Arc::clone(&mapped)).expect("mapped boot");
+    let server = TestServer::start(state);
+
+    // The mapped boot recorded its fast path before the thaw finished.
+    let (status, body) = server.get("/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf8");
+    assert!(
+        text.contains("snapshot_loads_total{result=\"hit\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("snapshot_load_us "), "{text}");
+    assert!(
+        text.contains(&format!("snapshot_mapped_bytes {}", mapped.len())),
+        "{text}"
+    );
+
+    // Corpus-backed endpoints block on the thaw, then answer normally.
+    let (status, _) = server.get("/table1");
+    assert_eq!(status, 200);
+    assert_eq!(server.state.state_id(), parent);
+    let before = server.state.corpus().stats().total();
+
+    // The delta's mention token is absent from every generated corpus,
+    // so a hit proves the query path sees the appended records.
+    let miss = server
+        .state
+        .engine(ScoringModel::Bm25)
+        .match_text(synth::DELTA_MENTION);
+    assert!(miss.vulnerabilities.is_empty(), "mention matched pre-delta");
+
+    let mut parent = parent;
+    for serial in 0..COMPACTION_EVERY {
+        let batch = synth::delta_batch(7, 50, serial);
+        let delta = build_delta(parent, &batch);
+        let (status, body) = server.post_bytes("/corpus/delta", &delta);
+        let text = String::from_utf8(body).expect("utf8");
+        assert_eq!(status, 200, "serial {serial}: {text}");
+        assert!(text.contains("\"applied\":true"), "{text}");
+        assert!(text.contains("\"records\":50"), "{text}");
+        // Only the K-th apply compacts.
+        let expect_compacted = serial == COMPACTION_EVERY - 1;
+        assert!(
+            text.contains(&format!("\"compacted\":{expect_compacted}")),
+            "serial {serial}: {text}"
+        );
+        // Replaying the same delta must 409: the anchor advanced.
+        let (replay, replay_body) = server.post_bytes("/corpus/delta", &delta);
+        assert_eq!(replay, 409, "{}", String::from_utf8_lossy(&replay_body));
+        parent = server.state.state_id();
+    }
+
+    // The grown corpus serves the appended records through both engines.
+    let total = server.state.corpus().stats().total();
+    assert_eq!(total, before + 50 * COMPACTION_EVERY as usize);
+    for scoring in [ScoringModel::TfIdf, ScoringModel::Bm25] {
+        let hits = server
+            .state
+            .engine(scoring)
+            .match_text(synth::DELTA_MENTION);
+        assert!(
+            !hits.vulnerabilities.is_empty(),
+            "{scoring:?}: delta records unreachable"
+        );
+    }
+    let (status, body) = server.get("/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf8");
+    assert!(
+        text.contains(&format!("delta_applies_total {}", COMPACTION_EVERY)),
+        "{text}"
+    );
+    assert!(text.contains("compactions_total 1"), "{text}");
+    assert!(text.contains(&format!("corpus_records {total}")), "{text}");
+}
+
+#[test]
+fn corpus_built_state_shares_the_delta_chain() {
+    // A server that built the seed corpus from source anchors at the
+    // same id the encoded snapshot carries, so the same delta applies.
+    let state = AppState::new(seed_corpus());
+    let bytes = snapshot_bytes();
+    let snapshot_id = cpssec_search::snapshot::inspect(&bytes)
+        .expect("inspect")
+        .snapshot_id;
+    assert_eq!(state.state_id(), snapshot_id);
+
+    let batch = synth::delta_batch(11, 20, 0);
+    let delta = build_delta(snapshot_id, &batch);
+    let outcome = state.apply_corpus_delta(&delta).expect("apply");
+    assert_eq!(outcome.records, 20);
+    assert_eq!(outcome.state_id, state.state_id());
+    assert!(!outcome.compacted);
+}
+
+#[test]
+fn malformed_and_stale_bodies_are_rejected() {
+    let server = TestServer::start(AppState::new(seed_corpus()));
+    let (status, _) = server.post_bytes("/corpus/delta", &[]);
+    assert_eq!(status, 400);
+    let (status, _) = server.post_bytes("/corpus/delta", b"not a delta at all");
+    assert_eq!(status, 400);
+    // A delta against a bogus parent is a conflict, not a bad request.
+    let batch = synth::delta_batch(3, 10, 0);
+    let delta = build_delta(0xdead_beef, &batch);
+    let (status, body) = server.post_bytes("/corpus/delta", &delta);
+    assert_eq!(status, 409, "{}", String::from_utf8_lossy(&body));
+    // GET on the endpoint is method-not-allowed, not 404.
+    let (status, _) = server.get("/corpus/delta");
+    assert_eq!(status, 405);
+}

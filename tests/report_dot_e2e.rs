@@ -92,7 +92,7 @@ fn scada_association_report_and_dot_are_coherent() {
         if let Some((endpoints, _)) = line.split_once('[') {
             if let Some((from, to)) = endpoints.split_once("--") {
                 edges.push((from.trim().to_owned(), to.trim().to_owned()));
-            } else if let Some(id) = endpoints.trim().split_whitespace().next() {
+            } else if let Some(id) = endpoints.split_whitespace().next() {
                 if id != "node" && !id.is_empty() {
                     declared.push(id.to_owned());
                 }
